@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: end-to-end simulator throughput (references
+//! processed per second) for the main directory organizations.
+
+use ccd_coherence::{CmpSimulator, DirectorySpec, Hierarchy, SystemConfig};
+use ccd_workloads::{TraceGenerator, WorkloadProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence_step");
+    group.throughput(Throughput::Elements(1));
+    let system = SystemConfig::table1(Hierarchy::SharedL2);
+    let specs = [
+        ("cuckoo", DirectorySpec::cuckoo(4, 1.0)),
+        ("sparse-8x", DirectorySpec::sparse(8, 8.0)),
+        ("duplicate-tag", DirectorySpec::DuplicateTag),
+    ];
+    for (name, spec) in specs {
+        let mut sim = CmpSimulator::new(system.clone(), &spec).expect("valid config");
+        let mut trace = TraceGenerator::new(WorkloadProfile::oracle(), system.num_cores, 1);
+        // Warm the caches so the steady-state mix of hits and misses is
+        // benchmarked rather than the cold-start flood of insertions.
+        sim.run(&mut trace, 200_000);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let r = trace.next_ref();
+                sim.process(r);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

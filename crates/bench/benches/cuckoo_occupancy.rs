@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: cuckoo-table insertion cost as a function of
+//! occupancy (the displacement chains get longer as the table fills).
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_cuckoo::CuckooTable;
+use ccd_hash::HashKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::VecDeque;
+
+fn bench_occupancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo_insert_by_occupancy");
+    for occupancy_percent in [25u32, 50, 75, 90] {
+        let mut table: CuckooTable<()> =
+            CuckooTable::new(4, 8192, HashKind::Skewing, 3).expect("valid");
+        let mut rng = SplitMix64::new(11);
+        let target = table.capacity() * occupancy_percent as usize / 100;
+        let mut resident: VecDeque<u64> = VecDeque::new();
+        while table.len() < target {
+            let key = rng.next_u64() >> 22;
+            if table.insert(key, ()).succeeded() {
+                resident.push_back(key);
+            }
+        }
+        group.bench_function(BenchmarkId::from_parameter(occupancy_percent), |b| {
+            b.iter(|| {
+                let key = rng.next_u64() >> 22;
+                let outcome = table.insert(key, ());
+                resident.push_back(key);
+                if let Some((lost, _)) = outcome.discarded {
+                    resident.retain(|&k| k != lost);
+                }
+                // Retire the oldest resident key to hold occupancy constant.
+                if let Some(old) = resident.pop_front() {
+                    table.remove(old);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_occupancy);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: sharer-lookup throughput of each directory
+//! organization at 50% occupancy.
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_common::{CacheId, LineAddr};
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_directory::Directory;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn filled_directory(spec: &DirectorySpec) -> (Box<dyn Directory>, Vec<LineAddr>) {
+    let system = SystemConfig::table1(Hierarchy::SharedL2);
+    let mut dir = spec.build_slice(&system).expect("valid spec");
+    let mut rng = SplitMix64::new(42);
+    let mut lines = Vec::new();
+    let target = dir.capacity() / 2;
+    while dir.len() < target {
+        let line = LineAddr::from_block_number(rng.next_u64() >> 22);
+        dir.add_sharer(line, CacheId::new((rng.next_below(32)) as u32));
+        lines.push(line);
+    }
+    (dir, lines)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dir_lookup");
+    let specs = [
+        ("cuckoo-4x512", DirectorySpec::cuckoo(4, 1.0)),
+        ("sparse-8x-2x", DirectorySpec::sparse(8, 2.0)),
+        ("skewed-4x-2x", DirectorySpec::skewed(4, 2.0)),
+        ("duplicate-tag", DirectorySpec::DuplicateTag),
+        ("tagless", DirectorySpec::tagless()),
+    ];
+    for (name, spec) in specs {
+        let (dir, lines) = filled_directory(&spec);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                i = (i + 1) % lines.len();
+                std::hint::black_box(dir.sharers(lines[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

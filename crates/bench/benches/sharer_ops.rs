@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: add/remove/invalidation-target operations on
+//! each sharer-set representation at 1024 caches.
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_common::CacheId;
+use ccd_sharers::{
+    CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const CACHES: usize = 1024;
+
+fn bench_format<S: SharerSet>(c: &mut Criterion, name: &str) {
+    let mut group = c.benchmark_group(format!("sharers_{name}"));
+    let mut rng = SplitMix64::new(5);
+
+    group.bench_function(BenchmarkId::new("add_remove", CACHES), |b| {
+        let mut set = S::new(CACHES);
+        b.iter(|| {
+            let cache = CacheId::new(rng.next_below(CACHES as u64) as u32);
+            set.add(cache);
+            set.remove(cache);
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("invalidation_targets", CACHES), |b| {
+        let mut set = S::new(CACHES);
+        for i in (0..CACHES as u32).step_by(37) {
+            set.add(CacheId::new(i));
+        }
+        b.iter(|| std::hint::black_box(set.invalidation_targets()));
+    });
+    group.finish();
+}
+
+fn bench_sharers(c: &mut Criterion) {
+    bench_format::<FullBitVector>(c, "full_vector");
+    bench_format::<CoarseVector>(c, "coarse");
+    bench_format::<HierarchicalVector>(c, "hierarchical");
+    bench_format::<LimitedPointer>(c, "limited_pointer");
+}
+
+criterion_group!(benches, bench_sharers);
+criterion_main!(benches);

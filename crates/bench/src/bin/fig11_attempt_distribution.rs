@@ -1,0 +1,85 @@
+//! Figure 11 — worst-case insertion-attempt distributions.
+//!
+//! Reports the full insertion-attempt histogram for the two worst-case
+//! combinations the paper identifies: OLTP Oracle on the Shared-L2
+//! configuration and ocean on the Private-L2 configuration, using the
+//! selected 4×512 and 3×8192 Cuckoo organizations.
+
+use ccd_bench::{print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_hash::HashKind;
+use ccd_workloads::WorkloadProfile;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Distribution {
+    label: String,
+    /// `percent[a]` = share of insert operations that took `a` attempts.
+    percent_by_attempts: Vec<(u64, f64)>,
+}
+
+fn distribution(
+    label: &str,
+    system: &SystemConfig,
+    spec: &DirectorySpec,
+    profile: &WorkloadProfile,
+    scale: RunScale,
+) -> Distribution {
+    let report =
+        simulate_workload(system, spec, profile, scale, 0xF11).expect("simulation failed");
+    let hist = &report.directory.insertion_attempts;
+    let percent_by_attempts = (0..=hist.max_value())
+        .map(|a| (a, hist.fraction(a) * 100.0))
+        .filter(|&(a, pct)| a > 0 && (pct > 0.0 || a <= 8))
+        .collect();
+    Distribution {
+        label: label.to_string(),
+        percent_by_attempts,
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let shared = SystemConfig::table1(Hierarchy::SharedL2);
+    let private = SystemConfig::table1(Hierarchy::PrivateL2);
+    print_system_banner("Figure 11: worst-case insertion-attempt distributions", &shared);
+    println!();
+
+    let oracle = distribution(
+        "OLTP Oracle (Shared-L2, 4x512)",
+        &shared,
+        &DirectorySpec::CuckooExplicit {
+            ways: 4,
+            sets: 512,
+            hash: HashKind::Skewing,
+        },
+        &WorkloadProfile::oracle(),
+        scale,
+    );
+    let ocean = distribution(
+        "ocean (Private-L2, 3x8192)",
+        &private,
+        &DirectorySpec::CuckooExplicit {
+            ways: 3,
+            sets: 8192,
+            hash: HashKind::Skewing,
+        },
+        &WorkloadProfile::ocean(),
+        scale,
+    );
+
+    for dist in [&oracle, &ocean] {
+        println!("{}", dist.label);
+        let mut table = TextTable::new(vec!["insertion attempts", "% of insert operations"]);
+        for (attempts, pct) in &dist.percent_by_attempts {
+            table.add_row(vec![attempts.to_string(), format!("{pct:.2}")]);
+        }
+        table.print();
+        println!();
+    }
+
+    println!("Paper reference (Figure 11): ~85% (Oracle) and ~73% (ocean) of insertions");
+    println!("complete in one attempt; each additional attempt is exponentially rarer and");
+    println!("the 32-attempt cap is essentially never reached (no peak at 32).");
+    write_json("fig11_attempt_distribution", &vec![oracle, ocean]);
+}

@@ -1,0 +1,100 @@
+//! Figure 12 — forced-invalidation rates of competing directory
+//! organizations.
+//!
+//! For every workload and both system configurations, compares the
+//! forced-invalidation rate (forced evictions per directory insertion) of:
+//! (a) an 8-way Sparse directory with 2× capacity, (b) an 8-way Sparse with
+//! 8× capacity, (c) a 4-way skewed-associative directory with 2× capacity,
+//! and (d) the selected Cuckoo directory (1× Shared-L2 / 1.5× Private-L2).
+
+use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_workloads::WorkloadProfile;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct InvalidationRow {
+    configuration: String,
+    workload: String,
+    sparse_2x_percent: f64,
+    sparse_8x_percent: f64,
+    skewed_2x_percent: f64,
+    cuckoo_percent: f64,
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let workloads = WorkloadProfile::all_paper_workloads();
+    let mut rows: Vec<InvalidationRow> = Vec::new();
+
+    for hierarchy in [Hierarchy::SharedL2, Hierarchy::PrivateL2] {
+        let system = SystemConfig::table1(hierarchy);
+        print_system_banner("Figure 12: directory invalidation rates", &system);
+        let cuckoo = match hierarchy {
+            Hierarchy::SharedL2 => DirectorySpec::cuckoo(4, 1.0),
+            Hierarchy::PrivateL2 => DirectorySpec::cuckoo(3, 1.5),
+        };
+        let specs = [
+            DirectorySpec::sparse(8, 2.0),
+            DirectorySpec::sparse(8, 8.0),
+            DirectorySpec::skewed(4, 2.0),
+            cuckoo,
+        ];
+
+        // One simulation per (workload, organization), all independent.
+        let jobs: Vec<(WorkloadProfile, DirectorySpec)> = workloads
+            .iter()
+            .flat_map(|w| specs.iter().map(move |s| (w.clone(), s.clone())))
+            .collect();
+        let rates = parallel_map(jobs, |(profile, spec)| {
+            simulate_workload(&system, spec, profile, scale, 0xF12)
+                .expect("simulation failed")
+                .forced_invalidation_rate()
+                * 100.0
+        });
+
+        for (w_idx, workload) in workloads.iter().enumerate() {
+            let base = w_idx * specs.len();
+            rows.push(InvalidationRow {
+                configuration: hierarchy.to_string(),
+                workload: workload.name.to_string(),
+                sparse_2x_percent: rates[base],
+                sparse_8x_percent: rates[base + 1],
+                skewed_2x_percent: rates[base + 2],
+                cuckoo_percent: rates[base + 3],
+            });
+        }
+    }
+
+    for hierarchy in ["Shared-L2", "Private-L2"] {
+        println!("\n{hierarchy}");
+        let cuckoo_label = if hierarchy == "Shared-L2" {
+            "Cuckoo 1x %"
+        } else {
+            "Cuckoo 1.5x %"
+        };
+        let mut table = TextTable::new(vec![
+            "workload",
+            "Sparse 2x %",
+            "Sparse 8x %",
+            "Skewed 2x %",
+            cuckoo_label,
+        ]);
+        for row in rows.iter().filter(|r| r.configuration == hierarchy) {
+            table.add_row(vec![
+                row.workload.clone(),
+                format!("{:.4}", row.sparse_2x_percent),
+                format!("{:.4}", row.sparse_8x_percent),
+                format!("{:.4}", row.skewed_2x_percent),
+                format!("{:.4}", row.cuckoo_percent),
+            ]);
+        }
+        table.print();
+    }
+
+    println!("\nPaper reference (Figure 12): Sparse 2x conflicts on nearly all workloads,");
+    println!("Skewed 2x helps mainly the server workloads, Sparse 8x still shows significant");
+    println!("rates for many workloads, and the Cuckoo directory is near zero everywhere");
+    println!("(ocean at 1.5x Private-L2: 0.08% in the paper).");
+    write_json("fig12_invalidation_rates", &rows);
+}

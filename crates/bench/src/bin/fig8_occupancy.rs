@@ -1,0 +1,64 @@
+//! Figure 8 — average directory occupancy per workload.
+//!
+//! Runs every paper workload on the 16-core Shared-L2 and Private-L2
+//! systems and reports the average directory occupancy *relative to the
+//! worst-case tracked blocks* (a 1× capacity directory), which is how the
+//! paper motivates that the Shared-L2 configuration needs no
+//! over-provisioning while the Private-L2 configuration needs ~1.5×
+//! (Section 5.2).
+
+use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_workloads::WorkloadProfile;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct OccupancyRow {
+    workload: String,
+    shared_l2_occupancy: f64,
+    private_l2_occupancy: f64,
+}
+
+fn measure(system: &SystemConfig, profile: &WorkloadProfile, scale: RunScale) -> f64 {
+    // Use an amply provisioned (2x) Cuckoo directory so no forced evictions
+    // perturb the measurement, then rescale the reported occupancy to the
+    // worst-case (1x) capacity.
+    let spec = DirectorySpec::cuckoo(4, 2.0);
+    let report = simulate_workload(system, &spec, profile, scale, 0x0CC + profile.name.len() as u64)
+        .expect("simulation failed");
+    let capacity_per_slice = 4.0
+        * ((system.tracked_frames_per_slice() as f64 * 2.0 / 4.0).ceil() as usize)
+            .next_power_of_two() as f64;
+    report.avg_directory_occupancy * capacity_per_slice / system.tracked_frames_per_slice() as f64
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let shared = SystemConfig::table1(Hierarchy::SharedL2);
+    let private = SystemConfig::table1(Hierarchy::PrivateL2);
+    print_system_banner("Figure 8: average directory occupancy", &shared);
+    print_system_banner("", &private);
+    println!();
+
+    let workloads = WorkloadProfile::all_paper_workloads();
+    let rows: Vec<OccupancyRow> = parallel_map(workloads, |profile| OccupancyRow {
+        workload: profile.name.to_string(),
+        shared_l2_occupancy: measure(&shared, profile, scale),
+        private_l2_occupancy: measure(&private, profile, scale),
+    });
+
+    let mut table = TextTable::new(vec!["workload", "Shared-L2 occupancy %", "Private-L2 occupancy %"]);
+    for row in &rows {
+        table.add_row(vec![
+            row.workload.clone(),
+            format!("{:.1}", row.shared_l2_occupancy * 100.0),
+            format!("{:.1}", row.private_l2_occupancy * 100.0),
+        ]);
+    }
+    table.print();
+
+    println!("\nPaper reference (Figure 8): Shared-L2 occupancy stays well below 100% for all");
+    println!("workloads; Private-L2 occupancy approaches 100% for the DSS and scientific");
+    println!("workloads (ocean is the extreme with nearly all-private blocks).");
+    write_json("fig8_occupancy", &rows);
+}

@@ -1,0 +1,116 @@
+//! Section 5.5 — hash-function selection study.
+//!
+//! Compares the skewing functions, multiply-shift functions and strong
+//! mixers along two axes:
+//!
+//! 1. raw d-ary cuckoo behaviour at several occupancy targets (average
+//!    attempts, failure probability), and
+//! 2. the ocean / Private-L2 system simulation at 1.5× provisioning, the
+//!    configuration where the paper observed strong hashes eliminating the
+//!    residual forced invalidations.
+
+use ccd_bench::{print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_cuckoo::CuckooTable;
+use ccd_hash::HashKind;
+use ccd_workloads::{RandomKeyStream, WorkloadProfile};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TableStudyRow {
+    hash: String,
+    occupancy_target: f64,
+    avg_attempts: f64,
+    failure_percent: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SimStudyRow {
+    hash: String,
+    workload: String,
+    forced_invalidation_percent: f64,
+    avg_attempts: f64,
+}
+
+fn table_study(kind: HashKind, target: f64) -> TableStudyRow {
+    let mut table: CuckooTable<()> = CuckooTable::new(4, 8192, kind, 7).expect("valid");
+    let mut keys = RandomKeyStream::new(0x5EED);
+    let mut attempts = 0u64;
+    let mut inserts = 0u64;
+    let mut failures = 0u64;
+    while table.occupancy() < target && inserts < 3 * table.capacity() as u64 {
+        let o = table.insert(keys.next_key(), ());
+        attempts += u64::from(o.attempts);
+        inserts += 1;
+        if !o.succeeded() {
+            failures += 1;
+        }
+    }
+    TableStudyRow {
+        hash: kind.to_string(),
+        occupancy_target: target,
+        avg_attempts: attempts as f64 / inserts as f64,
+        failure_percent: failures as f64 / inserts as f64 * 100.0,
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("== Section 5.5: hash-function selection ==\n");
+
+    // Part 1: raw table behaviour.
+    let mut raw_rows = Vec::new();
+    for kind in HashKind::all() {
+        for target in [0.5, 0.75, 0.9] {
+            raw_rows.push(table_study(kind, target));
+        }
+    }
+    let mut table = TextTable::new(vec!["hash family", "fill target", "avg attempts", "failure %"]);
+    for r in &raw_rows {
+        table.add_row(vec![
+            r.hash.clone(),
+            format!("{:.2}", r.occupancy_target),
+            format!("{:.2}", r.avg_attempts),
+            format!("{:.2}", r.failure_percent),
+        ]);
+    }
+    table.print();
+
+    // Part 2: ocean on the Private-L2 system at 1.5x provisioning.
+    let system = SystemConfig::table1(Hierarchy::PrivateL2);
+    println!();
+    print_system_banner("ocean, Cuckoo 1.5x, skewing vs strong hashes", &system);
+    let mut sim_rows = Vec::new();
+    for kind in [HashKind::Skewing, HashKind::Strong] {
+        let spec = DirectorySpec::Cuckoo {
+            ways: 3,
+            provisioning: 1.5,
+            hash: kind,
+        };
+        let report = simulate_workload(&system, &spec, &WorkloadProfile::ocean(), scale, 0x0CEA)
+            .expect("simulation failed");
+        sim_rows.push(SimStudyRow {
+            hash: kind.to_string(),
+            workload: "ocean".to_string(),
+            forced_invalidation_percent: report.forced_invalidation_rate() * 100.0,
+            avg_attempts: report.avg_insertion_attempts(),
+        });
+    }
+    let mut table = TextTable::new(vec!["hash family", "forced invalidation %", "avg attempts"]);
+    for r in &sim_rows {
+        table.add_row(vec![
+            r.hash.clone(),
+            format!("{:.4}", r.forced_invalidation_percent),
+            format!("{:.2}", r.avg_attempts),
+        ]);
+    }
+    println!();
+    table.print();
+
+    println!("\nPaper reference (Section 5.5): skewing functions match strong hashes at 2x");
+    println!("provisioning; strong hashes help only in aggressive/under-provisioned designs");
+    println!("(e.g. they remove ocean's residual invalidations at 1.5x), at a hardware cost");
+    println!("that is not worth paying.");
+    write_json("hash_function_study_raw", &raw_rows);
+    write_json("hash_function_study_sim", &sim_rows);
+}

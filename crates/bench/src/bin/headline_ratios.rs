@@ -1,0 +1,74 @@
+//! Headline efficiency ratios quoted in the paper's abstract, introduction
+//! and conclusion, derived from the same analytical model as Figures 4/13.
+
+use ccd_bench::{write_json, TextTable};
+use ccd_energy::{DirOrg, EnergyModel};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Ratio {
+    claim: String,
+    paper_value: String,
+    measured: f64,
+}
+
+fn main() {
+    println!("== Headline efficiency ratios (Sections 1 and 7) ==\n");
+    let shared = EnergyModel::shared_l2();
+    let private = EnergyModel::private_l2();
+    let sparse8 = DirOrg::SparseCoarse {
+        ways: 8,
+        provisioning: 8.0,
+    };
+
+    let ratios = vec![
+        Ratio {
+            claim: "1024 cores: energy advantage over Tagless (Shared-L2)".to_string(),
+            paper_value: "up to 80x".to_string(),
+            measured: shared.energy_advantage(&DirOrg::cuckoo_coarse_shared(), &DirOrg::Tagless, 1024),
+        },
+        Ratio {
+            claim: "1024 cores: area advantage over Sparse 8x Coarse (Shared-L2)".to_string(),
+            paper_value: "~7x".to_string(),
+            measured: shared.area_advantage(&DirOrg::cuckoo_coarse_shared(), &sparse8, 1024),
+        },
+        Ratio {
+            claim: "1024 cores: energy advantage over Sparse 8x Coarse (Shared-L2)".to_string(),
+            paper_value: "11-24%".to_string(),
+            measured: shared.energy_advantage(&DirOrg::cuckoo_coarse_shared(), &sparse8, 1024),
+        },
+        Ratio {
+            claim: "16 cores: energy advantage over Duplicate-Tag (Private-L2)".to_string(),
+            paper_value: "up to 16x".to_string(),
+            measured: private.energy_advantage(&DirOrg::cuckoo_coarse_private(), &DirOrg::DuplicateTag, 16),
+        },
+        Ratio {
+            claim: "16 cores: area advantage over Sparse 8x Coarse (Private-L2)".to_string(),
+            paper_value: "up to 6x".to_string(),
+            measured: private.area_advantage(&DirOrg::cuckoo_coarse_private(), &sparse8, 16),
+        },
+        Ratio {
+            claim: "1024 cores: Cuckoo area as % of L2 (Shared-L2)".to_string(),
+            paper_value: "< 3%".to_string(),
+            measured: shared
+                .evaluate(&DirOrg::cuckoo_coarse_shared(), 1024)
+                .area_relative
+                * 100.0,
+        },
+        Ratio {
+            claim: "1024 cores: Cuckoo area as % of L2 (Private-L2)".to_string(),
+            paper_value: "< 30%".to_string(),
+            measured: private
+                .evaluate(&DirOrg::cuckoo_coarse_private(), 1024)
+                .area_relative
+                * 100.0,
+        },
+    ];
+
+    let mut table = TextTable::new(vec!["claim", "paper", "this model"]);
+    for r in &ratios {
+        table.add_row(vec![r.claim.clone(), r.paper_value.clone(), format!("{:.1}", r.measured)]);
+    }
+    table.print();
+    write_json("headline_ratios", &ratios);
+}

@@ -1,0 +1,317 @@
+//! Shared harness utilities for the experiment binaries and the Criterion
+//! micro-benchmarks.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in this crate (see DESIGN.md §4 for the index).  All binaries
+//! share the plumbing here:
+//!
+//! * [`RunScale`] — how many references to warm up and measure per
+//!   simulation, scaled to the tracked-cache capacity and overridable with
+//!   the `CCD_SCALE` environment variable (`quick`, `default`, `full`),
+//! * [`simulate_workload`] — build + warm + measure one (system, directory,
+//!   workload) combination,
+//! * [`parallel_map`] — run independent simulations across threads,
+//! * [`TextTable`] — fixed-width table printing for the figure data,
+//! * [`write_json`] — persist results under `results/` for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ccd_coherence::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
+use ccd_common::ConfigError;
+use ccd_workloads::{TraceGenerator, WorkloadProfile};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How much work each simulation performs, expressed as multiples of the
+/// aggregate tracked-cache capacity (so Private-L2 runs, whose caches are
+/// 16× larger, automatically warm longer).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunScale {
+    /// Warm-up references per tracked cache frame.
+    pub warmup_per_frame: f64,
+    /// Measured references per tracked cache frame.
+    pub measure_per_frame: f64,
+}
+
+impl RunScale {
+    /// Quick smoke-test scale (used by CI and the integration tests).
+    #[must_use]
+    pub const fn quick() -> Self {
+        RunScale {
+            warmup_per_frame: 4.0,
+            measure_per_frame: 2.0,
+        }
+    }
+
+    /// The default scale used by the figure binaries.
+    #[must_use]
+    pub const fn default_scale() -> Self {
+        RunScale {
+            warmup_per_frame: 16.0,
+            measure_per_frame: 8.0,
+        }
+    }
+
+    /// A long, publication-quality run.
+    #[must_use]
+    pub const fn full() -> Self {
+        RunScale {
+            warmup_per_frame: 48.0,
+            measure_per_frame: 24.0,
+        }
+    }
+
+    /// Reads the scale from the `CCD_SCALE` environment variable
+    /// (`quick` / `default` / `full`); unknown values fall back to the
+    /// default scale.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("CCD_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("full") => Self::full(),
+            _ => Self::default_scale(),
+        }
+    }
+
+    /// Warm-up reference count for `system`.
+    #[must_use]
+    pub fn warmup_refs(&self, system: &SystemConfig) -> u64 {
+        (system.total_tracked_frames() as f64 * self.warmup_per_frame) as u64
+    }
+
+    /// Measured reference count for `system`.
+    #[must_use]
+    pub fn measure_refs(&self, system: &SystemConfig) -> u64 {
+        (system.total_tracked_frames() as f64 * self.measure_per_frame) as u64
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+/// Runs one (system, directory, workload) simulation: warm up, reset
+/// statistics, measure, report.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the simulator construction.
+pub fn simulate_workload(
+    system: &SystemConfig,
+    spec: &DirectorySpec,
+    profile: &WorkloadProfile,
+    scale: RunScale,
+    seed: u64,
+) -> Result<SimReport, ConfigError> {
+    let mut trace = TraceGenerator::new(profile.clone(), system.num_cores, seed);
+    CmpSimulator::run_workload(
+        system.clone(),
+        spec,
+        &mut trace,
+        scale.warmup_refs(system),
+        scale.measure_refs(system),
+    )
+}
+
+/// Applies `f` to every item of `items`, running the invocations across
+/// `std::thread::available_parallelism()` worker threads, and returns the
+/// results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(&items[index]);
+                *results[index].lock().unwrap() = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every item processed"))
+        .collect()
+}
+
+/// A fixed-width text table, printed the way the figure data is reported in
+/// EXPERIMENTS.md.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded or truncated to the header width).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, width) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:width$}  ");
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders and prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory where the figure binaries persist their JSON results.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var("CCD_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Serializes `value` as pretty JSON under [`results_dir`]`/name.json`.
+/// Failures are reported to stderr but do not abort the experiment.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path: &Path = &dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints the Table 1 system parameters the experiment runs under, so every
+/// binary's output is self-describing.
+pub fn print_system_banner(title: &str, system: &SystemConfig) {
+    println!("== {title} ==");
+    println!(
+        "   system: {} cores, {} hierarchy, {} tracked caches of {} KB ({}-way), 64B blocks",
+        system.num_cores,
+        system.hierarchy,
+        system.num_private_caches(),
+        system.tracked_cache().capacity_bytes() / 1024,
+        system.tracked_cache().ways,
+    );
+    println!(
+        "   per-slice worst case: {} tracked blocks across {} slices",
+        system.tracked_frames_per_slice(),
+        system.num_slices()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_coherence::Hierarchy;
+
+    #[test]
+    fn run_scale_scales_with_the_tracked_cache() {
+        let shared = SystemConfig::table1(Hierarchy::SharedL2);
+        let private = SystemConfig::table1(Hierarchy::PrivateL2);
+        let scale = RunScale::quick();
+        assert_eq!(scale.warmup_refs(&shared), 4 * 32 * 1024);
+        assert!(scale.warmup_refs(&private) > scale.warmup_refs(&shared));
+        assert!(scale.measure_refs(&shared) < scale.warmup_refs(&shared));
+        assert_eq!(RunScale::default(), RunScale::default_scale());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Empty input is fine.
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(empty, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn text_table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["workload", "rate"]);
+        t.add_row(vec!["DB2", "0.01"]);
+        t.add_row(vec!["ocean"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("workload"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("DB2"));
+        assert!(lines[3].contains("ocean"));
+    }
+
+    #[test]
+    fn quick_simulation_round_trips() {
+        let system = SystemConfig {
+            num_cores: 4,
+            ..SystemConfig::shared_l2(4)
+        };
+        let report = simulate_workload(
+            &system,
+            &DirectorySpec::cuckoo(4, 1.0),
+            &WorkloadProfile::apache(),
+            RunScale::quick(),
+            1,
+        )
+        .unwrap();
+        assert!(report.refs_processed > 0);
+        assert!(report.avg_directory_occupancy > 0.0);
+    }
+}

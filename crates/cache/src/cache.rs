@@ -1,0 +1,422 @@
+//! The set-associative cache model.
+
+use crate::CacheConfig;
+use ccd_common::stats::Counter;
+use ccd_common::{ConfigError, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// MESI-lite coherence state of a resident block.
+///
+/// Only the states that change directory-visible behaviour are modelled:
+/// a block is either readable by possibly many caches (`Shared`) or
+/// writable by exactly one (`Modified`).  Exclusive-clean is folded into
+/// `Shared` because, from the directory's perspective, the transition that
+/// matters is the upgrade that invalidates other copies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceState {
+    /// Readable copy; other caches may also hold the block.
+    Shared,
+    /// Writable, dirty copy; no other cache holds the block.
+    Modified,
+}
+
+/// A block displaced by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// The displaced block.
+    pub line: LineAddr,
+    /// `true` when the block was dirty and must be written back.
+    pub dirty: bool,
+}
+
+/// The outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was resident with sufficient permission.
+    Hit,
+    /// The block was resident in `Shared` state but the access was a write;
+    /// the caller must obtain exclusive permission from the directory.
+    UpgradeMiss,
+    /// The block was not resident; it has been filled, possibly displacing a
+    /// victim that the caller must report to the directory.
+    Miss {
+        /// The block displaced to make room, if the set was full.
+        victim: Option<Eviction>,
+    },
+}
+
+impl AccessOutcome {
+    /// `true` for any kind of miss (fill or upgrade).
+    #[must_use]
+    pub fn is_miss(&self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: Counter,
+    /// Accesses that hit with sufficient permission.
+    pub hits: Counter,
+    /// Fill misses.
+    pub misses: Counter,
+    /// Write accesses that hit a `Shared` block and needed an upgrade.
+    pub upgrade_misses: Counter,
+    /// Blocks displaced by fills.
+    pub evictions: Counter,
+    /// Displaced blocks that were dirty.
+    pub writebacks: Counter,
+    /// Blocks invalidated by external (coherence) requests.
+    pub invalidations: Counter,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses (fill misses only).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.misses.fraction_of(self.accesses.get())
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    line: LineAddr,
+    state: CoherenceState,
+    last_use: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    frames: Vec<Option<Frame>>,
+    tick: u64,
+    valid: usize,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the geometry's [`ConfigError`] when it is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Cache {
+            config,
+            frames: (0..config.frames()).map(|_| None).collect(),
+            tick: 0,
+            valid: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.valid
+    }
+
+    /// `true` when no blocks are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.valid == 0
+    }
+
+    /// Fraction of frames currently holding valid blocks.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.valid as f64 / self.config.frames() as f64
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.block_number() % self.config.sets as u64) as usize
+    }
+
+    fn frame_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.config.ways..(set + 1) * self.config.ways
+    }
+
+    fn find_frame(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        self.frame_range(set)
+            .find(|&f| matches!(&self.frames[f], Some(fr) if fr.line == line))
+    }
+
+    /// `true` when `line` is resident.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_frame(line).is_some()
+    }
+
+    /// Returns the coherence state of `line`, if resident.
+    #[must_use]
+    pub fn state_of(&self, line: LineAddr) -> Option<CoherenceState> {
+        self.find_frame(line).map(|f| self.frames[f].as_ref().unwrap().state)
+    }
+
+    /// Iterates over all resident lines and their states.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, CoherenceState)> + '_ {
+        self.frames
+            .iter()
+            .filter_map(|f| f.as_ref().map(|fr| (fr.line, fr.state)))
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.tick += 1;
+        self.frames[frame].as_mut().expect("frame is valid").last_use = self.tick;
+    }
+
+    /// Fills `line` into its set in the given state, returning the displaced
+    /// victim when the set was full.
+    fn fill(&mut self, line: LineAddr, state: CoherenceState) -> Option<Eviction> {
+        let set = self.set_of(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.frame_range(set);
+
+        // Prefer an invalid frame.
+        if let Some(frame) = range.clone().find(|&f| self.frames[f].is_none()) {
+            self.frames[frame] = Some(Frame {
+                line,
+                state,
+                last_use: tick,
+            });
+            self.valid += 1;
+            return None;
+        }
+        // Set full: evict the LRU frame.
+        let frame = range
+            .min_by_key(|&f| self.frames[f].as_ref().map_or(0, |fr| fr.last_use))
+            .expect("ways > 0");
+        let victim = self.frames[frame]
+            .replace(Frame {
+                line,
+                state,
+                last_use: tick,
+            })
+            .expect("full set has valid frames");
+        self.stats.evictions.incr();
+        let dirty = victim.state == CoherenceState::Modified;
+        if dirty {
+            self.stats.writebacks.incr();
+        }
+        Some(Eviction {
+            line: victim.line,
+            dirty,
+        })
+    }
+
+    /// Performs a read (or instruction-fetch) access to `line`.
+    pub fn access_read(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.accesses.incr();
+        if let Some(frame) = self.find_frame(line) {
+            self.stats.hits.incr();
+            self.touch(frame);
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses.incr();
+        let victim = self.fill(line, CoherenceState::Shared);
+        AccessOutcome::Miss { victim }
+    }
+
+    /// Performs a write access to `line`.
+    ///
+    /// A hit on a `Shared` block is reported as [`AccessOutcome::UpgradeMiss`]
+    /// so the caller can obtain exclusive permission from the directory; the
+    /// block is promoted to `Modified` locally.
+    pub fn access_write(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.accesses.incr();
+        if let Some(frame) = self.find_frame(line) {
+            self.touch(frame);
+            let entry = self.frames[frame].as_mut().expect("frame is valid");
+            return match entry.state {
+                CoherenceState::Modified => {
+                    self.stats.hits.incr();
+                    AccessOutcome::Hit
+                }
+                CoherenceState::Shared => {
+                    entry.state = CoherenceState::Modified;
+                    self.stats.upgrade_misses.incr();
+                    AccessOutcome::UpgradeMiss
+                }
+            };
+        }
+        self.stats.misses.incr();
+        let victim = self.fill(line, CoherenceState::Modified);
+        AccessOutcome::Miss { victim }
+    }
+
+    /// Invalidates `line` (external coherence request).  Returns the state
+    /// the block was in, or `None` if it was not resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<CoherenceState> {
+        let frame = self.find_frame(line)?;
+        let entry = self.frames[frame].take().expect("frame is valid");
+        self.valid -= 1;
+        self.stats.invalidations.incr();
+        Some(entry.state)
+    }
+
+    /// Downgrades `line` to `Shared` (another cache read a modified block).
+    /// Returns `true` when the block was resident and modified.
+    pub fn downgrade(&mut self, line: LineAddr) -> bool {
+        if let Some(frame) = self.find_frame(line) {
+            let entry = self.frames[frame].as_mut().expect("frame is valid");
+            let was_modified = entry.state == CoherenceState::Modified;
+            entry.state = CoherenceState::Shared;
+            was_modified
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig::new(2, 2, 64)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_geometry() {
+        assert!(Cache::new(CacheConfig::new(0, 2, 64)).is_err());
+        assert!(Cache::new(CacheConfig::new(2, 2, 63)).is_err());
+        assert!(Cache::new(CacheConfig::l1_64k()).is_ok());
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access_read(line(0)), AccessOutcome::Miss { victim: None }));
+        assert!(matches!(c.access_read(line(0)), AccessOutcome::Hit));
+        assert_eq!(c.state_of(line(0)), Some(CoherenceState::Shared));
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn write_miss_installs_modified() {
+        let mut c = tiny();
+        assert!(c.access_write(line(3)).is_miss());
+        assert_eq!(c.state_of(line(3)), Some(CoherenceState::Modified));
+        assert!(matches!(c.access_write(line(3)), AccessOutcome::Hit));
+    }
+
+    #[test]
+    fn write_hit_on_shared_is_an_upgrade() {
+        let mut c = tiny();
+        c.access_read(line(5));
+        let outcome = c.access_write(line(5));
+        assert_eq!(outcome, AccessOutcome::UpgradeMiss);
+        assert_eq!(c.state_of(line(5)), Some(CoherenceState::Modified));
+        assert_eq!(c.stats().upgrade_misses.get(), 1);
+        // Subsequent writes hit.
+        assert!(matches!(c.access_write(line(5)), AccessOutcome::Hit));
+    }
+
+    #[test]
+    fn lru_eviction_reports_victim_and_dirtiness() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (2 sets).
+        c.access_write(line(0)); // modified
+        c.access_read(line(2));
+        // Touch 0 so 2 is LRU.
+        c.access_read(line(0));
+        let outcome = c.access_read(line(4));
+        match outcome {
+            AccessOutcome::Miss { victim: Some(v) } => {
+                assert_eq!(v.line, line(2));
+                assert!(!v.dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // Now evict line 0, which is dirty.
+        let outcome = c.access_read(line(6));
+        match outcome {
+            AccessOutcome::Miss { victim: Some(v) } => {
+                assert_eq!(v.line, line(0));
+                assert!(v.dirty);
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks.get(), 1);
+        assert_eq!(c.stats().evictions.get(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = tiny();
+        c.access_write(line(1));
+        assert_eq!(c.invalidate(line(1)), Some(CoherenceState::Modified));
+        assert!(!c.contains(line(1)));
+        assert_eq!(c.invalidate(line(1)), None);
+        assert_eq!(c.stats().invalidations.get(), 1);
+
+        c.access_write(line(3));
+        assert!(c.downgrade(line(3)));
+        assert_eq!(c.state_of(line(3)), Some(CoherenceState::Shared));
+        assert!(!c.downgrade(line(3)), "already shared");
+        assert!(!c.downgrade(line(99)), "not resident");
+    }
+
+    #[test]
+    fn occupancy_and_resident_iteration() {
+        let mut c = Cache::new(CacheConfig::new(4, 2, 64)).unwrap();
+        assert_eq!(c.occupancy(), 0.0);
+        for n in 0..4u64 {
+            c.access_read(line(n));
+        }
+        assert!((c.occupancy() - 0.5).abs() < 1e-12);
+        let resident: Vec<_> = c.resident_lines().collect();
+        assert_eq!(resident.len(), 4);
+        assert!(resident.iter().all(|&(_, s)| s == CoherenceState::Shared));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = Cache::new(CacheConfig::new(4, 2, 64)).unwrap();
+        for n in 0..100u64 {
+            c.access_read(line(n));
+            assert!(c.len() <= c.config().frames());
+        }
+        assert_eq!(c.len(), c.config().frames());
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut c = tiny();
+        c.access_read(line(1));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses.get(), 0);
+        assert!(c.contains(line(1)));
+    }
+}

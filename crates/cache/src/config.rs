@@ -1,0 +1,181 @@
+//! Cache geometry configuration.
+
+use ccd_common::{BlockGeometry, ConfigError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Number of ways per set.
+    pub ways: usize,
+    /// Cache-block size in bytes.
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration directly from sets × ways × block size.
+    #[must_use]
+    pub const fn new(sets: usize, ways: usize, block_bytes: u64) -> Self {
+        CacheConfig {
+            sets,
+            ways,
+            block_bytes,
+        }
+    }
+
+    /// Creates a configuration from a total capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the parameters do not divide evenly
+    /// into a power-of-two number of sets, or when any parameter is zero.
+    pub fn from_capacity(
+        capacity_bytes: u64,
+        ways: usize,
+        block_bytes: u64,
+    ) -> Result<Self, ConfigError> {
+        if ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if block_bytes == 0 {
+            return Err(ConfigError::Zero { what: "block size" });
+        }
+        if capacity_bytes == 0 {
+            return Err(ConfigError::Zero { what: "capacity" });
+        }
+        let frames = capacity_bytes / block_bytes;
+        if frames * block_bytes != capacity_bytes {
+            return Err(ConfigError::Inconsistent {
+                what: "capacity is not a multiple of the block size",
+            });
+        }
+        let sets = frames / ways as u64;
+        if sets * ways as u64 != frames {
+            return Err(ConfigError::Inconsistent {
+                what: "capacity is not a multiple of ways x block size",
+            });
+        }
+        let config = CacheConfig::new(sets as usize, ways, block_bytes);
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The paper's L1 configuration (Table 1): 64 KB, 2 ways, 64-byte
+    /// blocks — used for both the I and D caches of each core.
+    #[must_use]
+    pub fn l1_64k() -> Self {
+        CacheConfig::new(512, 2, 64)
+    }
+
+    /// The paper's private-L2 configuration (Table 1): 1 MB per core,
+    /// 16 ways, 64-byte blocks.
+    #[must_use]
+    pub fn l2_1m() -> Self {
+        CacheConfig::new(1024, 16, 64)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.frames() as u64 * self.block_bytes
+    }
+
+    /// Total number of block frames.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Block geometry for this cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block size is not a power of two (prevented by
+    /// [`CacheConfig::validate`]).
+    #[must_use]
+    pub fn block_geometry(&self) -> BlockGeometry {
+        BlockGeometry::new(self.block_bytes)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is zero or `sets` /
+    /// `block_bytes` are not powers of two.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sets == 0 {
+            return Err(ConfigError::Zero { what: "set count" });
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if !ccd_common::is_power_of_two(self.sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "set count",
+                value: self.sets as u64,
+            });
+        }
+        BlockGeometry::try_new(self.block_bytes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_table_1() {
+        let l1 = CacheConfig::l1_64k();
+        assert_eq!(l1.capacity_bytes(), 64 * 1024);
+        assert_eq!(l1.ways, 2);
+        assert_eq!(l1.block_bytes, 64);
+        assert_eq!(l1.frames(), 1024);
+        assert!(l1.validate().is_ok());
+
+        let l2 = CacheConfig::l2_1m();
+        assert_eq!(l2.capacity_bytes(), 1024 * 1024);
+        assert_eq!(l2.ways, 16);
+        assert_eq!(l2.frames(), 16_384);
+        assert!(l2.validate().is_ok());
+    }
+
+    #[test]
+    fn from_capacity_round_trips() {
+        let c = CacheConfig::from_capacity(64 * 1024, 2, 64).unwrap();
+        assert_eq!(c, CacheConfig::l1_64k());
+        let c = CacheConfig::from_capacity(1024 * 1024, 16, 64).unwrap();
+        assert_eq!(c, CacheConfig::l2_1m());
+    }
+
+    #[test]
+    fn from_capacity_rejects_bad_shapes() {
+        assert!(CacheConfig::from_capacity(0, 2, 64).is_err());
+        assert!(CacheConfig::from_capacity(64 * 1024, 0, 64).is_err());
+        assert!(CacheConfig::from_capacity(64 * 1024, 2, 0).is_err());
+        assert!(CacheConfig::from_capacity(100, 2, 64).is_err());
+        // 3 ways over 64KB of 64B blocks leaves a non-integral set count.
+        assert!(CacheConfig::from_capacity(64 * 1024, 3, 64).is_err());
+        // 96KB / 64B / 2 = 768 sets: not a power of two.
+        assert!(CacheConfig::from_capacity(96 * 1024, 2, 64).is_err());
+    }
+
+    #[test]
+    fn validate_checks_every_field() {
+        assert!(CacheConfig::new(0, 2, 64).validate().is_err());
+        assert!(CacheConfig::new(512, 0, 64).validate().is_err());
+        assert!(CacheConfig::new(512, 2, 48).validate().is_err());
+        assert!(CacheConfig::new(100, 2, 64).validate().is_err());
+        assert!(CacheConfig::new(512, 3, 64).validate().is_ok(), "odd way counts are fine");
+    }
+
+    #[test]
+    fn block_geometry_matches_block_size() {
+        let c = CacheConfig::l1_64k();
+        assert_eq!(c.block_geometry().block_bytes(), 64);
+        assert_eq!(c.block_geometry().offset_bits(), 6);
+    }
+}

@@ -1,0 +1,461 @@
+//! The tiled-CMP simulator proper.
+
+use crate::{DirectorySpec, Hierarchy, SimReport, SystemConfig};
+use ccd_cache::{AccessOutcome, Cache, CoherenceState};
+use ccd_common::stats::{Counter, MeanAccumulator};
+use ccd_common::{AccessType, BlockGeometry, CacheId, ConfigError, CoreId, LineAddr, MemRef};
+use ccd_directory::{Directory, DirectoryStats, UpdateResult};
+
+/// How often (in processed references) the directory occupancy is sampled.
+const OCCUPANCY_SAMPLE_INTERVAL: u64 = 8_192;
+
+/// A functional, trace-driven simulator of the paper's tiled CMP.
+///
+/// See the crate-level documentation for the modelled protocol.  The
+/// simulator owns one private cache per tracked cache (two L1s per core in
+/// the Shared-L2 hierarchy, one private L2 per core in Private-L2) and one
+/// directory slice per tile.
+pub struct CmpSimulator {
+    system: SystemConfig,
+    label: String,
+    geom: BlockGeometry,
+    caches: Vec<Cache>,
+    slices: Vec<Box<dyn Directory>>,
+    refs_processed: u64,
+    occupancy_samples: MeanAccumulator,
+    coherence_invalidations: Counter,
+    forced_invalidations: Counter,
+}
+
+impl std::fmt::Debug for CmpSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmpSimulator")
+            .field("system", &self.system)
+            .field("organization", &self.label)
+            .field("refs_processed", &self.refs_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CmpSimulator {
+    /// Builds a simulator for `system` using the directory organization
+    /// described by `spec` (one slice per tile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the system configuration, the cache
+    /// geometry, or the directory specification.
+    pub fn new(system: SystemConfig, spec: &DirectorySpec) -> Result<Self, ConfigError> {
+        system.validate()?;
+        let tracked_cache = system.tracked_cache();
+        let caches = (0..system.num_private_caches())
+            .map(|_| Cache::new(tracked_cache))
+            .collect::<Result<Vec<_>, _>>()?;
+        let slices = (0..system.num_slices())
+            .map(|_| spec.build_slice(&system))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CmpSimulator {
+            geom: system.block,
+            label: spec.label(),
+            system,
+            caches,
+            slices,
+            refs_processed: 0,
+            occupancy_samples: MeanAccumulator::new(),
+            coherence_invalidations: Counter::new(),
+            forced_invalidations: Counter::new(),
+        })
+    }
+
+    /// The simulated system configuration.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The label of the directory organization under test.
+    #[must_use]
+    pub fn organization(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of references processed since the last statistics reset.
+    #[must_use]
+    pub fn refs_processed(&self) -> u64 {
+        self.refs_processed
+    }
+
+    /// Current mean directory occupancy across all slices.
+    #[must_use]
+    pub fn current_occupancy(&self) -> f64 {
+        let sum: f64 = self.slices.iter().map(|s| s.occupancy()).sum();
+        sum / self.slices.len() as f64
+    }
+
+    /// Which private cache services an access of `kind` issued by `core`.
+    fn cache_for(&self, core: CoreId, kind: AccessType) -> CacheId {
+        match self.system.hierarchy {
+            Hierarchy::SharedL2 => {
+                let base = 2 * core.raw();
+                if kind.is_instruction() {
+                    CacheId::new(base)
+                } else {
+                    CacheId::new(base + 1)
+                }
+            }
+            Hierarchy::PrivateL2 => CacheId::new(core.raw()),
+        }
+    }
+
+    /// Splits a global line address into its home slice and the slice-local
+    /// line handed to that slice's directory.
+    fn home_of(&self, line: LineAddr) -> (usize, LineAddr) {
+        let slices = self.system.num_slices() as u64;
+        let block = line.block_number();
+        (
+            (block % slices) as usize,
+            LineAddr::from_block_number(block / slices),
+        )
+    }
+
+    /// Reconstructs the global line address from a slice index and the
+    /// slice-local line reported by that slice.
+    fn global_line(&self, slice: usize, local: LineAddr) -> LineAddr {
+        LineAddr::from_block_number(
+            local.block_number() * self.system.num_slices() as u64 + slice as u64,
+        )
+    }
+
+    /// Applies the cache-side effects of a directory update: coherence
+    /// invalidations of other sharers and forced invalidations of blocks
+    /// whose directory entries were evicted.
+    fn apply_update(&mut self, slice: usize, line: LineAddr, result: &UpdateResult) {
+        for &target in &result.invalidate {
+            if self.caches[target.index()].invalidate(line).is_some() {
+                self.coherence_invalidations.incr();
+            }
+        }
+        for eviction in &result.forced_evictions {
+            let victim_line = self.global_line(slice, eviction.line);
+            for &target in &eviction.invalidate {
+                if self.caches[target.index()].invalidate(victim_line).is_some() {
+                    self.forced_invalidations.incr();
+                }
+            }
+        }
+    }
+
+    /// Downgrades any cache holding `line` in Modified state (another cache
+    /// is about to obtain a shared copy).
+    fn downgrade_writers(&mut self, slice: usize, local: LineAddr, line: LineAddr, requester: CacheId) {
+        if let Some(sharers) = self.slices[slice].sharers(local) {
+            for sharer in sharers {
+                if sharer != requester
+                    && self.caches[sharer.index()].state_of(line) == Some(CoherenceState::Modified)
+                {
+                    self.caches[sharer.index()].downgrade(line);
+                }
+            }
+        }
+    }
+
+    /// Processes one memory reference.
+    pub fn process(&mut self, mem_ref: MemRef) {
+        let line = self.geom.line_of(mem_ref.addr);
+        let cache_id = self.cache_for(mem_ref.core, mem_ref.kind);
+        let is_write = mem_ref.kind.is_write();
+
+        let outcome = if is_write {
+            self.caches[cache_id.index()].access_write(line)
+        } else {
+            self.caches[cache_id.index()].access_read(line)
+        };
+
+        match outcome {
+            AccessOutcome::Hit => {}
+            AccessOutcome::UpgradeMiss => {
+                let (slice, local) = self.home_of(line);
+                let result = self.slices[slice].set_exclusive(local, cache_id);
+                self.apply_update(slice, line, &result);
+            }
+            AccessOutcome::Miss { victim } => {
+                // Tell the victim's home slice the block left this cache.
+                if let Some(evicted) = victim {
+                    let (vslice, vlocal) = self.home_of(evicted.line);
+                    self.slices[vslice].remove_sharer(vlocal, cache_id);
+                }
+                let (slice, local) = self.home_of(line);
+                let result = if is_write {
+                    self.slices[slice].set_exclusive(local, cache_id)
+                } else {
+                    self.downgrade_writers(slice, local, line, cache_id);
+                    self.slices[slice].add_sharer(local, cache_id)
+                };
+                self.apply_update(slice, line, &result);
+            }
+        }
+
+        self.refs_processed += 1;
+        if self.refs_processed % OCCUPANCY_SAMPLE_INTERVAL == 0 {
+            let occupancy = self.current_occupancy();
+            self.occupancy_samples.record(occupancy);
+        }
+    }
+
+    /// Processes `count` references drawn from `trace`.  Stops early if the
+    /// trace ends.
+    pub fn run<I>(&mut self, trace: &mut I, count: u64)
+    where
+        I: Iterator<Item = MemRef>,
+    {
+        for _ in 0..count {
+            match trace.next() {
+                Some(r) => self.process(r),
+                None => break,
+            }
+        }
+    }
+
+    /// Clears all statistics (directory, cache, protocol counters) while
+    /// keeping cache and directory *contents* — i.e. the end-of-warm-up
+    /// reset of the paper's methodology.
+    pub fn reset_stats(&mut self) {
+        for slice in &mut self.slices {
+            slice.reset_stats();
+        }
+        for cache in &mut self.caches {
+            cache.reset_stats();
+        }
+        self.refs_processed = 0;
+        self.occupancy_samples = MeanAccumulator::new();
+        self.coherence_invalidations.reset();
+        self.forced_invalidations.reset();
+    }
+
+    /// Produces the aggregated report for the measured interval.
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        let mut directory = DirectoryStats::new();
+        for slice in &self.slices {
+            directory.merge(slice.stats());
+        }
+        let (accesses, misses) = self.caches.iter().fold((0u64, 0u64), |(a, m), c| {
+            (a + c.stats().accesses.get(), m + c.stats().misses.get())
+        });
+        let avg_occupancy = if self.occupancy_samples.count() > 0 {
+            self.occupancy_samples.mean()
+        } else {
+            self.current_occupancy()
+        };
+        SimReport {
+            organization: self.label.clone(),
+            refs_processed: self.refs_processed,
+            directory,
+            avg_directory_occupancy: avg_occupancy,
+            cache_accesses: accesses,
+            cache_misses: misses,
+            coherence_invalidations: self.coherence_invalidations.get(),
+            forced_invalidations: self.forced_invalidations.get(),
+        }
+    }
+
+    /// Convenience wrapper: builds a simulator, warms it up and measures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; see [`CmpSimulator::new`].
+    pub fn run_workload<I>(
+        system: SystemConfig,
+        spec: &DirectorySpec,
+        trace: &mut I,
+        warmup_refs: u64,
+        measure_refs: u64,
+    ) -> Result<SimReport, ConfigError>
+    where
+        I: Iterator<Item = MemRef>,
+    {
+        let mut sim = CmpSimulator::new(system, spec)?;
+        sim.run(trace, warmup_refs);
+        sim.reset_stats();
+        sim.run(trace, measure_refs);
+        Ok(sim.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::Address;
+    use ccd_workloads::{TraceGenerator, WorkloadProfile};
+
+    fn small_shared_system() -> SystemConfig {
+        SystemConfig {
+            num_cores: 4,
+            hierarchy: Hierarchy::SharedL2,
+            l1: ccd_cache::CacheConfig::new(64, 2, 64),
+            private_l2: ccd_cache::CacheConfig::new(256, 4, 64),
+            block: BlockGeometry::new(64),
+        }
+    }
+
+    fn write(core: u32, block: u64) -> MemRef {
+        MemRef::write(CoreId::new(core), Address::new(block * 64))
+    }
+
+    fn read(core: u32, block: u64) -> MemRef {
+        MemRef::read(CoreId::new(core), Address::new(block * 64))
+    }
+
+    #[test]
+    fn construction_validates_system_and_spec() {
+        assert!(CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).is_ok());
+        let mut bad = small_shared_system();
+        bad.num_cores = 3;
+        assert!(CmpSimulator::new(bad, &DirectorySpec::cuckoo(4, 1.0)).is_err());
+        assert!(
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(1, 1.0)).is_err()
+        );
+    }
+
+    #[test]
+    fn write_invalidates_other_readers() {
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        // Cores 0..3 read block 100, then core 0 writes it.
+        for core in 0..4 {
+            sim.process(read(core, 100));
+        }
+        sim.process(write(0, 100));
+        let report = sim.report();
+        // Cores 1..3's D-caches lose their copies.
+        assert_eq!(report.coherence_invalidations, 3);
+        assert_eq!(report.forced_invalidations, 0);
+        assert_eq!(report.refs_processed, 5);
+        assert!(report.directory.invalidate_alls.get() >= 1);
+    }
+
+    #[test]
+    fn upgrade_after_shared_read_goes_through_the_directory() {
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        sim.process(read(1, 7));
+        sim.process(read(2, 7));
+        // Core 1 writes its already-resident shared copy: an upgrade miss.
+        sim.process(write(1, 7));
+        let report = sim.report();
+        assert_eq!(report.coherence_invalidations, 1, "core 2 must be invalidated");
+    }
+
+    #[test]
+    fn ifetch_and_data_use_separate_l1s_in_shared_l2() {
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        let addr = Address::new(64 * 50);
+        sim.process(MemRef::ifetch(CoreId::new(0), addr));
+        sim.process(MemRef::read(CoreId::new(0), addr));
+        let report = sim.report();
+        // Both the I-cache and the D-cache miss once: two directory sharers
+        // for the same block, two cache misses.
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.directory.insertions.get(), 1);
+        assert_eq!(report.directory.sharer_adds.get(), 1);
+    }
+
+    #[test]
+    fn private_l2_hierarchy_uses_one_cache_per_core() {
+        let mut system = small_shared_system();
+        system.hierarchy = Hierarchy::PrivateL2;
+        let mut sim = CmpSimulator::new(system, &DirectorySpec::cuckoo(3, 1.5)).unwrap();
+        let addr = Address::new(64 * 10);
+        sim.process(MemRef::ifetch(CoreId::new(2), addr));
+        sim.process(MemRef::read(CoreId::new(2), addr));
+        let report = sim.report();
+        // Same cache services both: one miss, one hit.
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.cache_accesses, 2);
+    }
+
+    #[test]
+    fn cache_evictions_release_directory_entries() {
+        // A tiny direct-mapped-ish cache forces evictions quickly; the
+        // directory must not grow beyond the cached blocks.
+        let mut system = small_shared_system();
+        system.l1 = ccd_cache::CacheConfig::new(4, 1, 64);
+        let mut sim = CmpSimulator::new(system, &DirectorySpec::cuckoo(4, 2.0)).unwrap();
+        for block in 0..1000u64 {
+            sim.process(read(0, block));
+        }
+        let total_dir_entries: usize = (0..sim.slices.len()).map(|i| sim.slices[i].len()).sum();
+        // Only the 4 resident blocks of core 0's D-cache are tracked.
+        assert_eq!(total_dir_entries, 4);
+        let report = sim.report();
+        assert_eq!(report.forced_invalidations, 0);
+        assert!(report.directory.sharer_removes.get() > 900);
+    }
+
+    #[test]
+    fn sparse_directory_forces_invalidations_under_pressure_but_cuckoo_does_not() {
+        let system = small_shared_system();
+        let profile = WorkloadProfile::ocean();
+        let refs = 60_000;
+
+        let mut sparse_trace = TraceGenerator::new(profile.clone(), 4, 7);
+        let sparse = CmpSimulator::run_workload(
+            system.clone(),
+            &DirectorySpec::sparse(8, 0.5),
+            &mut sparse_trace,
+            refs,
+            refs,
+        )
+        .unwrap();
+
+        let mut cuckoo_trace = TraceGenerator::new(profile, 4, 7);
+        let cuckoo = CmpSimulator::run_workload(
+            system,
+            &DirectorySpec::cuckoo(4, 1.0),
+            &mut cuckoo_trace,
+            refs,
+            refs,
+        )
+        .unwrap();
+
+        assert!(
+            sparse.forced_invalidation_rate() > cuckoo.forced_invalidation_rate(),
+            "sparse {} vs cuckoo {}",
+            sparse.forced_invalidation_rate(),
+            cuckoo.forced_invalidation_rate()
+        );
+        assert!(cuckoo.forced_invalidation_rate() < 0.01);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents_but_clears_counters() {
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        for block in 0..100u64 {
+            sim.process(read(0, block));
+        }
+        let occupancy_before = sim.current_occupancy();
+        assert!(occupancy_before > 0.0);
+        sim.reset_stats();
+        assert_eq!(sim.refs_processed(), 0);
+        let report = sim.report();
+        assert_eq!(report.cache_accesses, 0);
+        assert_eq!(report.directory.insertions.get(), 0);
+        // Contents survive the reset.
+        assert!((sim.current_occupancy() - occupancy_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_occupancy_matches_directory_state_for_short_runs() {
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        for block in 0..64u64 {
+            sim.process(read((block % 4) as u32, block));
+        }
+        let report = sim.report();
+        assert!(report.avg_directory_occupancy > 0.0);
+        assert_eq!(report.organization, "Cuckoo 1x (4-way)");
+        assert!(report.cache_miss_rate() > 0.9, "cold cache: almost all misses");
+    }
+}

@@ -1,0 +1,270 @@
+//! Runtime selection of the directory organization under test.
+//!
+//! The evaluation compares many directory organizations under identical
+//! system configurations and workloads (Figure 12 and Section 5.6).
+//! [`DirectorySpec`] names one organization plus its provisioning, and knows
+//! how to build one slice of it sized for a given [`SystemConfig`] — so the
+//! simulator, the examples and the benchmark harness all configure
+//! directories the same way the paper describes them ("Sparse 2×",
+//! "Cuckoo 1.5×", …).
+
+use crate::SystemConfig;
+use ccd_common::ConfigError;
+use ccd_cuckoo::{CuckooConfig, CuckooDirectory};
+use ccd_directory::{
+    Directory, DuplicateTagDirectory, InCacheDirectory, SkewedDirectory, SparseDirectory,
+    TaglessDirectory,
+};
+use ccd_hash::HashKind;
+use ccd_sharers::FullBitVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directory organization plus its sizing policy.
+///
+/// Capacities are expressed as a *provisioning factor* relative to the
+/// worst-case number of blocks a slice must track
+/// ([`SystemConfig::tracked_frames_per_slice`]), exactly as the paper labels
+/// its configurations (Figure 9, Figure 12).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DirectorySpec {
+    /// The Cuckoo directory (the paper's contribution).
+    Cuckoo {
+        /// Number of ways (`d`), 3 or 4 in the paper.
+        ways: usize,
+        /// Capacity relative to the worst-case tracked blocks.
+        provisioning: f64,
+        /// Hash family indexing the ways.
+        hash: HashKind,
+    },
+    /// A Cuckoo directory with an explicit `ways × sets` geometry.
+    CuckooExplicit {
+        /// Number of ways.
+        ways: usize,
+        /// Entries per way.
+        sets: usize,
+        /// Hash family indexing the ways.
+        hash: HashKind,
+    },
+    /// Set-associative Sparse directory.
+    Sparse {
+        /// Associativity.
+        ways: usize,
+        /// Capacity relative to the worst-case tracked blocks.
+        provisioning: f64,
+    },
+    /// Skewed-associative directory.
+    Skewed {
+        /// Number of ways (direct-mapped tables).
+        ways: usize,
+        /// Capacity relative to the worst-case tracked blocks.
+        provisioning: f64,
+    },
+    /// Duplicate-Tag directory mirroring the tracked caches.
+    DuplicateTag,
+    /// In-cache directory embedded in the shared L2 (Shared-L2 hierarchy
+    /// only); capacity follows the L2 bank geometry.
+    InCache,
+    /// Tagless (Bloom-filter grid) directory.
+    Tagless {
+        /// Filter buckets per (cache, set).
+        buckets: usize,
+        /// Hash probes per filter operation.
+        probes: usize,
+    },
+}
+
+impl DirectorySpec {
+    /// The paper's selected Cuckoo configuration: `ways`-ary with the given
+    /// provisioning factor, indexed by the skewing hash functions.
+    #[must_use]
+    pub fn cuckoo(ways: usize, provisioning: f64) -> Self {
+        DirectorySpec::Cuckoo {
+            ways,
+            provisioning,
+            hash: HashKind::Skewing,
+        }
+    }
+
+    /// "Sparse 2×" / "Sparse 8×" style configurations (8-way in the paper).
+    #[must_use]
+    pub fn sparse(ways: usize, provisioning: f64) -> Self {
+        DirectorySpec::Sparse { ways, provisioning }
+    }
+
+    /// "Skewed 2×" configuration (4-way in the paper).
+    #[must_use]
+    pub fn skewed(ways: usize, provisioning: f64) -> Self {
+        DirectorySpec::Skewed { ways, provisioning }
+    }
+
+    /// Default Tagless configuration.
+    #[must_use]
+    pub fn tagless() -> Self {
+        DirectorySpec::Tagless {
+            buckets: ccd_directory::tagless::DEFAULT_BUCKETS,
+            probes: ccd_directory::tagless::DEFAULT_PROBES,
+        }
+    }
+
+    /// A short label matching the paper's naming (e.g. `"Cuckoo 1.5x (3-way)"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DirectorySpec::Cuckoo {
+                ways, provisioning, ..
+            } => format!("Cuckoo {provisioning}x ({ways}-way)"),
+            DirectorySpec::CuckooExplicit { ways, sets, .. } => {
+                format!("Cuckoo {ways}x{sets}")
+            }
+            DirectorySpec::Sparse { ways, provisioning } => {
+                format!("Sparse {provisioning}x ({ways}-way)")
+            }
+            DirectorySpec::Skewed { ways, provisioning } => {
+                format!("Skewed {provisioning}x ({ways}-way)")
+            }
+            DirectorySpec::DuplicateTag => "Duplicate-Tag".to_string(),
+            DirectorySpec::InCache => "In-Cache".to_string(),
+            DirectorySpec::Tagless { .. } => "Tagless".to_string(),
+        }
+    }
+
+    /// Rounds a capacity target to a power-of-two per-way set count.
+    fn sets_for(ways: usize, tracked_frames: usize, provisioning: f64) -> usize {
+        let capacity = (tracked_frames as f64 * provisioning).ceil() as usize;
+        (capacity.div_ceil(ways.max(1))).next_power_of_two().max(2)
+    }
+
+    /// Builds one directory slice sized for `system`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the organization's own configuration errors (invalid way
+    /// counts, etc.).
+    pub fn build_slice(&self, system: &SystemConfig) -> Result<Box<dyn Directory>, ConfigError> {
+        let tracked = system.tracked_frames_per_slice();
+        let caches = system.num_private_caches();
+        let cache = system.tracked_cache();
+        let sets_per_slice = system.tracked_sets_per_slice();
+        Ok(match self {
+            DirectorySpec::Cuckoo {
+                ways,
+                provisioning,
+                hash,
+            } => {
+                let config = CuckooConfig::with_provisioning(*ways, tracked, *provisioning, caches)
+                    .with_hash_kind(*hash);
+                Box::new(CuckooDirectory::<FullBitVector>::new(config)?)
+            }
+            DirectorySpec::CuckooExplicit { ways, sets, hash } => {
+                let config = CuckooConfig::new(*ways, *sets, caches).with_hash_kind(*hash);
+                Box::new(CuckooDirectory::<FullBitVector>::new(config)?)
+            }
+            DirectorySpec::Sparse { ways, provisioning } => {
+                let sets = Self::sets_for(*ways, tracked, *provisioning);
+                Box::new(SparseDirectory::<FullBitVector>::new(*ways, sets, caches)?)
+            }
+            DirectorySpec::Skewed { ways, provisioning } => {
+                let sets = Self::sets_for(*ways, tracked, *provisioning);
+                Box::new(SkewedDirectory::<FullBitVector>::new(*ways, sets, caches)?)
+            }
+            DirectorySpec::DuplicateTag => Box::new(DuplicateTagDirectory::new(
+                sets_per_slice,
+                cache.ways,
+                caches,
+            )?),
+            DirectorySpec::InCache => {
+                // One bank of the shared L2 per slice.
+                let l2 = system.private_l2;
+                let bank_sets = (l2.sets / system.num_slices()).max(1);
+                Box::new(InCacheDirectory::<FullBitVector>::new(
+                    l2.ways, bank_sets, caches,
+                )?)
+            }
+            DirectorySpec::Tagless { buckets, probes } => {
+                Box::new(TaglessDirectory::with_filter_geometry(
+                    sets_per_slice,
+                    cache.ways,
+                    caches,
+                    *buckets,
+                    *probes,
+                )?)
+            }
+        })
+    }
+}
+
+impl fmt::Display for DirectorySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hierarchy;
+
+    #[test]
+    fn paper_configurations_build_with_the_expected_geometry() {
+        let shared = SystemConfig::table1(Hierarchy::SharedL2);
+        let private = SystemConfig::table1(Hierarchy::PrivateL2);
+
+        // Shared-L2 1x 4-way cuckoo = 4 x 512 (Section 5.3).
+        let dir = DirectorySpec::cuckoo(4, 1.0).build_slice(&shared).unwrap();
+        assert_eq!(dir.capacity(), 2048);
+        assert_eq!(dir.num_caches(), 32);
+
+        // Private-L2 1.5x 3-way cuckoo = 3 x 8192 (Section 5.3).
+        let dir = DirectorySpec::cuckoo(3, 1.5).build_slice(&private).unwrap();
+        assert_eq!(dir.capacity(), 3 * 8192);
+        assert_eq!(dir.num_caches(), 16);
+
+        // Sparse 2x, 8-way for Shared-L2: capacity 4096.
+        let dir = DirectorySpec::sparse(8, 2.0).build_slice(&shared).unwrap();
+        assert_eq!(dir.capacity(), 4096);
+
+        // Skewed 2x has the same capacity as Sparse 2x (Section 5.4).
+        let dir = DirectorySpec::skewed(4, 2.0).build_slice(&shared).unwrap();
+        assert_eq!(dir.capacity(), 4096);
+
+        // Duplicate-Tag capacity equals the tracked frames per slice.
+        let dir = DirectorySpec::DuplicateTag.build_slice(&shared).unwrap();
+        assert_eq!(dir.capacity(), 2048);
+
+        // Tagless and In-Cache build successfully.
+        assert!(DirectorySpec::tagless().build_slice(&shared).is_ok());
+        assert!(DirectorySpec::InCache.build_slice(&shared).is_ok());
+    }
+
+    #[test]
+    fn labels_follow_the_paper_naming() {
+        assert_eq!(DirectorySpec::sparse(8, 2.0).label(), "Sparse 2x (8-way)");
+        assert_eq!(DirectorySpec::cuckoo(3, 1.5).label(), "Cuckoo 1.5x (3-way)");
+        assert_eq!(DirectorySpec::DuplicateTag.label(), "Duplicate-Tag");
+        assert_eq!(DirectorySpec::tagless().label(), "Tagless");
+        assert_eq!(
+            DirectorySpec::CuckooExplicit {
+                ways: 4,
+                sets: 512,
+                hash: HashKind::Skewing
+            }
+            .label(),
+            "Cuckoo 4x512"
+        );
+        assert_eq!(format!("{}", DirectorySpec::InCache), "In-Cache");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let shared = SystemConfig::table1(Hierarchy::SharedL2);
+        assert!(DirectorySpec::cuckoo(1, 1.0).build_slice(&shared).is_err());
+        assert!(DirectorySpec::sparse(0, 2.0).build_slice(&shared).is_err());
+        assert!(DirectorySpec::Tagless {
+            buckets: 48,
+            probes: 2
+        }
+        .build_slice(&shared)
+        .is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Memory-reference records exchanged between workload generators and the
+//! coherence simulator.
+//!
+//! The trace-driven simulator consumes a stream of [`MemRef`] records — one
+//! per memory access issued by a core — and the synthetic workload
+//! generators of the `ccd-workloads` crate produce them.  Keeping the record
+//! type here (rather than in either crate) avoids a dependency cycle and
+//! lets users feed their own traces into the simulator.
+
+use crate::{Address, CoreId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of memory access a core performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessType {
+    /// Instruction fetch (serviced by the L1 instruction cache in the
+    /// Shared-L2 configuration).
+    InstructionFetch,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+impl AccessType {
+    /// `true` for stores.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessType::Write)
+    }
+
+    /// `true` for instruction fetches.
+    #[must_use]
+    pub const fn is_instruction(self) -> bool {
+        matches!(self, AccessType::InstructionFetch)
+    }
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessType::InstructionFetch => "ifetch",
+            AccessType::Read => "read",
+            AccessType::Write => "write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory reference issued by one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// The core that issued the access.
+    pub core: CoreId,
+    /// The physical byte address accessed.
+    pub addr: Address,
+    /// Load, store, or instruction fetch.
+    pub kind: AccessType,
+}
+
+impl MemRef {
+    /// Creates a reference record.
+    #[must_use]
+    pub const fn new(core: CoreId, addr: Address, kind: AccessType) -> Self {
+        MemRef { core, addr, kind }
+    }
+
+    /// Convenience constructor for a data read.
+    #[must_use]
+    pub const fn read(core: CoreId, addr: Address) -> Self {
+        MemRef::new(core, addr, AccessType::Read)
+    }
+
+    /// Convenience constructor for a data write.
+    #[must_use]
+    pub const fn write(core: CoreId, addr: Address) -> Self {
+        MemRef::new(core, addr, AccessType::Write)
+    }
+
+    /// Convenience constructor for an instruction fetch.
+    #[must_use]
+    pub const fn ifetch(core: CoreId, addr: Address) -> Self {
+        MemRef::new(core, addr, AccessType::InstructionFetch)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.core, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let r = MemRef::read(CoreId::new(1), Address::new(0x100));
+        assert!(!r.kind.is_write());
+        assert!(!r.kind.is_instruction());
+
+        let w = MemRef::write(CoreId::new(2), Address::new(0x200));
+        assert!(w.kind.is_write());
+
+        let i = MemRef::ifetch(CoreId::new(3), Address::new(0x300));
+        assert!(i.kind.is_instruction());
+        assert_eq!(i, MemRef::new(CoreId::new(3), Address::new(0x300), AccessType::InstructionFetch));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = MemRef::write(CoreId::new(7), Address::new(0xabc));
+        assert_eq!(format!("{r}"), "core7 write 0xabc");
+        assert_eq!(AccessType::InstructionFetch.to_string(), "ifetch");
+    }
+}

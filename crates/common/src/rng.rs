@@ -1,0 +1,330 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in this workspace — the synthetic workload
+//! generators, the random-value streams used to reproduce the hash
+//! characterization of Figure 7, and the property-based test helpers — is
+//! driven by the small, fully deterministic generators in this module, so
+//! that every experiment is reproducible from a single seed.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit-state generator, primarily used for seed
+//!   expansion and as a high-quality integer mixer,
+//! * [`Xoshiro256`] — `xoshiro256**`, the workhorse generator used by the
+//!   workload generators.
+//!
+//! Both implement the local [`Rng64`] trait, which offers the handful of
+//! sampling primitives the simulators need (uniform ranges, floats,
+//! Bernoulli draws and slice shuffles).
+
+use std::fmt;
+
+/// Minimal random-number-generator interface used throughout the workspace.
+pub trait Rng64 {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Lemire's nearly-divisionless method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only loop when low < bound and below threshold.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Returns a uniformly distributed value in the inclusive range
+    /// `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    fn next_in_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "empty range");
+        let span = high - low;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            low + self.next_below(span + 1)
+        }
+    }
+
+    /// Shuffles `slice` in place with a Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.next_below(slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
+    }
+}
+
+/// SplitMix64: a tiny, fast, statistically strong 64-bit generator.
+///
+/// Primarily used to expand a user-provided seed into the larger state of
+/// [`Xoshiro256`] and as a standalone generator in unit tests.
+///
+/// ```
+/// use ccd_common::rng::{Rng64, SplitMix64};
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl fmt::Debug for SplitMix64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SplitMix64 {{ state: {:#x} }}", self.state)
+    }
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Applies the SplitMix64 finalizer to a single value.
+    ///
+    /// This is a high-quality 64-bit mixing function in its own right and is
+    /// used by the "strong" hash functions of the `ccd-hash` crate.
+    #[must_use]
+    pub const fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `xoshiro256**` — the default generator for workload synthesis.
+///
+/// ```
+/// use ccd_common::rng::{Rng64, Xoshiro256};
+/// let mut rng = Xoshiro256::new(7);
+/// let x = rng.next_below(100);
+/// assert!(x < 100);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl fmt::Debug for Xoshiro256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Xoshiro256 {{ s: [{:#x}, {:#x}, {:#x}, {:#x}] }}",
+            self.s[0], self.s[1], self.s[2], self.s[3]
+        )
+    }
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// [`SplitMix64`], as recommended by the xoshiro authors.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // Guard against the (astronomically unlikely) all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Creates `n` statistically independent generators from one seed, one
+    /// per simulated core.
+    #[must_use]
+    pub fn streams(seed: u64, n: usize) -> Vec<Self> {
+        let mut sm = SplitMix64::new(seed);
+        (0..n).map(|_| Xoshiro256::new(sm.next_u64())).collect()
+    }
+}
+
+impl Rng64 for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(0xdead_beef);
+        let mut b = SplitMix64::new(0xdead_beef);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values for seed 0 from the canonical SplitMix64
+        // implementation.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn xoshiro_streams_differ() {
+        let streams = Xoshiro256::streams(1, 8);
+        let firsts: Vec<u64> = streams
+            .into_iter()
+            .map(|mut s| s.next_u64())
+            .collect();
+        for i in 0..firsts.len() {
+            for j in (i + 1)..firsts.len() {
+                assert_ne!(firsts[i], firsts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::new(11);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SplitMix64::new(5);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close() {
+        let mut rng = Xoshiro256::new(17);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = SplitMix64::new(9);
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn next_in_range_inclusive_bounds() {
+        let mut rng = Xoshiro256::new(31);
+        for _ in 0..10_000 {
+            let v = rng.next_in_range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+        assert_eq!(rng.next_in_range(7, 7), 7);
+    }
+}

@@ -1,0 +1,498 @@
+//! Light-weight statistics primitives.
+//!
+//! The evaluation of the paper is entirely expressed in terms of counts and
+//! distributions gathered while the directories run: insertion attempts
+//! (Figures 7, 9, 10, 11), forced-invalidation rates (Figures 9, 12),
+//! occupancy (Figure 8) and the event mix that weights the energy model
+//! (footnote 1 of Section 5.6).  This module provides the counters,
+//! histograms and running means those experiments are built from.
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating event counter.
+///
+/// ```
+/// use ccd_common::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Returns this count as a fraction of `denom`, or 0 when `denom` is 0.
+    #[must_use]
+    pub fn fraction_of(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+/// A bounded histogram of small non-negative integer observations.
+///
+/// Observations larger than the configured bound are accumulated in the
+/// overflow bucket (the last bucket), matching how the paper caps insertion
+/// attempts at 32 and counts longer chains as 32 (Section 5.2).
+///
+/// ```
+/// use ccd_common::stats::Histogram;
+/// let mut h = Histogram::new(32);
+/// h.record(1);
+/// h.record(1);
+/// h.record(40); // clamped into the overflow bucket
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.count(32), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=max_value`; larger observations
+    /// are clamped into the `max_value` bucket.
+    #[must_use]
+    pub fn new(max_value: usize) -> Self {
+        Histogram {
+            buckets: vec![0; max_value + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        let clamped = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[clamped] += 1;
+        self.total += 1;
+        self.sum += clamped as u64;
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let clamped = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[clamped] += n;
+        self.total += n;
+        self.sum += clamped as u64 * n;
+    }
+
+    /// Number of observations equal to `value` (clamped).
+    #[must_use]
+    pub fn count(&self, value: u64) -> u64 {
+        let clamped = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[clamped]
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest representable bucket value (the overflow bucket).
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        (self.buckets.len() - 1) as u64
+    }
+
+    /// Mean of the recorded (clamped) observations; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of observations equal to `value`; 0 when empty.
+    #[must_use]
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of observations at or above `value`; 0 when empty.
+    #[must_use]
+    pub fn fraction_at_least(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let start = (value as usize).min(self.buckets.len() - 1);
+        let count: u64 = self.buckets[start..].iter().sum();
+        count as f64 / self.total as f64
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of the
+    /// observations are `<= v`. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (value, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return value as u64;
+            }
+        }
+        self.max_value()
+    }
+
+    /// Iterates over `(value, count)` pairs for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Resets all buckets to zero.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.total = 0;
+        self.sum = 0;
+    }
+}
+
+/// Incremental mean/min/max accumulator over `f64` samples.
+///
+/// Used for averaging occupancy over the course of a simulation (Figure 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanAccumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub const fn new() -> Self {
+        MeanAccumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A numerator/denominator pair reported as a rate.
+///
+/// Forced-invalidation rates in the paper are reported as *invalidations per
+/// directory-entry insertion* (Figure 12); this type keeps the two counts
+/// together so the rate can never be computed against the wrong denominator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateEstimator {
+    events: u64,
+    opportunities: u64,
+}
+
+impl RateEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub const fn new() -> Self {
+        RateEstimator {
+            events: 0,
+            opportunities: 0,
+        }
+    }
+
+    /// Records one opportunity during which the event did not occur.
+    pub fn record_miss(&mut self) {
+        self.opportunities += 1;
+    }
+
+    /// Records one opportunity during which the event occurred `events`
+    /// times (e.g. a directory insertion that forced two invalidations).
+    pub fn record_hit(&mut self, events: u64) {
+        self.opportunities += 1;
+        self.events += events;
+    }
+
+    /// Adds raw counts.
+    pub fn add(&mut self, events: u64, opportunities: u64) {
+        self.events += events;
+        self.opportunities += opportunities;
+    }
+
+    /// Number of events observed.
+    #[must_use]
+    pub const fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of opportunities observed.
+    #[must_use]
+    pub const fn opportunities(&self) -> u64 {
+        self.opportunities
+    }
+
+    /// The event rate (events per opportunity); 0 when no opportunities.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.opportunities as f64
+        }
+    }
+
+    /// The rate expressed as a percentage.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        self.rate() * 100.0
+    }
+
+    /// Merges another estimator into this one.
+    pub fn merge(&mut self, other: &RateEstimator) {
+        self.events += other.events;
+        self.opportunities += other.opportunities;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert!((c.fraction_of(40) - 0.25).abs() < 1e-12);
+        assert_eq!(c.fraction_of(0), 0.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_clamps() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        h.record(9); // clamped to 4
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(100), 1); // query also clamps
+        assert!((h.mean() - (0 + 2 + 2 + 4) as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fractions_and_quantiles() {
+        let mut h = Histogram::new(10);
+        for v in [1u64, 1, 1, 2, 2, 5, 10, 10, 10, 10] {
+            h.record(v);
+        }
+        assert!((h.fraction(1) - 0.3).abs() < 1e-12);
+        assert!((h.fraction_at_least(5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.3), 1);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn histogram_merge_and_reset() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record_n(3, 5);
+        b.record_n(3, 2);
+        b.record(8);
+        a.merge(&b);
+        assert_eq!(a.count(3), 7);
+        assert_eq!(a.count(8), 1);
+        assert_eq!(a.total(), 8);
+        a.reset();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_requires_same_shape() {
+        let mut a = Histogram::new(4);
+        let b = Histogram::new(8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction(2), 0.0);
+        assert_eq!(h.fraction_at_least(0), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.iter().count(), 0);
+    }
+
+    #[test]
+    fn mean_accumulator_tracks_extremes() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), None);
+        for x in [1.0, 2.0, 3.0, 10.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(10.0));
+
+        let mut other = MeanAccumulator::new();
+        other.record(0.5);
+        m.merge(&other);
+        assert_eq!(m.count(), 5);
+        assert_eq!(m.min(), Some(0.5));
+
+        let empty = MeanAccumulator::new();
+        m.merge(&empty);
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn rate_estimator_rates() {
+        let mut r = RateEstimator::new();
+        assert_eq!(r.rate(), 0.0);
+        r.record_miss();
+        r.record_miss();
+        r.record_hit(1);
+        r.record_hit(3);
+        assert_eq!(r.events(), 4);
+        assert_eq!(r.opportunities(), 4);
+        assert!((r.rate() - 1.0).abs() < 1e-12);
+        assert!((r.percent() - 100.0).abs() < 1e-12);
+
+        let mut s = RateEstimator::new();
+        s.add(1, 96);
+        r.merge(&s);
+        assert_eq!(r.opportunities(), 100);
+        assert!((r.rate() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Configuration of a Cuckoo directory slice.
+
+use ccd_common::ConfigError;
+use ccd_hash::HashKind;
+use serde::{Deserialize, Serialize};
+
+/// The insertion-attempt budget used throughout the paper's evaluation
+/// ("we allow up to 32 insertion attempts to ensure termination in the
+/// unlikely event of a loop", Section 5.2).
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 32;
+
+/// Configuration of one Cuckoo directory slice.
+///
+/// The paper describes slices by `ways × sets` (e.g. the selected `4 × 512`
+/// Shared-L2 and `3 × 8192` Private-L2 organizations of Section 5.3) and by
+/// a *provisioning factor* relating the capacity to the worst-case number of
+/// blocks the slice must track.  [`CuckooConfig::with_provisioning`] builds a
+/// configuration directly from that factor.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuckooConfig {
+    /// Number of ways (`d` of the d-ary cuckoo hash); the paper uses 3 or 4.
+    pub ways: usize,
+    /// Entries per way (each way is a direct-mapped table of this size).
+    pub sets: usize,
+    /// Number of private caches whose blocks the slice tracks (width of the
+    /// sharer vectors).
+    pub num_caches: usize,
+    /// Which hash-function family indexes the ways.  The paper's hardware
+    /// uses the skewing functions; the hash-characterization experiments use
+    /// strong functions (Sections 5.1, 5.5).
+    pub hash_kind: HashKind,
+    /// Seed for seedable hash families.
+    pub hash_seed: u64,
+    /// Maximum number of insertion attempts before the most recently
+    /// displaced entry is discarded (forcing invalidations).
+    pub max_insertion_attempts: u32,
+}
+
+impl CuckooConfig {
+    /// Creates a configuration with the paper's defaults: skewing hash
+    /// functions and a 32-attempt insertion budget.
+    #[must_use]
+    pub fn new(ways: usize, sets: usize, num_caches: usize) -> Self {
+        CuckooConfig {
+            ways,
+            sets,
+            num_caches,
+            hash_kind: HashKind::Skewing,
+            hash_seed: 0xC0C0_0D15_EC70,
+            max_insertion_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+
+    /// Builds a configuration whose capacity is `factor ×` the worst-case
+    /// number of tracked blocks (`tracked_frames`), rounding the per-way set
+    /// count up to the next power of two.
+    ///
+    /// `factor = 1.0` corresponds to the paper's "1×" provisioning (capacity
+    /// equal to the number of cache frames mapping to the slice); the paper
+    /// selects 1× for the Shared-L2 configuration and 1.5× for Private-L2
+    /// (Section 5.2).
+    #[must_use]
+    pub fn with_provisioning(
+        ways: usize,
+        tracked_frames: usize,
+        factor: f64,
+        num_caches: usize,
+    ) -> Self {
+        let target_capacity = (tracked_frames as f64 * factor).ceil() as usize;
+        let sets_exact = target_capacity.div_ceil(ways.max(1));
+        let sets = sets_exact.next_power_of_two().max(2);
+        CuckooConfig::new(ways, sets, num_caches)
+    }
+
+    /// Selects the hash family.
+    #[must_use]
+    pub fn with_hash_kind(mut self, kind: HashKind) -> Self {
+        self.hash_kind = kind;
+        self
+    }
+
+    /// Sets the hash seed (ignored by the seedless skewing family).
+    #[must_use]
+    pub fn with_hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Sets the insertion-attempt budget.
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_insertion_attempts = attempts;
+        self
+    }
+
+    /// Total number of entries (`ways × sets`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ways * self.sets
+    }
+
+    /// The provisioning factor relative to `tracked_frames` worst-case
+    /// blocks.
+    #[must_use]
+    pub fn provisioning_factor(&self, tracked_frames: usize) -> f64 {
+        if tracked_frames == 0 {
+            0.0
+        } else {
+            self.capacity() as f64 / tracked_frames as f64
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] if any structural parameter is zero,
+    /// * [`ConfigError::TooSmall`] if fewer than 2 ways are requested (a
+    ///   1-ary cuckoo table cannot displace anywhere),
+    /// * [`ConfigError::NotPowerOfTwo`] if `sets` is not a power of two,
+    /// * [`ConfigError::Zero`] if the attempt budget is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if self.ways < 2 {
+            return Err(ConfigError::TooSmall {
+                what: "ways",
+                value: self.ways as u64,
+                min: 2,
+            });
+        }
+        if self.sets == 0 {
+            return Err(ConfigError::Zero { what: "set count" });
+        }
+        if !ccd_common::is_power_of_two(self.sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "set count",
+                value: self.sets as u64,
+            });
+        }
+        if self.num_caches == 0 {
+            return Err(ConfigError::Zero { what: "cache count" });
+        }
+        if self.max_insertion_attempts == 0 {
+            return Err(ConfigError::Zero {
+                what: "insertion-attempt budget",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CuckooConfig::new(4, 512, 32);
+        assert_eq!(c.max_insertion_attempts, 32);
+        assert_eq!(c.hash_kind, HashKind::Skewing);
+        assert_eq!(c.capacity(), 2048);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn provisioning_factor_round_trip() {
+        // Shared-L2, 16 cores: each slice tracks 2048 L1 frames; 1x with 4
+        // ways -> 4 x 512.
+        let c = CuckooConfig::with_provisioning(4, 2048, 1.0, 32);
+        assert_eq!(c.sets, 512);
+        assert!((c.provisioning_factor(2048) - 1.0).abs() < 1e-12);
+
+        // Private-L2, 16 cores: 16384 frames per slice; 1.5x with 3 ways ->
+        // 3 x 8192.
+        let c = CuckooConfig::with_provisioning(3, 16_384, 1.5, 16);
+        assert_eq!(c.sets, 8192);
+        assert!((c.provisioning_factor(16_384) - 1.5).abs() < 1e-12);
+
+        // Under-provisioned configurations round up to a power of two.
+        let c = CuckooConfig::with_provisioning(3, 2048, 0.375, 32);
+        assert_eq!(c.sets, 256);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = CuckooConfig::new(3, 8192, 16)
+            .with_hash_kind(HashKind::Strong)
+            .with_hash_seed(99)
+            .with_max_attempts(16);
+        assert_eq!(c.hash_kind, HashKind::Strong);
+        assert_eq!(c.hash_seed, 99);
+        assert_eq!(c.max_insertion_attempts, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(CuckooConfig::new(0, 64, 4).validate().is_err());
+        assert!(CuckooConfig::new(1, 64, 4).validate().is_err());
+        assert!(CuckooConfig::new(4, 0, 4).validate().is_err());
+        assert!(CuckooConfig::new(4, 100, 4).validate().is_err());
+        assert!(CuckooConfig::new(4, 64, 0).validate().is_err());
+        assert!(CuckooConfig::new(4, 64, 4)
+            .with_max_attempts(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn provisioning_factor_handles_zero_frames() {
+        let c = CuckooConfig::new(4, 64, 4);
+        assert_eq!(c.provisioning_factor(0), 0.0);
+    }
+}

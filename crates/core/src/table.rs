@@ -1,0 +1,462 @@
+//! The raw d-ary cuckoo hash table.
+//!
+//! This is the structure whose intrinsic behaviour Figure 7 of the paper
+//! characterizes: `d` direct-mapped ways indexed by independent hash
+//! functions, with displacement-based insertion and a bounded attempt
+//! budget.  [`CuckooDirectory`](crate::CuckooDirectory) layers directory
+//! semantics (sharer sets, coherence statistics) on top of this table; the
+//! hash-characterization experiments use the table directly with `()`
+//! payloads.
+//!
+//! # Insertion-attempt accounting
+//!
+//! The accounting matches Section 5.2 of the paper:
+//!
+//! * a lookup always precedes an insertion, and implicitly reveals whether
+//!   any of the entry's `d` candidate slots is vacant — when one is, the
+//!   insertion "succeeds on the first attempt, contributing one toward the
+//!   average";
+//! * otherwise each displacement round (writing the in-flight entry into one
+//!   way and probing the displaced victim's candidate slots) adds one
+//!   attempt;
+//! * when the attempt budget is exhausted the most recently displaced entry
+//!   is discarded and reported so the caller can invalidate the
+//!   corresponding cached blocks (Section 4.2).
+//!
+//! To keep entries uniformly distributed across the ways, each insertion's
+//! displacement chain starts at the way where the previous chain stopped.
+
+use ccd_common::{ConfigError, LineAddr};
+use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+
+/// One stored element: the key (a block number / opaque 64-bit key) plus a
+/// caller-supplied payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+}
+
+/// The outcome of inserting a new key into a [`CuckooTable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertOutcome<V> {
+    /// Number of insertion attempts performed (≥ 1).
+    pub attempts: u32,
+    /// The key/value pair that had to be discarded because the attempt
+    /// budget was exhausted, if any.  `None` means every entry found a home.
+    pub discarded: Option<(u64, V)>,
+}
+
+impl<V> InsertOutcome<V> {
+    /// `true` when the insertion placed every entry without discarding one.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.discarded.is_none()
+    }
+}
+
+/// A d-ary cuckoo hash table with bounded displacement insertion.
+///
+/// ```
+/// use ccd_cuckoo::CuckooTable;
+/// use ccd_hash::HashKind;
+///
+/// let mut table: CuckooTable<()> = CuckooTable::new(4, 1024, HashKind::Strong, 1)?;
+/// let outcome = table.insert(0xabcdef, ());
+/// assert!(outcome.succeeded());
+/// assert!(table.contains(0xabcdef));
+/// assert_eq!(table.len(), 1);
+/// # Ok::<(), ccd_common::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CuckooTable<V> {
+    ways: usize,
+    sets: usize,
+    hashes: HashFamily,
+    slots: Vec<Option<Slot<V>>>,
+    valid: usize,
+    max_attempts: u32,
+    next_start_way: usize,
+}
+
+impl<V> CuckooTable<V> {
+    /// Creates an empty table of `ways` direct-mapped tables with `sets`
+    /// entries each, indexed by the `kind` hash family seeded with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::TooSmall`] if `ways < 2`,
+    /// * plus the hash family's own validation errors (zero/`!pow2` sets).
+    pub fn new(ways: usize, sets: usize, kind: HashKind, seed: u64) -> Result<Self, ConfigError> {
+        if ways < 2 {
+            return Err(ConfigError::TooSmall {
+                what: "ways",
+                value: ways as u64,
+                min: 2,
+            });
+        }
+        let hashes = HashFamily::with_seed(kind, ways, sets, seed)?;
+        Ok(CuckooTable {
+            ways,
+            sets,
+            hashes,
+            slots: (0..ways * sets).map(|_| None).collect(),
+            valid: 0,
+            max_attempts: crate::config::DEFAULT_MAX_ATTEMPTS,
+            next_start_way: 0,
+        })
+    }
+
+    /// Sets the insertion-attempt budget (default 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn set_max_attempts(&mut self, max_attempts: u32) {
+        assert!(max_attempts > 0, "attempt budget must be non-zero");
+        self.max_attempts = max_attempts;
+    }
+
+    /// Number of ways.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Entries per way.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total capacity (`ways × sets`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ways * self.sets
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.valid
+    }
+
+    /// `true` when the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.valid == 0
+    }
+
+    /// Current occupancy (0.0 ..= 1.0).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.valid as f64 / self.capacity() as f64
+    }
+
+    fn slot_index(&self, way: usize, key: u64) -> usize {
+        way * self.sets + self.hashes.index(way, LineAddr::from_block_number(key))
+    }
+
+    /// Finds the slot currently holding `key`, if any.
+    fn find(&self, key: u64) -> Option<usize> {
+        (0..self.ways)
+            .map(|w| self.slot_index(w, key))
+            .find(|&slot| matches!(&self.slots[slot], Some(s) if s.key == key))
+    }
+
+    /// Finds a vacant candidate slot for `key`, preferring lower-numbered
+    /// ways (all ways are probed in parallel in hardware, so the choice is
+    /// arbitrary; a fixed preference keeps behaviour deterministic).
+    fn find_vacant(&self, key: u64) -> Option<usize> {
+        (0..self.ways)
+            .map(|w| self.slot_index(w, key))
+            .find(|&slot| self.slots[slot].is_none())
+    }
+
+    /// Returns `true` when `key` is present.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Returns a reference to the payload stored for `key`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|slot| &self.slots[slot].as_ref().unwrap().value)
+    }
+
+    /// Returns a mutable reference to the payload stored for `key`.
+    #[must_use]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let slot = self.find(key)?;
+        Some(&mut self.slots[slot].as_mut().unwrap().value)
+    }
+
+    /// Removes `key`, returning its payload.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let slot = self.find(key)?;
+        let entry = self.slots[slot].take().expect("slot is valid");
+        self.valid -= 1;
+        Some(entry.value)
+    }
+
+    /// Iterates over `(key, &payload)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (s.key, &s.value)))
+    }
+
+    /// Inserts `key` with `value`, displacing existing entries as needed.
+    ///
+    /// If `key` is already present its payload is replaced and the insertion
+    /// counts one attempt.  When the attempt budget is exhausted the most
+    /// recently displaced entry is discarded and returned in
+    /// [`InsertOutcome::discarded`]; `key` itself is always stored.
+    pub fn insert(&mut self, key: u64, value: V) -> InsertOutcome<V> {
+        // The lookup that precedes every insertion.
+        if let Some(slot) = self.find(key) {
+            self.slots[slot].as_mut().expect("slot is valid").value = value;
+            return InsertOutcome {
+                attempts: 1,
+                discarded: None,
+            };
+        }
+
+        // Vacant candidate revealed by the lookup: first-attempt success.
+        if let Some(slot) = self.find_vacant(key) {
+            self.slots[slot] = Some(Slot { key, value });
+            self.valid += 1;
+            return InsertOutcome {
+                attempts: 1,
+                discarded: None,
+            };
+        }
+
+        // Displacement chain.  `current` is the in-flight entry looking for
+        // a home; we kick out victims round-robin starting at the way where
+        // the previous insertion stopped.
+        let mut attempts: u32 = 1;
+        let mut current = Slot { key, value };
+        let mut way = self.next_start_way;
+        self.valid += 1; // `key` will end up stored; track it now.
+        loop {
+            if attempts >= self.max_attempts {
+                // Budget exhausted: discard the most recently displaced
+                // entry to guarantee termination.  The incoming request is
+                // never the one discarded — if the chain circled back to it,
+                // perform one final displacement so the requested block stays
+                // tracked and the displaced victim is invalidated instead.
+                self.next_start_way = way;
+                self.valid -= 1;
+                if current.key == key {
+                    let slot = self.slot_index(way, current.key);
+                    let victim = self.slots[slot]
+                        .replace(current)
+                        .expect("displacement only happens into occupied slots");
+                    return InsertOutcome {
+                        attempts,
+                        discarded: Some((victim.key, victim.value)),
+                    };
+                }
+                return InsertOutcome {
+                    attempts,
+                    discarded: Some((current.key, current.value)),
+                };
+            }
+
+            // Write the in-flight entry into its candidate slot in `way`,
+            // displacing whatever lives there.
+            let slot = self.slot_index(way, current.key);
+            let displaced = self.slots[slot].replace(current);
+            attempts += 1;
+
+            let victim = displaced.expect("displacement only happens into occupied slots");
+
+            // Probe the victim's candidate slots for a vacancy.
+            if let Some(vacant) = self.find_vacant(victim.key) {
+                self.slots[vacant] = Some(victim);
+                self.next_start_way = way;
+                return InsertOutcome {
+                    attempts,
+                    discarded: None,
+                };
+            }
+
+            // No vacancy: the victim becomes the in-flight entry and we move
+            // on to the next way.
+            current = victim;
+            way = (way + 1) % self.ways;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::rng::{Rng64, SplitMix64};
+    use std::collections::HashSet;
+
+    fn filled_table(ways: usize, sets: usize, fill: usize, seed: u64) -> (CuckooTable<u64>, Vec<u64>) {
+        let mut table = CuckooTable::new(ways, sets, HashKind::Strong, seed).unwrap();
+        let mut rng = SplitMix64::new(seed ^ 0x55aa);
+        let mut keys = Vec::new();
+        while keys.len() < fill {
+            let key = rng.next_u64() >> 8;
+            if table.contains(key) {
+                continue;
+            }
+            let outcome = table.insert(key, key * 2);
+            keys.push(key);
+            if let Some((lost, _)) = outcome.discarded {
+                keys.retain(|&k| k != lost);
+            }
+        }
+        (table, keys)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CuckooTable::<()>::new(1, 64, HashKind::Strong, 0).is_err());
+        assert!(CuckooTable::<()>::new(3, 100, HashKind::Strong, 0).is_err());
+        assert!(CuckooTable::<()>::new(3, 128, HashKind::Strong, 0).is_ok());
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t: CuckooTable<String> = CuckooTable::new(2, 64, HashKind::Strong, 3).unwrap();
+        assert!(t.is_empty());
+        let o = t.insert(10, "ten".to_string());
+        assert_eq!(o.attempts, 1);
+        assert!(o.succeeded());
+        assert_eq!(t.get(10), Some(&"ten".to_string()));
+        *t.get_mut(10).unwrap() = "TEN".to_string();
+        assert_eq!(t.get(10), Some(&"TEN".to_string()));
+
+        // Re-inserting an existing key replaces its payload.
+        let o = t.insert(10, "x".to_string());
+        assert_eq!(o.attempts, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(10), Some(&"x".to_string()));
+
+        assert_eq!(t.remove(10), Some("x".to_string()));
+        assert_eq!(t.remove(10), None);
+        assert!(t.is_empty());
+        assert_eq!(t.get(99), None);
+    }
+
+    #[test]
+    fn all_inserted_keys_are_retrievable_at_half_occupancy() {
+        let (table, keys) = filled_table(3, 1024, 1536, 7); // 50% of 3*1024
+        assert_eq!(table.len(), keys.len());
+        for &k in &keys {
+            assert!(table.contains(k), "lost key {k:#x}");
+            assert_eq!(table.get(k), Some(&(k * 2)));
+        }
+        // Iteration covers exactly the stored keys.
+        let iterated: HashSet<u64> = table.iter().map(|(k, _)| k).collect();
+        assert_eq!(iterated.len(), keys.len());
+        for &k in &keys {
+            assert!(iterated.contains(&k));
+        }
+    }
+
+    #[test]
+    fn half_occupancy_insertions_never_fail_for_3_ary_and_wider() {
+        // The paper's headline claim (Section 5.1): at <= 50% occupancy,
+        // 3-ary and wider cuckoo tables never fail an insertion and average
+        // about two attempts or fewer.
+        for ways in [3usize, 4, 8] {
+            let sets = 4096 / ways.next_power_of_two();
+            let sets = sets.next_power_of_two();
+            let capacity = ways * sets;
+            let target = capacity / 2;
+            let mut table: CuckooTable<()> =
+                CuckooTable::new(ways, sets, HashKind::Strong, 11).unwrap();
+            let mut rng = SplitMix64::new(1234);
+            let mut total_attempts = 0u64;
+            let mut inserted = 0u64;
+            while table.len() < target {
+                let key = rng.next_u64() >> 8;
+                if table.contains(key) {
+                    continue;
+                }
+                let o = table.insert(key, ());
+                assert!(o.succeeded(), "{ways}-ary failed at occupancy {}", table.occupancy());
+                total_attempts += u64::from(o.attempts);
+                inserted += 1;
+            }
+            let avg = total_attempts as f64 / inserted as f64;
+            assert!(avg < 2.0, "{ways}-ary average attempts {avg} too high");
+        }
+    }
+
+    #[test]
+    fn two_ary_tables_fail_at_high_occupancy() {
+        // 2-ary cuckoo hashing cannot reach high occupancy: pushing far past
+        // 50% must eventually discard entries (Figure 7, 2-ary curve).
+        let mut table: CuckooTable<()> = CuckooTable::new(2, 256, HashKind::Strong, 5).unwrap();
+        let mut rng = SplitMix64::new(99);
+        let mut failures = 0;
+        for _ in 0..table.capacity() {
+            let key = rng.next_u64() >> 8;
+            if table.contains(key) {
+                continue;
+            }
+            if !table.insert(key, ()).succeeded() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "2-ary table should overflow when driven to 100% load");
+    }
+
+    #[test]
+    fn attempt_budget_is_respected_and_discard_reported() {
+        let mut table: CuckooTable<u32> = CuckooTable::new(2, 2, HashKind::Strong, 17).unwrap();
+        table.set_max_attempts(4);
+        let mut discarded = Vec::new();
+        let mut rng = SplitMix64::new(3);
+        for i in 0..64u32 {
+            let key = rng.next_u64() >> 8;
+            let o = table.insert(key, i);
+            assert!(o.attempts <= 4);
+            if let Some((k, _)) = o.discarded {
+                discarded.push(k);
+            }
+        }
+        assert!(!discarded.is_empty(), "a 4-entry table driven with 64 keys must discard");
+        // Table never exceeds its capacity and its length is consistent.
+        assert!(table.len() <= table.capacity());
+        assert_eq!(table.iter().count(), table.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_attempt_budget_is_rejected() {
+        let mut table: CuckooTable<()> = CuckooTable::new(2, 4, HashKind::Strong, 0).unwrap();
+        table.set_max_attempts(0);
+    }
+
+    #[test]
+    fn displacement_preserves_all_entries() {
+        // Drive a small table to 80% occupancy with 4 ways and verify no
+        // entry silently disappears (every non-discarded key remains
+        // retrievable even after long displacement chains).
+        let (table, keys) = filled_table(4, 64, 204, 21); // ~80% of 256
+        for &k in &keys {
+            assert!(table.contains(k), "key {k:#x} lost during displacement");
+        }
+        assert_eq!(table.len(), keys.len());
+    }
+
+    #[test]
+    fn occupancy_reports_fraction_of_capacity() {
+        let mut t: CuckooTable<()> = CuckooTable::new(4, 64, HashKind::Strong, 1).unwrap();
+        assert_eq!(t.occupancy(), 0.0);
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..64 {
+            t.insert(rng.next_u64() >> 8, ());
+        }
+        assert!((t.occupancy() - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,423 @@
+//! The Duplicate-Tag directory baseline.
+//!
+//! The Duplicate-Tag organization (Piranha/Niagara style, Section 3.1 of the
+//! paper) mirrors the tag array of every private cache, "ensuring that there
+//! is always sufficient space in the directory to track all cached blocks".
+//! A lookup compares the searched tag against *every* way of the set across
+//! *every* mirrored cache, so the directory's associativity equals
+//! `cache associativity × cache count` — the 332-wide comparisons cited from
+//! the OpenSPARC T2 specification.  That wide associative lookup is what
+//! makes the design area-efficient but energy-unscalable (Figure 4).
+//!
+//! Because the mirror has exactly one slot per private-cache frame, a
+//! correctly driven Duplicate-Tag directory never forces invalidations: an
+//! insertion only displaces a mirror entry when the corresponding private
+//! cache itself replaced that frame.  When this structure is driven without
+//! eviction notifications (e.g. in stand-alone stress tests), a mirror
+//! overflow is reported as a forced eviction of the stale entry.
+
+use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
+use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
+
+#[derive(Clone, Debug)]
+struct MirrorEntry {
+    line: LineAddr,
+    last_use: u64,
+}
+
+/// A Duplicate-Tag coherence directory slice.
+///
+/// The slice mirrors, for each of `num_caches` private caches, a tag array
+/// of `cache_sets × cache_ways` frames (the portion of each private cache
+/// that maps to this slice).
+#[derive(Clone, Debug)]
+pub struct DuplicateTagDirectory {
+    cache_sets: usize,
+    cache_ways: usize,
+    num_caches: usize,
+    /// `mirrors[cache][set * cache_ways + way]`
+    mirrors: Vec<Vec<Option<MirrorEntry>>>,
+    tick: u64,
+    valid: usize,
+    stats: DirectoryStats,
+    /// Number of distinct lines currently tracked (for `len`)
+    distinct: std::collections::HashMap<u64, u32>,
+}
+
+impl DuplicateTagDirectory {
+    /// Creates a Duplicate-Tag directory mirroring `num_caches` private
+    /// caches of `cache_sets` sets × `cache_ways` ways each.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is zero or `cache_sets`
+    /// is not a power of two.
+    pub fn new(
+        cache_sets: usize,
+        cache_ways: usize,
+        num_caches: usize,
+    ) -> Result<Self, ConfigError> {
+        if cache_sets == 0 {
+            return Err(ConfigError::Zero { what: "cache set count" });
+        }
+        if cache_ways == 0 {
+            return Err(ConfigError::Zero { what: "cache ways" });
+        }
+        if num_caches == 0 {
+            return Err(ConfigError::Zero { what: "cache count" });
+        }
+        if !ccd_common::is_power_of_two(cache_sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache set count",
+                value: cache_sets as u64,
+            });
+        }
+        Ok(DuplicateTagDirectory {
+            cache_sets,
+            cache_ways,
+            num_caches,
+            mirrors: vec![vec![None; cache_sets * cache_ways]; num_caches],
+            tick: 0,
+            valid: 0,
+            stats: DirectoryStats::new(),
+            distinct: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Effective directory associativity: cache ways × cache count
+    /// (Section 3.1).
+    #[must_use]
+    pub fn effective_associativity(&self) -> usize {
+        self.cache_ways * self.num_caches
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.block_number() % self.cache_sets as u64) as usize
+    }
+
+    fn frame_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.cache_ways..(set + 1) * self.cache_ways
+    }
+
+    fn find_in_mirror(&self, cache: CacheId, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        self.frame_range(set).find(|&frame| {
+            matches!(&self.mirrors[cache.index()][frame], Some(e) if e.line == line)
+        })
+    }
+
+    fn caches_holding(&self, line: LineAddr) -> Vec<CacheId> {
+        (0..self.num_caches)
+            .filter(|&c| self.find_in_mirror(CacheId::new(c as u32), line).is_some())
+            .map(|c| CacheId::new(c as u32))
+            .collect()
+    }
+
+    fn note_added(&mut self, line: LineAddr) -> bool {
+        let counter = self.distinct.entry(line.block_number()).or_insert(0);
+        *counter += 1;
+        *counter == 1
+    }
+
+    fn note_removed(&mut self, line: LineAddr) {
+        if let Some(counter) = self.distinct.get_mut(&line.block_number()) {
+            *counter -= 1;
+            if *counter == 0 {
+                self.distinct.remove(&line.block_number());
+                self.stats.entry_removes.incr();
+            }
+        }
+    }
+
+    fn remove_from_mirror(&mut self, cache: CacheId, line: LineAddr) -> bool {
+        if let Some(frame) = self.find_in_mirror(cache, line) {
+            self.mirrors[cache.index()][frame] = None;
+            self.valid -= 1;
+            self.note_removed(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `line` into `cache`'s mirror, returning a forced eviction if
+    /// the mirror set was full (which only happens when the caller does not
+    /// report private-cache evictions).
+    fn insert_into_mirror(&mut self, cache: CacheId, line: LineAddr) -> Option<ForcedEviction> {
+        let set = self.set_of(line);
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Reuse an invalid frame when available.
+        let range = self.frame_range(set);
+        let mirror = &mut self.mirrors[cache.index()];
+        if let Some(frame) = range.clone().find(|&f| mirror[f].is_none()) {
+            mirror[frame] = Some(MirrorEntry { line, last_use: tick });
+            self.valid += 1;
+            return None;
+        }
+        // Mirror set full: replace the LRU frame (the private cache must have
+        // replaced it too; if not, report the stale entry as forcibly evicted).
+        let frame = range
+            .min_by_key(|&f| mirror[f].as_ref().map_or(0, |e| e.last_use))
+            .expect("cache_ways > 0");
+        let victim = mirror[frame]
+            .replace(MirrorEntry { line, last_use: tick })
+            .expect("full set has valid entries");
+        self.note_removed(victim.line);
+        self.stats.forced_block_invalidations.incr();
+        Some(ForcedEviction {
+            line: victim.line,
+            invalidate: vec![cache],
+        })
+    }
+}
+
+impl Directory for DuplicateTagDirectory {
+    fn organization(&self) -> String {
+        format!(
+            "duplicate-tag-{}x{}x{}",
+            self.num_caches, self.cache_ways, self.cache_sets
+        )
+    }
+
+    fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    fn capacity(&self) -> usize {
+        self.num_caches * self.cache_ways * self.cache_sets
+    }
+
+    fn len(&self) -> usize {
+        self.distinct.len()
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.distinct.contains_key(&line.block_number())
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let holders = self.caches_holding(line);
+        (!holders.is_empty()).then_some(holders)
+    }
+
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        assert!(cache.index() < self.num_caches, "{cache} out of range");
+        self.stats.lookups.incr();
+        if let Some(frame) = self.find_in_mirror(cache, line) {
+            // Already mirrored for this cache; refresh recency.
+            self.tick += 1;
+            self.mirrors[cache.index()][frame]
+                .as_mut()
+                .expect("frame is valid")
+                .last_use = self.tick;
+            self.stats.sharer_adds.incr();
+            return UpdateResult::existing();
+        }
+
+        let new_tag = self.note_added(line);
+        let eviction = self.insert_into_mirror(cache, line);
+        let mut result = UpdateResult {
+            allocated_new_entry: new_tag,
+            insertion_attempts: 1,
+            forced_evictions: Vec::new(),
+            invalidate: Vec::new(),
+        };
+        let forced = u64::from(eviction.is_some());
+        if let Some(ev) = eviction {
+            result.forced_evictions.push(ev);
+        }
+        if new_tag {
+            let occupancy = self.occupancy();
+            self.stats.record_insertion(1, forced, occupancy);
+        } else {
+            self.stats.sharer_adds.incr();
+            if forced > 0 {
+                self.stats.forced_evictions.add(forced);
+            }
+        }
+        result
+    }
+
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let others: Vec<CacheId> = self
+            .caches_holding(line)
+            .into_iter()
+            .filter(|&c| c != cache)
+            .collect();
+        for &other in &others {
+            self.remove_from_mirror(other, line);
+            self.stats.sharer_removes.incr();
+        }
+        if !others.is_empty() {
+            self.stats.invalidate_alls.incr();
+        }
+        let mut result = self.add_sharer(line, cache);
+        result.invalidate = others;
+        result
+    }
+
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        if self.remove_from_mirror(cache, line) {
+            self.stats.sharer_removes.incr();
+        }
+    }
+
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let holders = self.caches_holding(line);
+        if holders.is_empty() {
+            return None;
+        }
+        for &cache in &holders {
+            self.remove_from_mirror(cache, line);
+        }
+        Some(holders)
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        let tag_bits = u64::from(
+            ccd_common::PHYSICAL_ADDRESS_BITS
+                .saturating_sub(ccd_common::BlockGeometry::default().offset_bits())
+                .saturating_sub(ceil_log2(self.cache_sets as u64)),
+        );
+        let state_bits = 1;
+        let entry_bits = tag_bits + state_bits;
+        let frames = self.capacity() as u64;
+        let assoc = self.effective_associativity() as u64;
+        StorageProfile {
+            // Only duplicated tags are stored; sharer identity is implicit in
+            // which mirror the tag sits in.
+            total_bits: entry_bits * frames,
+            // Every lookup reads the full set across all mirrored caches.
+            bits_read_per_lookup: assoc * tag_bits,
+            bits_written_per_update: entry_bits,
+            comparators_per_lookup: assoc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DuplicateTagDirectory::new(0, 2, 4).is_err());
+        assert!(DuplicateTagDirectory::new(16, 0, 4).is_err());
+        assert!(DuplicateTagDirectory::new(16, 2, 0).is_err());
+        assert!(DuplicateTagDirectory::new(12, 2, 4).is_err());
+        let dir = DuplicateTagDirectory::new(16, 2, 4).unwrap();
+        assert_eq!(dir.effective_associativity(), 8);
+        assert_eq!(dir.capacity(), 16 * 2 * 4);
+    }
+
+    #[test]
+    fn tracks_sharers_across_mirrors() {
+        let mut dir = DuplicateTagDirectory::new(8, 2, 4).unwrap();
+        let r = dir.add_sharer(line(3), CacheId::new(0));
+        assert!(r.allocated_new_entry);
+        let r = dir.add_sharer(line(3), CacheId::new(2));
+        assert!(!r.allocated_new_entry, "same tag, second cache");
+        assert_eq!(
+            dir.sharers(line(3)),
+            Some(vec![CacheId::new(0), CacheId::new(2)])
+        );
+        assert_eq!(dir.len(), 1);
+
+        dir.remove_sharer(line(3), CacheId::new(0));
+        assert_eq!(dir.sharers(line(3)), Some(vec![CacheId::new(2)]));
+        dir.remove_sharer(line(3), CacheId::new(2));
+        assert!(!dir.contains(line(3)));
+        assert_eq!(dir.stats().entry_removes.get(), 1);
+    }
+
+    #[test]
+    fn never_forces_invalidations_when_driven_with_evictions() {
+        // Mirror a 2-way, 4-set cache per core and emulate the private cache
+        // by evicting before every insertion that would overflow a set.
+        let mut dir = DuplicateTagDirectory::new(4, 2, 2).unwrap();
+        let cache = CacheId::new(0);
+        let mut resident: Vec<LineAddr> = Vec::new();
+        let mut forced = 0usize;
+        for n in 0..64u64 {
+            let l = line(n);
+            let set = n % 4;
+            // Private 2-way cache: if two residents already map to this set,
+            // evict the older one first (as the cache itself would).
+            let in_set: Vec<LineAddr> = resident
+                .iter()
+                .copied()
+                .filter(|r| r.block_number() % 4 == set)
+                .collect();
+            if in_set.len() == 2 {
+                let victim = in_set[0];
+                dir.remove_sharer(victim, cache);
+                resident.retain(|&r| r != victim);
+            }
+            forced += dir.add_sharer(l, cache).forced_evictions.len();
+            resident.push(l);
+        }
+        assert_eq!(forced, 0, "duplicate-tag never forces invalidations");
+        assert_eq!(dir.stats().forced_evictions.get(), 0);
+    }
+
+    #[test]
+    fn overflow_without_evictions_replaces_stale_mirror_entries() {
+        let mut dir = DuplicateTagDirectory::new(2, 1, 1).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        let r = dir.add_sharer(line(2), CacheId::new(0)); // same set, 1 way
+        assert_eq!(r.forced_evictions.len(), 1);
+        assert_eq!(r.forced_evictions[0].line, line(0));
+        assert!(!dir.contains(line(0)));
+        assert!(dir.contains(line(2)));
+    }
+
+    #[test]
+    fn exclusive_removes_other_mirrors() {
+        let mut dir = DuplicateTagDirectory::new(8, 2, 4).unwrap();
+        for c in 0..3u32 {
+            dir.add_sharer(line(10), CacheId::new(c));
+        }
+        let r = dir.set_exclusive(line(10), CacheId::new(3));
+        let mut inv = r.invalidate;
+        inv.sort_unstable();
+        assert_eq!(inv, vec![CacheId::new(0), CacheId::new(1), CacheId::new(2)]);
+        assert_eq!(dir.sharers(line(10)), Some(vec![CacheId::new(3)]));
+        assert_eq!(dir.stats().invalidate_alls.get(), 1);
+    }
+
+    #[test]
+    fn remove_entry_clears_all_mirrors() {
+        let mut dir = DuplicateTagDirectory::new(8, 2, 4).unwrap();
+        assert!(dir.remove_entry(line(1)).is_none());
+        dir.add_sharer(line(1), CacheId::new(0));
+        dir.add_sharer(line(1), CacheId::new(3));
+        let holders = dir.remove_entry(line(1)).unwrap();
+        assert_eq!(holders.len(), 2);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn storage_profile_scales_with_cache_count() {
+        let small = DuplicateTagDirectory::new(256, 2, 2).unwrap().storage_profile();
+        let large = DuplicateTagDirectory::new(256, 2, 32).unwrap().storage_profile();
+        // Lookup width (and thus energy) grows linearly with cache count.
+        assert_eq!(large.bits_read_per_lookup, 16 * small.bits_read_per_lookup);
+        assert_eq!(large.comparators_per_lookup, 64);
+        // Per-entry write cost does not change.
+        assert_eq!(small.bits_written_per_update, large.bits_written_per_update);
+    }
+}

@@ -1,0 +1,168 @@
+//! The in-cache (inclusive shared-L2) directory baseline.
+//!
+//! The in-cache organization (Section 3.2, "at the limit, the in-cache
+//! directory organization extends an inclusive shared cache's tags with the
+//! sharer information") stores a sharer vector alongside *every* tag of the
+//! shared L2.  Tag storage and tag-lookup energy are free — the L2 lookup
+//! happens anyway — but the sharer storage is grossly over-provisioned
+//! because the L2 holds far more tags than there are privately cached
+//! blocks, and every L2 eviction of a tracked block must invalidate the
+//! private copies (an inclusion victim).
+//!
+//! It is only meaningful for the Shared-L2 configuration; "inclusion of
+//! private L2s in other private L2s is not possible" (Section 5.6).
+//!
+//! Functionally this is a [`SparseDirectory`] with the L2's geometry; the
+//! difference is entirely in the storage/energy accounting, which this
+//! wrapper overrides.
+
+use crate::{Directory, DirectoryStats, SparseDirectory, StorageProfile, UpdateResult};
+use ccd_common::{CacheId, ConfigError, LineAddr};
+use ccd_sharers::SharerSet;
+
+/// An in-cache directory: sharer vectors embedded in the shared L2 tags.
+#[derive(Clone, Debug)]
+pub struct InCacheDirectory<S: SharerSet> {
+    inner: SparseDirectory<S>,
+    l2_ways: usize,
+    l2_sets: usize,
+}
+
+impl<S: SharerSet> InCacheDirectory<S> {
+    /// Creates an in-cache directory embedded in an L2 bank of
+    /// `l2_ways × l2_sets` frames, tracking `num_caches` private caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the geometry validation of [`SparseDirectory::new`].
+    pub fn new(l2_ways: usize, l2_sets: usize, num_caches: usize) -> Result<Self, ConfigError> {
+        Ok(InCacheDirectory {
+            inner: SparseDirectory::new(l2_ways, l2_sets, num_caches)?,
+            l2_ways,
+            l2_sets,
+        })
+    }
+
+    /// The L2 bank geometry this directory is embedded in.
+    #[must_use]
+    pub fn l2_geometry(&self) -> (usize, usize) {
+        (self.l2_ways, self.l2_sets)
+    }
+}
+
+impl<S: SharerSet> Directory for InCacheDirectory<S> {
+    fn organization(&self) -> String {
+        format!("in-cache-{}x{}", self.l2_ways, self.l2_sets)
+    }
+
+    fn num_caches(&self) -> usize {
+        self.inner.num_caches()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.inner.contains(line)
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        self.inner.sharers(line)
+    }
+
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        self.inner.add_sharer(line, cache)
+    }
+
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        self.inner.set_exclusive(line, cache)
+    }
+
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        self.inner.remove_sharer(line, cache);
+    }
+
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        self.inner.remove_entry(line)
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        let probe = S::new(self.num_caches());
+        let sharer_bits = probe.storage_bits();
+        let frames = (self.l2_ways * self.l2_sets) as u64;
+        StorageProfile {
+            // Tags are shared with the L2 and therefore free; the directory
+            // pays only for a sharer vector on every L2 frame.
+            total_bits: sharer_bits * frames,
+            // The tag comparison rides on the L2 lookup; the directory reads
+            // the sharer vectors of the accessed set.
+            bits_read_per_lookup: self.l2_ways as u64 * probe.access_bits(),
+            bits_written_per_update: sharer_bits,
+            comparators_per_lookup: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_sharers::FullBitVector;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn behaves_like_a_sparse_directory_with_l2_geometry() {
+        let mut dir = InCacheDirectory::<FullBitVector>::new(16, 64, 32).unwrap();
+        assert_eq!(dir.capacity(), 1024);
+        assert_eq!(dir.l2_geometry(), (16, 64));
+        dir.add_sharer(line(7), CacheId::new(1));
+        dir.add_sharer(line(7), CacheId::new(9));
+        assert_eq!(
+            dir.sharers(line(7)),
+            Some(vec![CacheId::new(1), CacheId::new(9)])
+        );
+        let r = dir.set_exclusive(line(7), CacheId::new(1));
+        assert_eq!(r.invalidate, vec![CacheId::new(9)]);
+        dir.remove_sharer(line(7), CacheId::new(1));
+        assert!(dir.is_empty());
+        assert_eq!(dir.organization(), "in-cache-16x64");
+    }
+
+    #[test]
+    fn storage_charges_a_vector_per_l2_frame_and_no_tags() {
+        let dir = InCacheDirectory::<FullBitVector>::new(16, 1024, 32).unwrap();
+        let p = dir.storage_profile();
+        assert_eq!(p.total_bits, 32 * 16 * 1024);
+        assert_eq!(p.comparators_per_lookup, 0, "tag match rides on the L2");
+        assert_eq!(p.bits_read_per_lookup, 16 * 32);
+        assert_eq!(p.bits_written_per_update, 32);
+    }
+
+    #[test]
+    fn inclusion_victims_surface_as_forced_evictions() {
+        // A tiny 1-way, 2-set "L2": inserting two blocks that map to the same
+        // set evicts the first, which models the inclusion-victim
+        // invalidation of an in-cache directory.
+        let mut dir = InCacheDirectory::<FullBitVector>::new(1, 2, 4).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        let r = dir.add_sharer(line(2), CacheId::new(1));
+        assert_eq!(r.forced_evictions.len(), 1);
+        assert_eq!(r.forced_evictions[0].line, line(0));
+        assert_eq!(r.forced_evictions[0].invalidate, vec![CacheId::new(0)]);
+    }
+}

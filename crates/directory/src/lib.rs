@@ -1,0 +1,228 @@
+//! Coherence-directory organizations: the common [`Directory`] trait and the
+//! baseline designs the Cuckoo directory is evaluated against.
+//!
+//! A *directory slice* tracks, for every block currently resident in some
+//! private cache that maps to this slice, the set of caches holding a copy
+//! (Section 2 of the paper).  The paper compares several slice
+//! organizations that differ in how entries are found and where a new entry
+//! may be placed:
+//!
+//! * [`SparseDirectory`] — a conventional set-associative structure indexed
+//!   by low-order address bits.  Set conflicts force invalidations of cached
+//!   blocks (Section 3.2), which is why practical Sparse directories
+//!   over-provision capacity (the 2× and 8× configurations of Figure 12).
+//! * [`SkewedDirectory`] — the same storage, but each way indexed through a
+//!   different skewing hash function (Seznec's skewed-associative cache
+//!   adapted to a directory).  Reduces, but does not eliminate, conflicts.
+//! * [`DuplicateTagDirectory`] — mirrors every private cache's tag array;
+//!   never forces invalidations but needs `cache associativity × cache
+//!   count` way comparisons per lookup (Section 3.1), which is what makes
+//!   its energy grow quadratically in aggregate.
+//! * [`InCacheDirectory`] — embeds sharer vectors in the (inclusive) shared
+//!   L2 tags; tag storage is free but every L2 tag carries a full vector.
+//! * [`TaglessDirectory`] — the Tagless design of Zebchuk et al.: a grid of
+//!   per-(cache, set) Bloom filters giving a conservative sharer superset.
+//!
+//! The paper's own contribution, the Cuckoo directory, implements this same
+//! trait from the `ccd-cuckoo` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use ccd_common::{CacheId, LineAddr};
+//! use ccd_directory::{Directory, SparseDirectory};
+//! use ccd_sharers::FullBitVector;
+//!
+//! // An 8-way, 256-set sparse directory tracking 32 private caches.
+//! let mut dir = SparseDirectory::<FullBitVector>::new(8, 256, 32)?;
+//! let line = LineAddr::from_block_number(0xabc);
+//! let outcome = dir.add_sharer(line, CacheId::new(3));
+//! assert!(outcome.allocated_new_entry);
+//! assert_eq!(dir.sharers(line), Some(vec![CacheId::new(3)]));
+//! # Ok::<(), ccd_common::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod duplicate_tag;
+pub mod in_cache;
+pub mod skewed;
+pub mod sparse;
+pub mod stats;
+pub mod tagless;
+
+pub use duplicate_tag::DuplicateTagDirectory;
+pub use in_cache::InCacheDirectory;
+pub use skewed::SkewedDirectory;
+pub use sparse::SparseDirectory;
+pub use stats::DirectoryStats;
+pub use tagless::TaglessDirectory;
+
+use ccd_common::{CacheId, LineAddr};
+
+/// A block whose directory entry was evicted to make room for another entry.
+///
+/// The coherence protocol must invalidate the listed caches' copies of the
+/// block before the entry can be reused — this is the "forced invalidation"
+/// the paper's Figures 9 and 12 measure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForcedEviction {
+    /// The block that lost its directory entry.
+    pub line: LineAddr,
+    /// Caches that may hold a copy and must be invalidated.
+    pub invalidate: Vec<CacheId>,
+}
+
+/// The result of a directory update that may allocate an entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateResult {
+    /// `true` when the update allocated a new directory entry (a new tag was
+    /// inserted), `false` when it only modified an existing entry.
+    pub allocated_new_entry: bool,
+    /// Number of insertion attempts performed (always 1 for set-associative
+    /// organizations; ≥ 1 for the Cuckoo directory's displacement chain).
+    pub insertion_attempts: u32,
+    /// Entries evicted from the directory to make room, whose blocks must be
+    /// invalidated in the private caches.
+    pub forced_evictions: Vec<ForcedEviction>,
+    /// Caches that must be invalidated because of the *semantics* of the
+    /// update itself (e.g. other sharers on an exclusive request), not
+    /// because of directory conflicts.
+    pub invalidate: Vec<CacheId>,
+}
+
+impl UpdateResult {
+    /// An update that modified an existing entry without side effects.
+    #[must_use]
+    pub fn existing() -> Self {
+        UpdateResult {
+            allocated_new_entry: false,
+            insertion_attempts: 0,
+            forced_evictions: Vec::new(),
+            invalidate: Vec::new(),
+        }
+    }
+
+    /// Convenience: `true` when no blocks need to be invalidated anywhere.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.forced_evictions.is_empty() && self.invalidate.is_empty()
+    }
+}
+
+/// Storage-geometry description used by the analytical energy/area model.
+///
+/// Every organization reports how many bits one lookup reads, how many bits
+/// one update writes, and how many bits the slice stores in total; the
+/// `ccd-energy` crate turns these into the relative energy and area curves
+/// of Figures 4 and 13.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageProfile {
+    /// Total bits stored by this directory slice (tags + sharers + state).
+    pub total_bits: u64,
+    /// Bits read by one lookup (all ways of one set, tags + sharer data).
+    pub bits_read_per_lookup: u64,
+    /// Bits written by one entry update (one way: tag + sharer data).
+    pub bits_written_per_update: u64,
+    /// Number of tag comparators exercised per lookup.
+    pub comparators_per_lookup: u64,
+}
+
+/// The interface every directory organization implements.
+///
+/// The trait is object-safe so the coherence simulator can swap
+/// organizations at runtime (`Box<dyn Directory>`).
+pub trait Directory {
+    /// Human-readable name of the organization (e.g. `"sparse-8x256"`).
+    fn organization(&self) -> String;
+
+    /// Number of private caches whose blocks this slice can track.
+    fn num_caches(&self) -> usize;
+
+    /// Maximum number of entries the slice can hold simultaneously.
+    fn capacity(&self) -> usize;
+
+    /// Number of currently valid entries.
+    fn len(&self) -> usize;
+
+    /// `true` when the directory holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of the capacity currently occupied (0.0 ..= 1.0).
+    fn occupancy(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.capacity() as f64
+        }
+    }
+
+    /// Returns `true` when the directory currently tracks `line`.
+    fn contains(&self, line: LineAddr) -> bool;
+
+    /// Returns the (possibly conservative) set of caches holding `line`, or
+    /// `None` when the line is not tracked.  This is a pure query; lookup
+    /// statistics are accumulated by the mutating operations, each of which
+    /// begins with an implicit lookup.
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>>;
+
+    /// Records that `cache` now holds a copy of `line`, allocating a new
+    /// entry if the line is not yet tracked.
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult;
+
+    /// Records that `cache` obtained an exclusive (writable) copy of `line`:
+    /// the entry is allocated if needed, all *other* sharers are returned in
+    /// [`UpdateResult::invalidate`], and only `cache` remains recorded.
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult;
+
+    /// Records that `cache` evicted its copy of `line`.  The entry is freed
+    /// once its last sharer leaves.
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId);
+
+    /// Removes the entry for `line` entirely (e.g. when the home L2 bank
+    /// evicts the block), returning the caches that must be invalidated.
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>>;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &DirectoryStats;
+
+    /// Clears the statistics (used after warm-up).
+    fn reset_stats(&mut self);
+
+    /// Storage-geometry profile for the energy/area model.
+    fn storage_profile(&self) -> StorageProfile;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_result_helpers() {
+        let r = UpdateResult::existing();
+        assert!(!r.allocated_new_entry);
+        assert!(r.is_clean());
+
+        let r = UpdateResult {
+            allocated_new_entry: true,
+            insertion_attempts: 2,
+            forced_evictions: vec![ForcedEviction {
+                line: LineAddr::from_block_number(5),
+                invalidate: vec![CacheId::new(1)],
+            }],
+            invalidate: Vec::new(),
+        };
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn directory_trait_is_object_safe() {
+        fn assert_object_safe(_d: &dyn Directory) {}
+        let dir =
+            SparseDirectory::<ccd_sharers::FullBitVector>::new(4, 16, 8).expect("valid geometry");
+        assert_object_safe(&dir);
+    }
+}

@@ -1,0 +1,385 @@
+//! The skewed-associative directory baseline.
+//!
+//! The `Skewed 2×` configuration of Figure 12: the same storage as a
+//! set-associative Sparse directory, but each way is a direct-mapped table
+//! indexed through a *different* skewing hash function (Seznec's
+//! skewed-associative cache applied to a directory).  Lookups probe every
+//! way at its own hashed index; an insertion that finds all candidate
+//! locations occupied selects a victim *from one of the ways* and evicts it.
+//!
+//! The crucial difference from the Cuckoo directory (Section 4.1) is the
+//! insertion procedure: "whereas the skewed-associative cache selects a
+//! victim from one of the ways, the Cuckoo organization uses displacement to
+//! iteratively move entries until a non-conflicting location is found."
+//! Skewing therefore roughly doubles the *perceived* associativity but still
+//! forces invalidations under pressure, which is exactly what Figure 12
+//! shows for server workloads.
+
+use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
+use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
+use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+use ccd_sharers::SharerSet;
+
+#[derive(Clone, Debug)]
+struct Entry<S> {
+    line: LineAddr,
+    sharers: S,
+}
+
+/// A skewed-associative coherence directory slice.
+#[derive(Clone, Debug)]
+pub struct SkewedDirectory<S: SharerSet> {
+    ways: usize,
+    sets: usize,
+    num_caches: usize,
+    hashes: HashFamily,
+    /// `ways` direct-mapped tables, flattened as `way * sets + index`.
+    slots: Vec<Option<Entry<S>>>,
+    last_use: Vec<u64>,
+    tick: u64,
+    valid: usize,
+    stats: DirectoryStats,
+}
+
+impl<S: SharerSet> SkewedDirectory<S> {
+    /// Creates a skewed-associative directory with `ways` direct-mapped
+    /// tables of `sets` entries each, indexed by skewing hash functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is zero, `sets` is not a
+    /// power of two, or the hash family cannot be constructed.
+    pub fn new(ways: usize, sets: usize, num_caches: usize) -> Result<Self, ConfigError> {
+        Self::with_hash_kind(ways, sets, num_caches, HashKind::Skewing)
+    }
+
+    /// Creates a skewed-associative directory with an explicit hash family.
+    ///
+    /// # Errors
+    ///
+    /// See [`SkewedDirectory::new`].
+    pub fn with_hash_kind(
+        ways: usize,
+        sets: usize,
+        num_caches: usize,
+        kind: HashKind,
+    ) -> Result<Self, ConfigError> {
+        if num_caches == 0 {
+            return Err(ConfigError::Zero { what: "cache count" });
+        }
+        let hashes = HashFamily::new(kind, ways, sets)?;
+        Ok(SkewedDirectory {
+            ways,
+            sets,
+            num_caches,
+            hashes,
+            slots: (0..ways * sets).map(|_| None).collect(),
+            last_use: vec![0; ways * sets],
+            tick: 0,
+            valid: 0,
+            stats: DirectoryStats::new(),
+        })
+    }
+
+    /// Number of ways (direct-mapped tables).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets per way.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn slot_for(&self, way: usize, line: LineAddr) -> usize {
+        way * self.sets + self.hashes.index(way, line)
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.tick += 1;
+        self.last_use[slot] = self.tick;
+    }
+
+    fn find_slot(&self, line: LineAddr) -> Option<usize> {
+        (0..self.ways)
+            .map(|w| self.slot_for(w, line))
+            .find(|&slot| matches!(&self.slots[slot], Some(e) if e.line == line))
+    }
+
+    fn find_or_allocate(&mut self, line: LineAddr) -> (usize, UpdateResult) {
+        self.stats.lookups.incr();
+        if let Some(slot) = self.find_slot(line) {
+            self.touch(slot);
+            return (slot, UpdateResult::existing());
+        }
+
+        // Candidate locations, one per way.
+        let candidates: Vec<usize> = (0..self.ways).map(|w| self.slot_for(w, line)).collect();
+        let chosen = candidates
+            .iter()
+            .copied()
+            .find(|&slot| self.slots[slot].is_none())
+            .unwrap_or_else(|| {
+                // All candidates valid: evict the least recently used one.
+                candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|&slot| self.last_use[slot])
+                    .expect("at least one way")
+            });
+
+        let mut result = UpdateResult {
+            allocated_new_entry: true,
+            insertion_attempts: 1,
+            forced_evictions: Vec::new(),
+            invalidate: Vec::new(),
+        };
+        if let Some(victim) = self.slots[chosen].take() {
+            let invalidate = victim.sharers.invalidation_targets();
+            self.stats
+                .forced_block_invalidations
+                .add(invalidate.len() as u64);
+            result.forced_evictions.push(ForcedEviction {
+                line: victim.line,
+                invalidate,
+            });
+            self.valid -= 1;
+        }
+        self.slots[chosen] = Some(Entry {
+            line,
+            sharers: S::new(self.num_caches),
+        });
+        self.valid += 1;
+        self.touch(chosen);
+        let evictions = result.forced_evictions.len() as u64;
+        let occupancy = self.occupancy();
+        self.stats.record_insertion(1, evictions, occupancy);
+        (chosen, result)
+    }
+}
+
+impl<S: SharerSet> Directory for SkewedDirectory<S> {
+    fn organization(&self) -> String {
+        format!("skewed-{}x{}", self.ways, self.sets)
+    }
+
+    fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    fn capacity(&self) -> usize {
+        self.ways * self.sets
+    }
+
+    fn len(&self) -> usize {
+        self.valid
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.find_slot(line).is_some()
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        self.find_slot(line)
+            .map(|slot| self.slots[slot].as_ref().unwrap().sharers.invalidation_targets())
+    }
+
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let (slot, result) = self.find_or_allocate(line);
+        if !result.allocated_new_entry {
+            self.stats.sharer_adds.incr();
+        }
+        self.slots[slot]
+            .as_mut()
+            .expect("slot was just filled")
+            .sharers
+            .add(cache);
+        result
+    }
+
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let (slot, mut result) = self.find_or_allocate(line);
+        let entry = self.slots[slot].as_mut().expect("slot was just filled");
+        let mut others: Vec<CacheId> = entry
+            .sharers
+            .invalidation_targets()
+            .into_iter()
+            .filter(|&c| c != cache)
+            .collect();
+        if !others.is_empty() {
+            self.stats.invalidate_alls.incr();
+        } else if !result.allocated_new_entry {
+            self.stats.sharer_adds.incr();
+        }
+        entry.sharers.clear();
+        entry.sharers.add(cache);
+        result.invalidate.append(&mut others);
+        result
+    }
+
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        if let Some(slot) = self.find_slot(line) {
+            self.stats.sharer_removes.incr();
+            let entry = self.slots[slot].as_mut().expect("slot is valid");
+            entry.sharers.remove(cache);
+            if entry.sharers.is_empty() {
+                self.slots[slot] = None;
+                self.valid -= 1;
+                self.stats.entry_removes.incr();
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let slot = self.find_slot(line)?;
+        let entry = self.slots[slot].take().expect("slot is valid");
+        self.valid -= 1;
+        self.stats.entry_removes.incr();
+        Some(entry.sharers.invalidation_targets())
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        let probe = S::new(self.num_caches);
+        let sharer_bits = probe.storage_bits();
+        // Skewed indexing folds all address bits into the index, so the full
+        // block-number tag must be stored (minus nothing recoverable from the
+        // index); we follow the usual practice of storing the same tag width
+        // as the equivalent set-associative structure.
+        let tag_bits = u64::from(
+            ccd_common::PHYSICAL_ADDRESS_BITS
+                .saturating_sub(ccd_common::BlockGeometry::default().offset_bits())
+                .saturating_sub(ceil_log2(self.sets as u64)),
+        );
+        let state_bits = 1;
+        let entry_bits = tag_bits + sharer_bits + state_bits;
+        StorageProfile {
+            total_bits: entry_bits * (self.ways * self.sets) as u64,
+            bits_read_per_lookup: self.ways as u64 * (tag_bits + probe.access_bits()),
+            bits_written_per_update: entry_bits,
+            comparators_per_lookup: self.ways as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::rng::{Rng64, SplitMix64};
+    use ccd_sharers::FullBitVector;
+
+    type Dir = SkewedDirectory<FullBitVector>;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Dir::new(0, 64, 4).is_err());
+        assert!(Dir::new(4, 63, 4).is_err());
+        assert!(Dir::new(4, 64, 0).is_err());
+        assert!(Dir::new(4, 64, 4).is_ok());
+    }
+
+    #[test]
+    fn basic_add_lookup_remove() {
+        let mut dir = Dir::new(4, 64, 8).unwrap();
+        let r = dir.add_sharer(line(100), CacheId::new(2));
+        assert!(r.allocated_new_entry);
+        dir.add_sharer(line(100), CacheId::new(5));
+        assert_eq!(
+            dir.sharers(line(100)),
+            Some(vec![CacheId::new(2), CacheId::new(5)])
+        );
+        dir.remove_sharer(line(100), CacheId::new(2));
+        dir.remove_sharer(line(100), CacheId::new(5));
+        assert!(!dir.contains(line(100)));
+        assert_eq!(dir.len(), 0);
+    }
+
+    #[test]
+    fn exclusive_invalidates_other_sharers() {
+        let mut dir = Dir::new(2, 32, 4).unwrap();
+        dir.add_sharer(line(1), CacheId::new(0));
+        dir.add_sharer(line(1), CacheId::new(1));
+        let r = dir.set_exclusive(line(1), CacheId::new(3));
+        let mut inv = r.invalidate;
+        inv.sort_unstable();
+        assert_eq!(inv, vec![CacheId::new(0), CacheId::new(1)]);
+        assert_eq!(dir.sharers(line(1)), Some(vec![CacheId::new(3)]));
+    }
+
+    #[test]
+    fn conflicts_force_eviction_when_all_ways_occupied() {
+        // 1-way skewed = direct-mapped through one hash; drive it well past
+        // capacity and confirm evictions occur and capacity is respected.
+        let mut dir = Dir::new(1, 16, 2).unwrap();
+        let mut evictions = 0usize;
+        for n in 0..64u64 {
+            let r = dir.add_sharer(line(n), CacheId::new(0));
+            evictions += r.forced_evictions.len();
+        }
+        assert!(evictions > 0, "a 16-entry table cannot hold 64 lines");
+        assert!(dir.len() <= 16);
+        assert_eq!(dir.stats().forced_evictions.get(), evictions as u64);
+    }
+
+    #[test]
+    fn skewing_reduces_conflicts_versus_sparse_on_adversarial_pattern() {
+        // Lines that collide in the low-order index bits (classic pathological
+        // pattern for a modulo-indexed Sparse directory) are spread out by
+        // the skewing functions.
+        let ways = 4;
+        let sets = 256;
+        let mut sparse =
+            crate::SparseDirectory::<FullBitVector>::new(ways, sets, 4).unwrap();
+        let mut skewed = Dir::new(ways, sets, 4).unwrap();
+        // 64 lines that all share the same low-order bits.
+        let mut sparse_evictions = 0usize;
+        let mut skewed_evictions = 0usize;
+        for i in 0..64u64 {
+            let l = line(7 + i * sets as u64);
+            sparse_evictions += sparse.add_sharer(l, CacheId::new(0)).forced_evictions.len();
+            skewed_evictions += skewed.add_sharer(l, CacheId::new(0)).forced_evictions.len();
+        }
+        assert!(sparse_evictions > 0, "sparse must conflict on this pattern");
+        assert!(
+            skewed_evictions < sparse_evictions,
+            "skewed ({skewed_evictions}) should conflict less than sparse ({sparse_evictions})"
+        );
+    }
+
+    #[test]
+    fn random_load_below_capacity_rarely_evicts() {
+        let mut dir = Dir::new(4, 1024, 8).unwrap();
+        let mut rng = SplitMix64::new(42);
+        let capacity = dir.capacity();
+        let mut evictions = 0usize;
+        // Fill to 50% occupancy with random lines.
+        for _ in 0..capacity / 2 {
+            let l = line(rng.next_u64() >> 10);
+            evictions += dir.add_sharer(l, CacheId::new(0)).forced_evictions.len();
+        }
+        let rate = evictions as f64 / (capacity / 2) as f64;
+        assert!(rate < 0.05, "eviction rate at 50% load should be small, got {rate}");
+    }
+
+    #[test]
+    fn organization_and_profile() {
+        let dir = Dir::new(4, 512, 16).unwrap();
+        assert_eq!(dir.organization(), "skewed-4x512");
+        let p = dir.storage_profile();
+        assert_eq!(p.comparators_per_lookup, 4);
+        assert!(p.total_bits > 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! The Sparse directory — a conventional set-associative organization.
+//!
+//! The Sparse directory (Gupta et al., Section 3.2 of the paper) reduces the
+//! associativity of the Duplicate-Tag design by "using the low-order tag
+//! bits to extend the index of the directory storage".  Each entry carries
+//! explicit sharer information because the one-to-one correspondence to
+//! cache frames is lost.
+//!
+//! Its weakness — and the motivation for the Cuckoo directory — is the
+//! non-uniform distribution of blocks across sets: when a set fills up, the
+//! next insertion must evict a victim entry and *invalidate the victim's
+//! block in every private cache that holds it*, even though those caches
+//! had room for it.  Reducing the frequency of these forced invalidations
+//! requires over-provisioning capacity (the `2×`/`8×` configurations of
+//! Figure 12).
+
+use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
+use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
+use ccd_sharers::SharerSet;
+
+/// One valid directory entry: a block tag plus its sharer set.
+#[derive(Clone, Debug)]
+struct Entry<S> {
+    line: LineAddr,
+    sharers: S,
+}
+
+/// A set-associative (Sparse) coherence directory slice.
+///
+/// Entries are indexed by the low-order bits of the block number and placed
+/// in one of `ways` slots per set, with least-recently-used replacement
+/// among valid entries when the set is full.
+#[derive(Clone, Debug)]
+pub struct SparseDirectory<S: SharerSet> {
+    ways: usize,
+    sets: usize,
+    num_caches: usize,
+    slots: Vec<Option<Entry<S>>>,
+    last_use: Vec<u64>,
+    tick: u64,
+    valid: usize,
+    stats: DirectoryStats,
+}
+
+impl<S: SharerSet> SparseDirectory<S> {
+    /// Creates a Sparse directory with `ways × sets` entries tracking
+    /// `num_caches` private caches.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] if any parameter is zero,
+    /// * [`ConfigError::NotPowerOfTwo`] if `sets` is not a power of two.
+    pub fn new(ways: usize, sets: usize, num_caches: usize) -> Result<Self, ConfigError> {
+        if ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if sets == 0 {
+            return Err(ConfigError::Zero { what: "set count" });
+        }
+        if num_caches == 0 {
+            return Err(ConfigError::Zero { what: "cache count" });
+        }
+        if !ccd_common::is_power_of_two(sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "set count",
+                value: sets as u64,
+            });
+        }
+        Ok(SparseDirectory {
+            ways,
+            sets,
+            num_caches,
+            slots: (0..ways * sets).map(|_| None).collect(),
+            last_use: vec![0; ways * sets],
+            tick: 0,
+            valid: 0,
+            stats: DirectoryStats::new(),
+        })
+    }
+
+    /// Number of ways per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.block_number() % self.sets as u64) as usize
+    }
+
+    fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.tick += 1;
+        self.last_use[slot] = self.tick;
+    }
+
+    fn find_slot(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        self.slot_range(set)
+            .find(|&slot| matches!(&self.slots[slot], Some(e) if e.line == line))
+    }
+
+    /// Finds where a new entry for `line` would go: an invalid slot if one
+    /// exists, otherwise the least-recently-used valid slot of the set.
+    fn victim_slot(&self, line: LineAddr) -> (usize, bool) {
+        let set = self.set_of(line);
+        let mut lru_slot = set * self.ways;
+        let mut lru_time = u64::MAX;
+        for slot in self.slot_range(set) {
+            match &self.slots[slot] {
+                None => return (slot, false),
+                Some(_) => {
+                    if self.last_use[slot] < lru_time {
+                        lru_time = self.last_use[slot];
+                        lru_slot = slot;
+                    }
+                }
+            }
+        }
+        (lru_slot, true)
+    }
+
+    /// Looks up `line`, allocating an entry if necessary, and returns the
+    /// slot index along with the `UpdateResult` describing the allocation.
+    fn find_or_allocate(&mut self, line: LineAddr) -> (usize, UpdateResult) {
+        self.stats.lookups.incr();
+        if let Some(slot) = self.find_slot(line) {
+            self.touch(slot);
+            return (slot, UpdateResult::existing());
+        }
+
+        let (slot, must_evict) = self.victim_slot(line);
+        let mut result = UpdateResult {
+            allocated_new_entry: true,
+            insertion_attempts: 1,
+            forced_evictions: Vec::new(),
+            invalidate: Vec::new(),
+        };
+        if must_evict {
+            let victim = self.slots[slot]
+                .take()
+                .expect("victim slot must hold a valid entry");
+            let invalidate = victim.sharers.invalidation_targets();
+            self.stats
+                .forced_block_invalidations
+                .add(invalidate.len() as u64);
+            result.forced_evictions.push(ForcedEviction {
+                line: victim.line,
+                invalidate,
+            });
+            self.valid -= 1;
+        }
+        self.slots[slot] = Some(Entry {
+            line,
+            sharers: S::new(self.num_caches),
+        });
+        self.valid += 1;
+        self.touch(slot);
+        let evictions = result.forced_evictions.len() as u64;
+        let occupancy = self.occupancy();
+        self.stats.record_insertion(1, evictions, occupancy);
+        (slot, result)
+    }
+}
+
+impl<S: SharerSet> Directory for SparseDirectory<S> {
+    fn organization(&self) -> String {
+        format!("sparse-{}x{}", self.ways, self.sets)
+    }
+
+    fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    fn capacity(&self) -> usize {
+        self.ways * self.sets
+    }
+
+    fn len(&self) -> usize {
+        self.valid
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.find_slot(line).is_some()
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        self.find_slot(line)
+            .map(|slot| self.slots[slot].as_ref().unwrap().sharers.invalidation_targets())
+    }
+
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let (slot, result) = self.find_or_allocate(line);
+        let entry = self.slots[slot].as_mut().expect("slot was just filled");
+        if !result.allocated_new_entry {
+            self.stats.sharer_adds.incr();
+        }
+        entry.sharers.add(cache);
+        result
+    }
+
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let (slot, mut result) = self.find_or_allocate(line);
+        let entry = self.slots[slot].as_mut().expect("slot was just filled");
+        let mut others: Vec<CacheId> = entry
+            .sharers
+            .invalidation_targets()
+            .into_iter()
+            .filter(|&c| c != cache)
+            .collect();
+        if !others.is_empty() {
+            self.stats.invalidate_alls.incr();
+        } else if !result.allocated_new_entry {
+            self.stats.sharer_adds.incr();
+        }
+        entry.sharers.clear();
+        entry.sharers.add(cache);
+        result.invalidate.append(&mut others);
+        result
+    }
+
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        if let Some(slot) = self.find_slot(line) {
+            self.stats.sharer_removes.incr();
+            let entry = self.slots[slot].as_mut().expect("slot is valid");
+            entry.sharers.remove(cache);
+            if entry.sharers.is_empty() {
+                self.slots[slot] = None;
+                self.valid -= 1;
+                self.stats.entry_removes.incr();
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let slot = self.find_slot(line)?;
+        let entry = self.slots[slot].take().expect("slot is valid");
+        self.valid -= 1;
+        self.stats.entry_removes.incr();
+        Some(entry.sharers.invalidation_targets())
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        let probe = S::new(self.num_caches);
+        let sharer_bits = probe.storage_bits();
+        let tag_bits = u64::from(
+            ccd_common::PHYSICAL_ADDRESS_BITS
+                .saturating_sub(ccd_common::BlockGeometry::default().offset_bits())
+                .saturating_sub(ceil_log2(self.sets as u64)),
+        );
+        let state_bits = 1; // valid bit
+        let entry_bits = tag_bits + sharer_bits + state_bits;
+        StorageProfile {
+            total_bits: entry_bits * (self.ways * self.sets) as u64,
+            bits_read_per_lookup: self.ways as u64 * (tag_bits + probe.access_bits()),
+            bits_written_per_update: entry_bits,
+            comparators_per_lookup: self.ways as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_sharers::{CoarseVector, FullBitVector};
+
+    type Dir = SparseDirectory<FullBitVector>;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Dir::new(0, 16, 4).is_err());
+        assert!(Dir::new(4, 0, 4).is_err());
+        assert!(Dir::new(4, 16, 0).is_err());
+        assert!(Dir::new(4, 12, 4).is_err());
+        assert!(Dir::new(4, 16, 4).is_ok());
+    }
+
+    #[test]
+    fn add_and_query_sharers() {
+        let mut dir = Dir::new(2, 8, 4).unwrap();
+        let r = dir.add_sharer(line(5), CacheId::new(1));
+        assert!(r.allocated_new_entry);
+        assert!(r.is_clean());
+        let r = dir.add_sharer(line(5), CacheId::new(3));
+        assert!(!r.allocated_new_entry);
+        assert_eq!(
+            dir.sharers(line(5)),
+            Some(vec![CacheId::new(1), CacheId::new(3)])
+        );
+        assert!(dir.contains(line(5)));
+        assert!(!dir.contains(line(13))); // same set, different tag
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn set_conflict_forces_invalidation_of_lru_victim() {
+        // 1 way, 4 sets: lines 0 and 4 conflict.
+        let mut dir = Dir::new(1, 4, 4).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        let r = dir.add_sharer(line(4), CacheId::new(1));
+        assert!(r.allocated_new_entry);
+        assert_eq!(r.forced_evictions.len(), 1);
+        assert_eq!(r.forced_evictions[0].line, line(0));
+        assert_eq!(r.forced_evictions[0].invalidate, vec![CacheId::new(0)]);
+        assert!(!dir.contains(line(0)));
+        assert!(dir.contains(line(4)));
+        assert_eq!(dir.stats().forced_evictions.get(), 1);
+        assert!((dir.stats().forced_invalidation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_prefers_older_entry_as_victim() {
+        // 2 ways, 2 sets: lines 0, 2, 4 all map to set 0.
+        let mut dir = Dir::new(2, 2, 4).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        dir.add_sharer(line(2), CacheId::new(1));
+        // Touch line 0 so line 2 becomes LRU.
+        dir.add_sharer(line(0), CacheId::new(2));
+        let r = dir.add_sharer(line(4), CacheId::new(3));
+        assert_eq!(r.forced_evictions[0].line, line(2));
+        assert!(dir.contains(line(0)));
+        assert!(dir.contains(line(4)));
+    }
+
+    #[test]
+    fn exclusive_request_invalidates_other_sharers() {
+        let mut dir = Dir::new(4, 8, 8).unwrap();
+        dir.add_sharer(line(9), CacheId::new(0));
+        dir.add_sharer(line(9), CacheId::new(1));
+        dir.add_sharer(line(9), CacheId::new(2));
+        let r = dir.set_exclusive(line(9), CacheId::new(1));
+        assert!(!r.allocated_new_entry);
+        let mut invalidate = r.invalidate.clone();
+        invalidate.sort_unstable();
+        assert_eq!(invalidate, vec![CacheId::new(0), CacheId::new(2)]);
+        assert_eq!(dir.sharers(line(9)), Some(vec![CacheId::new(1)]));
+        assert_eq!(dir.stats().invalidate_alls.get(), 1);
+    }
+
+    #[test]
+    fn exclusive_on_untracked_line_allocates() {
+        let mut dir = Dir::new(4, 8, 8).unwrap();
+        let r = dir.set_exclusive(line(42), CacheId::new(5));
+        assert!(r.allocated_new_entry);
+        assert!(r.invalidate.is_empty());
+        assert_eq!(dir.sharers(line(42)), Some(vec![CacheId::new(5)]));
+    }
+
+    #[test]
+    fn removing_last_sharer_frees_the_entry() {
+        let mut dir = Dir::new(2, 4, 4).unwrap();
+        dir.add_sharer(line(7), CacheId::new(0));
+        dir.add_sharer(line(7), CacheId::new(1));
+        dir.remove_sharer(line(7), CacheId::new(0));
+        assert!(dir.contains(line(7)));
+        assert_eq!(dir.len(), 1);
+        dir.remove_sharer(line(7), CacheId::new(1));
+        assert!(!dir.contains(line(7)));
+        assert_eq!(dir.len(), 0);
+        assert_eq!(dir.stats().entry_removes.get(), 1);
+        // Removing from an untracked line is a no-op.
+        dir.remove_sharer(line(7), CacheId::new(1));
+        assert_eq!(dir.len(), 0);
+    }
+
+    #[test]
+    fn remove_entry_returns_invalidation_targets() {
+        let mut dir = Dir::new(2, 4, 4).unwrap();
+        assert!(dir.remove_entry(line(3)).is_none());
+        dir.add_sharer(line(3), CacheId::new(2));
+        dir.add_sharer(line(3), CacheId::new(3));
+        let targets = dir.remove_entry(line(3)).unwrap();
+        assert_eq!(targets, vec![CacheId::new(2), CacheId::new(3)]);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_entries() {
+        let mut dir = Dir::new(2, 2, 4).unwrap();
+        assert_eq!(dir.occupancy(), 0.0);
+        dir.add_sharer(line(0), CacheId::new(0));
+        dir.add_sharer(line(1), CacheId::new(0));
+        assert!((dir.occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(dir.capacity(), 4);
+    }
+
+    #[test]
+    fn storage_profile_is_consistent() {
+        let dir = SparseDirectory::<CoarseVector>::new(8, 2048, 32).unwrap();
+        let p = dir.storage_profile();
+        // tag bits = 48 - 6 - 11 = 31, sharer bits = 2*5+1 = 11, +1 valid.
+        assert_eq!(p.total_bits, (31 + 11 + 1) * 8 * 2048);
+        assert_eq!(p.comparators_per_lookup, 8);
+        assert_eq!(p.bits_written_per_update, 43);
+        assert_eq!(p.bits_read_per_lookup, 8 * (31 + 11));
+    }
+
+    #[test]
+    fn organization_name_includes_geometry() {
+        let dir = Dir::new(8, 2048, 16).unwrap();
+        assert_eq!(dir.organization(), "sparse-8x2048");
+    }
+
+    #[test]
+    fn stats_reset_clears_history() {
+        let mut dir = Dir::new(1, 2, 2).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        dir.add_sharer(line(2), CacheId::new(1));
+        assert!(dir.stats().insertions.get() > 0);
+        dir.reset_stats();
+        assert_eq!(dir.stats().insertions.get(), 0);
+        assert_eq!(dir.stats().forced_evictions.get(), 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! The Tagless directory baseline (Zebchuk et al., MICRO 2009).
+//!
+//! The Tagless directory replaces per-block directory entries with a *grid
+//! of Bloom filters*: for every private-cache set there is one small filter
+//! per cache summarizing the blocks that cache holds in that set.  A lookup
+//! reads the filter row for the accessed set across **all** caches and tests
+//! the block in each, yielding a conservative superset of the sharers.
+//!
+//! The paper uses Tagless as the leading *area*-efficient design: its
+//! storage is tiny and independent of tag width, but "the bit-widths of
+//! either each read or each update operation … increase with the number of
+//! cores" (Section 3.3), so its aggregate energy grows quadratically with
+//! core count just like Duplicate-Tag — which is exactly the behaviour the
+//! [`StorageProfile`] reported here exposes to the energy model
+//! (Figures 4 and 13).
+//!
+//! # Modelling notes
+//!
+//! * Filters are maintained as counting Bloom filters so that sharer
+//!   removals (private-cache evictions) can be processed exactly; hardware
+//!   Tagless achieves the same effect with its own bookkeeping.  Reported
+//!   storage uses one bit per bucket, as in the hardware design.
+//! * Like the hardware design, the structure never forces invalidations —
+//!   aliasing produces spurious invalidation *messages* (false-positive
+//!   sharers), not evictions of live blocks.
+
+use crate::{Directory, DirectoryStats, StorageProfile, UpdateResult};
+use ccd_common::rng::SplitMix64;
+use ccd_common::{CacheId, ConfigError, LineAddr};
+use std::collections::HashMap;
+
+/// Default number of Bloom-filter buckets per (cache, set) filter.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Default number of hash probes per filter test/update.
+pub const DEFAULT_PROBES: usize = 2;
+
+/// A Tagless coherence directory slice.
+#[derive(Clone, Debug)]
+pub struct TaglessDirectory {
+    cache_sets: usize,
+    cache_ways: usize,
+    num_caches: usize,
+    buckets: usize,
+    probes: usize,
+    /// `filters[cache][set * buckets + bucket]` — small saturating counters.
+    filters: Vec<Vec<u8>>,
+    /// Exact per-line presence, used to keep the counting filters consistent
+    /// and to answer `len`/`contains` exactly (mirrors the bookkeeping the
+    /// hardware design derives from observing cache fills and evictions).
+    present: HashMap<u64, Vec<CacheId>>,
+    stats: DirectoryStats,
+}
+
+impl TaglessDirectory {
+    /// Creates a Tagless directory for `num_caches` private caches of
+    /// `cache_sets × cache_ways` frames each, with the default filter
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaglessDirectory::with_filter_geometry`].
+    pub fn new(
+        cache_sets: usize,
+        cache_ways: usize,
+        num_caches: usize,
+    ) -> Result<Self, ConfigError> {
+        Self::with_filter_geometry(cache_sets, cache_ways, num_caches, DEFAULT_BUCKETS, DEFAULT_PROBES)
+    }
+
+    /// Creates a Tagless directory with explicit Bloom-filter geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is zero, `cache_sets` or
+    /// `buckets` is not a power of two, or `probes` exceeds `buckets`.
+    pub fn with_filter_geometry(
+        cache_sets: usize,
+        cache_ways: usize,
+        num_caches: usize,
+        buckets: usize,
+        probes: usize,
+    ) -> Result<Self, ConfigError> {
+        if cache_sets == 0 {
+            return Err(ConfigError::Zero { what: "cache set count" });
+        }
+        if cache_ways == 0 {
+            return Err(ConfigError::Zero { what: "cache ways" });
+        }
+        if num_caches == 0 {
+            return Err(ConfigError::Zero { what: "cache count" });
+        }
+        if buckets == 0 {
+            return Err(ConfigError::Zero { what: "bloom buckets" });
+        }
+        if probes == 0 {
+            return Err(ConfigError::Zero { what: "bloom probes" });
+        }
+        if !ccd_common::is_power_of_two(cache_sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache set count",
+                value: cache_sets as u64,
+            });
+        }
+        if !ccd_common::is_power_of_two(buckets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "bloom buckets",
+                value: buckets as u64,
+            });
+        }
+        if probes > buckets {
+            return Err(ConfigError::TooLarge {
+                what: "bloom probes",
+                value: probes as u64,
+                max: buckets as u64,
+            });
+        }
+        Ok(TaglessDirectory {
+            cache_sets,
+            cache_ways,
+            num_caches,
+            buckets,
+            probes,
+            filters: vec![vec![0u8; cache_sets * buckets]; num_caches],
+            present: HashMap::new(),
+            stats: DirectoryStats::new(),
+        })
+    }
+
+    /// Bloom-filter buckets per (cache, set) filter.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.block_number() % self.cache_sets as u64) as usize
+    }
+
+    fn bucket_indices(&self, line: LineAddr) -> Vec<usize> {
+        let set = self.set_of(line);
+        (0..self.probes)
+            .map(|p| {
+                let h = SplitMix64::mix(line.block_number() ^ (p as u64).wrapping_mul(0x9E37_79B9));
+                set * self.buckets + (h % self.buckets as u64) as usize
+            })
+            .collect()
+    }
+
+    fn filter_may_contain(&self, cache: CacheId, line: LineAddr) -> bool {
+        self.bucket_indices(line)
+            .into_iter()
+            .all(|b| self.filters[cache.index()][b] > 0)
+    }
+
+    fn filter_add(&mut self, cache: CacheId, line: LineAddr) {
+        for b in self.bucket_indices(line) {
+            let counter = &mut self.filters[cache.index()][b];
+            *counter = counter.saturating_add(1);
+        }
+    }
+
+    fn filter_remove(&mut self, cache: CacheId, line: LineAddr) {
+        for b in self.bucket_indices(line) {
+            let counter = &mut self.filters[cache.index()][b];
+            *counter = counter.saturating_sub(1);
+        }
+    }
+
+    fn exact_holders(&self, line: LineAddr) -> Option<&Vec<CacheId>> {
+        self.present.get(&line.block_number())
+    }
+}
+
+impl Directory for TaglessDirectory {
+    fn organization(&self) -> String {
+        format!(
+            "tagless-{}c-{}s-{}b",
+            self.num_caches, self.cache_sets, self.buckets
+        )
+    }
+
+    fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    fn capacity(&self) -> usize {
+        self.num_caches * self.cache_ways * self.cache_sets
+    }
+
+    fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.present.contains_key(&line.block_number())
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        if !self.contains(line) {
+            return None;
+        }
+        // Conservative superset: every cache whose filter reports a hit.
+        let holders: Vec<CacheId> = (0..self.num_caches as u32)
+            .map(CacheId::new)
+            .filter(|&c| self.filter_may_contain(c, line))
+            .collect();
+        Some(holders)
+    }
+
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        assert!(cache.index() < self.num_caches, "{cache} out of range");
+        self.stats.lookups.incr();
+        let holders = self.present.entry(line.block_number()).or_default();
+        if holders.contains(&cache) {
+            self.stats.sharer_adds.incr();
+            return UpdateResult::existing();
+        }
+        let new_tag = holders.is_empty();
+        holders.push(cache);
+        self.filter_add(cache, line);
+        if new_tag {
+            let occupancy = self.occupancy();
+            self.stats.record_insertion(1, 0, occupancy);
+        } else {
+            self.stats.sharer_adds.incr();
+        }
+        UpdateResult {
+            allocated_new_entry: new_tag,
+            insertion_attempts: 1,
+            forced_evictions: Vec::new(),
+            invalidate: Vec::new(),
+        }
+    }
+
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        // The invalidation vector sent by Tagless is the conservative
+        // filter-derived superset; the entries actually cleared are the true
+        // holders (the hardware learns them from the invalidation acks).
+        let superset: Vec<CacheId> = self
+            .sharers(line)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&c| c != cache)
+            .collect();
+        let true_holders: Vec<CacheId> = self
+            .exact_holders(line)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&c| c != cache)
+            .collect();
+        for &holder in &true_holders {
+            self.filter_remove(holder, line);
+            self.stats.sharer_removes.incr();
+        }
+        if let Some(holders) = self.present.get_mut(&line.block_number()) {
+            holders.retain(|&c| c == cache);
+        }
+        if !true_holders.is_empty() {
+            self.stats.invalidate_alls.incr();
+        }
+        let mut result = self.add_sharer(line, cache);
+        result.invalidate = superset;
+        result
+    }
+
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        let (removed, now_empty) = match self.present.get_mut(&line.block_number()) {
+            Some(holders) => match holders.iter().position(|&c| c == cache) {
+                Some(pos) => {
+                    holders.remove(pos);
+                    (true, holders.is_empty())
+                }
+                None => (false, false),
+            },
+            None => return,
+        };
+        if removed {
+            self.stats.sharer_removes.incr();
+            self.filter_remove(cache, line);
+            if now_empty {
+                self.present.remove(&line.block_number());
+                self.stats.entry_removes.incr();
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let holders = self.present.remove(&line.block_number())?;
+        for &cache in &holders {
+            self.filter_remove(cache, line);
+        }
+        self.stats.entry_removes.incr();
+        // Report the conservative superset, as the hardware would.
+        let superset: Vec<CacheId> = (0..self.num_caches as u32)
+            .map(CacheId::new)
+            .filter(|&c| holders.contains(&c) || self.filter_may_contain(c, line))
+            .collect();
+        Some(superset)
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        let filter_bits = self.buckets as u64;
+        let grid_bits = filter_bits * (self.cache_sets * self.num_caches) as u64;
+        StorageProfile {
+            // One bit per bucket in hardware (the counters here are a
+            // simulation convenience).
+            total_bits: grid_bits,
+            // A lookup reads the filter row of one set across all caches.
+            bits_read_per_lookup: filter_bits * self.num_caches as u64,
+            // An update rewrites one cache's filter for that set.
+            bits_written_per_update: filter_bits,
+            comparators_per_lookup: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TaglessDirectory::new(0, 2, 4).is_err());
+        assert!(TaglessDirectory::new(16, 0, 4).is_err());
+        assert!(TaglessDirectory::new(16, 2, 0).is_err());
+        assert!(TaglessDirectory::new(12, 2, 4).is_err());
+        assert!(TaglessDirectory::with_filter_geometry(16, 2, 4, 48, 2).is_err());
+        assert!(TaglessDirectory::with_filter_geometry(16, 2, 4, 4, 8).is_err());
+        assert!(TaglessDirectory::new(16, 2, 4).is_ok());
+    }
+
+    #[test]
+    fn sharers_are_a_superset_of_true_holders() {
+        let mut dir = TaglessDirectory::new(64, 2, 8).unwrap();
+        dir.add_sharer(line(5), CacheId::new(1));
+        dir.add_sharer(line(5), CacheId::new(6));
+        let sharers = dir.sharers(line(5)).unwrap();
+        assert!(sharers.contains(&CacheId::new(1)));
+        assert!(sharers.contains(&CacheId::new(6)));
+        assert!(!dir.contains(line(6)));
+        assert_eq!(dir.sharers(line(6)), None);
+    }
+
+    #[test]
+    fn removal_keeps_filters_consistent() {
+        let mut dir = TaglessDirectory::new(64, 2, 4).unwrap();
+        dir.add_sharer(line(9), CacheId::new(0));
+        dir.add_sharer(line(73), CacheId::new(0)); // same set (64 sets)
+        dir.remove_sharer(line(9), CacheId::new(0));
+        assert!(!dir.contains(line(9)));
+        // line 73 must still be reported for cache 0.
+        assert!(dir
+            .sharers(line(73))
+            .unwrap()
+            .contains(&CacheId::new(0)));
+        dir.remove_sharer(line(73), CacheId::new(0));
+        assert!(dir.is_empty());
+        assert_eq!(dir.stats().entry_removes.get(), 2);
+    }
+
+    #[test]
+    fn never_forces_invalidations_under_heavy_load() {
+        let mut dir = TaglessDirectory::new(16, 2, 4).unwrap();
+        for n in 0..1000u64 {
+            let r = dir.add_sharer(line(n), CacheId::new((n % 4) as u32));
+            assert!(r.forced_evictions.is_empty());
+        }
+        assert_eq!(dir.stats().forced_evictions.get(), 0);
+        assert!((dir.stats().forced_invalidation_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_clears_true_holders_and_reports_superset() {
+        let mut dir = TaglessDirectory::new(64, 2, 8).unwrap();
+        dir.add_sharer(line(3), CacheId::new(0));
+        dir.add_sharer(line(3), CacheId::new(5));
+        let r = dir.set_exclusive(line(3), CacheId::new(2));
+        assert!(r.invalidate.contains(&CacheId::new(0)));
+        assert!(r.invalidate.contains(&CacheId::new(5)));
+        assert!(!r.invalidate.contains(&CacheId::new(2)));
+        // After the upgrade only the writer is a true holder.
+        assert_eq!(dir.exact_holders(line(3)).unwrap(), &vec![CacheId::new(2)]);
+    }
+
+    #[test]
+    fn remove_entry_returns_superset_and_clears_state() {
+        let mut dir = TaglessDirectory::new(64, 2, 4).unwrap();
+        assert!(dir.remove_entry(line(1)).is_none());
+        dir.add_sharer(line(1), CacheId::new(1));
+        dir.add_sharer(line(1), CacheId::new(2));
+        let targets = dir.remove_entry(line(1)).unwrap();
+        assert!(targets.contains(&CacheId::new(1)));
+        assert!(targets.contains(&CacheId::new(2)));
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn lookup_width_scales_with_cache_count_but_storage_stays_small() {
+        let small = TaglessDirectory::new(256, 2, 2).unwrap().storage_profile();
+        let large = TaglessDirectory::new(256, 2, 64).unwrap().storage_profile();
+        assert_eq!(large.bits_read_per_lookup, 32 * small.bits_read_per_lookup);
+        assert_eq!(small.bits_written_per_update, large.bits_written_per_update);
+        // Storage per tracked frame is far below a duplicate-tag entry.
+        let frames = 256 * 2 * 64;
+        assert!(large.total_bits / frames < 40);
+    }
+}

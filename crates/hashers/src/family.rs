@@ -1,0 +1,204 @@
+//! A single concrete type covering all hash families.
+//!
+//! Most of the workspace wants to be parameterized over the hash family by
+//! *configuration* rather than by a generic type parameter (e.g. the
+//! hash-function-selection study of Section 5.5 swaps families at runtime),
+//! so [`HashFamily`] wraps the three concrete families behind one enum that
+//! still implements [`IndexHashFamily`].
+
+use crate::{IndexHashFamily, MultiplyShiftFamily, SkewingFamily, StrongFamily};
+use ccd_common::{ConfigError, LineAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which hash-function family a directory should index its ways with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum HashKind {
+    /// Seznec–Bodin skewing functions — the paper's hardware choice
+    /// (Section 5.5): a few levels of XOR logic.
+    #[default]
+    Skewing,
+    /// Multiply-shift (2-universal) functions — an intermediate option.
+    MultiplyShift,
+    /// Strong SplitMix-style mixers — stand-in for the paper's
+    /// "cryptographic" functions.
+    Strong,
+}
+
+impl fmt::Display for HashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            HashKind::Skewing => "skewing",
+            HashKind::MultiplyShift => "multiply-shift",
+            HashKind::Strong => "strong",
+        };
+        f.write_str(name)
+    }
+}
+
+impl HashKind {
+    /// All supported kinds, in ascending hardware-cost order.
+    #[must_use]
+    pub const fn all() -> [HashKind; 3] {
+        [HashKind::Skewing, HashKind::MultiplyShift, HashKind::Strong]
+    }
+}
+
+/// A runtime-selected hash-function family.
+///
+/// ```
+/// use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+/// use ccd_common::LineAddr;
+///
+/// let family = HashFamily::new(HashKind::Strong, 3, 8192)?;
+/// assert_eq!(family.ways(), 3);
+/// assert_eq!(family.sets(), 8192);
+/// let idx = family.index(2, LineAddr::from_block_number(99));
+/// assert!(idx < 8192);
+/// # Ok::<(), ccd_common::ConfigError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HashFamily {
+    /// Seznec–Bodin skewing functions.
+    Skewing(SkewingFamily),
+    /// Multiply-shift functions.
+    MultiplyShift(MultiplyShiftFamily),
+    /// Strong mixers.
+    Strong(StrongFamily),
+}
+
+impl HashFamily {
+    /// Creates a family of the requested `kind` with `ways` functions over
+    /// `sets` sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor errors of the underlying family (zero or
+    /// excessive way counts, non-power-of-two set counts).
+    pub fn new(kind: HashKind, ways: usize, sets: usize) -> Result<Self, ConfigError> {
+        Ok(match kind {
+            HashKind::Skewing => HashFamily::Skewing(SkewingFamily::new(ways, sets)?),
+            HashKind::MultiplyShift => {
+                HashFamily::MultiplyShift(MultiplyShiftFamily::new(ways, sets)?)
+            }
+            HashKind::Strong => HashFamily::Strong(StrongFamily::new(ways, sets)?),
+        })
+    }
+
+    /// Creates a family with an explicit seed where the family supports it
+    /// (skewing functions are seedless and ignore the seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor errors of the underlying family.
+    pub fn with_seed(
+        kind: HashKind,
+        ways: usize,
+        sets: usize,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        Ok(match kind {
+            HashKind::Skewing => HashFamily::Skewing(SkewingFamily::new(ways, sets)?),
+            HashKind::MultiplyShift => {
+                HashFamily::MultiplyShift(MultiplyShiftFamily::with_seed(ways, sets, seed)?)
+            }
+            HashKind::Strong => HashFamily::Strong(StrongFamily::with_seed(ways, sets, seed)?),
+        })
+    }
+
+    /// Returns which kind of family this is.
+    #[must_use]
+    pub fn kind(&self) -> HashKind {
+        match self {
+            HashFamily::Skewing(_) => HashKind::Skewing,
+            HashFamily::MultiplyShift(_) => HashKind::MultiplyShift,
+            HashFamily::Strong(_) => HashKind::Strong,
+        }
+    }
+}
+
+impl IndexHashFamily for HashFamily {
+    fn ways(&self) -> usize {
+        match self {
+            HashFamily::Skewing(f) => f.ways(),
+            HashFamily::MultiplyShift(f) => f.ways(),
+            HashFamily::Strong(f) => f.ways(),
+        }
+    }
+
+    fn sets(&self) -> usize {
+        match self {
+            HashFamily::Skewing(f) => f.sets(),
+            HashFamily::MultiplyShift(f) => f.sets(),
+            HashFamily::Strong(f) => f.sets(),
+        }
+    }
+
+    fn index(&self, way: usize, line: LineAddr) -> usize {
+        match self {
+            HashFamily::Skewing(f) => f.index(way, line),
+            HashFamily::MultiplyShift(f) => f.index(way, line),
+            HashFamily::Strong(f) => f.index(way, line),
+        }
+    }
+
+    fn logic_levels(&self) -> u32 {
+        match self {
+            HashFamily::Skewing(f) => f.logic_levels(),
+            HashFamily::MultiplyShift(f) => f.logic_levels(),
+            HashFamily::Strong(f) => f.logic_levels(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_dispatch_matches_concrete_families() {
+        let line = LineAddr::from_block_number(0x1234_5678);
+        let concrete = SkewingFamily::new(4, 512).unwrap();
+        let wrapped = HashFamily::new(HashKind::Skewing, 4, 512).unwrap();
+        for way in 0..4 {
+            assert_eq!(concrete.index(way, line), wrapped.index(way, line));
+        }
+        assert_eq!(wrapped.kind(), HashKind::Skewing);
+        assert_eq!(wrapped.ways(), 4);
+        assert_eq!(wrapped.sets(), 512);
+    }
+
+    #[test]
+    fn errors_propagate_from_every_kind() {
+        for kind in HashKind::all() {
+            assert!(HashFamily::new(kind, 0, 64).is_err(), "{kind}");
+            assert!(HashFamily::new(kind, 4, 100).is_err(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HashKind::Skewing.to_string(), "skewing");
+        assert_eq!(HashKind::MultiplyShift.to_string(), "multiply-shift");
+        assert_eq!(HashKind::Strong.to_string(), "strong");
+    }
+
+    #[test]
+    fn seeded_construction_works_for_all_kinds() {
+        for kind in HashKind::all() {
+            let f = HashFamily::with_seed(kind, 3, 256, 7).unwrap();
+            assert_eq!(f.ways(), 3);
+            let idx = f.index(1, LineAddr::from_block_number(123));
+            assert!(idx < 256);
+        }
+    }
+
+    #[test]
+    fn logic_level_ordering_matches_hardware_cost() {
+        let skew = HashFamily::new(HashKind::Skewing, 4, 512).unwrap();
+        let mult = HashFamily::new(HashKind::MultiplyShift, 4, 512).unwrap();
+        let strong = HashFamily::new(HashKind::Strong, 4, 512).unwrap();
+        assert!(skew.logic_levels() < mult.logic_levels());
+        assert!(mult.logic_levels() < strong.logic_levels());
+    }
+}

@@ -1,0 +1,136 @@
+//! Index hash-function families for skewed and cuckoo directories.
+//!
+//! The Cuckoo directory indexes each of its `d` direct-mapped ways through a
+//! *different* hash function (Figure 6 of the paper).  The paper evaluates
+//! two families:
+//!
+//! * the **skewing functions** of Seznec and Bodin, cheap XOR/rotate networks
+//!   that need only a few levels of logic in hardware (Section 5.5), and
+//! * **strong (cryptographic-quality) hash functions**, used to characterize
+//!   the intrinsic behaviour of d-ary cuckoo hashing independent of hash
+//!   quality (Figure 7) and as a sensitivity study (Section 5.5).
+//!
+//! This crate provides both, plus a classic multiply-shift family as a
+//! middle ground, all behind the [`IndexHashFamily`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use ccd_common::LineAddr;
+//! use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+//!
+//! let family = HashFamily::new(HashKind::Skewing, 4, 512)?;
+//! let line = LineAddr::from_block_number(0xdead_beef);
+//! for way in 0..family.ways() {
+//!     assert!(family.index(way, line) < 512);
+//! }
+//! # Ok::<(), ccd_common::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod family;
+pub mod multiply_shift;
+pub mod skewing;
+pub mod strong;
+
+pub use family::{HashFamily, HashKind};
+pub use multiply_shift::MultiplyShiftFamily;
+pub use skewing::SkewingFamily;
+pub use strong::StrongFamily;
+
+use ccd_common::LineAddr;
+
+/// A family of per-way index hash functions over cache-line addresses.
+///
+/// Implementations map a line address to a set index in `[0, sets())` for
+/// each of `ways()` ways.  Different ways must use *independent* functions —
+/// that independence is exactly what lets the cuckoo insertion procedure
+/// break transitive conflicts (Section 4.1 of the paper).
+pub trait IndexHashFamily {
+    /// Number of ways (independent hash functions) in this family.
+    fn ways(&self) -> usize;
+
+    /// Number of sets each function maps into.
+    fn sets(&self) -> usize;
+
+    /// Maps `line` to a set index for `way`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `way >= self.ways()`.
+    fn index(&self, way: usize, line: LineAddr) -> usize;
+
+    /// Returns the indices for all ways of this family, in way order.
+    fn all_indices(&self, line: LineAddr) -> Vec<usize> {
+        (0..self.ways()).map(|w| self.index(w, line)).collect()
+    }
+
+    /// Estimated number of two-input logic levels a hardware implementation
+    /// of one function requires.  Used by the energy model to reason about
+    /// the "trivial implementation of the skewing hash functions" versus the
+    /// "complex hardware implementation" of strong functions (Section 5.5).
+    fn logic_levels(&self) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::rng::{Rng64, SplitMix64};
+
+    /// Shared check: every family keeps indices in range and distributes
+    /// reasonably uniformly across the sets.
+    fn check_uniformity<F: IndexHashFamily>(family: &F, samples: usize) {
+        let sets = family.sets();
+        let mut rng = SplitMix64::new(0x1234);
+        let mut counts = vec![vec![0usize; sets]; family.ways()];
+        for _ in 0..samples {
+            let line = LineAddr::from_block_number(rng.next_u64() >> 6);
+            for way in 0..family.ways() {
+                let idx = family.index(way, line);
+                assert!(idx < sets);
+                counts[way][idx] += 1;
+            }
+        }
+        let expected = samples as f64 / sets as f64;
+        for way_counts in &counts {
+            let max = *way_counts.iter().max().unwrap() as f64;
+            let min = *way_counts.iter().min().unwrap() as f64;
+            // With random inputs every bucket should be within a generous
+            // factor of the expectation.
+            assert!(max < expected * 3.0, "max {max} vs expected {expected}");
+            assert!(min > expected / 3.0, "min {min} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn all_families_are_uniform_on_random_input() {
+        check_uniformity(&SkewingFamily::new(4, 256).unwrap(), 100_000);
+        check_uniformity(&StrongFamily::new(4, 256).unwrap(), 100_000);
+        check_uniformity(&MultiplyShiftFamily::new(4, 256).unwrap(), 100_000);
+    }
+
+    #[test]
+    fn ways_disagree_on_most_lines() {
+        // Independence proxy: for most lines, different ways should map to
+        // different indices.
+        let family = HashFamily::new(HashKind::Skewing, 3, 1024).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let mut collisions = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let line = LineAddr::from_block_number(rng.next_u64() >> 6);
+            let idx = family.all_indices(line);
+            if idx[0] == idx[1] || idx[1] == idx[2] || idx[0] == idx[2] {
+                collisions += 1;
+            }
+        }
+        // Random chance of any pairwise collision among 3 ways with 1024
+        // sets is about 3/1024 ~ 0.3%; allow a wide margin.
+        assert!(
+            (collisions as f64) < trials as f64 * 0.02,
+            "too many cross-way collisions: {collisions}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Multiply-shift index hash functions.
+//!
+//! A middle ground between the skewing functions (cheapest, weakest) and the
+//! strong mixers (most expensive, strongest): each way multiplies the block
+//! address by a fixed odd 64-bit constant and keeps the top index bits.
+//! Multiply-shift hashing is 2-universal for random odd multipliers, which
+//! makes this family a useful control in the hash-function-selection study
+//! (Section 5.5).
+
+use crate::IndexHashFamily;
+use ccd_common::rng::SplitMix64;
+use ccd_common::{ceil_log2, ConfigError, LineAddr};
+
+/// Maximum number of ways supported by one multiply-shift family.
+pub const MAX_WAYS: usize = 64;
+
+/// A family of per-way multiply-shift hash functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiplyShiftFamily {
+    multipliers: Vec<u64>,
+    sets: usize,
+    shift: u32,
+}
+
+impl MultiplyShiftFamily {
+    /// Creates a family of `ways` multiply-shift functions over `sets` sets
+    /// with a fixed default seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiplyShiftFamily::with_seed`].
+    pub fn new(ways: usize, sets: usize) -> Result<Self, ConfigError> {
+        Self::with_seed(ways, sets, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Creates a family of `ways` multiply-shift functions over `sets` sets,
+    /// deriving the odd multipliers from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] if `ways` or `sets` is zero,
+    /// * [`ConfigError::TooLarge`] if `ways` exceeds [`MAX_WAYS`],
+    /// * [`ConfigError::NotPowerOfTwo`] if `sets` is not a power of two,
+    /// * [`ConfigError::TooSmall`] if `sets < 2`.
+    pub fn with_seed(ways: usize, sets: usize, seed: u64) -> Result<Self, ConfigError> {
+        if ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if ways > MAX_WAYS {
+            return Err(ConfigError::TooLarge {
+                what: "ways",
+                value: ways as u64,
+                max: MAX_WAYS as u64,
+            });
+        }
+        if sets == 0 {
+            return Err(ConfigError::Zero { what: "set count" });
+        }
+        if !ccd_common::is_power_of_two(sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "set count",
+                value: sets as u64,
+            });
+        }
+        if sets < 2 {
+            return Err(ConfigError::TooSmall {
+                what: "set count",
+                value: sets as u64,
+                min: 2,
+            });
+        }
+        let index_bits = ceil_log2(sets as u64);
+        let multipliers = (0..ways as u64)
+            .map(|w| SplitMix64::mix(seed.wrapping_add(w.wrapping_mul(0xA5A5_5A5A_1234_5678))) | 1)
+            .collect();
+        Ok(MultiplyShiftFamily {
+            multipliers,
+            sets,
+            shift: 64 - index_bits,
+        })
+    }
+}
+
+impl IndexHashFamily for MultiplyShiftFamily {
+    fn ways(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn index(&self, way: usize, line: LineAddr) -> usize {
+        let m = self.multipliers[way];
+        (line.block_number().wrapping_mul(m) >> self.shift) as usize
+    }
+
+    fn logic_levels(&self) -> u32 {
+        // One 64-bit multiply: roughly a dozen logic levels.
+        12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(MultiplyShiftFamily::new(0, 64).is_err());
+        assert!(MultiplyShiftFamily::new(65, 64).is_err());
+        assert!(MultiplyShiftFamily::new(4, 0).is_err());
+        assert!(MultiplyShiftFamily::new(4, 3).is_err());
+        assert!(MultiplyShiftFamily::new(4, 1).is_err());
+        assert!(MultiplyShiftFamily::new(4, 4096).is_ok());
+    }
+
+    #[test]
+    fn multipliers_are_odd_and_distinct() {
+        let f = MultiplyShiftFamily::new(8, 256).unwrap();
+        for (i, m) in f.multipliers.iter().enumerate() {
+            assert_eq!(m % 2, 1, "multiplier {i} must be odd");
+            for other in &f.multipliers[i + 1..] {
+                assert_ne!(m, other);
+            }
+        }
+    }
+
+    #[test]
+    fn index_uses_high_bits() {
+        // Multiply-shift keeps the top bits, so consecutive block numbers
+        // should not land in consecutive sets (unlike a modulo index).
+        let f = MultiplyShiftFamily::new(1, 1024).unwrap();
+        let a = f.index(0, LineAddr::from_block_number(1000));
+        let b = f.index(0, LineAddr::from_block_number(1001));
+        assert!(a < 1024 && b < 1024);
+        // Their difference is essentially random; just assert range and
+        // determinism here.
+        assert_eq!(a, f.index(0, LineAddr::from_block_number(1000)));
+    }
+
+    #[test]
+    fn seeded_families_are_reproducible() {
+        let a = MultiplyShiftFamily::with_seed(4, 512, 42).unwrap();
+        let b = MultiplyShiftFamily::with_seed(4, 512, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Seznec–Bodin skewing hash functions.
+//!
+//! The paper's hardware uses "the skewing hash functions from Seznec and
+//! Bodin" (Section 5.5): each way's index is computed from two (or more)
+//! bit-fields of the block address combined with XOR after a per-way
+//! bit-permutation.  The permutation used here is the classic one from the
+//! skewed-associative cache literature: a circular right-rotation of the
+//! first field by the way number, which requires only wires plus one level
+//! of XOR gates per output bit.
+//!
+//! Formally, for a table of `2^n` sets and block address `A`, split `A`
+//! (above the offset bits) into consecutive `n`-bit fields `A1`, `A2`,
+//! `A3`, …; way `i` uses
+//!
+//! ```text
+//! h_i(A) = rot_i(A1) XOR rot_{2i}(A2) XOR A3 XOR A4 ...
+//! ```
+//!
+//! where `rot_k` is a k-bit circular rotation within the n-bit field.  Using
+//! a different rotation per way de-correlates the ways while folding all
+//! address bits into every index (so two blocks conflict in one way only if
+//! a specific XOR of their address fields matches, which is unlikely to hold
+//! simultaneously for several ways).
+
+use crate::IndexHashFamily;
+use ccd_common::{ceil_log2, ConfigError, LineAddr};
+
+/// Maximum number of ways supported by one skewing family.
+pub const MAX_WAYS: usize = 16;
+
+/// The Seznec–Bodin-style skewing function family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkewingFamily {
+    ways: usize,
+    sets: usize,
+    index_bits: u32,
+}
+
+impl SkewingFamily {
+    /// Creates a family of `ways` skewing functions over `sets` sets.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] if `ways` is zero,
+    /// * [`ConfigError::TooLarge`] if `ways` exceeds [`MAX_WAYS`],
+    /// * [`ConfigError::NotPowerOfTwo`] if `sets` is not a power of two,
+    /// * [`ConfigError::TooSmall`] if `sets < 2` (a single set cannot be
+    ///   meaningfully skewed).
+    pub fn new(ways: usize, sets: usize) -> Result<Self, ConfigError> {
+        if ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if ways > MAX_WAYS {
+            return Err(ConfigError::TooLarge {
+                what: "ways",
+                value: ways as u64,
+                max: MAX_WAYS as u64,
+            });
+        }
+        if !ccd_common::is_power_of_two(sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "set count",
+                value: sets as u64,
+            });
+        }
+        if sets < 2 {
+            return Err(ConfigError::TooSmall {
+                what: "set count",
+                value: sets as u64,
+                min: 2,
+            });
+        }
+        Ok(SkewingFamily {
+            ways,
+            sets,
+            index_bits: ceil_log2(sets as u64),
+        })
+    }
+
+    /// Rotates the low `bits` bits of `field` right by `amount`.
+    fn rotate_field(field: u64, amount: u32, bits: u32) -> u64 {
+        let mask = (1u64 << bits) - 1;
+        let field = field & mask;
+        let amount = amount % bits;
+        if amount == 0 {
+            field
+        } else {
+            ((field >> amount) | (field << (bits - amount))) & mask
+        }
+    }
+}
+
+impl IndexHashFamily for SkewingFamily {
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn index(&self, way: usize, line: LineAddr) -> usize {
+        assert!(way < self.ways, "way {way} out of range (ways = {})", self.ways);
+        let n = self.index_bits;
+        let mask = (1u64 << n) - 1;
+        let mut remaining = line.block_number();
+        // First field: rotated by the way number.
+        let a1 = remaining & mask;
+        remaining >>= n;
+        // Second field: rotated by twice the way number to decorrelate.
+        let a2 = remaining & mask;
+        remaining >>= n;
+        let mut h = Self::rotate_field(a1, way as u32, n)
+            ^ Self::rotate_field(a2, (2 * way) as u32, n);
+        // Fold any remaining high-order fields straight in so that every
+        // address bit participates in every index.
+        while remaining != 0 {
+            h ^= remaining & mask;
+            remaining >>= n;
+        }
+        (h & mask) as usize
+    }
+
+    fn logic_levels(&self) -> u32 {
+        // One XOR tree over ceil(48 / index_bits) fields: log2 of the number
+        // of inputs, with rotations being free (wiring only).  This is the
+        // "several levels of logic" the paper cites.
+        let fields = (ccd_common::PHYSICAL_ADDRESS_BITS + self.index_bits - 1) / self.index_bits;
+        ceil_log2(u64::from(fields)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(SkewingFamily::new(0, 64).is_err());
+        assert!(SkewingFamily::new(17, 64).is_err());
+        assert!(SkewingFamily::new(4, 63).is_err());
+        assert!(SkewingFamily::new(4, 1).is_err());
+        assert!(SkewingFamily::new(4, 64).is_ok());
+    }
+
+    #[test]
+    fn indices_in_range_for_extreme_addresses() {
+        let f = SkewingFamily::new(8, 4096).unwrap();
+        for block in [0u64, 1, u64::MAX >> 6, 0xffff_ffff, 0x8000_0000_0000 >> 6] {
+            for way in 0..8 {
+                let idx = f.index(way, LineAddr::from_block_number(block));
+                assert!(idx < 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_way() {
+        let f = SkewingFamily::new(4, 512).unwrap();
+        let line = LineAddr::from_block_number(0xabcdef0);
+        for way in 0..4 {
+            assert_eq!(f.index(way, line), f.index(way, line));
+        }
+    }
+
+    #[test]
+    fn rotation_wraps_correctly() {
+        // rot by field-width is identity; rot of 0b0001 by 1 in a 4-bit
+        // field is 0b1000.
+        assert_eq!(SkewingFamily::rotate_field(0b0001, 1, 4), 0b1000);
+        assert_eq!(SkewingFamily::rotate_field(0b1001, 4, 4), 0b1001);
+        assert_eq!(SkewingFamily::rotate_field(0b1001, 0, 4), 0b1001);
+    }
+
+    #[test]
+    fn conflicting_low_bits_are_spread_by_high_bits() {
+        // Classic skewed-associativity property: addresses that collide in
+        // a conventional index (same low bits) are separated when their
+        // high-order bits differ.
+        let f = SkewingFamily::new(4, 256).unwrap();
+        let base = 0x55u64; // common low index field
+        let lines: Vec<LineAddr> = (0..64u64)
+            .map(|hi| LineAddr::from_block_number(base | (hi << 20)))
+            .collect();
+        for way in 0..4 {
+            let mut indices: Vec<usize> = lines.iter().map(|&l| f.index(way, l)).collect();
+            indices.sort_unstable();
+            indices.dedup();
+            assert!(
+                indices.len() > 16,
+                "way {way} mapped 64 conflicting lines to only {} sets",
+                indices.len()
+            );
+        }
+    }
+
+    #[test]
+    fn logic_levels_are_small() {
+        let f = SkewingFamily::new(4, 512).unwrap();
+        assert!(f.logic_levels() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_way_panics() {
+        let f = SkewingFamily::new(2, 64).unwrap();
+        let _ = f.index(2, LineAddr::from_block_number(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! Full (uncompressed) sharer bit vectors.
+//!
+//! One presence bit per private cache — the representation of the
+//! traditional Sparse directory (Censier–Feautrier style).  Exact and
+//! trivially cheap to update, but its width grows linearly with the number
+//! of caches, which is precisely the scalability problem Section 3.2 of the
+//! paper describes ("at 256 cores, the aggregate vector-based L1 directory
+//! could consume more than 256 MB of on-chip storage").
+
+use crate::SharerSet;
+use ccd_common::CacheId;
+use serde::{Deserialize, Serialize};
+
+/// Storage width in bits of a full vector for `num_caches` caches.
+#[must_use]
+pub fn vector_bits(num_caches: usize) -> u64 {
+    num_caches as u64
+}
+
+/// An exact, one-bit-per-cache sharer vector.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullBitVector {
+    words: Vec<u64>,
+    num_caches: usize,
+    count: usize,
+}
+
+impl FullBitVector {
+    /// Number of caches currently marked as sharers.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    fn word_and_bit(cache: CacheId) -> (usize, u64) {
+        (cache.index() / 64, 1u64 << (cache.index() % 64))
+    }
+
+    fn assert_in_range(&self, cache: CacheId) {
+        assert!(
+            cache.index() < self.num_caches,
+            "{cache} out of range for a {}-cache sharer vector",
+            self.num_caches
+        );
+    }
+}
+
+impl SharerSet for FullBitVector {
+    fn new(num_caches: usize) -> Self {
+        assert!(num_caches > 0, "sharer vector needs at least one cache");
+        FullBitVector {
+            words: vec![0; num_caches.div_ceil(64)],
+            num_caches,
+            count: 0,
+        }
+    }
+
+    fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    fn add(&mut self, cache: CacheId) {
+        self.assert_in_range(cache);
+        let (word, bit) = Self::word_and_bit(cache);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.count += 1;
+        }
+    }
+
+    fn remove(&mut self, cache: CacheId) {
+        self.assert_in_range(cache);
+        let (word, bit) = Self::word_and_bit(cache);
+        if self.words[word] & bit != 0 {
+            self.words[word] &= !bit;
+            self.count -= 1;
+        }
+    }
+
+    fn may_contain(&self, cache: CacheId) -> bool {
+        if cache.index() >= self.num_caches {
+            return false;
+        }
+        let (word, bit) = Self::word_and_bit(cache);
+        self.words[word] & bit != 0
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn invalidation_targets(&self) -> Vec<CacheId> {
+        let mut targets = Vec::with_capacity(self.count);
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                targets.push(CacheId::new((w * 64 + b) as u32));
+                bits &= bits - 1;
+            }
+        }
+        targets
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn exact_count(&self) -> Option<usize> {
+        Some(self.count)
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        vector_bits(self.num_caches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut v = FullBitVector::new(130);
+        assert_eq!(v.storage_bits(), 130);
+        for i in [0u32, 63, 64, 65, 129] {
+            v.add(CacheId::new(i));
+        }
+        assert_eq!(v.count(), 5);
+        assert_eq!(v.exact_count(), Some(5));
+        assert!(v.may_contain(CacheId::new(64)));
+        assert!(!v.may_contain(CacheId::new(1)));
+
+        v.remove(CacheId::new(64));
+        assert!(!v.may_contain(CacheId::new(64)));
+        assert_eq!(v.count(), 4);
+
+        // Double add / double remove are idempotent.
+        v.add(CacheId::new(0));
+        assert_eq!(v.count(), 4);
+        v.remove(CacheId::new(64));
+        assert_eq!(v.count(), 4);
+    }
+
+    #[test]
+    fn invalidation_targets_are_sorted_and_exact() {
+        let mut v = FullBitVector::new(200);
+        let ids = [199u32, 3, 77, 128];
+        for &i in &ids {
+            v.add(CacheId::new(i));
+        }
+        let targets = v.invalidation_targets();
+        assert_eq!(
+            targets,
+            vec![
+                CacheId::new(3),
+                CacheId::new(77),
+                CacheId::new(128),
+                CacheId::new(199)
+            ]
+        );
+        assert!(v.is_exact());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut v = FullBitVector::new(16);
+        for i in 0..16u32 {
+            v.add(CacheId::new(i));
+        }
+        assert_eq!(v.count(), 16);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.invalidation_targets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_add_panics() {
+        let mut v = FullBitVector::new(8);
+        v.add(CacheId::new(8));
+    }
+
+    #[test]
+    fn may_contain_out_of_range_is_false() {
+        let v = FullBitVector::new(8);
+        assert!(!v.may_contain(CacheId::new(100)));
+    }
+}

@@ -1,0 +1,352 @@
+//! Sharer-set representations for coherence-directory entries.
+//!
+//! Every directory entry tracks *which private caches hold a copy* of the
+//! entry's block.  The paper deliberately decouples this per-entry sharer
+//! representation from the organization of the directory itself
+//! (Section 6: "The Cuckoo organization dictates only the organization of
+//! the directory itself, not the contents of each entry"), and evaluates the
+//! Cuckoo tag organization combined with both the *coarse* and the
+//! *hierarchical* sharer formats (Figure 13).
+//!
+//! This crate provides the four representations used across the evaluation:
+//!
+//! * [`FullBitVector`] — one presence bit per cache (the traditional Sparse
+//!   format whose area grows linearly with core count),
+//! * [`LimitedPointer`] — a handful of exact cache pointers with a
+//!   broadcast-on-overflow fallback,
+//! * [`CoarseVector`] — exact pointers within `2·log₂(caches)` bits,
+//!   falling back to a coarse-grained region vector on overflow
+//!   (the Sparse/Cuckoo *Coarse* format, after Gupta et al. and the SGI
+//!   Origin),
+//! * [`HierarchicalVector`] — a two-level bit vector (root groups plus
+//!   on-demand leaf vectors), the Sparse/Cuckoo *Hierarchical* format.
+//!
+//! All representations implement [`SharerSet`], which exposes both the
+//! semantic operations (add/remove/invalidation targets) and the storage
+//! accounting the energy/area model needs.
+//!
+//! # Conservativeness
+//!
+//! Compressed formats may *over*-approximate the sharer set (they return a
+//! superset of the true sharers, never a subset), because invalidating a
+//! non-sharer is merely wasteful while missing a sharer breaks coherence.
+//! [`SharerSet::is_exact`] reports whether the current contents are precise.
+//!
+//! # Example
+//!
+//! ```
+//! use ccd_common::CacheId;
+//! use ccd_sharers::{CoarseVector, SharerSet};
+//!
+//! let mut sharers = CoarseVector::new(32);
+//! sharers.add(CacheId::new(3));
+//! sharers.add(CacheId::new(17));
+//! assert!(sharers.is_exact());
+//! assert_eq!(sharers.invalidation_targets(), vec![CacheId::new(3), CacheId::new(17)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coarse;
+pub mod full;
+pub mod hierarchical;
+pub mod limited;
+
+pub use coarse::CoarseVector;
+pub use full::FullBitVector;
+pub use hierarchical::HierarchicalVector;
+pub use limited::LimitedPointer;
+
+use ccd_common::CacheId;
+use std::fmt::Debug;
+
+/// A per-directory-entry sharer set.
+///
+/// Implementations must be conservative: [`SharerSet::may_contain`] and
+/// [`SharerSet::invalidation_targets`] may over-approximate but never
+/// under-approximate the set of caches that were [`SharerSet::add`]ed and
+/// not since [`SharerSet::remove`]d.
+pub trait SharerSet: Clone + Debug {
+    /// Creates an empty sharer set sized for `num_caches` private caches,
+    /// using the representation's default parameters.
+    fn new(num_caches: usize) -> Self;
+
+    /// Number of private caches this set can describe.
+    fn num_caches(&self) -> usize;
+
+    /// Records that `cache` holds a copy of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range for this set.
+    fn add(&mut self, cache: CacheId);
+
+    /// Records that `cache` no longer holds a copy of the block.
+    ///
+    /// Compressed representations that cannot express the removal precisely
+    /// are allowed to keep `cache` in their over-approximation.
+    fn remove(&mut self, cache: CacheId);
+
+    /// Returns `true` if `cache` *may* hold a copy (exact for precise
+    /// representations, conservative for compressed ones).
+    fn may_contain(&self, cache: CacheId) -> bool;
+
+    /// Returns `true` when the set is known to be empty.
+    ///
+    /// A conservative representation may return `false` even when no true
+    /// sharers remain (e.g. a coarse vector after removals).
+    fn is_empty(&self) -> bool;
+
+    /// The caches that must receive an invalidation to guarantee no copy
+    /// survives — a superset of the true sharers.
+    fn invalidation_targets(&self) -> Vec<CacheId>;
+
+    /// `true` when the current contents are known to be an exact sharer
+    /// list rather than an over-approximation.
+    fn is_exact(&self) -> bool;
+
+    /// Number of exact sharers if known, `None` when only an upper bound is
+    /// representable.
+    fn exact_count(&self) -> Option<usize>;
+
+    /// Removes all sharers.
+    fn clear(&mut self);
+
+    /// Number of storage bits one directory entry needs for this
+    /// representation (excluding the tag and state bits), as provisioned in
+    /// hardware — i.e. the worst-case width, not the currently-occupied
+    /// width.
+    fn storage_bits(&self) -> u64;
+
+    /// Number of bits a directory read or update of this entry touches.
+    /// For most formats this equals [`SharerSet::storage_bits`]; the
+    /// hierarchical format only touches the root plus one leaf.
+    fn access_bits(&self) -> u64 {
+        self.storage_bits()
+    }
+}
+
+/// The sharer-vector formats evaluated in the paper, as a runtime choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SharerFormat {
+    /// One presence bit per cache.
+    #[default]
+    FullVector,
+    /// A few exact pointers, broadcast on overflow.
+    LimitedPointer,
+    /// Exact pointers in `2·log₂(caches)` bits with coarse-vector fallback.
+    Coarse,
+    /// Two-level hierarchical bit vector.
+    Hierarchical,
+}
+
+impl SharerFormat {
+    /// All formats, in the order the paper discusses them.
+    #[must_use]
+    pub const fn all() -> [SharerFormat; 4] {
+        [
+            SharerFormat::FullVector,
+            SharerFormat::LimitedPointer,
+            SharerFormat::Coarse,
+            SharerFormat::Hierarchical,
+        ]
+    }
+
+    /// Worst-case per-entry sharer storage bits for `num_caches` caches.
+    ///
+    /// These closed forms are what the analytical area model (Figure 4 and
+    /// Figure 13) uses; they match the `storage_bits()` reported by freshly
+    /// constructed sets of each representation.
+    #[must_use]
+    pub fn entry_bits(self, num_caches: usize) -> u64 {
+        match self {
+            SharerFormat::FullVector => full::vector_bits(num_caches),
+            SharerFormat::LimitedPointer => limited::default_entry_bits(num_caches),
+            SharerFormat::Coarse => coarse::entry_bits(num_caches),
+            SharerFormat::Hierarchical => hierarchical::entry_bits(num_caches),
+        }
+    }
+}
+
+impl std::fmt::Display for SharerFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SharerFormat::FullVector => "full-vector",
+            SharerFormat::LimitedPointer => "limited-pointer",
+            SharerFormat::Coarse => "coarse",
+            SharerFormat::Hierarchical => "hierarchical",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A sharer set whose representation is chosen at runtime.
+///
+/// This is the type the coherence simulator stores in directory entries when
+/// the sharer format is part of the experiment configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynSharerSet {
+    /// Full bit vector.
+    Full(FullBitVector),
+    /// Limited pointers.
+    Limited(LimitedPointer),
+    /// Coarse vector with pointer fast path.
+    Coarse(CoarseVector),
+    /// Two-level hierarchical vector.
+    Hierarchical(HierarchicalVector),
+}
+
+impl DynSharerSet {
+    /// Creates an empty set of the given `format` for `num_caches` caches.
+    #[must_use]
+    pub fn with_format(format: SharerFormat, num_caches: usize) -> Self {
+        match format {
+            SharerFormat::FullVector => DynSharerSet::Full(FullBitVector::new(num_caches)),
+            SharerFormat::LimitedPointer => DynSharerSet::Limited(LimitedPointer::new(num_caches)),
+            SharerFormat::Coarse => DynSharerSet::Coarse(CoarseVector::new(num_caches)),
+            SharerFormat::Hierarchical => {
+                DynSharerSet::Hierarchical(HierarchicalVector::new(num_caches))
+            }
+        }
+    }
+
+    /// Returns the format of this set.
+    #[must_use]
+    pub fn format(&self) -> SharerFormat {
+        match self {
+            DynSharerSet::Full(_) => SharerFormat::FullVector,
+            DynSharerSet::Limited(_) => SharerFormat::LimitedPointer,
+            DynSharerSet::Coarse(_) => SharerFormat::Coarse,
+            DynSharerSet::Hierarchical(_) => SharerFormat::Hierarchical,
+        }
+    }
+}
+
+macro_rules! dyn_dispatch {
+    ($self:ident, $inner:ident, $body:expr) => {
+        match $self {
+            DynSharerSet::Full($inner) => $body,
+            DynSharerSet::Limited($inner) => $body,
+            DynSharerSet::Coarse($inner) => $body,
+            DynSharerSet::Hierarchical($inner) => $body,
+        }
+    };
+}
+
+impl SharerSet for DynSharerSet {
+    fn new(num_caches: usize) -> Self {
+        DynSharerSet::Full(FullBitVector::new(num_caches))
+    }
+
+    fn num_caches(&self) -> usize {
+        dyn_dispatch!(self, s, s.num_caches())
+    }
+
+    fn add(&mut self, cache: CacheId) {
+        dyn_dispatch!(self, s, s.add(cache));
+    }
+
+    fn remove(&mut self, cache: CacheId) {
+        dyn_dispatch!(self, s, s.remove(cache));
+    }
+
+    fn may_contain(&self, cache: CacheId) -> bool {
+        dyn_dispatch!(self, s, s.may_contain(cache))
+    }
+
+    fn is_empty(&self) -> bool {
+        dyn_dispatch!(self, s, s.is_empty())
+    }
+
+    fn invalidation_targets(&self) -> Vec<CacheId> {
+        dyn_dispatch!(self, s, s.invalidation_targets())
+    }
+
+    fn is_exact(&self) -> bool {
+        dyn_dispatch!(self, s, s.is_exact())
+    }
+
+    fn exact_count(&self) -> Option<usize> {
+        dyn_dispatch!(self, s, s.exact_count())
+    }
+
+    fn clear(&mut self) {
+        dyn_dispatch!(self, s, s.clear());
+    }
+
+    fn storage_bits(&self) -> u64 {
+        dyn_dispatch!(self, s, s.storage_bits())
+    }
+
+    fn access_bits(&self) -> u64 {
+        dyn_dispatch!(self, s, s.access_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: SharerSet>(num_caches: usize) {
+        let mut s = S::new(num_caches);
+        assert!(s.is_empty());
+        assert_eq!(s.num_caches(), num_caches);
+        assert!(s.invalidation_targets().is_empty());
+
+        s.add(CacheId::new(0));
+        s.add(CacheId::new((num_caches - 1) as u32));
+        assert!(!s.is_empty());
+        assert!(s.may_contain(CacheId::new(0)));
+        assert!(s.may_contain(CacheId::new((num_caches - 1) as u32)));
+        let targets = s.invalidation_targets();
+        assert!(targets.contains(&CacheId::new(0)));
+        assert!(targets.contains(&CacheId::new((num_caches - 1) as u32)));
+
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.invalidation_targets().is_empty());
+    }
+
+    #[test]
+    fn every_representation_satisfies_the_basic_contract() {
+        exercise::<FullBitVector>(32);
+        exercise::<LimitedPointer>(32);
+        exercise::<CoarseVector>(32);
+        exercise::<HierarchicalVector>(32);
+        exercise::<DynSharerSet>(32);
+    }
+
+    #[test]
+    fn dyn_set_reports_its_format() {
+        for format in SharerFormat::all() {
+            let s = DynSharerSet::with_format(format, 16);
+            assert_eq!(s.format(), format);
+            assert_eq!(s.num_caches(), 16);
+            assert_eq!(s.storage_bits(), format.entry_bits(16));
+        }
+    }
+
+    #[test]
+    fn entry_bits_scale_sensibly() {
+        // Full vector grows linearly, coarse/hierarchical sub-linearly.
+        let full_16 = SharerFormat::FullVector.entry_bits(16);
+        let full_1024 = SharerFormat::FullVector.entry_bits(1024);
+        assert_eq!(full_16, 16);
+        assert_eq!(full_1024, 1024);
+
+        let coarse_1024 = SharerFormat::Coarse.entry_bits(1024);
+        assert!(coarse_1024 <= 2 * 10 + 2, "coarse = {coarse_1024}");
+
+        let hier_1024 = SharerFormat::Hierarchical.entry_bits(1024);
+        assert!(hier_1024 < full_1024 / 4, "hier = {hier_1024}");
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(SharerFormat::FullVector.to_string(), "full-vector");
+        assert_eq!(SharerFormat::Coarse.to_string(), "coarse");
+        assert_eq!(SharerFormat::Hierarchical.to_string(), "hierarchical");
+        assert_eq!(SharerFormat::LimitedPointer.to_string(), "limited-pointer");
+    }
+}

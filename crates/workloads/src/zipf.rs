@@ -1,0 +1,137 @@
+//! Zipf-distributed sampling for access locality.
+//!
+//! Memory accesses of the server workloads are highly skewed: a small hot
+//! working set absorbs most references while the tail is touched rarely.
+//! The generators model this with a Zipf distribution over the blocks of
+//! each region: block `i` (1-based rank) is accessed with probability
+//! proportional to `1 / i^theta`.  `theta = 0` degenerates to a uniform
+//! distribution, which the scientific kernels (regular grid/graph sweeps)
+//! use.
+
+use ccd_common::rng::Rng64;
+
+/// A sampler drawing ranks in `[0, n)` from a Zipf distribution.
+///
+/// The cumulative distribution is precomputed, so each draw is a binary
+/// search — O(log n) — and the memory cost is one `f64` per element.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or not finite.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "cannot sample from an empty population");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(theta);
+            cdf.push(total);
+        }
+        // Normalize.
+        let norm = total;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the population has a single element.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `[0, len())`; rank 0 is the hottest.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::rng::Xoshiro256;
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn zero_population_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn negative_theta_panics() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+
+    #[test]
+    fn uniform_when_theta_is_zero() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = Xoshiro256::new(1);
+        let mut counts = [0usize; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let expected = trials as f64 / 10.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let sampler = ZipfSampler::new(1000, 0.99);
+        let mut rng = Xoshiro256::new(2);
+        let trials = 100_000;
+        let hot_hits = (0..trials)
+            .filter(|_| sampler.sample(&mut rng) < 100)
+            .count();
+        // With theta ~1 the top 10% of ranks should absorb well over half
+        // the accesses.
+        assert!(
+            hot_hits as f64 / trials as f64 > 0.6,
+            "hot fraction {}",
+            hot_hits as f64 / trials as f64
+        );
+    }
+
+    #[test]
+    fn samples_cover_the_whole_range() {
+        let sampler = ZipfSampler::new(16, 0.5);
+        let mut rng = Xoshiro256::new(3);
+        let mut seen = [false; 16];
+        for _ in 0..50_000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(sampler.len(), 16);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn singleton_population_always_returns_zero() {
+        let sampler = ZipfSampler::new(1, 2.0);
+        let mut rng = Xoshiro256::new(4);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Drive the coherence simulator with a hand-written memory trace instead of
+//! the synthetic workload generators — the integration point for users who
+//! have their own application traces.
+//!
+//! The trace models a simple producer/consumer pattern: core 0 writes a ring
+//! of buffers that every other core then reads, a classic widely-shared
+//! access pattern.
+//!
+//! Run with: `cargo run --release --example custom_trace`
+
+use cuckoo_directory::prelude::*;
+
+/// Builds the producer/consumer trace: `rounds` iterations over `buffers`
+/// cache blocks.
+fn producer_consumer_trace(cores: usize, buffers: u64, rounds: usize) -> Vec<MemRef> {
+    let base = 0x7000_0000u64;
+    let mut refs = Vec::new();
+    for _ in 0..rounds {
+        for b in 0..buffers {
+            let addr = Address::new(base + b * 64);
+            // Core 0 produces...
+            refs.push(MemRef::write(CoreId::new(0), addr));
+            // ...and every other core consumes.
+            for core in 1..cores as u32 {
+                refs.push(MemRef::read(CoreId::new(core), addr));
+            }
+        }
+    }
+    refs
+}
+
+fn main() -> Result<(), ccd_common::ConfigError> {
+    let system = SystemConfig::table1(Hierarchy::SharedL2);
+    let trace = producer_consumer_trace(system.num_cores, 4096, 6);
+    println!(
+        "producer/consumer trace: {} references over {} shared blocks\n",
+        trace.len(),
+        4096
+    );
+
+    for spec in [
+        DirectorySpec::cuckoo(4, 1.0),
+        DirectorySpec::sparse(8, 2.0),
+        DirectorySpec::DuplicateTag,
+    ] {
+        let mut sim = CmpSimulator::new(system.clone(), &spec)?;
+        let mut iter = trace.iter().copied();
+        sim.run(&mut iter, trace.len() as u64);
+        let report = sim.report();
+        println!("{}", report.summary());
+        println!(
+            "    coherence invalidations: {} (every write invalidates the {} consumers)",
+            report.coherence_invalidations,
+            system.num_cores - 1
+        );
+        println!(
+            "    forced invalidations:    {}\n",
+            report.forced_invalidations
+        );
+    }
+
+    println!("All organizations see the same coherence traffic (that is protocol-inherent);");
+    println!("only conflict-prone organizations add forced invalidations on top of it.");
+    Ok(())
+}

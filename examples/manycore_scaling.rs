@@ -1,0 +1,70 @@
+//! Project the directory's energy and area from 16 to 1024 cores with the
+//! analytical model (the paper's Figure 13), and print the headline
+//! efficiency ratios.
+//!
+//! Run with: `cargo run --release --example manycore_scaling`
+
+use cuckoo_directory::prelude::*;
+
+fn main() {
+    let model = EnergyModel::shared_l2();
+    let cores = EnergyModel::paper_core_counts();
+
+    let organizations = [
+        DirOrg::DuplicateTag,
+        DirOrg::Tagless,
+        DirOrg::InCacheFullVector,
+        DirOrg::SparseCoarse {
+            ways: 8,
+            provisioning: 8.0,
+        },
+        DirOrg::cuckoo_coarse_shared(),
+    ];
+
+    println!("Per-core directory energy (relative to a 1MB 16-way L2 tag lookup), Shared-L2:\n");
+    print!("{:<22}", "organization");
+    for c in &cores {
+        print!("{:>10}", format!("{c} cores"));
+    }
+    println!();
+    for org in &organizations {
+        print!("{:<22}", org.label());
+        for point in model.sweep(org, &cores) {
+            print!("{:>10.2}", point.energy_relative);
+        }
+        println!();
+    }
+
+    println!("\nPer-core directory area (relative to a 1MB L2 data array), Shared-L2:\n");
+    print!("{:<22}", "organization");
+    for c in &cores {
+        print!("{:>10}", format!("{c} cores"));
+    }
+    println!();
+    for org in &organizations {
+        print!("{:<22}", org.label());
+        for point in model.sweep(org, &cores) {
+            print!("{:>10.4}", point.area_relative);
+        }
+        println!();
+    }
+
+    let sparse8 = DirOrg::SparseCoarse {
+        ways: 8,
+        provisioning: 8.0,
+    };
+    let cuckoo = DirOrg::cuckoo_coarse_shared();
+    println!("\nAt 1024 cores the Cuckoo directory is:");
+    println!(
+        "  {:.0}x more energy-efficient than Tagless",
+        model.energy_advantage(&cuckoo, &DirOrg::Tagless, 1024)
+    );
+    println!(
+        "  {:.1}x more area-efficient than Sparse 8x Coarse",
+        model.area_advantage(&cuckoo, &sparse8, 1024)
+    );
+    println!(
+        "  using {:.1}% of the L2 data-array area per core",
+        model.evaluate(&cuckoo, 1024).area_relative * 100.0
+    );
+}

@@ -1,0 +1,88 @@
+//! # cuckoo-directory
+//!
+//! A from-scratch Rust reproduction of *Cuckoo Directory: A Scalable
+//! Directory for Many-Core Systems* (Ferdman, Lotfi-Kamran, Balet, Falsafi —
+//! HPCA 2011): the Cuckoo coherence directory itself, every baseline
+//! directory organization it is evaluated against, the cache/coherence
+//! simulation substrate that drives them, synthetic stand-ins for the
+//! paper's commercial and scientific workloads, and the analytical
+//! energy/area model behind the paper's scaling projections.
+//!
+//! This crate is a facade: it re-exports the workspace crates under short
+//! module names and provides a [`prelude`] with the types most programs
+//! need.  Each subsystem lives in its own crate and can be used
+//! independently:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `ccd-common` | addresses, identifiers, RNG, statistics |
+//! | [`hash`] | `ccd-hash` | skewing / multiply-shift / strong index hash families |
+//! | [`sharers`] | `ccd-sharers` | full, coarse, hierarchical, limited-pointer sharer sets |
+//! | [`directory`] | `ccd-directory` | the `Directory` trait + Sparse, Skewed, Duplicate-Tag, In-Cache, Tagless baselines |
+//! | [`cuckoo`] | `ccd-cuckoo` | the d-ary Cuckoo table and the Cuckoo directory (the paper's contribution) |
+//! | [`cache`] | `ccd-cache` | set-associative private-cache models |
+//! | [`coherence`] | `ccd-coherence` | the trace-driven tiled-CMP simulator |
+//! | [`workloads`] | `ccd-workloads` | synthetic workload/trace generators |
+//! | [`energy`] | `ccd-energy` | the analytical energy/area scaling model |
+//!
+//! # Quick start
+//!
+//! ```
+//! use cuckoo_directory::prelude::*;
+//!
+//! // Build the paper's 16-core Shared-L2 system with a 1x-provisioned
+//! // 4-way Cuckoo directory and run a short OLTP-like trace through it.
+//! let system = SystemConfig::table1(Hierarchy::SharedL2);
+//! let spec = DirectorySpec::cuckoo(4, 1.0);
+//! let mut trace = TraceGenerator::new(WorkloadProfile::db2(), system.num_cores, 42);
+//! let report = CmpSimulator::run_workload(system, &spec, &mut trace, 50_000, 50_000)?;
+//!
+//! // The Cuckoo directory absorbs the working set without forced
+//! // invalidations.
+//! assert!(report.forced_invalidation_rate() < 0.01);
+//! # Ok::<(), ccd_common::ConfigError>(())
+//! ```
+//!
+//! See the `examples/` directory for larger, runnable scenarios and the
+//! `ccd-bench` crate for the binaries that regenerate every table and figure
+//! of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use ccd_cache as cache;
+pub use ccd_coherence as coherence;
+pub use ccd_common as common;
+pub use ccd_cuckoo as cuckoo;
+pub use ccd_directory as directory;
+pub use ccd_energy as energy;
+pub use ccd_hash as hash;
+pub use ccd_sharers as sharers;
+pub use ccd_workloads as workloads;
+
+/// The types most users of the library need, re-exported flat.
+pub mod prelude {
+    pub use ccd_cache::{Cache, CacheConfig};
+    pub use ccd_coherence::{CmpSimulator, DirectorySpec, Hierarchy, SimReport, SystemConfig};
+    pub use ccd_common::{Address, BlockGeometry, CacheId, CoreId, LineAddr, MemRef};
+    pub use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
+    pub use ccd_directory::{Directory, DirectoryStats, SparseDirectory};
+    pub use ccd_energy::{DirOrg, EnergyModel};
+    pub use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+    pub use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, SharerSet};
+    pub use ccd_workloads::{TraceGenerator, WorkloadProfile};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_stack() {
+        let config = CuckooConfig::new(4, 64, 8);
+        let dir = CuckooDirectory::<FullBitVector>::new(config).expect("valid config");
+        assert_eq!(dir.capacity(), 256);
+        let model = EnergyModel::shared_l2();
+        let point = model.evaluate(&DirOrg::cuckoo_coarse_shared(), 16);
+        assert!(point.area_relative > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-organization contract tests: every `Directory` implementation in
+//! the workspace must expose the same observable semantics to the coherence
+//! protocol, differing only in conflict behaviour and conservativeness.
+
+use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_common::rng::{Rng64, SplitMix64};
+use cuckoo_directory::prelude::*;
+
+fn all_specs() -> Vec<DirectorySpec> {
+    vec![
+        DirectorySpec::cuckoo(4, 1.0),
+        DirectorySpec::cuckoo(3, 1.5),
+        DirectorySpec::sparse(8, 2.0),
+        DirectorySpec::skewed(4, 2.0),
+        DirectorySpec::DuplicateTag,
+        DirectorySpec::InCache,
+        DirectorySpec::tagless(),
+    ]
+}
+
+fn build(spec: &DirectorySpec) -> Box<dyn Directory> {
+    let system = SystemConfig::table1(Hierarchy::SharedL2);
+    spec.build_slice(&system).expect("paper configurations build")
+}
+
+#[test]
+fn sharers_are_always_a_superset_of_what_was_added() {
+    for spec in all_specs() {
+        let mut dir = build(&spec);
+        let caches = dir.num_caches();
+        let mut rng = SplitMix64::new(1);
+        // Track a modest number of lines so even small organizations hold
+        // them without conflicts, and verify the superset property.
+        let mut expected: Vec<(LineAddr, Vec<CacheId>)> = Vec::new();
+        for i in 0..64u64 {
+            let line = LineAddr::from_block_number(i * 131);
+            let holders: Vec<CacheId> = (0..3)
+                .map(|_| CacheId::new(rng.next_below(caches as u64) as u32))
+                .collect();
+            for &c in &holders {
+                dir.add_sharer(line, c);
+            }
+            expected.push((line, holders));
+        }
+        for (line, holders) in &expected {
+            if !dir.contains(*line) {
+                // Conflict-prone organizations may have evicted the entry;
+                // that is legal, but then it must not claim to track it.
+                assert!(dir.sharers(*line).is_none(), "{}", spec.label());
+                continue;
+            }
+            let reported = dir.sharers(*line).expect("tracked line has sharers");
+            for holder in holders {
+                assert!(
+                    reported.contains(holder),
+                    "{}: reported sharers {:?} missing true holder {holder}",
+                    spec.label(),
+                    reported
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exclusive_requests_always_cover_previous_sharers() {
+    for spec in all_specs() {
+        let mut dir = build(&spec);
+        let line = LineAddr::from_block_number(0xBEEF);
+        for c in [1u32, 3, 9, 20] {
+            dir.add_sharer(line, CacheId::new(c));
+        }
+        let result = dir.set_exclusive(line, CacheId::new(5));
+        for c in [1u32, 3, 9, 20] {
+            assert!(
+                result.invalidate.contains(&CacheId::new(c)),
+                "{}: write must invalidate cache{c}",
+                spec.label()
+            );
+        }
+        assert!(
+            !result.invalidate.contains(&CacheId::new(5)),
+            "{}: the writer itself is never invalidated",
+            spec.label()
+        );
+        // After the write the writer is (at least) among the sharers.
+        assert!(dir
+            .sharers(line)
+            .expect("line is tracked after a write")
+            .contains(&CacheId::new(5)));
+    }
+}
+
+#[test]
+fn removing_all_sharers_eventually_frees_every_entry() {
+    for spec in all_specs() {
+        let mut dir = build(&spec);
+        let lines: Vec<LineAddr> = (0..256u64).map(|i| LineAddr::from_block_number(i * 7)).collect();
+        for (i, &line) in lines.iter().enumerate() {
+            dir.add_sharer(line, CacheId::new((i % dir.num_caches()) as u32));
+        }
+        for (i, &line) in lines.iter().enumerate() {
+            dir.remove_sharer(line, CacheId::new((i % dir.num_caches()) as u32));
+        }
+        assert!(
+            dir.is_empty(),
+            "{}: directory still holds {} entries after all sharers left",
+            spec.label(),
+            dir.len()
+        );
+        assert_eq!(dir.occupancy(), 0.0, "{}", spec.label());
+    }
+}
+
+#[test]
+fn capacity_and_storage_profiles_are_positive_and_consistent() {
+    for spec in all_specs() {
+        let dir = build(&spec);
+        assert!(dir.capacity() > 0, "{}", spec.label());
+        let profile = dir.storage_profile();
+        assert!(profile.total_bits > 0, "{}", spec.label());
+        assert!(profile.bits_read_per_lookup > 0, "{}", spec.label());
+        assert!(profile.bits_written_per_update > 0, "{}", spec.label());
+        assert!(
+            profile.total_bits >= profile.bits_written_per_update,
+            "{}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_the_operations_performed() {
+    for spec in all_specs() {
+        let mut dir = build(&spec);
+        let line = LineAddr::from_block_number(42);
+        dir.add_sharer(line, CacheId::new(0));
+        dir.add_sharer(line, CacheId::new(1));
+        dir.remove_sharer(line, CacheId::new(0));
+        let stats = dir.stats();
+        assert_eq!(stats.insertions.get(), 1, "{}", spec.label());
+        assert!(stats.sharer_adds.get() >= 1, "{}", spec.label());
+        assert!(stats.sharer_removes.get() >= 1, "{}", spec.label());
+        dir.reset_stats();
+        assert_eq!(dir.stats().insertions.get(), 0, "{}", spec.label());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) on the core data structures' invariants.
+
+use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
+use ccd_hash::HashKind;
+use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet};
+use cuckoo_directory::prelude::*;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// An abstract operation applied to a sharer set / directory entry.
+#[derive(Clone, Debug)]
+enum SharerOp {
+    Add(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn sharer_ops(num_caches: u32) -> impl Strategy<Value = Vec<SharerOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..num_caches).prop_map(SharerOp::Add),
+            (0..num_caches).prop_map(SharerOp::Remove),
+            Just(SharerOp::Clear),
+        ],
+        0..64,
+    )
+}
+
+/// Applies the ops to a reference model (exact set) and a representation
+/// under test, then checks the conservativeness contract.
+fn check_sharer_set<S: SharerSet>(num_caches: usize, ops: &[SharerOp]) {
+    let mut model: HashSet<u32> = HashSet::new();
+    let mut set = S::new(num_caches);
+    for op in ops {
+        match op {
+            SharerOp::Add(c) => {
+                model.insert(*c);
+                set.add(CacheId::new(*c));
+            }
+            SharerOp::Remove(c) => {
+                model.remove(c);
+                set.remove(CacheId::new(*c));
+            }
+            SharerOp::Clear => {
+                model.clear();
+                set.clear();
+            }
+        }
+        // Conservativeness: every true sharer is covered.
+        for &c in &model {
+            assert!(
+                set.may_contain(CacheId::new(c)),
+                "lost true sharer cache{c}"
+            );
+        }
+        let targets = set.invalidation_targets();
+        for &c in &model {
+            assert!(targets.contains(&CacheId::new(c)));
+        }
+        // Exact representations must be exactly right.
+        if set.is_exact() {
+            assert_eq!(
+                targets.len(),
+                model.len(),
+                "exact representation reported wrong cardinality"
+            );
+        }
+        // An empty report implies the model is empty too.
+        if set.is_empty() {
+            assert!(model.is_empty());
+        }
+        assert!(set.storage_bits() > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_vector_is_always_exact(ops in sharer_ops(64)) {
+        check_sharer_set::<FullBitVector>(64, &ops);
+    }
+
+    #[test]
+    fn hierarchical_vector_is_always_exact(ops in sharer_ops(100)) {
+        check_sharer_set::<HierarchicalVector>(100, &ops);
+    }
+
+    #[test]
+    fn coarse_vector_is_conservative(ops in sharer_ops(64)) {
+        check_sharer_set::<CoarseVector>(64, &ops);
+    }
+
+    #[test]
+    fn limited_pointer_is_conservative(ops in sharer_ops(32)) {
+        check_sharer_set::<LimitedPointer>(32, &ops);
+    }
+
+    #[test]
+    fn cuckoo_table_never_loses_undiscarded_keys(
+        keys in prop::collection::hash_set(0u64..1_000_000, 1..300),
+        ways in 2usize..6,
+    ) {
+        let mut table: CuckooTable<u64> = CuckooTable::new(ways, 256, HashKind::Strong, 7).unwrap();
+        let mut expected: HashSet<u64> = HashSet::new();
+        for &k in &keys {
+            let outcome = table.insert(k, k);
+            expected.insert(k);
+            if let Some((lost, payload)) = outcome.discarded {
+                prop_assert_eq!(lost, payload, "payload must travel with its key");
+                expected.remove(&lost);
+            }
+        }
+        prop_assert_eq!(table.len(), expected.len());
+        for &k in &expected {
+            prop_assert!(table.contains(k), "key {} lost without being reported", k);
+            prop_assert_eq!(table.get(k), Some(&k));
+        }
+        prop_assert!(table.len() <= table.capacity());
+        // Occupancy is consistent with len().
+        prop_assert!((table.occupancy() - table.len() as f64 / table.capacity() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cuckoo_directory_tracks_exactly_the_uncovered_model(
+        ops in prop::collection::vec((0u64..500, 0u32..8, prop::bool::ANY), 1..400)
+    ) {
+        // Reference model: block -> set of caches, maintained alongside a
+        // generously sized Cuckoo directory (so no forced evictions occur and
+        // the contents must match the model exactly).
+        let mut dir = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 256, 8)).unwrap();
+        let mut model: HashMap<u64, HashSet<u32>> = HashMap::new();
+        for (block, cache, add) in ops {
+            let line = LineAddr::from_block_number(block);
+            if add {
+                let r = dir.add_sharer(line, CacheId::new(cache));
+                prop_assert!(r.forced_evictions.is_empty(), "directory is oversized; no evictions expected");
+                model.entry(block).or_default().insert(cache);
+            } else {
+                dir.remove_sharer(line, CacheId::new(cache));
+                if let Some(set) = model.get_mut(&block) {
+                    set.remove(&cache);
+                    if set.is_empty() {
+                        model.remove(&block);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(dir.len(), model.len());
+        for (block, caches) in &model {
+            let sharers = dir.sharers(LineAddr::from_block_number(*block)).unwrap();
+            prop_assert_eq!(sharers.len(), caches.len());
+            for c in caches {
+                prop_assert!(sharers.contains(&CacheId::new(*c)));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_lru_respects_capacity_and_recency(
+        blocks in prop::collection::vec(0u64..64, 1..300)
+    ) {
+        let mut cache = Cache::new(CacheConfig::new(4, 2, 64)).unwrap();
+        let mut resident_model: Vec<u64> = Vec::new(); // most recent last
+        for &b in &blocks {
+            cache.access_read(LineAddr::from_block_number(b));
+            resident_model.retain(|&x| x != b);
+            resident_model.push(b);
+            prop_assert!(cache.len() <= cache.config().frames());
+            // The most recently accessed block is always resident.
+            prop_assert!(cache.contains(LineAddr::from_block_number(b)));
+        }
+        // Every resident line was accessed at some point.
+        for (line, _) in cache.resident_lines() {
+            prop_assert!(blocks.contains(&line.block_number()));
+        }
+    }
+}
