@@ -1,41 +1,47 @@
 //! Criterion micro-benchmark: entry insertion + removal throughput of each
-//! directory organization at steady 50% occupancy.
+//! directory organization at steady 50% occupancy, on the zero-allocation
+//! `apply` path with a reused `Outcome` buffer.
 
 use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_common::{CacheId, LineAddr};
-use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
+use ccd_cuckoo::standard_registry;
+use ccd_directory::{DirectoryOp, Outcome};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::VecDeque;
 
+/// The paper's Shared-L2 slice geometries (1x cuckoo, 2x sparse/skewed, the
+/// mirrored duplicate-tag), as runtime spec strings.
+const SPECS: &[&str] = &[
+    "cuckoo-4x512-skew",
+    "sparse-8x512",
+    "skewed-4x1024",
+    "duplicate-tag-2x32",
+];
+
 fn bench_insert(c: &mut Criterion) {
-    let system = SystemConfig::table1(Hierarchy::SharedL2);
+    let registry = standard_registry();
     let mut group = c.benchmark_group("dir_insert_remove");
-    let specs = [
-        ("cuckoo-4x512", DirectorySpec::cuckoo(4, 1.0)),
-        ("sparse-8x-2x", DirectorySpec::sparse(8, 2.0)),
-        ("skewed-4x-2x", DirectorySpec::skewed(4, 2.0)),
-        ("duplicate-tag", DirectorySpec::DuplicateTag),
-    ];
-    for (name, spec) in specs {
-        let mut dir = spec.build_slice(&system).expect("valid spec");
+    for &spec in SPECS {
+        let mut dir = registry.build_str(spec).expect("valid spec");
         let mut rng = SplitMix64::new(7);
         let cache = CacheId::new(0);
+        let mut out = Outcome::new();
         // Pre-fill to 50% and keep a FIFO of resident lines so the benchmark
         // body inserts one new entry and retires the oldest, holding
         // occupancy constant.
         let mut resident: VecDeque<LineAddr> = VecDeque::new();
         while dir.len() < dir.capacity() / 2 {
             let line = LineAddr::from_block_number(rng.next_u64() >> 22);
-            dir.add_sharer(line, cache);
+            dir.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
             resident.push_back(line);
         }
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        group.bench_function(BenchmarkId::from_parameter(spec), |b| {
             b.iter(|| {
                 let line = LineAddr::from_block_number(rng.next_u64() >> 22);
-                dir.add_sharer(line, cache);
+                dir.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
                 resident.push_back(line);
                 if let Some(old) = resident.pop_front() {
-                    dir.remove_sharer(old, cache);
+                    dir.apply(DirectoryOp::RemoveSharer { line: old, cache }, &mut out);
                 }
             });
         });

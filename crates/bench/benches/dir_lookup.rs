@@ -1,21 +1,31 @@
 //! Criterion micro-benchmark: sharer-lookup throughput of each directory
-//! organization at 50% occupancy.
+//! organization at 50% occupancy, comparing the zero-allocation `Probe`
+//! path against the legacy allocating `sharers()` query.
 
 use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_common::{CacheId, LineAddr};
-use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
-use ccd_directory::Directory;
+use ccd_cuckoo::standard_registry;
+use ccd_directory::{Directory, DirectoryOp, Outcome};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn filled_directory(spec: &DirectorySpec) -> (Box<dyn Directory>, Vec<LineAddr>) {
-    let system = SystemConfig::table1(Hierarchy::SharedL2);
-    let mut dir = spec.build_slice(&system).expect("valid spec");
+const SPECS: &[&str] = &[
+    "cuckoo-4x512-skew",
+    "sparse-8x512",
+    "skewed-4x1024",
+    "duplicate-tag-2x32",
+    "tagless-2x32",
+];
+
+fn filled_directory(spec: &str) -> (Box<dyn Directory>, Vec<LineAddr>) {
+    let mut dir = standard_registry().build_str(spec).expect("valid spec");
     let mut rng = SplitMix64::new(42);
+    let mut out = Outcome::new();
     let mut lines = Vec::new();
     let target = dir.capacity() / 2;
     while dir.len() < target {
         let line = LineAddr::from_block_number(rng.next_u64() >> 22);
-        dir.add_sharer(line, CacheId::new((rng.next_below(32)) as u32));
+        let cache = CacheId::new(rng.next_below(32) as u32);
+        dir.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
         lines.push(line);
     }
     (dir, lines)
@@ -23,17 +33,18 @@ fn filled_directory(spec: &DirectorySpec) -> (Box<dyn Directory>, Vec<LineAddr>)
 
 fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("dir_lookup");
-    let specs = [
-        ("cuckoo-4x512", DirectorySpec::cuckoo(4, 1.0)),
-        ("sparse-8x-2x", DirectorySpec::sparse(8, 2.0)),
-        ("skewed-4x-2x", DirectorySpec::skewed(4, 2.0)),
-        ("duplicate-tag", DirectorySpec::DuplicateTag),
-        ("tagless", DirectorySpec::tagless()),
-    ];
-    for (name, spec) in specs {
-        let (dir, lines) = filled_directory(&spec);
+    for &spec in SPECS {
+        let (mut dir, lines) = filled_directory(spec);
+        let mut out = Outcome::new();
         let mut i = 0usize;
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        group.bench_function(BenchmarkId::new("probe", spec), |b| {
+            b.iter(|| {
+                i = (i + 1) % lines.len();
+                dir.apply(DirectoryOp::Probe { line: lines[i] }, &mut out);
+                out.sharers().len()
+            });
+        });
+        group.bench_function(BenchmarkId::new("sharers_alloc", spec), |b| {
             b.iter(|| {
                 i = (i + 1) % lines.len();
                 std::hint::black_box(dir.sharers(lines[i]))

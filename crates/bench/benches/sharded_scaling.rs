@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark: multi-slice (sharded) directory scaling.
+//!
+//! Sweeps the slice count of an address-interleaved Cuckoo directory at
+//! constant total capacity and measures per-operation cost of a mixed
+//! add/remove/probe stream on the `apply` path.  This tracks the overhead
+//! of the `ShardedDirectory` routing layer (the NUCA/multi-slice scenario):
+//! the slice count should change per-op cost only marginally, while each
+//! slice's working set shrinks.
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_common::{CacheId, LineAddr};
+use ccd_cuckoo::standard_registry;
+use ccd_directory::{DirectoryOp, Outcome};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Total capacity 16384 entries, split over 1..=16 slices.
+const SLICE_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
+
+fn bench_sharded(c: &mut Criterion) {
+    let registry = standard_registry();
+    let mut group = c.benchmark_group("sharded_scaling");
+    group.throughput(Throughput::Elements(1));
+    for &slices in SLICE_COUNTS {
+        let spec = if slices == 1 {
+            "cuckoo-4x4096-skew".to_string()
+        } else {
+            format!("sharded{slices}:cuckoo-4x4096-skew")
+        };
+        let mut dir = registry.build_str(&spec).expect("valid spec");
+        let mut rng = SplitMix64::new(0x5CA1E);
+        let mut out = Outcome::new();
+        // Warm to 50% occupancy.
+        let target = dir.capacity() / 2;
+        let mut resident = Vec::new();
+        while dir.len() < target {
+            let line = LineAddr::from_block_number(rng.next_u64() >> 22);
+            let cache = CacheId::new(rng.next_below(32) as u32);
+            dir.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
+            resident.push(line);
+        }
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(slices), |b| {
+            b.iter(|| {
+                i = (i + 1) % resident.len();
+                let line = resident[i];
+                let cache = CacheId::new((i % 32) as u32);
+                // Mixed stream: probe, add, remove — the simulator's steady
+                // state per miss.
+                dir.apply(DirectoryOp::Probe { line }, &mut out);
+                dir.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
+                dir.apply(DirectoryOp::RemoveSharer { line, cache }, &mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

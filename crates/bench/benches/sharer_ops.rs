@@ -3,9 +3,7 @@
 
 use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_common::CacheId;
-use ccd_sharers::{
-    CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet,
-};
+use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const CACHES: usize = 1024;

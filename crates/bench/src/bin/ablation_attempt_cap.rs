@@ -9,18 +9,24 @@ use ccd_bench::{write_json, TextTable};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CapRow {
     max_attempts: u32,
     occupancy_target: f64,
     avg_attempts: f64,
     discard_percent: f64,
 }
+ccd_bench::impl_to_json!(CapRow {
+    max_attempts,
+    occupancy_target,
+    avg_attempts,
+    discard_percent
+});
 
 fn run(cap: u32, target: f64) -> CapRow {
-    let mut table: CuckooTable<()> = CuckooTable::new(4, 4096, HashKind::Skewing, 11).expect("valid");
+    let mut table: CuckooTable<()> =
+        CuckooTable::new(4, 4096, HashKind::Skewing, 11).expect("valid");
     table.set_max_attempts(cap);
     let mut keys = RandomKeyStream::new(0xAB1A);
     let (mut attempts, mut inserts, mut discards) = (0u64, 0u64, 0u64);
@@ -48,7 +54,12 @@ fn main() {
             rows.push(run(cap, target));
         }
     }
-    let mut table = TextTable::new(vec!["fill target", "attempt cap", "avg attempts", "discard %"]);
+    let mut table = TextTable::new(vec![
+        "fill target",
+        "attempt cap",
+        "avg attempts",
+        "discard %",
+    ]);
     for r in &rows {
         table.add_row(vec![
             format!("{:.2}", r.occupancy_target),

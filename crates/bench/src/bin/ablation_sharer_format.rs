@@ -7,9 +7,8 @@
 use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 use ccd_sharers::SharerFormat;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct FormatRow {
     format: String,
     cores: usize,
@@ -17,6 +16,13 @@ struct FormatRow {
     energy_percent: Option<f64>,
     area_percent: Option<f64>,
 }
+ccd_bench::impl_to_json!(FormatRow {
+    format,
+    cores,
+    entry_bits,
+    energy_percent,
+    area_percent
+});
 
 /// The analytical-model organization corresponding to a 4-way, 1x Cuckoo tag
 /// store with the given entry format; `None` for formats the scaling model
@@ -60,9 +66,8 @@ fn main() {
         "energy %",
         "area %",
     ]);
-    let fmt = |v: Option<f64>, digits: usize| {
-        v.map_or("-".to_string(), |x| format!("{x:.digits$}"))
-    };
+    let fmt =
+        |v: Option<f64>, digits: usize| v.map_or("-".to_string(), |x| format!("{x:.digits$}"));
     for r in &rows {
         table.add_row(vec![
             r.cores.to_string(),

@@ -1,18 +1,24 @@
 //! Figure 10 — average insertion attempts per workload for the selected
 //! Cuckoo organizations (4×512 Shared-L2, 3×8192 Private-L2).
 
-use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::{
+    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
+};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_hash::HashKind;
 use ccd_workloads::WorkloadProfile;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AttemptsRow {
     workload: String,
     shared_l2_attempts: f64,
     private_l2_attempts: f64,
 }
+ccd_bench::impl_to_json!(AttemptsRow {
+    workload,
+    shared_l2_attempts,
+    private_l2_attempts
+});
 
 fn main() {
     let scale = RunScale::from_env();
@@ -28,7 +34,10 @@ fn main() {
         sets: 8192,
         hash: HashKind::Skewing,
     };
-    print_system_banner("Figure 10: Cuckoo average insertion attempts (4x512 / 3x8192)", &shared);
+    print_system_banner(
+        "Figure 10: Cuckoo average insertion attempts (4x512 / 3x8192)",
+        &shared,
+    );
     println!();
 
     let workloads = WorkloadProfile::all_paper_workloads();
@@ -44,7 +53,11 @@ fn main() {
         }
     });
 
-    let mut table = TextTable::new(vec!["workload", "Shared-L2 attempts", "Private-L2 attempts"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "Shared-L2 attempts",
+        "Private-L2 attempts",
+    ]);
     for row in &rows {
         table.add_row(vec![
             row.workload.clone(),

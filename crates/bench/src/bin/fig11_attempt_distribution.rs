@@ -9,14 +9,17 @@ use ccd_bench::{print_system_banner, simulate_workload, write_json, RunScale, Te
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_hash::HashKind;
 use ccd_workloads::WorkloadProfile;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Distribution {
     label: String,
     /// `percent[a]` = share of insert operations that took `a` attempts.
     percent_by_attempts: Vec<(u64, f64)>,
 }
+ccd_bench::impl_to_json!(Distribution {
+    label,
+    percent_by_attempts
+});
 
 fn distribution(
     label: &str,
@@ -25,8 +28,7 @@ fn distribution(
     profile: &WorkloadProfile,
     scale: RunScale,
 ) -> Distribution {
-    let report =
-        simulate_workload(system, spec, profile, scale, 0xF11).expect("simulation failed");
+    let report = simulate_workload(system, spec, profile, scale, 0xF11).expect("simulation failed");
     let hist = &report.directory.insertion_attempts;
     let percent_by_attempts = (0..=hist.max_value())
         .map(|a| (a, hist.fraction(a) * 100.0))
@@ -42,7 +44,10 @@ fn main() {
     let scale = RunScale::from_env();
     let shared = SystemConfig::table1(Hierarchy::SharedL2);
     let private = SystemConfig::table1(Hierarchy::PrivateL2);
-    print_system_banner("Figure 11: worst-case insertion-attempt distributions", &shared);
+    print_system_banner(
+        "Figure 11: worst-case insertion-attempt distributions",
+        &shared,
+    );
     println!();
 
     let oracle = distribution(

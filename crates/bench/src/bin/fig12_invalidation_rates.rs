@@ -7,12 +7,13 @@
 //! 8× capacity, (c) a 4-way skewed-associative directory with 2× capacity,
 //! and (d) the selected Cuckoo directory (1× Shared-L2 / 1.5× Private-L2).
 
-use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::{
+    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
+};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_workloads::WorkloadProfile;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct InvalidationRow {
     configuration: String,
     workload: String,
@@ -21,6 +22,14 @@ struct InvalidationRow {
     skewed_2x_percent: f64,
     cuckoo_percent: f64,
 }
+ccd_bench::impl_to_json!(InvalidationRow {
+    configuration,
+    workload,
+    sparse_2x_percent,
+    sparse_8x_percent,
+    skewed_2x_percent,
+    cuckoo_percent
+});
 
 fn main() {
     let scale = RunScale::from_env();

@@ -3,9 +3,8 @@
 
 use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Series {
     hierarchy: String,
     organization: String,
@@ -13,6 +12,13 @@ struct Series {
     energy_percent: Vec<f64>,
     area_percent: Vec<f64>,
 }
+ccd_bench::impl_to_json!(Series {
+    hierarchy,
+    organization,
+    cores,
+    energy_percent,
+    area_percent
+});
 
 fn sweep(hierarchy: &str, model: &EnergyModel, orgs: &[DirOrg]) -> Vec<Series> {
     let cores = EnergyModel::paper_core_counts();
@@ -37,7 +43,11 @@ fn print_panel(title: &str, series: &[Series], energy: bool) {
     headers.extend(cores.iter().map(|c| format!("{c} cores")));
     let mut table = TextTable::new(headers);
     for s in series {
-        let values = if energy { &s.energy_percent } else { &s.area_percent };
+        let values = if energy {
+            &s.energy_percent
+        } else {
+            &s.area_percent
+        };
         let mut row = vec![s.organization.clone()];
         row.extend(values.iter().map(|v| format!("{v:.1}%")));
         table.add_row(row);
@@ -47,7 +57,9 @@ fn print_panel(title: &str, series: &[Series], energy: bool) {
 
 fn main() {
     println!("== Figure 13: directory energy and area vs core count ==");
-    println!("   energy relative to one 1MB 16-way L2 tag lookup; area relative to a 1MB L2 data array");
+    println!(
+        "   energy relative to one 1MB 16-way L2 tag lookup; area relative to a 1MB L2 data array"
+    );
 
     let shared_model = EnergyModel::shared_l2();
     let private_model = EnergyModel::private_l2();

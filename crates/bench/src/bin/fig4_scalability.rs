@@ -8,18 +8,25 @@
 
 use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig4Series {
     organization: String,
     cores: Vec<usize>,
     energy_percent: Vec<f64>,
     area_percent: Vec<f64>,
 }
+ccd_bench::impl_to_json!(Fig4Series {
+    organization,
+    cores,
+    energy_percent,
+    area_percent
+});
 
 fn main() {
-    println!("== Figure 4: scalability of prior directory organizations (Shared-L2, I+D L1 caches) ==");
+    println!(
+        "== Figure 4: scalability of prior directory organizations (Shared-L2, I+D L1 caches) =="
+    );
     let model = EnergyModel::shared_l2();
     let cores = EnergyModel::paper_core_counts();
 
@@ -36,13 +43,20 @@ fn main() {
         })
         .collect();
 
-    for (title, energy) in [("Energy (% of a 1MB L2 tag lookup)", true), ("Area (% of a 1MB L2 data array)", false)] {
+    for (title, energy) in [
+        ("Energy (% of a 1MB L2 tag lookup)", true),
+        ("Area (% of a 1MB L2 data array)", false),
+    ] {
         println!("\n{title}");
         let mut headers = vec!["organization".to_string()];
         headers.extend(cores.iter().map(|c| format!("{c}")));
         let mut table = TextTable::new(headers);
         for s in &series {
-            let values = if energy { &s.energy_percent } else { &s.area_percent };
+            let values = if energy {
+                &s.energy_percent
+            } else {
+                &s.area_percent
+            };
             let mut row = vec![s.organization.clone()];
             row.extend(values.iter().map(|v| format!("{v:.1}")));
             table.add_row(row);

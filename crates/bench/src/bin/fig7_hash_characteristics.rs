@@ -10,28 +10,33 @@ use ccd_bench::{write_json, TextTable};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
-use serde::Serialize;
 
 /// Occupancy bucket width of the reported curves.
 const BUCKET: f64 = 0.05;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CurvePoint {
     occupancy: f64,
     avg_attempts: f64,
     failure_probability: f64,
 }
+ccd_bench::impl_to_json!(CurvePoint {
+    occupancy,
+    avg_attempts,
+    failure_probability
+});
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Curve {
     arity: usize,
     points: Vec<CurvePoint>,
 }
+ccd_bench::impl_to_json!(Curve { arity, points });
 
 fn characterize(arity: usize, sets: usize, seed: u64) -> Curve {
     let mut table: CuckooTable<()> =
         CuckooTable::new(arity, sets, HashKind::Strong, seed).expect("valid geometry");
-    let mut keys = RandomKeyStream::new(seed ^ 0xF16_7);
+    let mut keys = RandomKeyStream::new(seed ^ 0xF167);
     let capacity = table.capacity();
 
     let buckets = (1.0 / BUCKET) as usize;
@@ -86,7 +91,11 @@ fn main() {
         let occ = b as f64 * BUCKET;
         let mut row = vec![format!("{occ:.2}")];
         for curve in &curves {
-            match curve.points.iter().find(|p| (p.occupancy - occ).abs() < 1e-9) {
+            match curve
+                .points
+                .iter()
+                .find(|p| (p.occupancy - occ).abs() < 1e-9)
+            {
                 Some(p) => {
                     row.push(format!("{:.2}", p.avg_attempts));
                     row.push(format!("{:.1}", p.failure_probability * 100.0));

@@ -7,25 +7,37 @@
 //! over-provisioning while the Private-L2 configuration needs ~1.5×
 //! (Section 5.2).
 
-use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::{
+    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
+};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_workloads::WorkloadProfile;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct OccupancyRow {
     workload: String,
     shared_l2_occupancy: f64,
     private_l2_occupancy: f64,
 }
+ccd_bench::impl_to_json!(OccupancyRow {
+    workload,
+    shared_l2_occupancy,
+    private_l2_occupancy
+});
 
 fn measure(system: &SystemConfig, profile: &WorkloadProfile, scale: RunScale) -> f64 {
     // Use an amply provisioned (2x) Cuckoo directory so no forced evictions
     // perturb the measurement, then rescale the reported occupancy to the
     // worst-case (1x) capacity.
     let spec = DirectorySpec::cuckoo(4, 2.0);
-    let report = simulate_workload(system, &spec, profile, scale, 0x0CC + profile.name.len() as u64)
-        .expect("simulation failed");
+    let report = simulate_workload(
+        system,
+        &spec,
+        profile,
+        scale,
+        0x0CC + profile.name.len() as u64,
+    )
+    .expect("simulation failed");
     let capacity_per_slice = 4.0
         * ((system.tracked_frames_per_slice() as f64 * 2.0 / 4.0).ceil() as usize)
             .next_power_of_two() as f64;
@@ -47,7 +59,11 @@ fn main() {
         private_l2_occupancy: measure(&private, profile, scale),
     });
 
-    let mut table = TextTable::new(vec!["workload", "Shared-L2 occupancy %", "Private-L2 occupancy %"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "Shared-L2 occupancy %",
+        "Private-L2 occupancy %",
+    ]);
     for row in &rows {
         table.add_row(vec![
             row.workload.clone(),

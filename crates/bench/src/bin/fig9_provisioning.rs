@@ -6,13 +6,14 @@
 //! insertion attempts and forced-invalidation rates over the full workload
 //! suite.
 
-use ccd_bench::{parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::{
+    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
+};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_hash::HashKind;
 use ccd_workloads::WorkloadProfile;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct ProvisioningRow {
     configuration: String,
     organization: String,
@@ -20,6 +21,13 @@ struct ProvisioningRow {
     avg_insertion_attempts: f64,
     forced_invalidation_rate_percent: f64,
 }
+ccd_bench::impl_to_json!(ProvisioningRow {
+    configuration,
+    organization,
+    provisioning,
+    avg_insertion_attempts,
+    forced_invalidation_rate_percent
+});
 
 /// The per-slice organizations of Figure 9: (ways, sets, provisioning label).
 fn organizations(hierarchy: Hierarchy) -> Vec<(usize, usize, &'static str)> {
@@ -62,7 +70,10 @@ fn main() {
                 simulate_workload(&system, &spec, profile, scale, 0xF19 + ways as u64)
                     .expect("simulation failed")
             });
-            let attempts: f64 = reports.iter().map(|r| r.avg_insertion_attempts()).sum::<f64>()
+            let attempts: f64 = reports
+                .iter()
+                .map(|r| r.avg_insertion_attempts())
+                .sum::<f64>()
                 / reports.len() as f64;
             let invalidation_rate: f64 = reports
                 .iter()

@@ -14,23 +14,34 @@ use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::{RandomKeyStream, WorkloadProfile};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct TableStudyRow {
     hash: String,
     occupancy_target: f64,
     avg_attempts: f64,
     failure_percent: f64,
 }
+ccd_bench::impl_to_json!(TableStudyRow {
+    hash,
+    occupancy_target,
+    avg_attempts,
+    failure_percent
+});
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SimStudyRow {
     hash: String,
     workload: String,
     forced_invalidation_percent: f64,
     avg_attempts: f64,
 }
+ccd_bench::impl_to_json!(SimStudyRow {
+    hash,
+    workload,
+    forced_invalidation_percent,
+    avg_attempts
+});
 
 fn table_study(kind: HashKind, target: f64) -> TableStudyRow {
     let mut table: CuckooTable<()> = CuckooTable::new(4, 8192, kind, 7).expect("valid");
@@ -65,7 +76,12 @@ fn main() {
             raw_rows.push(table_study(kind, target));
         }
     }
-    let mut table = TextTable::new(vec!["hash family", "fill target", "avg attempts", "failure %"]);
+    let mut table = TextTable::new(vec![
+        "hash family",
+        "fill target",
+        "avg attempts",
+        "failure %",
+    ]);
     for r in &raw_rows {
         table.add_row(vec![
             r.hash.clone(),

@@ -3,14 +3,18 @@
 
 use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Ratio {
     claim: String,
     paper_value: String,
     measured: f64,
 }
+ccd_bench::impl_to_json!(Ratio {
+    claim,
+    paper_value,
+    measured
+});
 
 fn main() {
     println!("== Headline efficiency ratios (Sections 1 and 7) ==\n");
@@ -25,7 +29,11 @@ fn main() {
         Ratio {
             claim: "1024 cores: energy advantage over Tagless (Shared-L2)".to_string(),
             paper_value: "up to 80x".to_string(),
-            measured: shared.energy_advantage(&DirOrg::cuckoo_coarse_shared(), &DirOrg::Tagless, 1024),
+            measured: shared.energy_advantage(
+                &DirOrg::cuckoo_coarse_shared(),
+                &DirOrg::Tagless,
+                1024,
+            ),
         },
         Ratio {
             claim: "1024 cores: area advantage over Sparse 8x Coarse (Shared-L2)".to_string(),
@@ -40,7 +48,11 @@ fn main() {
         Ratio {
             claim: "16 cores: energy advantage over Duplicate-Tag (Private-L2)".to_string(),
             paper_value: "up to 16x".to_string(),
-            measured: private.energy_advantage(&DirOrg::cuckoo_coarse_private(), &DirOrg::DuplicateTag, 16),
+            measured: private.energy_advantage(
+                &DirOrg::cuckoo_coarse_private(),
+                &DirOrg::DuplicateTag,
+                16,
+            ),
         },
         Ratio {
             claim: "16 cores: area advantage over Sparse 8x Coarse (Private-L2)".to_string(),
@@ -67,7 +79,11 @@ fn main() {
 
     let mut table = TextTable::new(vec!["claim", "paper", "this model"]);
     for r in &ratios {
-        table.add_row(vec![r.claim.clone(), r.paper_value.clone(), format!("{:.1}", r.measured)]);
+        table.add_row(vec![
+            r.claim.clone(),
+            r.paper_value.clone(),
+            format!("{:.1}", r.measured),
+        ]);
     }
     table.print();
     write_json("headline_ratios", &ratios);

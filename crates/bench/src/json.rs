@@ -1,0 +1,253 @@
+//! Dependency-free JSON serialization for the experiment result files.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, so the figure
+//! binaries serialize their row structs through this small [`ToJson`] trait
+//! instead.  [`crate::impl_to_json!`] generates the field-by-field impl for
+//! a plain struct in one line.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (serialized without a trailing `.0` for integral values).
+    Num(f64),
+    /// A string (escaped on rendering).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(fields: Vec<(String, Json)>) -> Json {
+        Json::Obj(fields)
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_num(n: f64, out: &mut String) {
+        if n.is_finite() {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                let _ = write!(out, "{}", n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        } else {
+            // JSON has no NaN/Inf; mirror serde_json's lossy convention.
+            out.push_str("null");
+        }
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        const PAD: &str = "  ";
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => Self::write_num(*n, out),
+            Json::Str(s) => Self::write_escaped(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&PAD.repeat(indent + 1));
+                    item.render(indent + 1, out);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&PAD.repeat(indent + 1));
+                    Self::write_escaped(key, out);
+                    out.push_str(": ");
+                    value.render(indent + 1, out);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty())
+    }
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),+) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        })+
+    };
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+/// Implements [`ToJson`] for a plain struct by listing its fields:
+///
+/// ```
+/// struct Row {
+///     workload: String,
+///     rate: f64,
+/// }
+/// ccd_bench::impl_to_json!(Row { workload, rate });
+/// # let row = Row { workload: "DB2".into(), rate: 0.5 };
+/// # use ccd_bench::json::ToJson;
+/// # assert!(row.to_json().to_pretty().contains("\"workload\""));
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::obj(vec![
+                    $((stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_strings() {
+        assert_eq!(3u32.to_json().to_pretty(), "3");
+        assert_eq!(2.5f64.to_json().to_pretty(), "2.5");
+        assert_eq!(true.to_json().to_pretty(), "true");
+        assert_eq!("a\"b".to_json().to_pretty(), "\"a\\\"b\"");
+        assert_eq!(Option::<u32>::None.to_json().to_pretty(), "null");
+        assert_eq!(f64::NAN.to_json().to_pretty(), "null");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        struct Row {
+            name: String,
+            values: Vec<(u64, f64)>,
+        }
+        impl_to_json!(Row { name, values });
+        let row = Row {
+            name: "x".into(),
+            values: vec![(1, 0.5)],
+        };
+        let text = vec![row].to_json().to_pretty();
+        assert!(text.starts_with('['));
+        assert!(text.contains("\"name\": \"x\""));
+        assert!(text.contains('['));
+        // Integral floats render without a fraction.
+        assert!(text.contains('1'));
+    }
+}

@@ -17,12 +17,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod json;
+
 use ccd_coherence::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
 use ccd_common::ConfigError;
 use ccd_workloads::{TraceGenerator, WorkloadProfile};
-use serde::Serialize;
+use json::ToJson;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+impl_to_json!(WorkloadProfile {
+    name,
+    shared_code_blocks,
+    shared_data_blocks,
+    private_data_blocks,
+    ifetch_fraction,
+    write_fraction,
+    shared_data_fraction,
+    shared_skew,
+    private_skew,
+});
 
 /// How much work each simulation performs, expressed as multiples of the
 /// aggregate tracked-cache capacity (so Private-L2 runs, whose caches are
@@ -134,9 +148,9 @@ where
         items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if index >= items.len() {
                     break;
@@ -145,8 +159,7 @@ where
                 *results[index].lock().unwrap() = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()
@@ -221,20 +234,15 @@ pub fn results_dir() -> PathBuf {
 
 /// Serializes `value` as pretty JSON under [`results_dir`]`/name.json`.
 /// Failures are reported to stderr but do not abort the experiment.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: could not create {}: {e}", dir.display());
         return;
     }
     let path: &Path = &dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(path, value.to_json().to_pretty()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 

@@ -3,7 +3,6 @@
 use crate::CacheConfig;
 use ccd_common::stats::Counter;
 use ccd_common::{ConfigError, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// MESI-lite coherence state of a resident block.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// writable by exactly one (`Modified`).  Exclusive-clean is folded into
 /// `Shared` because, from the directory's perspective, the transition that
 /// matters is the upgrade that invalidates other copies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CoherenceState {
     /// Readable copy; other caches may also hold the block.
     Shared,
@@ -54,7 +53,7 @@ impl AccessOutcome {
 }
 
 /// Hit/miss/eviction counters for one cache.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: Counter,
@@ -172,7 +171,8 @@ impl Cache {
     /// Returns the coherence state of `line`, if resident.
     #[must_use]
     pub fn state_of(&self, line: LineAddr) -> Option<CoherenceState> {
-        self.find_frame(line).map(|f| self.frames[f].as_ref().unwrap().state)
+        self.find_frame(line)
+            .map(|f| self.frames[f].as_ref().unwrap().state)
     }
 
     /// Iterates over all resident lines and their states.
@@ -184,7 +184,10 @@ impl Cache {
 
     fn touch(&mut self, frame: usize) {
         self.tick += 1;
-        self.frames[frame].as_mut().expect("frame is valid").last_use = self.tick;
+        self.frames[frame]
+            .as_mut()
+            .expect("frame is valid")
+            .last_use = self.tick;
     }
 
     /// Fills `line` into its set in the given state, returning the displaced
@@ -314,7 +317,10 @@ mod tests {
     #[test]
     fn read_miss_then_hit() {
         let mut c = tiny();
-        assert!(matches!(c.access_read(line(0)), AccessOutcome::Miss { victim: None }));
+        assert!(matches!(
+            c.access_read(line(0)),
+            AccessOutcome::Miss { victim: None }
+        ));
         assert!(matches!(c.access_read(line(0)), AccessOutcome::Hit));
         assert_eq!(c.state_of(line(0)), Some(CoherenceState::Shared));
         assert_eq!(c.stats().hits.get(), 1);

@@ -1,10 +1,9 @@
 //! Cache geometry configuration.
 
 use ccd_common::{BlockGeometry, ConfigError};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one set-associative cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets.
     pub sets: usize,
@@ -169,7 +168,10 @@ mod tests {
         assert!(CacheConfig::new(512, 0, 64).validate().is_err());
         assert!(CacheConfig::new(512, 2, 48).validate().is_err());
         assert!(CacheConfig::new(100, 2, 64).validate().is_err());
-        assert!(CacheConfig::new(512, 3, 64).validate().is_ok(), "odd way counts are fine");
+        assert!(
+            CacheConfig::new(512, 3, 64).validate().is_ok(),
+            "odd way counts are fine"
+        );
     }
 
     #[test]

@@ -2,11 +2,10 @@
 
 use ccd_cache::CacheConfig;
 use ccd_common::{BlockGeometry, ConfigError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which cache level the coherence directory tracks (Section 2, Figure 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Hierarchy {
     /// Private split I/D L1s backed by a shared, address-interleaved L2;
     /// the directory tracks L1 blocks (two caches per core).
@@ -27,7 +26,7 @@ impl fmt::Display for Hierarchy {
 }
 
 /// Configuration of the simulated tiled CMP (Table 1 of the paper).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Number of cores (= tiles = directory slices).
     pub num_cores: usize,
@@ -187,7 +186,10 @@ mod tests {
         let c64 = SystemConfig::shared_l2(64);
         // Per-slice tracked frames stay constant as the system scales (one
         // slice and one set of caches are added per core).
-        assert_eq!(c4.tracked_frames_per_slice(), c64.tracked_frames_per_slice());
+        assert_eq!(
+            c4.tracked_frames_per_slice(),
+            c64.tracked_frames_per_slice()
+        );
         assert_eq!(c64.total_tracked_frames(), 16 * c4.total_tracked_frames());
     }
 

@@ -1,7 +1,6 @@
 //! Aggregated simulation results.
 
 use ccd_directory::DirectoryStats;
-use serde::{Deserialize, Serialize};
 
 /// The result of one simulation run: directory statistics merged across all
 /// slices plus cache-side and protocol-side counters.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// [`SimReport::avg_directory_occupancy`] (Figure 8),
 /// [`SimReport::avg_insertion_attempts`] (Figures 9–11) and
 /// [`SimReport::forced_invalidation_rate`] (Figures 9 and 12).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Label of the directory organization simulated.
     pub organization: String,

@@ -4,7 +4,7 @@ use crate::{DirectorySpec, Hierarchy, SimReport, SystemConfig};
 use ccd_cache::{AccessOutcome, Cache, CoherenceState};
 use ccd_common::stats::{Counter, MeanAccumulator};
 use ccd_common::{AccessType, BlockGeometry, CacheId, ConfigError, CoreId, LineAddr, MemRef};
-use ccd_directory::{Directory, DirectoryStats, UpdateResult};
+use ccd_directory::{Directory, DirectoryOp, DirectoryStats, Outcome};
 
 /// How often (in processed references) the directory occupancy is sampled.
 const OCCUPANCY_SAMPLE_INTERVAL: u64 = 8_192;
@@ -21,6 +21,9 @@ pub struct CmpSimulator {
     geom: BlockGeometry,
     caches: Vec<Cache>,
     slices: Vec<Box<dyn Directory>>,
+    /// Reusable op-outcome buffer: the per-reference protocol sequence
+    /// performs no heap allocation once its capacity is warmed up.
+    outcome: Outcome,
     refs_processed: u64,
     occupancy_samples: MeanAccumulator,
     coherence_invalidations: Counter,
@@ -60,6 +63,7 @@ impl CmpSimulator {
             system,
             caches,
             slices,
+            outcome: Outcome::new(),
             refs_processed: 0,
             occupancy_samples: MeanAccumulator::new(),
             coherence_invalidations: Counter::new(),
@@ -129,34 +133,54 @@ impl CmpSimulator {
     /// Applies the cache-side effects of a directory update: coherence
     /// invalidations of other sharers and forced invalidations of blocks
     /// whose directory entries were evicted.
-    fn apply_update(&mut self, slice: usize, line: LineAddr, result: &UpdateResult) {
-        for &target in &result.invalidate {
+    fn apply_update(&mut self, slice: usize, line: LineAddr, out: &Outcome) {
+        for &target in out.invalidate() {
             if self.caches[target.index()].invalidate(line).is_some() {
                 self.coherence_invalidations.incr();
             }
         }
-        for eviction in &result.forced_evictions {
+        for eviction in out.forced_evictions() {
             let victim_line = self.global_line(slice, eviction.line);
-            for &target in &eviction.invalidate {
-                if self.caches[target.index()].invalidate(victim_line).is_some() {
+            for &target in eviction.targets {
+                if self.caches[target.index()]
+                    .invalidate(victim_line)
+                    .is_some()
+                {
                     self.forced_invalidations.incr();
                 }
             }
         }
     }
 
+    /// Dispatches `op` to `slice`'s directory through the reusable outcome
+    /// buffer and applies the resulting invalidations to the caches.
+    fn dispatch(&mut self, slice: usize, line: LineAddr, op: DirectoryOp) {
+        let mut out = std::mem::take(&mut self.outcome);
+        self.slices[slice].apply(op, &mut out);
+        self.apply_update(slice, line, &out);
+        self.outcome = out;
+    }
+
     /// Downgrades any cache holding `line` in Modified state (another cache
-    /// is about to obtain a shared copy).
-    fn downgrade_writers(&mut self, slice: usize, local: LineAddr, line: LineAddr, requester: CacheId) {
-        if let Some(sharers) = self.slices[slice].sharers(local) {
-            for sharer in sharers {
-                if sharer != requester
-                    && self.caches[sharer.index()].state_of(line) == Some(CoherenceState::Modified)
-                {
-                    self.caches[sharer.index()].downgrade(line);
-                }
+    /// is about to obtain a shared copy).  Allocation-free: one `Probe`
+    /// through the reusable outcome buffer yields the sharer set.
+    fn downgrade_writers(
+        &mut self,
+        slice: usize,
+        local: LineAddr,
+        line: LineAddr,
+        requester: CacheId,
+    ) {
+        let mut out = std::mem::take(&mut self.outcome);
+        self.slices[slice].apply(DirectoryOp::Probe { line: local }, &mut out);
+        for &sharer in out.sharers() {
+            if sharer != requester
+                && self.caches[sharer.index()].state_of(line) == Some(CoherenceState::Modified)
+            {
+                self.caches[sharer.index()].downgrade(line);
             }
         }
+        self.outcome = out;
     }
 
     /// Processes one memory reference.
@@ -175,28 +199,50 @@ impl CmpSimulator {
             AccessOutcome::Hit => {}
             AccessOutcome::UpgradeMiss => {
                 let (slice, local) = self.home_of(line);
-                let result = self.slices[slice].set_exclusive(local, cache_id);
-                self.apply_update(slice, line, &result);
+                self.dispatch(
+                    slice,
+                    line,
+                    DirectoryOp::SetExclusive {
+                        line: local,
+                        cache: cache_id,
+                    },
+                );
             }
             AccessOutcome::Miss { victim } => {
                 // Tell the victim's home slice the block left this cache.
                 if let Some(evicted) = victim {
                     let (vslice, vlocal) = self.home_of(evicted.line);
-                    self.slices[vslice].remove_sharer(vlocal, cache_id);
+                    self.dispatch(
+                        vslice,
+                        evicted.line,
+                        DirectoryOp::RemoveSharer {
+                            line: vlocal,
+                            cache: cache_id,
+                        },
+                    );
                 }
                 let (slice, local) = self.home_of(line);
-                let result = if is_write {
-                    self.slices[slice].set_exclusive(local, cache_id)
+                let op = if is_write {
+                    DirectoryOp::SetExclusive {
+                        line: local,
+                        cache: cache_id,
+                    }
                 } else {
                     self.downgrade_writers(slice, local, line, cache_id);
-                    self.slices[slice].add_sharer(local, cache_id)
+                    DirectoryOp::AddSharer {
+                        line: local,
+                        cache: cache_id,
+                    }
                 };
-                self.apply_update(slice, line, &result);
+                self.dispatch(slice, line, op);
             }
         }
 
         self.refs_processed += 1;
-        if self.refs_processed % OCCUPANCY_SAMPLE_INTERVAL == 0 {
+        if self
+            .refs_processed
+            .is_multiple_of(OCCUPANCY_SAMPLE_INTERVAL)
+        {
             let occupancy = self.current_occupancy();
             self.occupancy_samples.record(occupancy);
         }
@@ -312,9 +358,7 @@ mod tests {
         let mut bad = small_shared_system();
         bad.num_cores = 3;
         assert!(CmpSimulator::new(bad, &DirectorySpec::cuckoo(4, 1.0)).is_err());
-        assert!(
-            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(1, 1.0)).is_err()
-        );
+        assert!(CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(1, 1.0)).is_err());
     }
 
     #[test]
@@ -343,7 +387,10 @@ mod tests {
         // Core 1 writes its already-resident shared copy: an upgrade miss.
         sim.process(write(1, 7));
         let report = sim.report();
-        assert_eq!(report.coherence_invalidations, 1, "core 2 must be invalidated");
+        assert_eq!(
+            report.coherence_invalidations, 1,
+            "core 2 must be invalidated"
+        );
     }
 
     #[test]
@@ -456,6 +503,9 @@ mod tests {
         let report = sim.report();
         assert!(report.avg_directory_occupancy > 0.0);
         assert_eq!(report.organization, "Cuckoo 1x (4-way)");
-        assert!(report.cache_miss_rate() > 0.9, "cold cache: almost all misses");
+        assert!(
+            report.cache_miss_rate() > 0.9,
+            "cold cache: almost all misses"
+        );
     }
 }

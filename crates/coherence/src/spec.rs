@@ -17,7 +17,6 @@ use ccd_directory::{
 };
 use ccd_hash::HashKind;
 use ccd_sharers::FullBitVector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A directory organization plus its sizing policy.
@@ -26,7 +25,7 @@ use std::fmt;
 /// worst-case number of blocks a slice must track
 /// ([`SystemConfig::tracked_frames_per_slice`]), exactly as the paper labels
 /// its configurations (Figure 9, Figure 12).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DirectorySpec {
     /// The Cuckoo directory (the paper's contribution).
     Cuckoo {
@@ -72,6 +71,14 @@ pub enum DirectorySpec {
         /// Hash probes per filter operation.
         probes: usize,
     },
+    /// Any organization expressible as a `ccd-directory` spec string (e.g.
+    /// `"cuckoo-4x512-skew"`, `"sharded4:sparse-8x512"`), resolved through
+    /// [`ccd_cuckoo::standard_registry`].  The tracked-cache count is taken
+    /// from the [`SystemConfig`], overriding any `-cN` modifier.
+    Custom {
+        /// The spec string (see `ccd_directory::spec` for the grammar).
+        spec: String,
+    },
 }
 
 impl DirectorySpec {
@@ -107,6 +114,18 @@ impl DirectorySpec {
         }
     }
 
+    /// An organization given as a `ccd-directory` spec string (validated on
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed spec string.
+    pub fn custom(spec: impl Into<String>) -> Result<Self, ConfigError> {
+        let spec = spec.into();
+        spec.parse::<ccd_directory::DirectorySpec>()?;
+        Ok(DirectorySpec::Custom { spec })
+    }
+
     /// A short label matching the paper's naming (e.g. `"Cuckoo 1.5x (3-way)"`).
     #[must_use]
     pub fn label(&self) -> String {
@@ -126,6 +145,7 @@ impl DirectorySpec {
             DirectorySpec::DuplicateTag => "Duplicate-Tag".to_string(),
             DirectorySpec::InCache => "In-Cache".to_string(),
             DirectorySpec::Tagless { .. } => "Tagless".to_string(),
+            DirectorySpec::Custom { spec } => spec.clone(),
         }
     }
 
@@ -190,7 +210,24 @@ impl DirectorySpec {
                     *probes,
                 )?)
             }
+            DirectorySpec::Custom { spec } => {
+                let parsed = spec
+                    .parse::<ccd_directory::DirectorySpec>()?
+                    .with_caches(caches);
+                ccd_cuckoo::standard_registry().build(&parsed)?
+            }
         })
+    }
+}
+
+impl std::str::FromStr for DirectorySpec {
+    type Err = ConfigError;
+
+    /// Parses a `ccd-directory` spec string into a
+    /// [`DirectorySpec::Custom`], making the simulator configuration fully
+    /// string-driven (`"cuckoo-4x512-skew"`, `"sharded8:sparse-8x256"`, …).
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        DirectorySpec::custom(s)
     }
 }
 
@@ -266,5 +303,25 @@ mod tests {
         }
         .build_slice(&shared)
         .is_err());
+    }
+
+    #[test]
+    fn custom_specs_build_through_the_registry() {
+        let shared = SystemConfig::table1(Hierarchy::SharedL2);
+        let dir = "cuckoo-4x512-skew"
+            .parse::<DirectorySpec>()
+            .unwrap()
+            .build_slice(&shared)
+            .unwrap();
+        assert_eq!(dir.capacity(), 2048);
+        assert_eq!(dir.num_caches(), 32, "caches come from the system config");
+
+        let sharded_spec = DirectorySpec::custom("sharded4:sparse-8x512").unwrap();
+        assert_eq!(sharded_spec.label(), "sharded4:sparse-8x512");
+        let sharded = sharded_spec.build_slice(&shared).unwrap();
+        assert_eq!(sharded.capacity(), 8 * 512);
+
+        assert!(DirectorySpec::custom("bogus-1x2").is_err());
+        assert!("sparse-0x64".parse::<DirectorySpec>().is_err());
     }
 }

@@ -14,7 +14,6 @@
 //! silently mix granularities.
 
 use crate::{ceil_log2, is_power_of_two, ConfigError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A physical byte address.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(a.raw(), 0x1000);
 /// assert_eq!(Address::from(0x1000u64), a);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(u64);
 
 impl Address {
@@ -83,7 +82,7 @@ impl fmt::LowerHex for Address {
 /// let line = geom.line_of(Address::new(0x12345));
 /// assert_eq!(line.block_number(), 0x12345 / 64);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -134,7 +133,7 @@ impl fmt::Display for LineAddr {
 ///
 /// The paper's system uses 64-byte blocks everywhere (Table 1); other sizes
 /// are supported for sensitivity studies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BlockGeometry {
     block_bytes: u64,
     offset_bits: u32,

@@ -47,6 +47,13 @@ pub enum ConfigError {
         /// Description of the violated relationship.
         what: &'static str,
     },
+    /// A textual specification (e.g. a `DirectorySpec` string) could not be
+    /// parsed.
+    Parse {
+        /// Description of what failed to parse, including the rejected
+        /// input.
+        what: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -63,6 +70,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "{what} is {value}, below the minimum of {min}")
             }
             ConfigError::Inconsistent { what } => write!(f, "inconsistent configuration: {what}"),
+            ConfigError::Parse { what } => write!(f, "parse error: {what}"),
         }
     }
 }

@@ -8,14 +8,13 @@
 //! Keeping the three identifier spaces as distinct types prevents the classic
 //! "indexed the sharer vector with a tile id" class of bug.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $display:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(u32);
 
@@ -95,19 +94,16 @@ id_type!(
 );
 
 /// Helpers enumerating identifier ranges.
-#[must_use]
 pub fn all_cores(count: usize) -> impl Iterator<Item = CoreId> {
     (0..count as u32).map(CoreId::new)
 }
 
 /// Enumerates `count` cache identifiers starting at zero.
-#[must_use]
 pub fn all_caches(count: usize) -> impl Iterator<Item = CacheId> {
     (0..count as u32).map(CacheId::new)
 }
 
 /// Enumerates `count` slice identifiers starting at zero.
-#[must_use]
 pub fn all_slices(count: usize) -> impl Iterator<Item = SliceId> {
     (0..count as u32).map(SliceId::new)
 }

@@ -8,11 +8,10 @@
 //! lets users feed their own traces into the simulator.
 
 use crate::{Address, CoreId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of memory access a core performed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessType {
     /// Instruction fetch (serviced by the L1 instruction cache in the
     /// Shared-L2 configuration).
@@ -49,7 +48,7 @@ impl fmt::Display for AccessType {
 }
 
 /// One memory reference issued by one core.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MemRef {
     /// The core that issued the access.
     pub core: CoreId,
@@ -106,7 +105,14 @@ mod tests {
 
         let i = MemRef::ifetch(CoreId::new(3), Address::new(0x300));
         assert!(i.kind.is_instruction());
-        assert_eq!(i, MemRef::new(CoreId::new(3), Address::new(0x300), AccessType::InstructionFetch));
+        assert_eq!(
+            i,
+            MemRef::new(
+                CoreId::new(3),
+                Address::new(0x300),
+                AccessType::InstructionFetch
+            )
+        );
     }
 
     #[test]

@@ -208,10 +208,7 @@ impl Xoshiro256 {
 
 impl Rng64 for Xoshiro256 {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -248,10 +245,7 @@ mod tests {
     #[test]
     fn xoshiro_streams_differ() {
         let streams = Xoshiro256::streams(1, 8);
-        let firsts: Vec<u64> = streams
-            .into_iter()
-            .map(|mut s| s.next_u64())
-            .collect();
+        let firsts: Vec<u64> = streams.into_iter().map(|mut s| s.next_u64()).collect();
         for i in 0..firsts.len() {
             for j in (i + 1)..firsts.len() {
                 assert_ne!(firsts[i], firsts[j]);

@@ -2,7 +2,6 @@
 
 use ccd_common::ConfigError;
 use ccd_hash::HashKind;
-use serde::{Deserialize, Serialize};
 
 /// The insertion-attempt budget used throughout the paper's evaluation
 /// ("we allow up to 32 insertion attempts to ensure termination in the
@@ -16,7 +15,7 @@ pub const DEFAULT_MAX_ATTEMPTS: u32 = 32;
 /// a *provisioning factor* relating the capacity to the worst-case number of
 /// blocks the slice must track.  [`CuckooConfig::with_provisioning`] builds a
 /// configuration directly from that factor.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CuckooConfig {
     /// Number of ways (`d` of the d-ary cuckoo hash); the paper uses 3 or 4.
     pub ways: usize,
@@ -140,7 +139,9 @@ impl CuckooConfig {
             });
         }
         if self.num_caches == 0 {
-            return Err(ConfigError::Zero { what: "cache count" });
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
         }
         if self.max_insertion_attempts == 0 {
             return Err(ConfigError::Zero {

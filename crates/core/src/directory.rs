@@ -15,7 +15,7 @@
 
 use crate::{config::CuckooConfig, table::CuckooTable};
 use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
-use ccd_directory::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
+use ccd_directory::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
 use ccd_sharers::SharerSet;
 
 /// A Cuckoo directory slice: a d-ary cuckoo hash table of sharer sets.
@@ -35,12 +35,8 @@ impl<S: SharerSet> CuckooDirectory<S> {
     /// by the hash-family construction.
     pub fn new(config: CuckooConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let mut table = CuckooTable::new(
-            config.ways,
-            config.sets,
-            config.hash_kind,
-            config.hash_seed,
-        )?;
+        let mut table =
+            CuckooTable::new(config.ways, config.sets, config.hash_kind, config.hash_seed)?;
         table.set_max_attempts(config.max_insertion_attempts);
         Ok(CuckooDirectory {
             config,
@@ -68,41 +64,36 @@ impl<S: SharerSet> CuckooDirectory<S> {
     }
 
     /// Looks `line` up and, if absent, inserts a fresh entry via the cuckoo
-    /// displacement procedure.  Returns the update result; the entry for
-    /// `line` is guaranteed to exist afterwards.
-    fn find_or_allocate(&mut self, line: LineAddr) -> UpdateResult {
+    /// displacement procedure, recording hit / allocation / forced-eviction
+    /// facts in `out`.  The entry for `line` is guaranteed to exist
+    /// afterwards.
+    fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) {
         self.stats.lookups.incr();
         let key = line.block_number();
         if self.table.contains(key) {
-            return UpdateResult::existing();
+            out.set_hit(true);
+            return;
         }
 
         let outcome = self.table.insert(key, S::new(self.config.num_caches));
-        let mut result = UpdateResult {
-            allocated_new_entry: true,
-            insertion_attempts: outcome.attempts,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        };
+        out.record_allocation(outcome.attempts);
+        let mut forced = 0u64;
         if let Some((victim_key, victim_sharers)) = outcome.discarded {
-            // The attempt budget ran out: the most recently displaced entry
-            // (possibly the new entry itself under extreme pressure) is
-            // discarded and its cached copies must be invalidated.
+            // The attempt budget ran out: the entry displaced on the final
+            // attempt is discarded and its cached copies must be
+            // invalidated.  The table guarantees the *new* key is always
+            // stored — the discarded victim is never `line` itself — which
+            // is what lets `apply` unwrap the entry after this call.
+            out.record_insertion_failure();
             self.stats.insertion_failures.incr();
-            let invalidate = victim_sharers.invalidation_targets();
-            self.stats
-                .forced_block_invalidations
-                .add(invalidate.len() as u64);
-            result.forced_evictions.push(ForcedEviction {
-                line: LineAddr::from_block_number(victim_key),
-                invalidate,
-            });
+            let targets =
+                out.push_forced_eviction(LineAddr::from_block_number(victim_key), &victim_sharers);
+            self.stats.forced_block_invalidations.add(targets as u64);
+            forced = 1;
         }
-        let forced = result.forced_evictions.len() as u64;
         let occupancy = self.occupancy();
         self.stats
             .record_insertion(outcome.attempts, forced, occupancy);
-        result
     }
 }
 
@@ -130,63 +121,81 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
         self.table.contains(line.block_number())
     }
 
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
+        self.table
+            .get(line.block_number())
+            .is_some_and(|sharers| sharers.may_contain(cache))
+    }
+
+    // Override the default (which repeats the lookup once per cache id)
+    // with a single table probe.
     fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
         self.table
             .get(line.block_number())
             .map(SharerSet::invalidation_targets)
     }
 
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let result = self.find_or_allocate(line);
-        if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome) {
+        out.reset();
+        match op {
+            DirectoryOp::Probe { line } => {
+                if let Some(sharers) = self.table.get(line.block_number()) {
+                    out.set_hit(true);
+                    sharers.extend_targets(out.invalidate_buf());
+                }
+            }
+            DirectoryOp::AddSharer { line, cache } => {
+                self.find_or_allocate(line, out);
+                if out.hit() {
+                    self.stats.sharer_adds.incr();
+                }
+                self.table
+                    .get_mut(line.block_number())
+                    .expect("entry exists after find_or_allocate")
+                    .add(cache);
+            }
+            DirectoryOp::SetExclusive { line, cache } => {
+                self.find_or_allocate(line, out);
+                let entry = self
+                    .table
+                    .get_mut(line.block_number())
+                    .expect("entry exists after find_or_allocate");
+                let start = out.invalidate_len();
+                entry.extend_targets(out.invalidate_buf());
+                out.drop_invalidate_from(start, cache);
+                entry.clear();
+                entry.add(cache);
+                if out.invalidate_len() > start {
+                    out.record_invalidate_all();
+                    self.stats.invalidate_alls.incr();
+                } else if out.hit() {
+                    self.stats.sharer_adds.incr();
+                }
+            }
+            DirectoryOp::RemoveSharer { line, cache } => {
+                let key = line.block_number();
+                let Some(entry) = self.table.get_mut(key) else {
+                    return;
+                };
+                out.set_hit(true);
+                self.stats.sharer_removes.incr();
+                entry.remove(cache);
+                if entry.is_empty() {
+                    self.table.remove(key);
+                    out.record_removed_entry();
+                    self.stats.entry_removes.incr();
+                }
+            }
+            DirectoryOp::RemoveEntry { line } => {
+                let Some(entry) = self.table.remove(line.block_number()) else {
+                    return;
+                };
+                out.set_hit(true);
+                out.record_removed_entry();
+                entry.extend_targets(out.invalidate_buf());
+                self.stats.entry_removes.incr();
+            }
         }
-        self.table
-            .get_mut(line.block_number())
-            .expect("entry exists after find_or_allocate")
-            .add(cache);
-        result
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let mut result = self.find_or_allocate(line);
-        let entry = self
-            .table
-            .get_mut(line.block_number())
-            .expect("entry exists after find_or_allocate");
-        let mut others: Vec<CacheId> = entry
-            .invalidation_targets()
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        if !others.is_empty() {
-            self.stats.invalidate_alls.incr();
-        } else if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
-        }
-        entry.clear();
-        entry.add(cache);
-        result.invalidate.append(&mut others);
-        result
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        let key = line.block_number();
-        let Some(entry) = self.table.get_mut(key) else {
-            return;
-        };
-        self.stats.sharer_removes.incr();
-        entry.remove(cache);
-        if entry.is_empty() {
-            self.table.remove(key);
-            self.stats.entry_removes.incr();
-        }
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let entry = self.table.remove(line.block_number())?;
-        self.stats.entry_removes.incr();
-        Some(entry.invalidation_targets())
     }
 
     fn stats(&self) -> &DirectoryStats {

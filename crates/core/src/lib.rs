@@ -56,6 +56,39 @@ pub use config::CuckooConfig;
 pub use directory::CuckooDirectory;
 pub use table::{CuckooTable, InsertOutcome};
 
+use ccd_common::ConfigError;
+use ccd_directory::{match_sharer_format, BuilderRegistry, Directory, DirectorySpec};
+use ccd_hash::HashKind;
+
+/// The registry builder for `cuckoo-WxS[-hash]` specs.
+fn build_cuckoo(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    let config = CuckooConfig::new(spec.ways, spec.sets, spec.caches)
+        .with_hash_kind(spec.hash.unwrap_or(HashKind::Skewing));
+    Ok(match_sharer_format!(spec.sharers, S => {
+        Box::new(CuckooDirectory::<S>::new(config)?)
+    }))
+}
+
+/// Registers the Cuckoo directory (`cuckoo`) in `registry`.
+pub fn register_cuckoo(registry: &mut BuilderRegistry) {
+    registry.register("cuckoo", build_cuckoo);
+}
+
+/// A [`BuilderRegistry`] covering all six directory organizations of the
+/// paper's evaluation: the five baselines plus the Cuckoo directory.
+///
+/// ```
+/// let registry = ccd_cuckoo::standard_registry();
+/// let dir = registry.build_str("cuckoo-4x512-skew").unwrap();
+/// assert_eq!(dir.capacity(), 2048);
+/// ```
+#[must_use]
+pub fn standard_registry() -> BuilderRegistry {
+    let mut registry = BuilderRegistry::with_baselines();
+    register_cuckoo(&mut registry);
+    registry
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +101,65 @@ mod tests {
             CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 64, 8)).expect("valid");
         assert_eq!(dir.capacity(), 256);
         assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn standard_registry_builds_all_six_organizations() {
+        let registry = standard_registry();
+        for spec in [
+            "cuckoo-4x512-skew",
+            "sparse-8x256",
+            "skewed-4x256",
+            "duplicate-tag-2x64",
+            "in-cache-16x64",
+            "tagless-2x64",
+        ] {
+            let dir = registry.build_str(spec).expect(spec);
+            assert!(dir.capacity() > 0, "{spec}");
+        }
+        assert_eq!(registry.names().count(), 6);
+    }
+
+    #[test]
+    fn sharded_cuckoo_aggregates_insertion_failures() {
+        use ccd_common::rng::{Rng64, SplitMix64};
+        use ccd_common::{CacheId, LineAddr};
+        use ccd_directory::ShardedDirectory;
+
+        let registry = standard_registry();
+        let slices: Vec<Box<dyn Directory>> = (0..4)
+            .map(|_| registry.build_str("cuckoo-2x8-strong-c4").unwrap())
+            .collect();
+        let mut dir = ShardedDirectory::new(slices).unwrap();
+        // Drive far past the 64-entry total capacity so attempt budgets run
+        // out and shards discard entries.
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..600 {
+            let line = LineAddr::from_block_number(rng.next_below(100_000));
+            dir.add_sharer(line, CacheId::new(rng.next_below(4) as u32));
+        }
+        let aggregated = dir.stats().insertion_failures.get();
+        let per_shard: u64 = dir
+            .shards()
+            .iter()
+            .map(|s| s.stats().insertion_failures.get())
+            .sum();
+        assert!(per_shard > 0, "test must actually exhaust attempt budgets");
+        assert_eq!(
+            aggregated, per_shard,
+            "wrapper must report the same failures its shards record"
+        );
+    }
+
+    #[test]
+    fn registry_cuckoo_honours_hash_and_sharer_modifiers() {
+        let registry = standard_registry();
+        let dir = registry
+            .build_str("cuckoo-3x8192-strong-c16@coarse")
+            .unwrap();
+        assert_eq!(dir.organization(), "cuckoo-3x8192-strong");
+        assert_eq!(dir.num_caches(), 16);
+        let full = registry.build_str("cuckoo-3x8192-strong-c16@full").unwrap();
+        assert!(dir.storage_profile().total_bits < full.storage_profile().total_bits);
     }
 }

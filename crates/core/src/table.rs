@@ -182,7 +182,8 @@ impl<V> CuckooTable<V> {
     /// Returns a reference to the payload stored for `key`.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<&V> {
-        self.find(key).map(|slot| &self.slots[slot].as_ref().unwrap().value)
+        self.find(key)
+            .map(|slot| &self.slots[slot].as_ref().unwrap().value)
     }
 
     /// Returns a mutable reference to the payload stored for `key`.
@@ -297,7 +298,12 @@ mod tests {
     use ccd_common::rng::{Rng64, SplitMix64};
     use std::collections::HashSet;
 
-    fn filled_table(ways: usize, sets: usize, fill: usize, seed: u64) -> (CuckooTable<u64>, Vec<u64>) {
+    fn filled_table(
+        ways: usize,
+        sets: usize,
+        fill: usize,
+        seed: u64,
+    ) -> (CuckooTable<u64>, Vec<u64>) {
         let mut table = CuckooTable::new(ways, sets, HashKind::Strong, seed).unwrap();
         let mut rng = SplitMix64::new(seed ^ 0x55aa);
         let mut keys = Vec::new();
@@ -382,7 +388,11 @@ mod tests {
                     continue;
                 }
                 let o = table.insert(key, ());
-                assert!(o.succeeded(), "{ways}-ary failed at occupancy {}", table.occupancy());
+                assert!(
+                    o.succeeded(),
+                    "{ways}-ary failed at occupancy {}",
+                    table.occupancy()
+                );
                 total_attempts += u64::from(o.attempts);
                 inserted += 1;
             }
@@ -407,7 +417,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures > 0, "2-ary table should overflow when driven to 100% load");
+        assert!(
+            failures > 0,
+            "2-ary table should overflow when driven to 100% load"
+        );
     }
 
     #[test]
@@ -424,7 +437,10 @@ mod tests {
                 discarded.push(k);
             }
         }
-        assert!(!discarded.is_empty(), "a 4-entry table driven with 64 keys must discard");
+        assert!(
+            !discarded.is_empty(),
+            "a 4-entry table driven with 64 keys must discard"
+        );
         // Table never exceeds its capacity and its length is consistent.
         assert!(table.len() <= table.capacity());
         assert_eq!(table.iter().count(), table.len());

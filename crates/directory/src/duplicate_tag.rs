@@ -16,7 +16,7 @@
 //! eviction notifications (e.g. in stand-alone stress tests), a mirror
 //! overflow is reported as a forced eviction of the stale entry.
 
-use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
+use crate::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
 use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
 
 #[derive(Clone, Debug)]
@@ -58,13 +58,17 @@ impl DuplicateTagDirectory {
         num_caches: usize,
     ) -> Result<Self, ConfigError> {
         if cache_sets == 0 {
-            return Err(ConfigError::Zero { what: "cache set count" });
+            return Err(ConfigError::Zero {
+                what: "cache set count",
+            });
         }
         if cache_ways == 0 {
             return Err(ConfigError::Zero { what: "cache ways" });
         }
         if num_caches == 0 {
-            return Err(ConfigError::Zero { what: "cache count" });
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
         }
         if !ccd_common::is_power_of_two(cache_sets as u64) {
             return Err(ConfigError::NotPowerOfTwo {
@@ -101,16 +105,8 @@ impl DuplicateTagDirectory {
 
     fn find_in_mirror(&self, cache: CacheId, line: LineAddr) -> Option<usize> {
         let set = self.set_of(line);
-        self.frame_range(set).find(|&frame| {
-            matches!(&self.mirrors[cache.index()][frame], Some(e) if e.line == line)
-        })
-    }
-
-    fn caches_holding(&self, line: LineAddr) -> Vec<CacheId> {
-        (0..self.num_caches)
-            .filter(|&c| self.find_in_mirror(CacheId::new(c as u32), line).is_some())
-            .map(|c| CacheId::new(c as u32))
-            .collect()
+        self.frame_range(set)
+            .find(|&frame| matches!(&self.mirrors[cache.index()][frame], Some(e) if e.line == line))
     }
 
     fn note_added(&mut self, line: LineAddr) -> bool {
@@ -140,10 +136,10 @@ impl DuplicateTagDirectory {
         }
     }
 
-    /// Inserts `line` into `cache`'s mirror, returning a forced eviction if
+    /// Inserts `line` into `cache`'s mirror, returning the evicted line if
     /// the mirror set was full (which only happens when the caller does not
     /// report private-cache evictions).
-    fn insert_into_mirror(&mut self, cache: CacheId, line: LineAddr) -> Option<ForcedEviction> {
+    fn insert_into_mirror(&mut self, cache: CacheId, line: LineAddr) -> Option<LineAddr> {
         let set = self.set_of(line);
         self.tick += 1;
         let tick = self.tick;
@@ -152,7 +148,10 @@ impl DuplicateTagDirectory {
         let range = self.frame_range(set);
         let mirror = &mut self.mirrors[cache.index()];
         if let Some(frame) = range.clone().find(|&f| mirror[f].is_none()) {
-            mirror[frame] = Some(MirrorEntry { line, last_use: tick });
+            mirror[frame] = Some(MirrorEntry {
+                line,
+                last_use: tick,
+            });
             self.valid += 1;
             return None;
         }
@@ -162,14 +161,53 @@ impl DuplicateTagDirectory {
             .min_by_key(|&f| mirror[f].as_ref().map_or(0, |e| e.last_use))
             .expect("cache_ways > 0");
         let victim = mirror[frame]
-            .replace(MirrorEntry { line, last_use: tick })
+            .replace(MirrorEntry {
+                line,
+                last_use: tick,
+            })
             .expect("full set has valid entries");
         self.note_removed(victim.line);
         self.stats.forced_block_invalidations.incr();
-        Some(ForcedEviction {
-            line: victim.line,
-            invalidate: vec![cache],
-        })
+        Some(victim.line)
+    }
+
+    /// The `AddSharer` operation body, shared with `SetExclusive` (which
+    /// appends to an already-populated outcome and must not reset it).
+    fn add_impl(&mut self, line: LineAddr, cache: CacheId, out: &mut Outcome) {
+        assert!(cache.index() < self.num_caches, "{cache} out of range");
+        self.stats.lookups.incr();
+        if let Some(frame) = self.find_in_mirror(cache, line) {
+            // Already mirrored for this cache; refresh recency.
+            self.tick += 1;
+            self.mirrors[cache.index()][frame]
+                .as_mut()
+                .expect("frame is valid")
+                .last_use = self.tick;
+            self.stats.sharer_adds.incr();
+            out.set_hit(true);
+            return;
+        }
+
+        let new_tag = self.note_added(line);
+        let evicted = self.insert_into_mirror(cache, line);
+        if new_tag {
+            out.record_allocation(1);
+        } else {
+            out.set_hit(true);
+        }
+        let forced = u64::from(evicted.is_some());
+        if let Some(victim_line) = evicted {
+            out.push_forced_eviction_one(victim_line, cache);
+        }
+        if new_tag {
+            let occupancy = self.occupancy();
+            self.stats.record_insertion(1, forced, occupancy);
+        } else {
+            self.stats.sharer_adds.incr();
+            if forced > 0 {
+                self.stats.forced_evictions.add(forced);
+            }
+        }
     }
 }
 
@@ -197,82 +235,65 @@ impl Directory for DuplicateTagDirectory {
         self.distinct.contains_key(&line.block_number())
     }
 
-    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let holders = self.caches_holding(line);
-        (!holders.is_empty()).then_some(holders)
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
+        self.find_in_mirror(cache, line).is_some()
     }
 
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        assert!(cache.index() < self.num_caches, "{cache} out of range");
-        self.stats.lookups.incr();
-        if let Some(frame) = self.find_in_mirror(cache, line) {
-            // Already mirrored for this cache; refresh recency.
-            self.tick += 1;
-            self.mirrors[cache.index()][frame]
-                .as_mut()
-                .expect("frame is valid")
-                .last_use = self.tick;
-            self.stats.sharer_adds.incr();
-            return UpdateResult::existing();
-        }
-
-        let new_tag = self.note_added(line);
-        let eviction = self.insert_into_mirror(cache, line);
-        let mut result = UpdateResult {
-            allocated_new_entry: new_tag,
-            insertion_attempts: 1,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        };
-        let forced = u64::from(eviction.is_some());
-        if let Some(ev) = eviction {
-            result.forced_evictions.push(ev);
-        }
-        if new_tag {
-            let occupancy = self.occupancy();
-            self.stats.record_insertion(1, forced, occupancy);
-        } else {
-            self.stats.sharer_adds.incr();
-            if forced > 0 {
-                self.stats.forced_evictions.add(forced);
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome) {
+        out.reset();
+        match op {
+            DirectoryOp::Probe { line } => {
+                if self.contains(line) {
+                    out.set_hit(true);
+                    for c in 0..self.num_caches as u32 {
+                        let cache = CacheId::new(c);
+                        if self.find_in_mirror(cache, line).is_some() {
+                            out.push_invalidate(cache);
+                        }
+                    }
+                }
+            }
+            DirectoryOp::AddSharer { line, cache } => {
+                self.add_impl(line, cache, out);
+            }
+            DirectoryOp::SetExclusive { line, cache } => {
+                let mut removed_any = false;
+                for c in 0..self.num_caches as u32 {
+                    let other = CacheId::new(c);
+                    if other != cache && self.remove_from_mirror(other, line) {
+                        self.stats.sharer_removes.incr();
+                        out.push_invalidate(other);
+                        removed_any = true;
+                    }
+                }
+                if removed_any {
+                    out.record_invalidate_all();
+                    self.stats.invalidate_alls.incr();
+                }
+                self.add_impl(line, cache, out);
+            }
+            DirectoryOp::RemoveSharer { line, cache } => {
+                if self.remove_from_mirror(cache, line) {
+                    out.set_hit(true);
+                    self.stats.sharer_removes.incr();
+                    if !self.contains(line) {
+                        out.record_removed_entry();
+                    }
+                }
+            }
+            DirectoryOp::RemoveEntry { line } => {
+                if self.contains(line) {
+                    out.set_hit(true);
+                    out.record_removed_entry();
+                    for c in 0..self.num_caches as u32 {
+                        let cache = CacheId::new(c);
+                        if self.remove_from_mirror(cache, line) {
+                            out.push_invalidate(cache);
+                        }
+                    }
+                }
             }
         }
-        result
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let others: Vec<CacheId> = self
-            .caches_holding(line)
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        for &other in &others {
-            self.remove_from_mirror(other, line);
-            self.stats.sharer_removes.incr();
-        }
-        if !others.is_empty() {
-            self.stats.invalidate_alls.incr();
-        }
-        let mut result = self.add_sharer(line, cache);
-        result.invalidate = others;
-        result
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        if self.remove_from_mirror(cache, line) {
-            self.stats.sharer_removes.incr();
-        }
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let holders = self.caches_holding(line);
-        if holders.is_empty() {
-            return None;
-        }
-        for &cache in &holders {
-            self.remove_from_mirror(cache, line);
-        }
-        Some(holders)
     }
 
     fn stats(&self) -> &DirectoryStats {
@@ -412,8 +433,12 @@ mod tests {
 
     #[test]
     fn storage_profile_scales_with_cache_count() {
-        let small = DuplicateTagDirectory::new(256, 2, 2).unwrap().storage_profile();
-        let large = DuplicateTagDirectory::new(256, 2, 32).unwrap().storage_profile();
+        let small = DuplicateTagDirectory::new(256, 2, 2)
+            .unwrap()
+            .storage_profile();
+        let large = DuplicateTagDirectory::new(256, 2, 32)
+            .unwrap()
+            .storage_profile();
         // Lookup width (and thus energy) grows linearly with cache count.
         assert_eq!(large.bits_read_per_lookup, 16 * small.bits_read_per_lookup);
         assert_eq!(large.comparators_per_lookup, 64);

@@ -16,7 +16,7 @@
 //! difference is entirely in the storage/energy accounting, which this
 //! wrapper overrides.
 
-use crate::{Directory, DirectoryStats, SparseDirectory, StorageProfile, UpdateResult};
+use crate::{Directory, DirectoryOp, DirectoryStats, Outcome, SparseDirectory, StorageProfile};
 use ccd_common::{CacheId, ConfigError, LineAddr};
 use ccd_sharers::SharerSet;
 
@@ -71,24 +71,16 @@ impl<S: SharerSet> Directory for InCacheDirectory<S> {
         self.inner.contains(line)
     }
 
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
+        self.inner.may_hold(line, cache)
+    }
+
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome) {
+        self.inner.apply(op, out);
+    }
+
     fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
         self.inner.sharers(line)
-    }
-
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        self.inner.add_sharer(line, cache)
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        self.inner.set_exclusive(line, cache)
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        self.inner.remove_sharer(line, cache);
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        self.inner.remove_entry(line)
     }
 
     fn stats(&self) -> &DirectoryStats {

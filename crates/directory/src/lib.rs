@@ -24,21 +24,47 @@
 //!   per-(cache, set) Bloom filters giving a conservative sharer superset.
 //!
 //! The paper's own contribution, the Cuckoo directory, implements this same
-//! trait from the `ccd-cuckoo` crate.
+//! trait from the `ccd-cuckoo` crate, and [`ShardedDirectory`] composes any
+//! number of slices of any organization behind the same interface.
+//!
+//! # The op/outcome protocol
+//!
+//! The directory hot path is the coherence protocol's per-miss sequence:
+//! look up an entry, update its sharer set, collect the caches to
+//! invalidate.  Every operation is therefore expressed as a [`DirectoryOp`]
+//! dispatched through [`Directory::apply`], which writes its results into a
+//! caller-owned, reusable [`Outcome`] buffer.  In steady state (warmed-up
+//! buffers) an `apply` call performs **zero heap allocations** for lookups,
+//! sharer additions on existing entries, sharer removals and exclusive
+//! upgrades; only the allocation of a brand-new entry may allocate.
+//!
+//! The legacy convenience methods ([`Directory::add_sharer`],
+//! [`Directory::set_exclusive`], …) survive as thin default shims over
+//! `apply` that allocate a fresh [`UpdateResult`] per call — fine for tests
+//! and examples, not for the simulator's inner loop.
 //!
 //! # Example
 //!
 //! ```
 //! use ccd_common::{CacheId, LineAddr};
-//! use ccd_directory::{Directory, SparseDirectory};
+//! use ccd_directory::{Directory, DirectoryOp, Outcome, SparseDirectory};
 //! use ccd_sharers::FullBitVector;
 //!
 //! // An 8-way, 256-set sparse directory tracking 32 private caches.
 //! let mut dir = SparseDirectory::<FullBitVector>::new(8, 256, 32)?;
 //! let line = LineAddr::from_block_number(0xabc);
-//! let outcome = dir.add_sharer(line, CacheId::new(3));
-//! assert!(outcome.allocated_new_entry);
-//! assert_eq!(dir.sharers(line), Some(vec![CacheId::new(3)]));
+//!
+//! // Hot path: one reusable outcome buffer for any number of operations.
+//! let mut out = Outcome::new();
+//! dir.apply(DirectoryOp::AddSharer { line, cache: CacheId::new(3) }, &mut out);
+//! assert!(out.allocated_new_entry());
+//! dir.apply(DirectoryOp::Probe { line }, &mut out);
+//! assert_eq!(out.sharers(), &[CacheId::new(3)]);
+//!
+//! // Compatibility path: allocating convenience wrappers.
+//! let outcome = dir.add_sharer(line, CacheId::new(5));
+//! assert!(!outcome.allocated_new_entry);
+//! assert_eq!(dir.sharers(line), Some(vec![CacheId::new(3), CacheId::new(5)]));
 //! # Ok::<(), ccd_common::ConfigError>(())
 //! ```
 
@@ -47,19 +73,25 @@
 
 pub mod duplicate_tag;
 pub mod in_cache;
+pub mod sharded;
 pub mod skewed;
+pub(crate) mod slot_dispatch;
 pub mod sparse;
+pub mod spec;
 pub mod stats;
 pub mod tagless;
 
 pub use duplicate_tag::DuplicateTagDirectory;
 pub use in_cache::InCacheDirectory;
+pub use sharded::ShardedDirectory;
 pub use skewed::SkewedDirectory;
 pub use sparse::SparseDirectory;
+pub use spec::{BuilderRegistry, DirectorySpec};
 pub use stats::DirectoryStats;
 pub use tagless::TaglessDirectory;
 
 use ccd_common::{CacheId, LineAddr};
+use ccd_sharers::SharerSet;
 
 /// A block whose directory entry was evicted to make room for another entry.
 ///
@@ -75,6 +107,9 @@ pub struct ForcedEviction {
 }
 
 /// The result of a directory update that may allocate an entry.
+///
+/// This is the *allocating* result type returned by the legacy convenience
+/// methods; the hot path uses [`Outcome`] instead.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UpdateResult {
     /// `true` when the update allocated a new directory entry (a new tag was
@@ -96,12 +131,7 @@ impl UpdateResult {
     /// An update that modified an existing entry without side effects.
     #[must_use]
     pub fn existing() -> Self {
-        UpdateResult {
-            allocated_new_entry: false,
-            insertion_attempts: 0,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        }
+        UpdateResult::default()
     }
 
     /// Convenience: `true` when no blocks need to be invalidated anywhere.
@@ -111,28 +141,387 @@ impl UpdateResult {
     }
 }
 
-/// Storage-geometry description used by the analytical energy/area model.
+/// One operation against a directory slice.
 ///
-/// Every organization reports how many bits one lookup reads, how many bits
-/// one update writes, and how many bits the slice stores in total; the
-/// `ccd-energy` crate turns these into the relative energy and area curves
-/// of Figures 4 and 13.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StorageProfile {
-    /// Total bits stored by this directory slice (tags + sharers + state).
-    pub total_bits: u64,
-    /// Bits read by one lookup (all ways of one set, tags + sharer data).
-    pub bits_read_per_lookup: u64,
-    /// Bits written by one entry update (one way: tag + sharer data).
-    pub bits_written_per_update: u64,
-    /// Number of tag comparators exercised per lookup.
-    pub comparators_per_lookup: u64,
+/// Operations carry everything the slice needs; results come back through
+/// the [`Outcome`] buffer passed to [`Directory::apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectoryOp {
+    /// Record that `cache` obtained a shared copy of `line`, allocating an
+    /// entry if the line is untracked.
+    AddSharer {
+        /// The referenced block.
+        line: LineAddr,
+        /// The cache that now holds a copy.
+        cache: CacheId,
+    },
+    /// Record that `cache` obtained an exclusive (writable) copy of `line`:
+    /// the entry is allocated if needed, every *other* sharer lands in
+    /// [`Outcome::invalidate`], and only `cache` remains recorded.
+    SetExclusive {
+        /// The referenced block.
+        line: LineAddr,
+        /// The cache that now holds the only copy.
+        cache: CacheId,
+    },
+    /// Record that `cache` evicted its copy of `line`; the entry is freed
+    /// once its last sharer leaves.
+    RemoveSharer {
+        /// The referenced block.
+        line: LineAddr,
+        /// The cache that dropped its copy.
+        cache: CacheId,
+    },
+    /// Remove the entry for `line` entirely (e.g. the home L2 bank evicted
+    /// the block); the caches to invalidate land in [`Outcome::invalidate`].
+    RemoveEntry {
+        /// The evicted block.
+        line: LineAddr,
+    },
+    /// Read the entry for `line`: sets [`Outcome::hit`] and fills
+    /// [`Outcome::sharers`] with the (possibly conservative) sharer set.
+    /// Statistics-neutral: like [`Directory::sharers`], a probe is a pure
+    /// query; lookup counters are accumulated by the mutating operations.
+    Probe {
+        /// The queried block.
+        line: LineAddr,
+    },
+}
+
+impl DirectoryOp {
+    /// The block the operation refers to.
+    #[must_use]
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            DirectoryOp::AddSharer { line, .. }
+            | DirectoryOp::SetExclusive { line, .. }
+            | DirectoryOp::RemoveSharer { line, .. }
+            | DirectoryOp::RemoveEntry { line }
+            | DirectoryOp::Probe { line } => line,
+        }
+    }
+
+    /// Returns a copy of the operation with its line replaced — used by
+    /// wrappers (e.g. [`ShardedDirectory`]) that translate global lines to
+    /// slice-local ones.
+    #[must_use]
+    pub fn with_line(self, line: LineAddr) -> Self {
+        match self {
+            DirectoryOp::AddSharer { cache, .. } => DirectoryOp::AddSharer { line, cache },
+            DirectoryOp::SetExclusive { cache, .. } => DirectoryOp::SetExclusive { line, cache },
+            DirectoryOp::RemoveSharer { cache, .. } => DirectoryOp::RemoveSharer { line, cache },
+            DirectoryOp::RemoveEntry { .. } => DirectoryOp::RemoveEntry { line },
+            DirectoryOp::Probe { .. } => DirectoryOp::Probe { line },
+        }
+    }
+}
+
+/// A caller-owned, reusable result buffer for [`Directory::apply`].
+///
+/// All collections inside keep their capacity across [`Outcome::reset`] (and
+/// `apply` resets the buffer itself on entry), so a warmed-up `Outcome`
+/// makes the steady-state directory hot path allocation-free.  Forced
+/// evictions are stored flat — one `(line, offset)` record per eviction plus
+/// a single shared target buffer — rather than as nested `Vec`s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    hit: bool,
+    allocated_new_entry: bool,
+    insertion_attempts: u32,
+    insertion_failed: bool,
+    invalidated_all: bool,
+    removed_entry: bool,
+    invalidate: Vec<CacheId>,
+    eviction_lines: Vec<(LineAddr, u32)>,
+    eviction_targets: Vec<CacheId>,
+}
+
+/// A borrowed view of one forced eviction inside an [`Outcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictionView<'a> {
+    /// The block that lost its directory entry.
+    pub line: LineAddr,
+    /// Caches that may hold a copy and must be invalidated.
+    pub targets: &'a [CacheId],
+}
+
+impl Outcome {
+    /// Creates an empty outcome buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Outcome::default()
+    }
+
+    /// Clears the outcome while keeping all buffer capacity.
+    pub fn reset(&mut self) {
+        self.hit = false;
+        self.allocated_new_entry = false;
+        self.insertion_attempts = 0;
+        self.insertion_failed = false;
+        self.invalidated_all = false;
+        self.removed_entry = false;
+        self.invalidate.clear();
+        self.eviction_lines.clear();
+        self.eviction_targets.clear();
+    }
+
+    // ---- consumer API -----------------------------------------------------
+
+    /// `true` when the operation found an existing entry for its line.
+    #[must_use]
+    pub fn hit(&self) -> bool {
+        self.hit
+    }
+
+    /// `true` when the operation allocated a new directory entry.
+    #[must_use]
+    pub fn allocated_new_entry(&self) -> bool {
+        self.allocated_new_entry
+    }
+
+    /// Number of insertion attempts performed (0 when no entry was
+    /// allocated, ≥ 1 for the Cuckoo displacement chain).
+    #[must_use]
+    pub fn insertion_attempts(&self) -> u32 {
+        self.insertion_attempts
+    }
+
+    /// `true` when an allocation exhausted its insertion budget and had to
+    /// discard a displaced entry (Cuckoo organizations only; the discarded
+    /// entry appears among the forced evictions).
+    #[must_use]
+    pub fn insertion_failed(&self) -> bool {
+        self.insertion_failed
+    }
+
+    /// `true` when an exclusive request found (and invalidated) other
+    /// sharers — the "invalidate all" event of the paper's event mix.
+    #[must_use]
+    pub fn invalidated_all(&self) -> bool {
+        self.invalidated_all
+    }
+
+    /// `true` when the operation freed the entry for its line.
+    #[must_use]
+    pub fn removed_entry(&self) -> bool {
+        self.removed_entry
+    }
+
+    /// Caches to invalidate because of the operation's semantics (other
+    /// sharers on an exclusive request, holders on an entry removal).
+    #[must_use]
+    pub fn invalidate(&self) -> &[CacheId] {
+        &self.invalidate
+    }
+
+    /// The sharer set reported by a [`DirectoryOp::Probe`] (an alias of
+    /// [`Outcome::invalidate`]; a probe's "targets" are the sharers).
+    #[must_use]
+    pub fn sharers(&self) -> &[CacheId] {
+        &self.invalidate
+    }
+
+    /// Number of forced evictions recorded.
+    #[must_use]
+    pub fn forced_eviction_count(&self) -> usize {
+        self.eviction_lines.len()
+    }
+
+    /// Total number of cache invalidations caused by forced evictions.
+    #[must_use]
+    pub fn forced_invalidation_count(&self) -> usize {
+        self.eviction_targets.len()
+    }
+
+    /// Iterates over the forced evictions.
+    pub fn forced_evictions(&self) -> impl Iterator<Item = EvictionView<'_>> {
+        self.eviction_lines
+            .iter()
+            .enumerate()
+            .map(|(i, &(line, start))| {
+                let end = self
+                    .eviction_lines
+                    .get(i + 1)
+                    .map_or(self.eviction_targets.len(), |&(_, s)| s as usize);
+                EvictionView {
+                    line,
+                    targets: &self.eviction_targets[start as usize..end],
+                }
+            })
+    }
+
+    /// `true` when no blocks need to be invalidated anywhere.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.invalidate.is_empty() && self.eviction_targets.is_empty()
+    }
+
+    /// Converts into the allocating legacy result type.
+    #[must_use]
+    pub fn to_update_result(&self) -> UpdateResult {
+        UpdateResult {
+            allocated_new_entry: self.allocated_new_entry,
+            insertion_attempts: self.insertion_attempts,
+            forced_evictions: self
+                .forced_evictions()
+                .map(|e| ForcedEviction {
+                    line: e.line,
+                    invalidate: e.targets.to_vec(),
+                })
+                .collect(),
+            invalidate: self.invalidate.clone(),
+        }
+    }
+
+    // ---- producer API (used by Directory implementations) -----------------
+
+    /// Marks the operation as having found an existing entry.
+    pub fn set_hit(&mut self, hit: bool) {
+        self.hit = hit;
+    }
+
+    /// Records that a new entry was allocated after `attempts` insertion
+    /// attempts.
+    pub fn record_allocation(&mut self, attempts: u32) {
+        self.allocated_new_entry = true;
+        self.insertion_attempts = attempts;
+    }
+
+    /// Records that an allocation ran out of insertion attempts and
+    /// discarded a displaced entry.
+    pub fn record_insertion_failure(&mut self) {
+        self.insertion_failed = true;
+    }
+
+    /// Records that an exclusive request invalidated other sharers.
+    pub fn record_invalidate_all(&mut self) {
+        self.invalidated_all = true;
+    }
+
+    /// Records that the operation freed its line's entry.
+    pub fn record_removed_entry(&mut self) {
+        self.removed_entry = true;
+    }
+
+    /// Appends one semantic invalidation target.
+    pub fn push_invalidate(&mut self, cache: CacheId) {
+        self.invalidate.push(cache);
+    }
+
+    /// Exposes the semantic-invalidation buffer so implementations can
+    /// append via [`SharerSet::extend_targets`] without allocating.
+    pub fn invalidate_buf(&mut self) -> &mut Vec<CacheId> {
+        &mut self.invalidate
+    }
+
+    /// Current length of the invalidation list (pair with
+    /// [`Outcome::drop_invalidate_from`] to filter freshly appended
+    /// targets).
+    #[must_use]
+    pub fn invalidate_len(&self) -> usize {
+        self.invalidate.len()
+    }
+
+    /// Removes `cache` from the invalidation targets appended at or after
+    /// `start` (order within that range is not preserved).
+    pub fn drop_invalidate_from(&mut self, start: usize, cache: CacheId) {
+        if let Some(pos) = self.invalidate[start..].iter().position(|&c| c == cache) {
+            self.invalidate.swap_remove(start + pos);
+        }
+    }
+
+    /// Records a forced eviction of `line`, copying the victim's
+    /// invalidation targets from `sharers`.  Returns how many targets were
+    /// recorded.
+    pub fn push_forced_eviction<S: SharerSet>(&mut self, line: LineAddr, sharers: &S) -> usize {
+        let start = self.eviction_targets.len();
+        self.eviction_lines.push((line, start as u32));
+        sharers.extend_targets(&mut self.eviction_targets);
+        self.eviction_targets.len() - start
+    }
+
+    /// Records a forced eviction of `line` invalidating a single cache.
+    pub fn push_forced_eviction_one(&mut self, line: LineAddr, cache: CacheId) {
+        self.eviction_lines
+            .push((line, self.eviction_targets.len() as u32));
+        self.eviction_targets.push(cache);
+    }
+
+    /// Rewrites every forced-eviction line through `f` — used by wrappers
+    /// that translate slice-local lines back to global ones.
+    pub fn map_eviction_lines(&mut self, mut f: impl FnMut(LineAddr) -> LineAddr) {
+        for (line, _) in &mut self.eviction_lines {
+            *line = f(*line);
+        }
+    }
+}
+
+/// A borrowed, allocation-free iterator over the sharers of one line.
+///
+/// Obtained from [`Directory::sharer_view`] (or
+/// [`sharer_view`](fn@sharer_view) for `dyn Directory`); walks cache ids in
+/// ascending order and yields those the directory reports as possible
+/// holders — exactly the set the allocating [`Directory::sharers`] returns.
+pub struct SharerView<'a> {
+    dir: &'a dyn Directory,
+    line: LineAddr,
+    next: u32,
+    total: u32,
+}
+
+impl std::fmt::Debug for SharerView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharerView")
+            .field("line", &self.line)
+            .field("next", &self.next)
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SharerView<'a> {
+    /// Creates a view over `dir`'s sharers of `line`, or `None` when the
+    /// line is untracked.
+    #[must_use]
+    pub fn of(dir: &'a dyn Directory, line: LineAddr) -> Option<Self> {
+        dir.contains(line).then(|| SharerView {
+            dir,
+            line,
+            next: 0,
+            total: dir.num_caches() as u32,
+        })
+    }
+}
+
+impl Iterator for SharerView<'_> {
+    type Item = CacheId;
+
+    fn next(&mut self) -> Option<CacheId> {
+        while self.next < self.total {
+            let cache = CacheId::new(self.next);
+            self.next += 1;
+            if self.dir.may_hold(self.line, cache) {
+                return Some(cache);
+            }
+        }
+        None
+    }
+}
+
+/// Borrowed sharer iteration for trait objects (see
+/// [`Directory::sharer_view`], which requires `Self: Sized`).
+#[must_use]
+pub fn sharer_view(dir: &dyn Directory, line: LineAddr) -> Option<SharerView<'_>> {
+    SharerView::of(dir, line)
 }
 
 /// The interface every directory organization implements.
 ///
 /// The trait is object-safe so the coherence simulator can swap
-/// organizations at runtime (`Box<dyn Directory>`).
+/// organizations at runtime (`Box<dyn Directory>`).  Implementations
+/// provide the allocation-free [`Directory::apply`] entry point plus pure
+/// queries; the legacy per-operation methods are default shims over
+/// `apply`.
 pub trait Directory {
     /// Human-readable name of the organization (e.g. `"sparse-8x256"`).
     fn organization(&self) -> String;
@@ -163,28 +552,18 @@ pub trait Directory {
     /// Returns `true` when the directory currently tracks `line`.
     fn contains(&self, line: LineAddr) -> bool;
 
-    /// Returns the (possibly conservative) set of caches holding `line`, or
-    /// `None` when the line is not tracked.  This is a pure query; lookup
-    /// statistics are accumulated by the mutating operations, each of which
-    /// begins with an implicit lookup.
-    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>>;
+    /// Returns `true` when `cache` may hold a copy of `line` according to
+    /// the directory's (possibly conservative) records.  Pure query; never
+    /// under-approximates.
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool;
 
-    /// Records that `cache` now holds a copy of `line`, allocating a new
-    /// entry if the line is not yet tracked.
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult;
-
-    /// Records that `cache` obtained an exclusive (writable) copy of `line`:
-    /// the entry is allocated if needed, all *other* sharers are returned in
-    /// [`UpdateResult::invalidate`], and only `cache` remains recorded.
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult;
-
-    /// Records that `cache` evicted its copy of `line`.  The entry is freed
-    /// once its last sharer leaves.
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId);
-
-    /// Removes the entry for `line` entirely (e.g. when the home L2 bank
-    /// evicts the block), returning the caches that must be invalidated.
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>>;
+    /// Applies `op`, writing all results into `out`.
+    ///
+    /// `out` is reset on entry, so callers reuse one buffer across calls;
+    /// with warmed-up buffer capacity the lookup-hit, add-sharer-on-existing
+    /// -entry, remove and exclusive-upgrade paths perform no heap
+    /// allocation.
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome);
 
     /// Accumulated statistics.
     fn stats(&self) -> &DirectoryStats;
@@ -194,6 +573,85 @@ pub trait Directory {
 
     /// Storage-geometry profile for the energy/area model.
     fn storage_profile(&self) -> StorageProfile;
+
+    // ---- provided: borrowed sharer queries --------------------------------
+
+    /// Borrowed, allocation-free iterator over the sharers of `line`
+    /// (`None` when untracked).  For `dyn Directory` use the free function
+    /// [`sharer_view`](fn@sharer_view).
+    fn sharer_view(&self, line: LineAddr) -> Option<SharerView<'_>>
+    where
+        Self: Sized,
+    {
+        SharerView::of(self, line)
+    }
+
+    // ---- provided: legacy allocating shims --------------------------------
+
+    /// Returns the (possibly conservative) set of caches holding `line`, or
+    /// `None` when the line is not tracked.  Allocates; the hot path uses
+    /// [`Directory::sharer_view`] or [`DirectoryOp::Probe`] instead.
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        if !self.contains(line) {
+            return None;
+        }
+        Some(
+            (0..self.num_caches() as u32)
+                .map(CacheId::new)
+                .filter(|&c| self.may_hold(line, c))
+                .collect(),
+        )
+    }
+
+    /// Records that `cache` now holds a copy of `line`, allocating a new
+    /// entry if the line is not yet tracked.
+    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let mut out = Outcome::new();
+        self.apply(DirectoryOp::AddSharer { line, cache }, &mut out);
+        out.to_update_result()
+    }
+
+    /// Records that `cache` obtained an exclusive (writable) copy of `line`:
+    /// the entry is allocated if needed, all *other* sharers are returned in
+    /// [`UpdateResult::invalidate`], and only `cache` remains recorded.
+    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
+        let mut out = Outcome::new();
+        self.apply(DirectoryOp::SetExclusive { line, cache }, &mut out);
+        out.to_update_result()
+    }
+
+    /// Records that `cache` evicted its copy of `line`.  The entry is freed
+    /// once its last sharer leaves.
+    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
+        let mut out = Outcome::new();
+        self.apply(DirectoryOp::RemoveSharer { line, cache }, &mut out);
+    }
+
+    /// Removes the entry for `line` entirely (e.g. when the home L2 bank
+    /// evicts the block), returning the caches that must be invalidated.
+    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let mut out = Outcome::new();
+        self.apply(DirectoryOp::RemoveEntry { line }, &mut out);
+        out.hit().then(|| out.invalidate().to_vec())
+    }
+}
+
+/// Storage-geometry description used by the analytical energy/area model.
+///
+/// Every organization reports how many bits one lookup reads, how many bits
+/// one update writes, and how many bits the slice stores in total; the
+/// `ccd-energy` crate turns these into the relative energy and area curves
+/// of Figures 4 and 13.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageProfile {
+    /// Total bits stored by this directory slice (tags + sharers + state).
+    pub total_bits: u64,
+    /// Bits read by one lookup (all ways of one set, tags + sharer data).
+    pub bits_read_per_lookup: u64,
+    /// Bits written by one entry update (one way: tag + sharer data).
+    pub bits_written_per_update: u64,
+    /// Number of tag comparators exercised per lookup.
+    pub comparators_per_lookup: u64,
 }
 
 #[cfg(test)]
@@ -224,5 +682,65 @@ mod tests {
         let dir =
             SparseDirectory::<ccd_sharers::FullBitVector>::new(4, 16, 8).expect("valid geometry");
         assert_object_safe(&dir);
+    }
+
+    #[test]
+    fn outcome_round_trips_forced_evictions() {
+        let mut out = Outcome::new();
+        let mut sharers = ccd_sharers::FullBitVector::new(8);
+        sharers.add(CacheId::new(2));
+        sharers.add(CacheId::new(5));
+        let n = out.push_forced_eviction(LineAddr::from_block_number(7), &sharers);
+        assert_eq!(n, 2);
+        out.push_forced_eviction_one(LineAddr::from_block_number(9), CacheId::new(1));
+        assert_eq!(out.forced_eviction_count(), 2);
+        assert_eq!(out.forced_invalidation_count(), 3);
+
+        let views: Vec<_> = out.forced_evictions().collect();
+        assert_eq!(views[0].line, LineAddr::from_block_number(7));
+        assert_eq!(views[0].targets, &[CacheId::new(2), CacheId::new(5)]);
+        assert_eq!(views[1].targets, &[CacheId::new(1)]);
+
+        let legacy = out.to_update_result();
+        assert_eq!(legacy.forced_evictions.len(), 2);
+        assert!(!out.is_clean());
+
+        out.reset();
+        assert!(out.is_clean());
+        assert_eq!(out.forced_eviction_count(), 0);
+    }
+
+    #[test]
+    fn outcome_drop_invalidate_filters_the_requester() {
+        let mut out = Outcome::new();
+        out.push_invalidate(CacheId::new(0));
+        let start = out.invalidate_len();
+        out.push_invalidate(CacheId::new(3));
+        out.push_invalidate(CacheId::new(4));
+        out.drop_invalidate_from(start, CacheId::new(3));
+        // The pre-existing prefix is untouched; only the appended range is
+        // filtered.
+        assert!(out.invalidate().contains(&CacheId::new(0)));
+        assert!(out.invalidate().contains(&CacheId::new(4)));
+        assert!(!out.invalidate().contains(&CacheId::new(3)));
+        // Dropping an id absent from the range is a no-op.
+        out.drop_invalidate_from(start, CacheId::new(7));
+        assert_eq!(out.invalidate_len(), 2);
+    }
+
+    #[test]
+    fn directory_op_line_accessors() {
+        let line = LineAddr::from_block_number(11);
+        let other = LineAddr::from_block_number(22);
+        let op = DirectoryOp::SetExclusive {
+            line,
+            cache: CacheId::new(1),
+        };
+        assert_eq!(op.line(), line);
+        assert_eq!(op.with_line(other).line(), other);
+        assert_eq!(
+            DirectoryOp::RemoveEntry { line }.with_line(other).line(),
+            other
+        );
     }
 }

@@ -1,0 +1,344 @@
+//! Address-interleaved multi-slice directories.
+//!
+//! A real many-core system distributes its directory across tiles: each
+//! slice owns the blocks whose addresses interleave onto it (Section 2 of
+//! the paper).  [`ShardedDirectory`] reproduces that structure behind the
+//! ordinary [`Directory`] interface: it owns `N` independent slices (of any
+//! organization), routes every operation to the owning slice by
+//! `block mod N`, and translates slice-local lines in the results back to
+//! global ones.
+//!
+//! Because every slice is an independent `Box<dyn Directory>`, shards can
+//! even mix organizations — useful for asymmetric/NUCA experiments — though
+//! the common construction ([`crate::BuilderRegistry`] with a
+//! `shardedN:` spec prefix) builds `N` identical slices whose total
+//! capacity matches the unsharded spec.
+//!
+//! Aggregate statistics are maintained by observing each operation's
+//! [`Outcome`], so a sharded directory reports the same counters a single
+//! slice of the same total capacity would.
+
+use crate::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
+use ccd_common::{CacheId, ConfigError, LineAddr};
+
+/// `N` address-interleaved directory slices behind one [`Directory`].
+pub struct ShardedDirectory {
+    shards: Vec<Box<dyn Directory>>,
+    stats: DirectoryStats,
+}
+
+impl std::fmt::Debug for ShardedDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDirectory")
+            .field("shards", &self.shards.len())
+            .field("organization", &self.organization())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedDirectory {
+    /// Wraps `shards` (at least one) into one interleaved directory.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] when `shards` is empty,
+    /// * [`ConfigError::Inconsistent`] when the shards disagree on the
+    ///   number of tracked caches.
+    pub fn new(shards: Vec<Box<dyn Directory>>) -> Result<Self, ConfigError> {
+        if shards.is_empty() {
+            return Err(ConfigError::Zero {
+                what: "shard count",
+            });
+        }
+        let caches = shards[0].num_caches();
+        if shards.iter().any(|s| s.num_caches() != caches) {
+            return Err(ConfigError::Inconsistent {
+                what: "all shards must track the same number of caches",
+            });
+        }
+        Ok(ShardedDirectory {
+            shards,
+            stats: DirectoryStats::new(),
+        })
+    }
+
+    /// Number of slices.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the individual slices.
+    #[must_use]
+    pub fn shards(&self) -> &[Box<dyn Directory>] {
+        &self.shards
+    }
+
+    /// Which slice owns `line`, and the slice-local line it sees.
+    fn home_of(&self, line: LineAddr) -> (usize, LineAddr) {
+        let n = self.shards.len() as u64;
+        let block = line.block_number();
+        ((block % n) as usize, LineAddr::from_block_number(block / n))
+    }
+
+    /// Reconstructs the global line from a shard index and its local line.
+    fn global_line(&self, shard: usize, local: LineAddr) -> LineAddr {
+        LineAddr::from_block_number(local.block_number() * self.shards.len() as u64 + shard as u64)
+    }
+
+    /// Folds the operation's observable effects into the aggregate
+    /// statistics, mirroring what a monolithic slice would have recorded.
+    /// Probes are statistics-neutral, matching the per-organization
+    /// implementations.
+    fn absorb_outcome(&mut self, op: &DirectoryOp, out: &Outcome) {
+        match op {
+            DirectoryOp::AddSharer { .. } | DirectoryOp::SetExclusive { .. } => {
+                self.stats.lookups.incr();
+            }
+            DirectoryOp::RemoveSharer { .. }
+            | DirectoryOp::RemoveEntry { .. }
+            | DirectoryOp::Probe { .. } => {}
+        }
+        if out.allocated_new_entry() {
+            let occupancy = self.occupancy();
+            self.stats.record_insertion(
+                out.insertion_attempts(),
+                out.forced_eviction_count() as u64,
+                occupancy,
+            );
+            if out.insertion_failed() {
+                self.stats.insertion_failures.incr();
+            }
+        } else if out.forced_eviction_count() > 0 {
+            // Hit-path evictions (e.g. a duplicate-tag mirror overflow when
+            // the tag already exists elsewhere) bypass `record_insertion`.
+            self.stats
+                .forced_evictions
+                .add(out.forced_eviction_count() as u64);
+        }
+        self.stats
+            .forced_block_invalidations
+            .add(out.forced_invalidation_count() as u64);
+        match op {
+            DirectoryOp::AddSharer { .. } if out.hit() => self.stats.sharer_adds.incr(),
+            DirectoryOp::SetExclusive { .. } => {
+                if out.invalidated_all() {
+                    self.stats.invalidate_alls.incr();
+                } else if out.hit() {
+                    self.stats.sharer_adds.incr();
+                }
+            }
+            DirectoryOp::RemoveSharer { .. } if out.hit() => self.stats.sharer_removes.incr(),
+            _ => {}
+        }
+        if out.removed_entry() {
+            self.stats.entry_removes.incr();
+        }
+    }
+}
+
+impl Directory for ShardedDirectory {
+    fn organization(&self) -> String {
+        let first = self.shards[0].organization();
+        if self.shards[1..].iter().all(|s| s.organization() == first) {
+            format!("sharded{}x[{first}]", self.shards.len())
+        } else {
+            format!("sharded{}x[mixed]", self.shards.len())
+        }
+    }
+
+    fn num_caches(&self) -> usize {
+        self.shards[0].num_caches()
+    }
+
+    fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        let (shard, local) = self.home_of(line);
+        self.shards[shard].contains(local)
+    }
+
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
+        let (shard, local) = self.home_of(line);
+        self.shards[shard].may_hold(local, cache)
+    }
+
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome) {
+        let (shard, local) = self.home_of(op.line());
+        self.shards[shard].apply(op.with_line(local), out);
+        out.map_eviction_lines(|victim| self.global_line(shard, victim));
+        self.absorb_outcome(&op, out);
+    }
+
+    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
+        let (shard, local) = self.home_of(line);
+        self.shards[shard].sharers(local)
+    }
+
+    fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        for shard in &mut self.shards {
+            shard.reset_stats();
+        }
+    }
+
+    fn storage_profile(&self) -> StorageProfile {
+        // A lookup or update touches exactly one slice, so access widths are
+        // per-slice; storage is the sum over slices.  For heterogeneous
+        // shards the per-access widths are the element-wise maxima — a
+        // conservative bound for the energy model.
+        self.shards
+            .iter()
+            .map(|s| s.storage_profile())
+            .fold(StorageProfile::default(), |acc, p| StorageProfile {
+                total_bits: acc.total_bits + p.total_bits,
+                bits_read_per_lookup: acc.bits_read_per_lookup.max(p.bits_read_per_lookup),
+                bits_written_per_update: acc.bits_written_per_update.max(p.bits_written_per_update),
+                comparators_per_lookup: acc.comparators_per_lookup.max(p.comparators_per_lookup),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseDirectory;
+    use ccd_sharers::FullBitVector;
+
+    fn slice(ways: usize, sets: usize) -> Box<dyn Directory> {
+        Box::new(SparseDirectory::<FullBitVector>::new(ways, sets, 8).unwrap())
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ShardedDirectory::new(Vec::new()).is_err());
+        let mismatched: Vec<Box<dyn Directory>> = vec![
+            slice(2, 8),
+            Box::new(SparseDirectory::<FullBitVector>::new(2, 8, 4).unwrap()),
+        ];
+        assert!(ShardedDirectory::new(mismatched).is_err());
+        let ok = ShardedDirectory::new(vec![slice(2, 8), slice(2, 8)]).unwrap();
+        assert_eq!(ok.shard_count(), 2);
+        assert_eq!(ok.capacity(), 32);
+        assert_eq!(ok.num_caches(), 8);
+        assert!(ok.organization().starts_with("sharded2x["));
+    }
+
+    #[test]
+    fn routes_lines_to_the_owning_shard() {
+        let mut dir = ShardedDirectory::new(vec![slice(2, 8), slice(2, 8)]).unwrap();
+        dir.add_sharer(line(4), CacheId::new(1)); // even -> shard 0
+        dir.add_sharer(line(7), CacheId::new(2)); // odd  -> shard 1
+        assert_eq!(dir.shards()[0].len(), 1);
+        assert_eq!(dir.shards()[1].len(), 1);
+        assert_eq!(dir.len(), 2);
+        assert!(dir.contains(line(4)));
+        assert!(dir.contains(line(7)));
+        assert!(!dir.contains(line(5)));
+        assert_eq!(dir.sharers(line(7)), Some(vec![CacheId::new(2)]));
+        assert!(dir.may_hold(line(4), CacheId::new(1)));
+        assert!(!dir.may_hold(line(4), CacheId::new(2)));
+    }
+
+    #[test]
+    fn forced_eviction_lines_are_reported_globally() {
+        // 1-way 2-set slices, 2 shards: global blocks 0 and 8 both land on
+        // shard 0, local set 0 -> the second insertion evicts the first.
+        let mut dir = ShardedDirectory::new(vec![slice(1, 2), slice(1, 2)]).unwrap();
+        dir.add_sharer(line(0), CacheId::new(0));
+        let result = dir.add_sharer(line(8), CacheId::new(1));
+        assert_eq!(result.forced_evictions.len(), 1);
+        assert_eq!(
+            result.forced_evictions[0].line,
+            line(0),
+            "global line expected"
+        );
+        assert_eq!(dir.stats().forced_evictions.get(), 1);
+    }
+
+    #[test]
+    fn hit_path_mirror_overflow_evictions_are_counted() {
+        // Duplicate-tag shards: 1-way, 2-set mirrors for 2 caches.  A
+        // forced eviction on the *hit* path (tag already tracked via
+        // another cache, requester's mirror set full) must still reach the
+        // wrapper's aggregate counters.
+        let mk = || -> Box<dyn Directory> {
+            Box::new(crate::DuplicateTagDirectory::new(2, 1, 2).unwrap())
+        };
+        let mut dir = ShardedDirectory::new(vec![mk(), mk()]).unwrap();
+        dir.add_sharer(line(0), CacheId::new(1)); // shard 0, local 0
+        dir.add_sharer(line(4), CacheId::new(0)); // shard 0, local 2 (same mirror set)
+        let mut out = Outcome::new();
+        dir.apply(
+            DirectoryOp::AddSharer {
+                line: line(0),
+                cache: CacheId::new(0),
+            },
+            &mut out,
+        );
+        assert!(out.hit(), "tag already tracked via cache 1");
+        assert!(!out.allocated_new_entry());
+        assert_eq!(out.forced_eviction_count(), 1);
+        let eviction = out.forced_evictions().next().unwrap();
+        assert_eq!(eviction.line, line(4), "victim reported as a global line");
+        let shard_sum: u64 = dir
+            .shards()
+            .iter()
+            .map(|s| s.stats().forced_evictions.get())
+            .sum();
+        assert_eq!(shard_sum, 1);
+        assert_eq!(
+            dir.stats().forced_evictions.get(),
+            shard_sum,
+            "hit-path evictions must reach the aggregate counters"
+        );
+        assert_eq!(dir.stats().forced_block_invalidations.get(), 1);
+    }
+
+    #[test]
+    fn aggregate_stats_match_observable_operations() {
+        let mut dir = ShardedDirectory::new(vec![slice(4, 8), slice(4, 8)]).unwrap();
+        let l = line(42);
+        dir.add_sharer(l, CacheId::new(0));
+        dir.add_sharer(l, CacheId::new(1));
+        let r = dir.set_exclusive(l, CacheId::new(2));
+        assert_eq!(r.invalidate.len(), 2);
+        dir.remove_sharer(l, CacheId::new(2));
+        assert_eq!(dir.stats().insertions.get(), 1);
+        assert_eq!(dir.stats().sharer_adds.get(), 1);
+        assert_eq!(dir.stats().invalidate_alls.get(), 1);
+        assert_eq!(dir.stats().sharer_removes.get(), 1);
+        assert_eq!(dir.stats().entry_removes.get(), 1);
+        assert!(dir.is_empty());
+        dir.reset_stats();
+        assert_eq!(dir.stats().insertions.get(), 0);
+        assert_eq!(dir.shards()[0].stats().insertions.get(), 0);
+    }
+
+    #[test]
+    fn storage_profile_sums_capacity_but_keeps_per_slice_widths() {
+        let dir = ShardedDirectory::new(vec![slice(2, 8), slice(2, 8)]).unwrap();
+        let single = slice(2, 8).storage_profile();
+        let profile = dir.storage_profile();
+        assert_eq!(profile.total_bits, 2 * single.total_bits);
+        assert_eq!(profile.bits_read_per_lookup, single.bits_read_per_lookup);
+        assert_eq!(
+            profile.comparators_per_lookup,
+            single.comparators_per_lookup
+        );
+    }
+}

@@ -15,8 +15,8 @@
 //! forces invalidations under pressure, which is exactly what Figure 12
 //! shows for server workloads.
 
-use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
-use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
+use crate::{Directory, DirectoryStats, Outcome, StorageProfile};
+use ccd_common::{ceil_log2, ConfigError, LineAddr};
 use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
 use ccd_sharers::SharerSet;
 
@@ -65,7 +65,9 @@ impl<S: SharerSet> SkewedDirectory<S> {
         kind: HashKind,
     ) -> Result<Self, ConfigError> {
         if num_caches == 0 {
-            return Err(ConfigError::Zero { what: "cache count" });
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
         }
         let hashes = HashFamily::new(kind, ways, sets)?;
         Ok(SkewedDirectory {
@@ -108,44 +110,39 @@ impl<S: SharerSet> SkewedDirectory<S> {
             .find(|&slot| matches!(&self.slots[slot], Some(e) if e.line == line))
     }
 
-    fn find_or_allocate(&mut self, line: LineAddr) -> (usize, UpdateResult) {
+    fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) -> usize {
         self.stats.lookups.incr();
         if let Some(slot) = self.find_slot(line) {
             self.touch(slot);
-            return (slot, UpdateResult::existing());
+            out.set_hit(true);
+            return slot;
         }
 
-        // Candidate locations, one per way.
-        let candidates: Vec<usize> = (0..self.ways).map(|w| self.slot_for(w, line)).collect();
-        let chosen = candidates
-            .iter()
-            .copied()
-            .find(|&slot| self.slots[slot].is_none())
-            .unwrap_or_else(|| {
-                // All candidates valid: evict the least recently used one.
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by_key(|&slot| self.last_use[slot])
-                    .expect("at least one way")
-            });
+        // Candidate locations, one per way: first invalid slot, else the
+        // least recently used candidate.
+        let mut chosen = None;
+        let mut lru_slot = usize::MAX;
+        let mut lru_time = u64::MAX;
+        for way in 0..self.ways {
+            let slot = self.slot_for(way, line);
+            if self.slots[slot].is_none() {
+                chosen = Some(slot);
+                break;
+            }
+            if self.last_use[slot] < lru_time {
+                lru_time = self.last_use[slot];
+                lru_slot = slot;
+            }
+        }
+        let chosen = chosen.unwrap_or(lru_slot);
 
-        let mut result = UpdateResult {
-            allocated_new_entry: true,
-            insertion_attempts: 1,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        };
+        out.record_allocation(1);
+        let mut evictions = 0u64;
         if let Some(victim) = self.slots[chosen].take() {
-            let invalidate = victim.sharers.invalidation_targets();
-            self.stats
-                .forced_block_invalidations
-                .add(invalidate.len() as u64);
-            result.forced_evictions.push(ForcedEviction {
-                line: victim.line,
-                invalidate,
-            });
+            let targets = out.push_forced_eviction(victim.line, &victim.sharers);
+            self.stats.forced_block_invalidations.add(targets as u64);
             self.valid -= 1;
+            evictions = 1;
         }
         self.slots[chosen] = Some(Entry {
             line,
@@ -153,10 +150,9 @@ impl<S: SharerSet> SkewedDirectory<S> {
         });
         self.valid += 1;
         self.touch(chosen);
-        let evictions = result.forced_evictions.len() as u64;
         let occupancy = self.occupancy();
         self.stats.record_insertion(1, evictions, occupancy);
-        (chosen, result)
+        chosen
     }
 }
 
@@ -177,68 +173,7 @@ impl<S: SharerSet> Directory for SkewedDirectory<S> {
         self.valid
     }
 
-    fn contains(&self, line: LineAddr) -> bool {
-        self.find_slot(line).is_some()
-    }
-
-    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
-        self.find_slot(line)
-            .map(|slot| self.slots[slot].as_ref().unwrap().sharers.invalidation_targets())
-    }
-
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let (slot, result) = self.find_or_allocate(line);
-        if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
-        }
-        self.slots[slot]
-            .as_mut()
-            .expect("slot was just filled")
-            .sharers
-            .add(cache);
-        result
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let (slot, mut result) = self.find_or_allocate(line);
-        let entry = self.slots[slot].as_mut().expect("slot was just filled");
-        let mut others: Vec<CacheId> = entry
-            .sharers
-            .invalidation_targets()
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        if !others.is_empty() {
-            self.stats.invalidate_alls.incr();
-        } else if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
-        }
-        entry.sharers.clear();
-        entry.sharers.add(cache);
-        result.invalidate.append(&mut others);
-        result
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        if let Some(slot) = self.find_slot(line) {
-            self.stats.sharer_removes.incr();
-            let entry = self.slots[slot].as_mut().expect("slot is valid");
-            entry.sharers.remove(cache);
-            if entry.sharers.is_empty() {
-                self.slots[slot] = None;
-                self.valid -= 1;
-                self.stats.entry_removes.incr();
-            }
-        }
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let slot = self.find_slot(line)?;
-        let entry = self.slots[slot].take().expect("slot is valid");
-        self.valid -= 1;
-        self.stats.entry_removes.incr();
-        Some(entry.sharers.invalidation_targets())
-    }
+    crate::slot_dispatch::impl_slot_directory_ops!();
 
     fn stats(&self) -> &DirectoryStats {
         &self.stats
@@ -275,6 +210,7 @@ impl<S: SharerSet> Directory for SkewedDirectory<S> {
 mod tests {
     use super::*;
     use ccd_common::rng::{Rng64, SplitMix64};
+    use ccd_common::CacheId;
     use ccd_sharers::FullBitVector;
 
     type Dir = SkewedDirectory<FullBitVector>;
@@ -341,8 +277,7 @@ mod tests {
         // the skewing functions.
         let ways = 4;
         let sets = 256;
-        let mut sparse =
-            crate::SparseDirectory::<FullBitVector>::new(ways, sets, 4).unwrap();
+        let mut sparse = crate::SparseDirectory::<FullBitVector>::new(ways, sets, 4).unwrap();
         let mut skewed = Dir::new(ways, sets, 4).unwrap();
         // 64 lines that all share the same low-order bits.
         let mut sparse_evictions = 0usize;
@@ -371,7 +306,10 @@ mod tests {
             evictions += dir.add_sharer(l, CacheId::new(0)).forced_evictions.len();
         }
         let rate = evictions as f64 / (capacity / 2) as f64;
-        assert!(rate < 0.05, "eviction rate at 50% load should be small, got {rate}");
+        assert!(
+            rate < 0.05,
+            "eviction rate at 50% load should be small, got {rate}"
+        );
     }
 
     #[test]

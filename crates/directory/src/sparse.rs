@@ -14,8 +14,8 @@
 //! requires over-provisioning capacity (the `2×`/`8×` configurations of
 //! Figure 12).
 
-use crate::{Directory, DirectoryStats, ForcedEviction, StorageProfile, UpdateResult};
-use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
+use crate::{Directory, DirectoryStats, Outcome, StorageProfile};
+use ccd_common::{ceil_log2, ConfigError, LineAddr};
 use ccd_sharers::SharerSet;
 
 /// One valid directory entry: a block tag plus its sharer set.
@@ -58,7 +58,9 @@ impl<S: SharerSet> SparseDirectory<S> {
             return Err(ConfigError::Zero { what: "set count" });
         }
         if num_caches == 0 {
-            return Err(ConfigError::Zero { what: "cache count" });
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
         }
         if !ccd_common::is_power_of_two(sets as u64) {
             return Err(ConfigError::NotPowerOfTwo {
@@ -129,35 +131,27 @@ impl<S: SharerSet> SparseDirectory<S> {
         (lru_slot, true)
     }
 
-    /// Looks up `line`, allocating an entry if necessary, and returns the
-    /// slot index along with the `UpdateResult` describing the allocation.
-    fn find_or_allocate(&mut self, line: LineAddr) -> (usize, UpdateResult) {
+    /// Looks up `line`, allocating an entry if necessary, recording hit /
+    /// allocation / forced-eviction facts in `out`.  Returns the slot index.
+    fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) -> usize {
         self.stats.lookups.incr();
         if let Some(slot) = self.find_slot(line) {
             self.touch(slot);
-            return (slot, UpdateResult::existing());
+            out.set_hit(true);
+            return slot;
         }
 
         let (slot, must_evict) = self.victim_slot(line);
-        let mut result = UpdateResult {
-            allocated_new_entry: true,
-            insertion_attempts: 1,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        };
+        out.record_allocation(1);
+        let mut evictions = 0u64;
         if must_evict {
             let victim = self.slots[slot]
                 .take()
                 .expect("victim slot must hold a valid entry");
-            let invalidate = victim.sharers.invalidation_targets();
-            self.stats
-                .forced_block_invalidations
-                .add(invalidate.len() as u64);
-            result.forced_evictions.push(ForcedEviction {
-                line: victim.line,
-                invalidate,
-            });
+            let targets = out.push_forced_eviction(victim.line, &victim.sharers);
+            self.stats.forced_block_invalidations.add(targets as u64);
             self.valid -= 1;
+            evictions = 1;
         }
         self.slots[slot] = Some(Entry {
             line,
@@ -165,10 +159,9 @@ impl<S: SharerSet> SparseDirectory<S> {
         });
         self.valid += 1;
         self.touch(slot);
-        let evictions = result.forced_evictions.len() as u64;
         let occupancy = self.occupancy();
         self.stats.record_insertion(1, evictions, occupancy);
-        (slot, result)
+        slot
     }
 }
 
@@ -189,65 +182,7 @@ impl<S: SharerSet> Directory for SparseDirectory<S> {
         self.valid
     }
 
-    fn contains(&self, line: LineAddr) -> bool {
-        self.find_slot(line).is_some()
-    }
-
-    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
-        self.find_slot(line)
-            .map(|slot| self.slots[slot].as_ref().unwrap().sharers.invalidation_targets())
-    }
-
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let (slot, result) = self.find_or_allocate(line);
-        let entry = self.slots[slot].as_mut().expect("slot was just filled");
-        if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
-        }
-        entry.sharers.add(cache);
-        result
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        let (slot, mut result) = self.find_or_allocate(line);
-        let entry = self.slots[slot].as_mut().expect("slot was just filled");
-        let mut others: Vec<CacheId> = entry
-            .sharers
-            .invalidation_targets()
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        if !others.is_empty() {
-            self.stats.invalidate_alls.incr();
-        } else if !result.allocated_new_entry {
-            self.stats.sharer_adds.incr();
-        }
-        entry.sharers.clear();
-        entry.sharers.add(cache);
-        result.invalidate.append(&mut others);
-        result
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        if let Some(slot) = self.find_slot(line) {
-            self.stats.sharer_removes.incr();
-            let entry = self.slots[slot].as_mut().expect("slot is valid");
-            entry.sharers.remove(cache);
-            if entry.sharers.is_empty() {
-                self.slots[slot] = None;
-                self.valid -= 1;
-                self.stats.entry_removes.incr();
-            }
-        }
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let slot = self.find_slot(line)?;
-        let entry = self.slots[slot].take().expect("slot is valid");
-        self.valid -= 1;
-        self.stats.entry_removes.incr();
-        Some(entry.sharers.invalidation_targets())
-    }
+    crate::slot_dispatch::impl_slot_directory_ops!();
 
     fn stats(&self) -> &DirectoryStats {
         &self.stats
@@ -279,6 +214,7 @@ impl<S: SharerSet> Directory for SparseDirectory<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccd_common::CacheId;
     use ccd_sharers::{CoarseVector, FullBitVector};
 
     type Dir = SparseDirectory<FullBitVector>;

@@ -1,0 +1,579 @@
+//! Runtime directory construction: spec strings and the builder registry.
+//!
+//! The simulator, the criterion benches and the figure binaries all want to
+//! pick a directory organization from *configuration* — a string like
+//! `cuckoo-4x1024-skew` or `sparse-8x2048` — rather than from compile-time
+//! generics.  This module provides:
+//!
+//! * [`DirectorySpec`] — the parsed form of a spec string: organization
+//!   name, `ways × sets` geometry, and optional modifiers (hash family,
+//!   sharer format, tracked-cache count, shard count);
+//! * [`BuilderRegistry`] — a name → builder-function table.  The five
+//!   baseline organizations register themselves via
+//!   [`BuilderRegistry::with_baselines`]; the `ccd-cuckoo` crate registers
+//!   the Cuckoo directory on top (its `standard_registry()` covers all
+//!   six organizations).
+//!
+//! # Spec-string grammar
+//!
+//! ```text
+//! [shardedN:]ORG-WxS[-HASH][-cCACHES][@SHARERS]
+//! ```
+//!
+//! * `ORG` — `cuckoo`, `sparse`, `skewed`, `duplicate-tag` (alias
+//!   `duptag`), `in-cache` (alias `incache`), `tagless`;
+//! * `WxS` — ways × sets.  For `duplicate-tag`/`tagless`, `W` is the
+//!   mirrored cache associativity and `S` the mirrored sets; for
+//!   `in-cache`, the embedding L2 bank geometry;
+//! * `HASH` — `skew`, `ms`, or `strong` (organizations with hashed
+//!   indexing only);
+//! * `cCACHES` — number of tracked private caches (default 32);
+//! * `@SHARERS` — `full`, `limited`, `coarse`, or `hier` (default `full`);
+//! * `shardedN:` — interleave the capacity across `N` identical slices
+//!   behind a [`ShardedDirectory`]; `S` must be divisible by `N`.
+//!
+//! ```
+//! use ccd_directory::{BuilderRegistry, DirectorySpec};
+//!
+//! let registry = BuilderRegistry::with_baselines();
+//! let dir = registry.build_str("sparse-8x2048-c16@coarse").unwrap();
+//! assert_eq!(dir.capacity(), 8 * 2048);
+//! assert_eq!(dir.num_caches(), 16);
+//!
+//! let spec: DirectorySpec = "sharded4:skewed-4x1024".parse().unwrap();
+//! assert_eq!(spec.shards, 4);
+//! let dir = registry.build(&spec).unwrap();
+//! assert_eq!(dir.capacity(), 4 * 1024, "total capacity is preserved");
+//! ```
+
+use crate::{
+    tagless, Directory, DuplicateTagDirectory, InCacheDirectory, ShardedDirectory, SkewedDirectory,
+    SparseDirectory, TaglessDirectory,
+};
+use ccd_common::ConfigError;
+use ccd_hash::HashKind;
+use ccd_sharers::SharerFormat;
+use std::fmt;
+use std::str::FromStr;
+
+/// Default tracked-cache count when a spec string names none (the paper's
+/// 16-core Shared-L2 system tracks 32 L1 caches).
+pub const DEFAULT_CACHES: usize = 32;
+
+/// A parsed directory specification (see the module docs for the grammar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectorySpec {
+    /// Organization name (registry key), e.g. `"cuckoo"`.
+    pub org: String,
+    /// Ways (or mirrored associativity; see the grammar).
+    pub ways: usize,
+    /// Sets per way (or mirrored sets; see the grammar).
+    pub sets: usize,
+    /// Index hash family, for organizations that hash their ways.
+    pub hash: Option<HashKind>,
+    /// Per-entry sharer representation.
+    pub sharers: SharerFormat,
+    /// Number of tracked private caches.
+    pub caches: usize,
+    /// Number of address-interleaved slices (1 = monolithic).
+    pub shards: usize,
+}
+
+impl DirectorySpec {
+    /// A spec with the given organization and geometry and all modifiers at
+    /// their defaults.
+    #[must_use]
+    pub fn new(org: impl Into<String>, ways: usize, sets: usize) -> Self {
+        DirectorySpec {
+            org: org.into(),
+            ways,
+            sets,
+            hash: None,
+            sharers: SharerFormat::FullVector,
+            caches: DEFAULT_CACHES,
+            shards: 1,
+        }
+    }
+
+    /// Returns the spec with a different tracked-cache count.
+    #[must_use]
+    pub fn with_caches(mut self, caches: usize) -> Self {
+        self.caches = caches;
+        self
+    }
+
+    /// Returns the spec with an explicit hash family.
+    #[must_use]
+    pub fn with_hash(mut self, hash: HashKind) -> Self {
+        self.hash = Some(hash);
+        self
+    }
+
+    /// Returns the spec with a different sharer format.
+    #[must_use]
+    pub fn with_sharers(mut self, sharers: SharerFormat) -> Self {
+        self.sharers = sharers;
+        self
+    }
+
+    /// Returns the spec interleaved over `shards` slices.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn parse_error(input: &str, why: impl fmt::Display) -> ConfigError {
+        ConfigError::Parse {
+            what: format!("directory spec `{input}`: {why}"),
+        }
+    }
+}
+
+impl FromStr for DirectorySpec {
+    type Err = ConfigError;
+
+    fn from_str(input: &str) -> Result<Self, ConfigError> {
+        let mut body = input.trim();
+
+        // `shardedN:` prefix.
+        let mut shards = 1usize;
+        if let Some(rest) = body.strip_prefix("sharded") {
+            let (count, rest) = rest
+                .split_once(':')
+                .ok_or_else(|| Self::parse_error(input, "expected `shardedN:<spec>`"))?;
+            shards = count
+                .parse()
+                .map_err(|_| Self::parse_error(input, "invalid shard count"))?;
+            if shards == 0 {
+                return Err(ConfigError::Zero {
+                    what: "shard count",
+                });
+            }
+            body = rest;
+        }
+
+        // `@SHARERS` suffix.
+        let mut sharers = SharerFormat::FullVector;
+        if let Some((rest, fmt)) = body.rsplit_once('@') {
+            sharers = fmt.parse()?;
+            body = rest;
+        }
+
+        // Organization name: longest known alias prefix, so names containing
+        // `-` (duplicate-tag, in-cache) parse unambiguously.
+        const ORGS: &[(&str, &str)] = &[
+            ("duplicate-tag", "duplicate-tag"),
+            ("duptag", "duplicate-tag"),
+            ("in-cache", "in-cache"),
+            ("incache", "in-cache"),
+            ("cuckoo", "cuckoo"),
+            ("sparse", "sparse"),
+            ("skewed", "skewed"),
+            ("tagless", "tagless"),
+        ];
+        let (alias, org) = ORGS
+            .iter()
+            .find(|(alias, _)| {
+                body.strip_prefix(alias)
+                    .is_some_and(|rest| rest.starts_with('-'))
+            })
+            .ok_or_else(|| Self::parse_error(input, "unknown organization"))?;
+        let rest = &body[alias.len() + 1..];
+
+        // Geometry, then optional `-` separated modifiers.
+        let mut tokens = rest.split('-');
+        let geometry = tokens
+            .next()
+            .ok_or_else(|| Self::parse_error(input, "missing `WxS` geometry"))?;
+        let (ways, sets) = geometry
+            .split_once('x')
+            .and_then(|(w, s)| Some((w.parse().ok()?, s.parse().ok()?)))
+            .ok_or_else(|| Self::parse_error(input, "expected `WxS` geometry"))?;
+
+        let mut spec = DirectorySpec::new(org.to_string(), ways, sets)
+            .with_sharers(sharers)
+            .with_shards(shards);
+        for token in tokens {
+            if let Some(count) = token.strip_prefix('c') {
+                if let Ok(caches) = count.parse() {
+                    spec.caches = caches;
+                    continue;
+                }
+            }
+            match token.parse::<HashKind>() {
+                Ok(hash) => spec.hash = Some(hash),
+                Err(_) => {
+                    return Err(Self::parse_error(
+                        input,
+                        format!("unknown modifier `{token}`"),
+                    ))
+                }
+            }
+        }
+        if spec.ways == 0 {
+            return Err(ConfigError::Zero { what: "ways" });
+        }
+        if spec.sets == 0 {
+            return Err(ConfigError::Zero { what: "set count" });
+        }
+        if spec.caches == 0 {
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for DirectorySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.shards > 1 {
+            write!(f, "sharded{}:", self.shards)?;
+        }
+        write!(f, "{}-{}x{}", self.org, self.ways, self.sets)?;
+        if let Some(hash) = self.hash {
+            let name = match hash {
+                HashKind::Skewing => "skew",
+                HashKind::MultiplyShift => "ms",
+                HashKind::Strong => "strong",
+            };
+            write!(f, "-{name}")?;
+        }
+        if self.caches != DEFAULT_CACHES {
+            write!(f, "-c{}", self.caches)?;
+        }
+        if self.sharers != SharerFormat::FullVector {
+            let name = match self.sharers {
+                SharerFormat::FullVector => unreachable!(),
+                SharerFormat::LimitedPointer => "limited",
+                SharerFormat::Coarse => "coarse",
+                SharerFormat::Hierarchical => "hier",
+            };
+            write!(f, "@{name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A builder function constructing one (unsharded) directory slice.
+pub type DirectoryBuilder = fn(&DirectorySpec) -> Result<Box<dyn Directory>, ConfigError>;
+
+/// Dispatches over the spec's sharer format, binding the chosen
+/// representation type to `$S` inside `$body`.
+#[macro_export]
+macro_rules! match_sharer_format {
+    ($format:expr, $S:ident => $body:expr) => {
+        match $format {
+            ccd_sharers::SharerFormat::FullVector => {
+                type $S = ccd_sharers::FullBitVector;
+                $body
+            }
+            ccd_sharers::SharerFormat::LimitedPointer => {
+                type $S = ccd_sharers::LimitedPointer;
+                $body
+            }
+            ccd_sharers::SharerFormat::Coarse => {
+                type $S = ccd_sharers::CoarseVector;
+                $body
+            }
+            ccd_sharers::SharerFormat::Hierarchical => {
+                type $S = ccd_sharers::HierarchicalVector;
+                $body
+            }
+        }
+    };
+}
+
+/// A runtime name → builder table for directory organizations.
+#[derive(Clone, Default)]
+pub struct BuilderRegistry {
+    builders: Vec<(String, DirectoryBuilder)>,
+}
+
+impl fmt::Debug for BuilderRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuilderRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Rejects a `-HASH` modifier on organizations that do not hash their ways,
+/// so e.g. `sparse-8x512-skew` fails loudly instead of silently building a
+/// modulo-indexed directory.
+fn reject_hash(spec: &DirectorySpec) -> Result<(), ConfigError> {
+    if spec.hash.is_some() {
+        return Err(ConfigError::Parse {
+            what: format!("organization `{}` does not take a hash modifier", spec.org),
+        });
+    }
+    Ok(())
+}
+
+/// Rejects an `@SHARERS` modifier on organizations that store no per-entry
+/// sharer set (sharer identity is implicit in their structure).
+fn reject_sharers(spec: &DirectorySpec) -> Result<(), ConfigError> {
+    if spec.sharers != SharerFormat::FullVector {
+        return Err(ConfigError::Parse {
+            what: format!(
+                "organization `{}` has no per-entry sharer set; the `@{}` modifier does not apply",
+                spec.org, spec.sharers
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn build_sparse(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    reject_hash(spec)?;
+    Ok(match_sharer_format!(spec.sharers, S => {
+        Box::new(SparseDirectory::<S>::new(spec.ways, spec.sets, spec.caches)?)
+    }))
+}
+
+fn build_skewed(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    let hash = spec.hash.unwrap_or(HashKind::Skewing);
+    Ok(match_sharer_format!(spec.sharers, S => {
+        Box::new(SkewedDirectory::<S>::with_hash_kind(spec.ways, spec.sets, spec.caches, hash)?)
+    }))
+}
+
+fn build_duplicate_tag(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    // `ways` mirrors the tracked caches' associativity; sharer identity is
+    // implicit in which mirror a tag sits in.
+    reject_hash(spec)?;
+    reject_sharers(spec)?;
+    Ok(Box::new(DuplicateTagDirectory::new(
+        spec.sets,
+        spec.ways,
+        spec.caches,
+    )?))
+}
+
+fn build_in_cache(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    reject_hash(spec)?;
+    Ok(match_sharer_format!(spec.sharers, S => {
+        Box::new(InCacheDirectory::<S>::new(spec.ways, spec.sets, spec.caches)?)
+    }))
+}
+
+fn build_tagless(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+    reject_hash(spec)?;
+    reject_sharers(spec)?;
+    Ok(Box::new(TaglessDirectory::with_filter_geometry(
+        spec.sets,
+        spec.ways,
+        spec.caches,
+        tagless::DEFAULT_BUCKETS,
+        tagless::DEFAULT_PROBES,
+    )?))
+}
+
+impl BuilderRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        BuilderRegistry::default()
+    }
+
+    /// A registry pre-populated with the five baseline organizations
+    /// (`sparse`, `skewed`, `duplicate-tag`, `in-cache`, `tagless`).  The
+    /// Cuckoo directory lives upstack in `ccd-cuckoo`; use its
+    /// `standard_registry()` for all six.
+    #[must_use]
+    pub fn with_baselines() -> Self {
+        let mut registry = BuilderRegistry::new();
+        registry.register("sparse", build_sparse);
+        registry.register("skewed", build_skewed);
+        registry.register("duplicate-tag", build_duplicate_tag);
+        registry.register("in-cache", build_in_cache);
+        registry.register("tagless", build_tagless);
+        registry
+    }
+
+    /// Registers (or replaces) the builder for `name`.
+    pub fn register(&mut self, name: impl Into<String>, builder: DirectoryBuilder) {
+        let name = name.into();
+        if let Some(slot) = self.builders.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = builder;
+        } else {
+            self.builders.push((name, builder));
+        }
+    }
+
+    /// The registered organization names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.builders.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Builds the directory described by `spec`; sharded specs produce a
+    /// [`ShardedDirectory`] of `spec.shards` identical slices whose total
+    /// capacity equals the unsharded spec's.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Parse`] for an unregistered organization,
+    /// * [`ConfigError::Inconsistent`] when the set count is not divisible
+    ///   by the shard count,
+    /// * any error from the organization's own constructor.
+    pub fn build(&self, spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
+        let builder = self
+            .builders
+            .iter()
+            .find(|(name, _)| *name == spec.org)
+            .map(|(_, b)| *b)
+            .ok_or_else(|| ConfigError::Parse {
+                what: format!("no builder registered for organization `{}`", spec.org),
+            })?;
+        if spec.shards == 1 {
+            return builder(spec);
+        }
+        if !spec.sets.is_multiple_of(spec.shards) {
+            return Err(ConfigError::Inconsistent {
+                what: "sharded spec requires the set count to be divisible by the shard count",
+            });
+        }
+        let slice_spec = DirectorySpec {
+            sets: spec.sets / spec.shards,
+            shards: 1,
+            ..spec.clone()
+        };
+        let slices = (0..spec.shards)
+            .map(|_| builder(&slice_spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(ShardedDirectory::new(slices)?))
+    }
+
+    /// Parses `input` and builds the resulting spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`DirectorySpec::from_str`] and [`BuilderRegistry::build`].
+    pub fn build_str(&self, input: &str) -> Result<Box<dyn Directory>, ConfigError> {
+        self.build(&input.parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let spec: DirectorySpec = "cuckoo-4x1024-skew".parse().unwrap();
+        assert_eq!(spec.org, "cuckoo");
+        assert_eq!((spec.ways, spec.sets), (4, 1024));
+        assert_eq!(spec.hash, Some(HashKind::Skewing));
+        assert_eq!(spec.sharers, SharerFormat::FullVector);
+        assert_eq!(spec.caches, DEFAULT_CACHES);
+        assert_eq!(spec.shards, 1);
+
+        let spec: DirectorySpec = "sparse-8x2048".parse().unwrap();
+        assert_eq!(spec.org, "sparse");
+        assert_eq!((spec.ways, spec.sets), (8, 2048));
+        assert_eq!(spec.hash, None);
+    }
+
+    #[test]
+    fn parses_modifiers_and_aliases() {
+        let spec: DirectorySpec = "sharded4:duptag-16x512-c16@coarse".parse().unwrap();
+        assert_eq!(spec.org, "duplicate-tag");
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.caches, 16);
+        assert_eq!(spec.sharers, SharerFormat::Coarse);
+
+        let spec: DirectorySpec = "in-cache-16x64@hier".parse().unwrap();
+        assert_eq!(spec.org, "in-cache");
+        assert_eq!(spec.sharers, SharerFormat::Hierarchical);
+
+        let spec: DirectorySpec = "skewed-4x256-strong".parse().unwrap();
+        assert_eq!(spec.hash, Some(HashKind::Strong));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!("".parse::<DirectorySpec>().is_err());
+        assert!("mystery-4x64".parse::<DirectorySpec>().is_err());
+        assert!("sparse".parse::<DirectorySpec>().is_err());
+        assert!("sparse-4".parse::<DirectorySpec>().is_err());
+        assert!("sparse-4xq".parse::<DirectorySpec>().is_err());
+        assert!("sparse-0x64".parse::<DirectorySpec>().is_err());
+        assert!("sparse-4x64-bogus".parse::<DirectorySpec>().is_err());
+        assert!("sharded0:sparse-4x64".parse::<DirectorySpec>().is_err());
+        assert!("shardedq:sparse-4x64".parse::<DirectorySpec>().is_err());
+        assert!("sparse-4x64@martian".parse::<DirectorySpec>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for input in [
+            "sparse-8x2048",
+            "skewed-4x1024-strong",
+            "duplicate-tag-16x512-c16",
+            "sharded4:sparse-4x256@coarse",
+        ] {
+            let spec: DirectorySpec = input.parse().unwrap();
+            assert_eq!(spec.to_string(), input);
+            let reparsed: DirectorySpec = spec.to_string().parse().unwrap();
+            assert_eq!(reparsed, spec);
+        }
+    }
+
+    #[test]
+    fn baseline_registry_builds_every_organization() {
+        let registry = BuilderRegistry::with_baselines();
+        for spec in [
+            "sparse-8x256",
+            "skewed-4x256",
+            "duplicate-tag-2x64",
+            "in-cache-16x64",
+            "tagless-2x64",
+        ] {
+            let dir = registry.build_str(spec).unwrap();
+            assert!(dir.capacity() > 0, "{spec}");
+            assert_eq!(dir.num_caches(), DEFAULT_CACHES, "{spec}");
+        }
+        assert!(
+            registry.build_str("cuckoo-4x512").is_err(),
+            "cuckoo registers upstack"
+        );
+    }
+
+    #[test]
+    fn inapplicable_modifiers_are_rejected_at_build_time() {
+        let registry = BuilderRegistry::with_baselines();
+        // Hash modifiers only apply to hashed-index organizations.
+        assert!(registry.build_str("sparse-8x512-skew").is_err());
+        assert!(registry.build_str("in-cache-16x64-strong").is_err());
+        assert!(registry.build_str("duplicate-tag-2x32-ms").is_err());
+        assert!(registry.build_str("tagless-2x32-skew").is_err());
+        // Sharer formats only apply to organizations with per-entry sets.
+        assert!(registry.build_str("duplicate-tag-2x32@coarse").is_err());
+        assert!(registry.build_str("tagless-2x32@hier").is_err());
+        // The skewed directory takes both modifiers.
+        assert!(registry.build_str("skewed-4x256-strong@coarse").is_ok());
+    }
+
+    #[test]
+    fn sharer_formats_select_distinct_storage() {
+        let registry = BuilderRegistry::with_baselines();
+        let full = registry.build_str("sparse-8x256-c64@full").unwrap();
+        let coarse = registry.build_str("sparse-8x256-c64@coarse").unwrap();
+        assert!(
+            coarse.storage_profile().total_bits < full.storage_profile().total_bits,
+            "coarse vectors must be smaller than full vectors"
+        );
+    }
+
+    #[test]
+    fn sharded_build_preserves_total_capacity() {
+        let registry = BuilderRegistry::with_baselines();
+        let single = registry.build_str("sparse-4x1024").unwrap();
+        let sharded = registry.build_str("sharded4:sparse-4x1024").unwrap();
+        assert_eq!(single.capacity(), sharded.capacity());
+        assert!(sharded.organization().starts_with("sharded4x["));
+        // Indivisible set counts are rejected.
+        assert!(registry.build_str("sharded3:sparse-4x1024").is_err());
+    }
+}

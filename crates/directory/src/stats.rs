@@ -11,14 +11,13 @@
 //!   (footnote 1 of Section 5.6).
 
 use ccd_common::stats::{Counter, Histogram, MeanAccumulator, RateEstimator};
-use serde::{Deserialize, Serialize};
 
 /// Upper bound for the insertion-attempt histogram, matching the paper's
 /// 32-attempt cap (Section 5.2).
 pub const MAX_TRACKED_ATTEMPTS: usize = 32;
 
 /// Statistics accumulated by a directory slice.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DirectoryStats {
     /// Lookups performed (reads of the directory, including the implicit
     /// lookup preceding every insertion).
@@ -173,7 +172,7 @@ impl DirectoryStats {
 /// 26.9%, remove sharer 24.9%, remove tag 23.5%, invalidate-all 1.2%
 /// (Section 5.6, footnote 1). [`EventMix::paper_reference`] returns those
 /// reference values for use by the analytical energy model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EventMix {
     /// Fraction of operations that insert a new tag.
     pub insert_tag: f64,
@@ -203,7 +202,10 @@ impl EventMix {
     /// Sum of all fractions (≈ 1.0 for a complete mix).
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.insert_tag + self.add_sharer + self.remove_sharer + self.remove_tag
+        self.insert_tag
+            + self.add_sharer
+            + self.remove_sharer
+            + self.remove_tag
             + self.invalidate_all
     }
 }

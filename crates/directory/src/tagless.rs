@@ -24,7 +24,7 @@
 //!   aliasing produces spurious invalidation *messages* (false-positive
 //!   sharers), not evictions of live blocks.
 
-use crate::{Directory, DirectoryStats, StorageProfile, UpdateResult};
+use crate::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
 use ccd_common::rng::SplitMix64;
 use ccd_common::{CacheId, ConfigError, LineAddr};
 use std::collections::HashMap;
@@ -65,7 +65,13 @@ impl TaglessDirectory {
         cache_ways: usize,
         num_caches: usize,
     ) -> Result<Self, ConfigError> {
-        Self::with_filter_geometry(cache_sets, cache_ways, num_caches, DEFAULT_BUCKETS, DEFAULT_PROBES)
+        Self::with_filter_geometry(
+            cache_sets,
+            cache_ways,
+            num_caches,
+            DEFAULT_BUCKETS,
+            DEFAULT_PROBES,
+        )
     }
 
     /// Creates a Tagless directory with explicit Bloom-filter geometry.
@@ -82,19 +88,27 @@ impl TaglessDirectory {
         probes: usize,
     ) -> Result<Self, ConfigError> {
         if cache_sets == 0 {
-            return Err(ConfigError::Zero { what: "cache set count" });
+            return Err(ConfigError::Zero {
+                what: "cache set count",
+            });
         }
         if cache_ways == 0 {
             return Err(ConfigError::Zero { what: "cache ways" });
         }
         if num_caches == 0 {
-            return Err(ConfigError::Zero { what: "cache count" });
+            return Err(ConfigError::Zero {
+                what: "cache count",
+            });
         }
         if buckets == 0 {
-            return Err(ConfigError::Zero { what: "bloom buckets" });
+            return Err(ConfigError::Zero {
+                what: "bloom buckets",
+            });
         }
         if probes == 0 {
-            return Err(ConfigError::Zero { what: "bloom probes" });
+            return Err(ConfigError::Zero {
+                what: "bloom probes",
+            });
         }
         if !ccd_common::is_power_of_two(cache_sets as u64) {
             return Err(ConfigError::NotPowerOfTwo {
@@ -137,38 +151,60 @@ impl TaglessDirectory {
         (line.block_number() % self.cache_sets as u64) as usize
     }
 
-    fn bucket_indices(&self, line: LineAddr) -> Vec<usize> {
-        let set = self.set_of(line);
-        (0..self.probes)
-            .map(|p| {
-                let h = SplitMix64::mix(line.block_number() ^ (p as u64).wrapping_mul(0x9E37_79B9));
-                set * self.buckets + (h % self.buckets as u64) as usize
-            })
-            .collect()
+    /// The `p`-th Bloom-filter bucket probed for `line` — a pure function so
+    /// read and update paths stay allocation-free.
+    fn probe_bucket(&self, line: LineAddr, p: usize) -> usize {
+        let h = SplitMix64::mix(line.block_number() ^ (p as u64).wrapping_mul(0x9E37_79B9));
+        self.set_of(line) * self.buckets + (h % self.buckets as u64) as usize
     }
 
     fn filter_may_contain(&self, cache: CacheId, line: LineAddr) -> bool {
-        self.bucket_indices(line)
-            .into_iter()
-            .all(|b| self.filters[cache.index()][b] > 0)
+        (0..self.probes).all(|p| self.filters[cache.index()][self.probe_bucket(line, p)] > 0)
     }
 
     fn filter_add(&mut self, cache: CacheId, line: LineAddr) {
-        for b in self.bucket_indices(line) {
+        for p in 0..self.probes {
+            let b = self.probe_bucket(line, p);
             let counter = &mut self.filters[cache.index()][b];
             *counter = counter.saturating_add(1);
         }
     }
 
     fn filter_remove(&mut self, cache: CacheId, line: LineAddr) {
-        for b in self.bucket_indices(line) {
+        for p in 0..self.probes {
+            let b = self.probe_bucket(line, p);
             let counter = &mut self.filters[cache.index()][b];
             *counter = counter.saturating_sub(1);
         }
     }
 
+    #[cfg(test)]
     fn exact_holders(&self, line: LineAddr) -> Option<&Vec<CacheId>> {
         self.present.get(&line.block_number())
+    }
+
+    /// The `AddSharer` operation body, shared with `SetExclusive` (which
+    /// appends to an already-populated outcome and must not reset it).
+    fn add_impl(&mut self, line: LineAddr, cache: CacheId, out: &mut Outcome) {
+        assert!(cache.index() < self.num_caches, "{cache} out of range");
+        self.stats.lookups.incr();
+        let holders = self.present.entry(line.block_number()).or_default();
+        if holders.contains(&cache) {
+            self.stats.sharer_adds.incr();
+            out.set_hit(true);
+            return;
+        }
+        let new_tag = holders.is_empty();
+        holders.push(cache);
+        self.filter_add(cache, line);
+        if new_tag {
+            out.record_allocation(1);
+            let occupancy = self.occupancy();
+            self.stats.record_insertion(1, 0, occupancy);
+        } else {
+            out.set_hit(true);
+            self.stats.sharer_adds.incr();
+        }
     }
 }
 
@@ -196,108 +232,109 @@ impl Directory for TaglessDirectory {
         self.present.contains_key(&line.block_number())
     }
 
-    fn sharers(&self, line: LineAddr) -> Option<Vec<CacheId>> {
-        if !self.contains(line) {
-            return None;
-        }
-        // Conservative superset: every cache whose filter reports a hit.
-        let holders: Vec<CacheId> = (0..self.num_caches as u32)
-            .map(CacheId::new)
-            .filter(|&c| self.filter_may_contain(c, line))
-            .collect();
-        Some(holders)
+    fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
+        // Conservative: every cache whose filter reports a hit may hold a
+        // copy of any tracked line.
+        self.contains(line) && self.filter_may_contain(cache, line)
     }
 
-    fn add_sharer(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        assert!(cache.index() < self.num_caches, "{cache} out of range");
-        self.stats.lookups.incr();
-        let holders = self.present.entry(line.block_number()).or_default();
-        if holders.contains(&cache) {
-            self.stats.sharer_adds.incr();
-            return UpdateResult::existing();
-        }
-        let new_tag = holders.is_empty();
-        holders.push(cache);
-        self.filter_add(cache, line);
-        if new_tag {
-            let occupancy = self.occupancy();
-            self.stats.record_insertion(1, 0, occupancy);
-        } else {
-            self.stats.sharer_adds.incr();
-        }
-        UpdateResult {
-            allocated_new_entry: new_tag,
-            insertion_attempts: 1,
-            forced_evictions: Vec::new(),
-            invalidate: Vec::new(),
-        }
-    }
-
-    fn set_exclusive(&mut self, line: LineAddr, cache: CacheId) -> UpdateResult {
-        // The invalidation vector sent by Tagless is the conservative
-        // filter-derived superset; the entries actually cleared are the true
-        // holders (the hardware learns them from the invalidation acks).
-        let superset: Vec<CacheId> = self
-            .sharers(line)
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        let true_holders: Vec<CacheId> = self
-            .exact_holders(line)
-            .cloned()
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|&c| c != cache)
-            .collect();
-        for &holder in &true_holders {
-            self.filter_remove(holder, line);
-            self.stats.sharer_removes.incr();
-        }
-        if let Some(holders) = self.present.get_mut(&line.block_number()) {
-            holders.retain(|&c| c == cache);
-        }
-        if !true_holders.is_empty() {
-            self.stats.invalidate_alls.incr();
-        }
-        let mut result = self.add_sharer(line, cache);
-        result.invalidate = superset;
-        result
-    }
-
-    fn remove_sharer(&mut self, line: LineAddr, cache: CacheId) {
-        let (removed, now_empty) = match self.present.get_mut(&line.block_number()) {
-            Some(holders) => match holders.iter().position(|&c| c == cache) {
-                Some(pos) => {
-                    holders.remove(pos);
-                    (true, holders.is_empty())
+    fn apply(&mut self, op: DirectoryOp, out: &mut Outcome) {
+        out.reset();
+        match op {
+            DirectoryOp::Probe { line } => {
+                if self.contains(line) {
+                    out.set_hit(true);
+                    for c in 0..self.num_caches as u32 {
+                        let cache = CacheId::new(c);
+                        if self.filter_may_contain(cache, line) {
+                            out.push_invalidate(cache);
+                        }
+                    }
                 }
-                None => (false, false),
-            },
-            None => return,
-        };
-        if removed {
-            self.stats.sharer_removes.incr();
-            self.filter_remove(cache, line);
-            if now_empty {
-                self.present.remove(&line.block_number());
+            }
+            DirectoryOp::AddSharer { line, cache } => {
+                self.add_impl(line, cache, out);
+            }
+            DirectoryOp::SetExclusive { line, cache } => {
+                // The invalidation vector sent by Tagless is the
+                // conservative filter-derived superset; the entries actually
+                // cleared are the true holders (the hardware learns them
+                // from the invalidation acks).
+                if self.contains(line) {
+                    for c in 0..self.num_caches as u32 {
+                        let other = CacheId::new(c);
+                        if other != cache && self.filter_may_contain(other, line) {
+                            out.push_invalidate(other);
+                        }
+                    }
+                }
+                let mut holders = self
+                    .present
+                    .remove(&line.block_number())
+                    .unwrap_or_default();
+                let mut keep_writer = false;
+                let mut removed_any = false;
+                for &holder in &holders {
+                    if holder == cache {
+                        keep_writer = true;
+                    } else {
+                        self.filter_remove(holder, line);
+                        self.stats.sharer_removes.incr();
+                        removed_any = true;
+                    }
+                }
+                holders.clear();
+                if keep_writer {
+                    holders.push(cache);
+                }
+                self.present.insert(line.block_number(), holders);
+                if removed_any {
+                    out.record_invalidate_all();
+                    self.stats.invalidate_alls.incr();
+                }
+                self.add_impl(line, cache, out);
+            }
+            DirectoryOp::RemoveSharer { line, cache } => {
+                let (removed, now_empty) = match self.present.get_mut(&line.block_number()) {
+                    Some(holders) => match holders.iter().position(|&c| c == cache) {
+                        Some(pos) => {
+                            holders.remove(pos);
+                            (true, holders.is_empty())
+                        }
+                        None => (false, false),
+                    },
+                    None => return,
+                };
+                if removed {
+                    out.set_hit(true);
+                    self.stats.sharer_removes.incr();
+                    self.filter_remove(cache, line);
+                    if now_empty {
+                        self.present.remove(&line.block_number());
+                        out.record_removed_entry();
+                        self.stats.entry_removes.incr();
+                    }
+                }
+            }
+            DirectoryOp::RemoveEntry { line } => {
+                let Some(holders) = self.present.remove(&line.block_number()) else {
+                    return;
+                };
+                out.set_hit(true);
+                out.record_removed_entry();
+                for &cache in &holders {
+                    self.filter_remove(cache, line);
+                }
                 self.stats.entry_removes.incr();
+                // Report the conservative superset, as the hardware would.
+                for c in 0..self.num_caches as u32 {
+                    let cache = CacheId::new(c);
+                    if holders.contains(&cache) || self.filter_may_contain(cache, line) {
+                        out.push_invalidate(cache);
+                    }
+                }
             }
         }
-    }
-
-    fn remove_entry(&mut self, line: LineAddr) -> Option<Vec<CacheId>> {
-        let holders = self.present.remove(&line.block_number())?;
-        for &cache in &holders {
-            self.filter_remove(cache, line);
-        }
-        self.stats.entry_removes.incr();
-        // Report the conservative superset, as the hardware would.
-        let superset: Vec<CacheId> = (0..self.num_caches as u32)
-            .map(CacheId::new)
-            .filter(|&c| holders.contains(&c) || self.filter_may_contain(c, line))
-            .collect();
-        Some(superset)
     }
 
     fn stats(&self) -> &DirectoryStats {
@@ -363,10 +400,7 @@ mod tests {
         dir.remove_sharer(line(9), CacheId::new(0));
         assert!(!dir.contains(line(9)));
         // line 73 must still be reported for cache 0.
-        assert!(dir
-            .sharers(line(73))
-            .unwrap()
-            .contains(&CacheId::new(0)));
+        assert!(dir.sharers(line(73)).unwrap().contains(&CacheId::new(0)));
         dir.remove_sharer(line(73), CacheId::new(0));
         assert!(dir.is_empty());
         assert_eq!(dir.stats().entry_removes.get(), 2);

@@ -19,14 +19,13 @@ use crate::orgs::{storage_profile, DirOrg, SliceEnvironment};
 use crate::sram::{relative_area, relative_energy};
 use ccd_cache::CacheConfig;
 use ccd_directory::stats::EventMix;
-use serde::{Deserialize, Serialize};
 
 /// The default average insertion-attempt count charged to Cuckoo
 /// insertions, matching the measured averages of Figure 10.
 pub const DEFAULT_CUCKOO_AVG_ATTEMPTS: f64 = 1.5;
 
 /// One evaluated point of a scaling curve.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScalingPoint {
     /// Core count.
     pub cores: usize,
@@ -39,7 +38,7 @@ pub struct ScalingPoint {
 }
 
 /// The analytical model for one cache hierarchy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EnergyModel {
     /// Caches per core tracked by the directory (2 for Shared-L2, 1 for
     /// Private-L2).
@@ -282,11 +281,24 @@ mod tests {
         let model = shared();
         let cuckoo = DirOrg::cuckoo_coarse_shared();
         let at_16 = model.evaluate(&DirOrg::InCacheFullVector, 16).area_relative;
-        let at_128 = model.evaluate(&DirOrg::InCacheFullVector, 128).area_relative;
-        let at_1024 = model.evaluate(&DirOrg::InCacheFullVector, 1024).area_relative;
-        assert!((at_1024 / at_16 - 64.0).abs() < 1.0, "linear growth in core count");
-        assert!(at_128 > 0.4, "already a large fraction of the L2 at 128 cores");
-        assert!(at_1024 > 1.0, "exceeds the L2 data array itself at 1024 cores");
+        let at_128 = model
+            .evaluate(&DirOrg::InCacheFullVector, 128)
+            .area_relative;
+        let at_1024 = model
+            .evaluate(&DirOrg::InCacheFullVector, 1024)
+            .area_relative;
+        assert!(
+            (at_1024 / at_16 - 64.0).abs() < 1.0,
+            "linear growth in core count"
+        );
+        assert!(
+            at_128 > 0.4,
+            "already a large fraction of the L2 at 128 cores"
+        );
+        assert!(
+            at_1024 > 1.0,
+            "exceeds the L2 data array itself at 1024 cores"
+        );
         let cuckoo_1024 = model.evaluate(&cuckoo, 1024).area_relative;
         assert!(at_1024 > 20.0 * cuckoo_1024);
     }
@@ -335,8 +347,7 @@ mod tests {
         // Attempts below 1.0 are clamped.
         let clamped = shared().with_cuckoo_attempts(0.1);
         assert!(
-            (clamped.evaluate(&org, 64).energy_relative
-                - cheap.evaluate(&org, 64).energy_relative)
+            (clamped.evaluate(&org, 64).energy_relative - cheap.evaluate(&org, 64).energy_relative)
                 .abs()
                 < 1e-9
         );

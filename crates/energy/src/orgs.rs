@@ -10,7 +10,6 @@
 use crate::sram::tag_bits;
 use ccd_directory::StorageProfile;
 use ccd_sharers::SharerFormat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bloom-filter buckets per (cache, set) filter of the Tagless
@@ -22,7 +21,7 @@ pub fn tagless_buckets(cache_ways: usize) -> u64 {
 }
 
 /// A directory organization, as plotted in Figures 4 and 13.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DirOrg {
     /// Duplicate-Tag directory (mirrors every private cache's tags).
     DuplicateTag,
@@ -181,7 +180,7 @@ impl fmt::Display for DirOrg {
 /// Parameters of one directory slice's environment, independent of the
 /// organization: how many caches it serves and how many blocks it must be
 /// able to track.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SliceEnvironment {
     /// Number of private caches in the system (sharer-vector width).
     pub num_caches: usize,
@@ -350,7 +349,10 @@ mod tests {
         let p16 = storage_profile(&sparse, &shared_env(16));
         let p256 = storage_profile(&sparse, &shared_env(256));
         let growth = p256.total_bits as f64 / p16.total_bits as f64;
-        assert!(growth > 8.0, "full vectors must dominate storage, growth {growth}");
+        assert!(
+            growth > 8.0,
+            "full vectors must dominate storage, growth {growth}"
+        );
 
         let in_cache = DirOrg::InCacheFullVector;
         let p16 = storage_profile(&in_cache, &shared_env(16));
@@ -384,8 +386,7 @@ mod tests {
         use ccd_directory::Directory;
         use ccd_sharers::FullBitVector;
 
-        let dir =
-            CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 512, 32)).unwrap();
+        let dir = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 512, 32)).unwrap();
         let executable = dir.storage_profile();
         let analytical = storage_profile(
             &DirOrg::SparseFullVector {

@@ -8,11 +8,10 @@
 
 use crate::{IndexHashFamily, MultiplyShiftFamily, SkewingFamily, StrongFamily};
 use ccd_common::{ConfigError, LineAddr};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which hash-function family a directory should index its ways with.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum HashKind {
     /// Seznec–Bodin skewing functions — the paper's hardware choice
     /// (Section 5.5): a few levels of XOR logic.
@@ -41,6 +40,23 @@ impl HashKind {
     #[must_use]
     pub const fn all() -> [HashKind; 3] {
         [HashKind::Skewing, HashKind::MultiplyShift, HashKind::Strong]
+    }
+}
+
+impl std::str::FromStr for HashKind {
+    type Err = ConfigError;
+
+    /// Parses the names used in directory-spec strings: `skew`/`skewing`,
+    /// `ms`/`mshift`/`multiply-shift`, `strong`.
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "skew" | "skewing" => Ok(HashKind::Skewing),
+            "ms" | "mshift" | "multiply-shift" => Ok(HashKind::MultiplyShift),
+            "strong" => Ok(HashKind::Strong),
+            other => Err(ConfigError::Parse {
+                what: format!("unknown hash kind `{other}`"),
+            }),
+        }
     }
 }
 

@@ -87,10 +87,10 @@ mod tests {
         let mut counts = vec![vec![0usize; sets]; family.ways()];
         for _ in 0..samples {
             let line = LineAddr::from_block_number(rng.next_u64() >> 6);
-            for way in 0..family.ways() {
+            for (way, way_counts) in counts.iter_mut().enumerate() {
                 let idx = family.index(way, line);
                 assert!(idx < sets);
-                counts[way][idx] += 1;
+                way_counts[idx] += 1;
             }
         }
         let expected = samples as f64 / sets as f64;

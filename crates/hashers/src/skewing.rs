@@ -100,7 +100,11 @@ impl IndexHashFamily for SkewingFamily {
     }
 
     fn index(&self, way: usize, line: LineAddr) -> usize {
-        assert!(way < self.ways, "way {way} out of range (ways = {})", self.ways);
+        assert!(
+            way < self.ways,
+            "way {way} out of range (ways = {})",
+            self.ways
+        );
         let n = self.index_bits;
         let mask = (1u64 << n) - 1;
         let mut remaining = line.block_number();
@@ -110,8 +114,8 @@ impl IndexHashFamily for SkewingFamily {
         // Second field: rotated by twice the way number to decorrelate.
         let a2 = remaining & mask;
         remaining >>= n;
-        let mut h = Self::rotate_field(a1, way as u32, n)
-            ^ Self::rotate_field(a2, (2 * way) as u32, n);
+        let mut h =
+            Self::rotate_field(a1, way as u32, n) ^ Self::rotate_field(a2, (2 * way) as u32, n);
         // Fold any remaining high-order fields straight in so that every
         // address bit participates in every index.
         while remaining != 0 {
@@ -125,7 +129,7 @@ impl IndexHashFamily for SkewingFamily {
         // One XOR tree over ceil(48 / index_bits) fields: log2 of the number
         // of inputs, with rotations being free (wiring only).  This is the
         // "several levels of logic" the paper cites.
-        let fields = (ccd_common::PHYSICAL_ADDRESS_BITS + self.index_bits - 1) / self.index_bits;
+        let fields = ccd_common::PHYSICAL_ADDRESS_BITS.div_ceil(self.index_bits);
         ceil_log2(u64::from(fields)).max(1)
     }
 }

@@ -17,7 +17,6 @@
 
 use crate::SharerSet;
 use ccd_common::{ceil_log2, CacheId};
-use serde::{Deserialize, Serialize};
 
 /// Per-entry sharer storage bits: `2·log₂(N)` sharer bits plus a mode bit.
 #[must_use]
@@ -37,7 +36,7 @@ pub fn caches_per_region(num_caches: usize) -> usize {
     num_caches.div_ceil(region_count(num_caches))
 }
 
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum Mode {
     /// Up to two exact pointers.
     Pointers(Vec<CacheId>),
@@ -46,7 +45,7 @@ enum Mode {
 }
 
 /// A coarse sharer vector with a two-pointer exact fast path.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoarseVector {
     mode: Mode,
     num_caches: usize,
@@ -156,20 +155,24 @@ impl SharerSet for CoarseVector {
     }
 
     fn invalidation_targets(&self) -> Vec<CacheId> {
+        let mut targets = Vec::new();
+        self.extend_targets(&mut targets);
+        targets
+    }
+
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
         match &self.mode {
             Mode::Pointers(ptrs) => {
-                let mut targets = ptrs.clone();
-                targets.sort_unstable();
-                targets
+                let start = out.len();
+                out.extend_from_slice(ptrs);
+                out[start..].sort_unstable();
             }
             Mode::Coarse(mask) => {
-                let mut targets = Vec::new();
                 for region in 0..region_count(self.num_caches) {
                     if mask & (1 << region) != 0 {
-                        targets.extend(self.caches_in_region(region));
+                        out.extend(self.caches_in_region(region));
                     }
                 }
-                targets
             }
         }
     }
@@ -248,7 +251,10 @@ mod tests {
         }
         assert!(s.is_coarse());
         s.remove(CacheId::new(0));
-        assert!(s.may_contain(CacheId::new(0)), "coarse removal stays conservative");
+        assert!(
+            s.may_contain(CacheId::new(0)),
+            "coarse removal stays conservative"
+        );
         assert!(!s.is_empty());
     }
 
@@ -282,7 +288,7 @@ mod tests {
     fn storage_bits_follow_the_paper_formula() {
         assert_eq!(entry_bits(16), 2 * 4 + 1);
         assert_eq!(entry_bits(1024), 2 * 10 + 1);
-        assert_eq!(entry_bits(2), 2 * 1 + 1);
+        assert_eq!(entry_bits(2), 2 + 1);
         let s = CoarseVector::new(256);
         assert_eq!(s.storage_bits(), 2 * 8 + 1);
     }
@@ -292,7 +298,10 @@ mod tests {
         for n in [2usize, 4, 16, 32, 64, 100, 256, 1024, 2048] {
             let regions = region_count(n);
             let per = caches_per_region(n);
-            assert!(regions * per >= n, "regions must cover all caches for n={n}");
+            assert!(
+                regions * per >= n,
+                "regions must cover all caches for n={n}"
+            );
             assert!(regions <= 64);
         }
     }

@@ -9,7 +9,6 @@
 
 use crate::SharerSet;
 use ccd_common::CacheId;
-use serde::{Deserialize, Serialize};
 
 /// Storage width in bits of a full vector for `num_caches` caches.
 #[must_use]
@@ -18,7 +17,7 @@ pub fn vector_bits(num_caches: usize) -> u64 {
 }
 
 /// An exact, one-bit-per-cache sharer vector.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FullBitVector {
     words: Vec<u64>,
     num_caches: usize,
@@ -91,15 +90,19 @@ impl SharerSet for FullBitVector {
 
     fn invalidation_targets(&self) -> Vec<CacheId> {
         let mut targets = Vec::with_capacity(self.count);
+        self.extend_targets(&mut targets);
+        targets
+    }
+
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
         for (w, &word) in self.words.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
-                targets.push(CacheId::new((w * 64 + b) as u32));
+                out.push(CacheId::new((w * 64 + b) as u32));
                 bits &= bits - 1;
             }
         }
-        targets
     }
 
     fn is_exact(&self) -> bool {

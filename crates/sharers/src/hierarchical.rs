@@ -20,7 +20,6 @@
 
 use crate::SharerSet;
 use ccd_common::CacheId;
-use serde::{Deserialize, Serialize};
 
 /// Number of cache groups (root-vector bits) used for `num_caches` caches.
 #[must_use]
@@ -41,7 +40,7 @@ pub fn entry_bits(num_caches: usize) -> u64 {
 }
 
 /// An exact two-level (root + leaves) sharer vector.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HierarchicalVector {
     num_caches: usize,
     groups: usize,
@@ -140,18 +139,22 @@ impl SharerSet for HierarchicalVector {
 
     fn invalidation_targets(&self) -> Vec<CacheId> {
         let mut targets = Vec::with_capacity(self.count);
+        self.extend_targets(&mut targets);
+        targets
+    }
+
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
         for (group, &leaf) in self.leaves.iter().enumerate() {
             let mut bits = leaf;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 let idx = group * self.group_size + b;
                 if idx < self.num_caches {
-                    targets.push(CacheId::new(idx as u32));
+                    out.push(CacheId::new(idx as u32));
                 }
                 bits &= bits - 1;
             }
         }
-        targets
     }
 
     fn is_exact(&self) -> bool {
@@ -206,7 +209,10 @@ mod tests {
         assert!(s.is_exact());
         let mut targets = s.invalidation_targets();
         targets.sort_unstable();
-        assert_eq!(targets, ids.iter().map(|&i| CacheId::new(i)).collect::<Vec<_>>());
+        assert_eq!(
+            targets,
+            ids.iter().map(|&i| CacheId::new(i)).collect::<Vec<_>>()
+        );
 
         s.remove(CacheId::new(10));
         assert!(!s.may_contain(CacheId::new(10)));
@@ -227,7 +233,11 @@ mod tests {
         s.add(CacheId::new(1));
         s.add(CacheId::new(2)); // same group
         assert_eq!(s.allocated_leaves(), 1);
-        assert_eq!(s.allocated_leaf_bits(), 0, "first leaf fits in the primary entry");
+        assert_eq!(
+            s.allocated_leaf_bits(),
+            0,
+            "first leaf fits in the primary entry"
+        );
         s.add(CacheId::new(63)); // a new group
         assert_eq!(s.allocated_leaves(), 2);
         assert_eq!(s.allocated_leaf_bits(), 8);

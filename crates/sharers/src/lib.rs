@@ -102,6 +102,18 @@ pub trait SharerSet: Clone + Debug {
     /// survives — a superset of the true sharers.
     fn invalidation_targets(&self) -> Vec<CacheId>;
 
+    /// Appends the invalidation targets to `out` without allocating (beyond
+    /// `out`'s own growth).  This is the hot-path variant of
+    /// [`SharerSet::invalidation_targets`] used by the directory
+    /// organizations' `apply` implementations: the caller owns and reuses
+    /// the buffer, so a warmed-up buffer makes the operation allocation-free.
+    ///
+    /// Implementations must append exactly the elements (and order) that
+    /// [`SharerSet::invalidation_targets`] would return.
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
+        out.extend(self.invalidation_targets());
+    }
+
     /// `true` when the current contents are known to be an exact sharer
     /// list rather than an over-approximation.
     fn is_exact(&self) -> bool;
@@ -165,6 +177,24 @@ impl SharerFormat {
             SharerFormat::LimitedPointer => limited::default_entry_bits(num_caches),
             SharerFormat::Coarse => coarse::entry_bits(num_caches),
             SharerFormat::Hierarchical => hierarchical::entry_bits(num_caches),
+        }
+    }
+}
+
+impl std::str::FromStr for SharerFormat {
+    type Err = ccd_common::ConfigError;
+
+    /// Parses the names used in directory-spec strings: `full`/`full-vector`,
+    /// `limited`/`limited-pointer`, `coarse`, `hier`/`hierarchical`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" | "full-vector" => Ok(SharerFormat::FullVector),
+            "limited" | "limited-pointer" => Ok(SharerFormat::LimitedPointer),
+            "coarse" => Ok(SharerFormat::Coarse),
+            "hier" | "hierarchical" => Ok(SharerFormat::Hierarchical),
+            other => Err(ccd_common::ConfigError::Parse {
+                what: format!("unknown sharer format `{other}`"),
+            }),
         }
     }
 }
@@ -261,6 +291,10 @@ impl SharerSet for DynSharerSet {
 
     fn invalidation_targets(&self) -> Vec<CacheId> {
         dyn_dispatch!(self, s, s.invalidation_targets())
+    }
+
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
+        dyn_dispatch!(self, s, s.extend_targets(out));
     }
 
     fn is_exact(&self) -> bool {

@@ -9,7 +9,6 @@
 
 use crate::SharerSet;
 use ccd_common::{ceil_log2, CacheId};
-use serde::{Deserialize, Serialize};
 
 /// Default number of exact pointers stored per entry.
 pub const DEFAULT_POINTERS: usize = 4;
@@ -28,7 +27,7 @@ pub fn default_entry_bits(num_caches: usize) -> u64 {
 }
 
 /// A limited-pointer sharer set with broadcast-on-overflow semantics.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LimitedPointer {
     pointers: Vec<CacheId>,
     capacity: usize,
@@ -120,12 +119,18 @@ impl SharerSet for LimitedPointer {
     }
 
     fn invalidation_targets(&self) -> Vec<CacheId> {
+        let mut targets = Vec::new();
+        self.extend_targets(&mut targets);
+        targets
+    }
+
+    fn extend_targets(&self, out: &mut Vec<CacheId>) {
         if self.overflowed {
-            (0..self.num_caches as u32).map(CacheId::new).collect()
+            out.extend((0..self.num_caches as u32).map(CacheId::new));
         } else {
-            let mut targets = self.pointers.clone();
-            targets.sort_unstable();
-            targets
+            let start = out.len();
+            out.extend_from_slice(&self.pointers);
+            out[start..].sort_unstable();
         }
     }
 
@@ -189,7 +194,10 @@ mod tests {
         s.add(CacheId::new(0));
         s.add(CacheId::new(1)); // overflow
         s.remove(CacheId::new(0));
-        assert!(s.may_contain(CacheId::new(0)), "conservative after overflow");
+        assert!(
+            s.may_contain(CacheId::new(0)),
+            "conservative after overflow"
+        );
         s.clear();
         assert!(s.is_empty());
         assert!(s.is_exact());

@@ -179,15 +179,23 @@ mod tests {
     fn reference_mix_matches_profile_fractions() {
         let profile = WorkloadProfile::oracle();
         let n = 200_000;
-        let refs: Vec<_> = TraceGenerator::new(profile.clone(), 16, 7).take(n).collect();
+        let refs: Vec<_> = TraceGenerator::new(profile.clone(), 16, 7)
+            .take(n)
+            .collect();
         let ifetches = refs.iter().filter(|r| r.kind.is_instruction()).count();
         let data: Vec<_> = refs.iter().filter(|r| !r.kind.is_instruction()).collect();
         let writes = data.iter().filter(|r| r.kind.is_write()).count();
 
         let ifetch_rate = ifetches as f64 / n as f64;
         let write_rate = writes as f64 / data.len() as f64;
-        assert!((ifetch_rate - profile.ifetch_fraction).abs() < 0.02, "{ifetch_rate}");
-        assert!((write_rate - profile.write_fraction).abs() < 0.02, "{write_rate}");
+        assert!(
+            (ifetch_rate - profile.ifetch_fraction).abs() < 0.02,
+            "{ifetch_rate}"
+        );
+        assert!(
+            (write_rate - profile.write_fraction).abs() < 0.02,
+            "{write_rate}"
+        );
     }
 
     #[test]
@@ -224,9 +232,7 @@ mod tests {
             .collect();
         let shared_blocks: HashSet<u64> = refs
             .iter()
-            .filter(|r| {
-                r.addr.raw() >= SHARED_DATA_BASE && r.addr.raw() < PRIVATE_REGION_BASE
-            })
+            .filter(|r| r.addr.raw() >= SHARED_DATA_BASE && r.addr.raw() < PRIVATE_REGION_BASE)
             .map(|r| r.addr.raw() / DEFAULT_BLOCK_BYTES)
             .collect();
         assert!(shared_blocks.len() > 1000, "{}", shared_blocks.len());
@@ -235,7 +241,9 @@ mod tests {
     #[test]
     fn addresses_stay_within_their_regions() {
         let profile = WorkloadProfile::zeus();
-        let refs: Vec<_> = TraceGenerator::new(profile.clone(), 8, 17).take(50_000).collect();
+        let refs: Vec<_> = TraceGenerator::new(profile.clone(), 8, 17)
+            .take(50_000)
+            .collect();
         let span = FRAMES_PER_REGION * PAGE_BYTES;
         for r in &refs {
             let a = r.addr.raw();
@@ -283,7 +291,10 @@ mod tests {
         };
         let frames: Vec<u64> = (0..8).map(frame_of).collect();
         let consecutive = frames.windows(2).filter(|w| w[1] == w[0] + 1).count();
-        assert!(consecutive <= 1, "pages should be scattered, got frames {frames:?}");
+        assert!(
+            consecutive <= 1,
+            "pages should be scattered, got frames {frames:?}"
+        );
     }
 
     #[test]

@@ -18,11 +18,10 @@
 //!   scientific kernels sweep their data uniformly (Section 5.4 notes their
 //!   "more uniform distribution of accesses").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The workload classes of Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkloadCategory {
     /// Online transaction processing (TPC-C).
     Oltp,
@@ -47,7 +46,7 @@ impl fmt::Display for WorkloadCategory {
 }
 
 /// The parameters describing one synthetic workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadProfile {
     /// Short name used in figures (e.g. `"Oracle"`).
     pub name: &'static str,

@@ -28,7 +28,10 @@ impl ZipfSampler {
     #[must_use]
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "cannot sample from an empty population");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 1..=n {

@@ -34,11 +34,8 @@ fn main() {
     for spec in &candidates {
         let report = run(spec, &profile);
         let system = SystemConfig::table1(Hierarchy::SharedL2);
-        let capacity = spec
-            .build_slice(&system)
-            .expect("valid spec")
-            .capacity()
-            * system.num_slices();
+        let capacity =
+            spec.build_slice(&system).expect("valid spec").capacity() * system.num_slices();
         println!(
             "{:<22} {:>12} {:>14.1} {:>18.4} {:>14.2}",
             spec.label(),

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use cuckoo_directory::directory::{DirectoryOp, Outcome};
 use cuckoo_directory::prelude::*;
 
 fn main() -> Result<(), ccd_common::ConfigError> {
@@ -10,22 +11,41 @@ fn main() -> Result<(), ccd_common::ConfigError> {
     //
     // A 4-way x 512-set slice tracking 32 private caches: the configuration
     // the paper selects for its 16-core Shared-L2 system (1x provisioning).
-    let config = CuckooConfig::new(4, 512, 32);
-    let mut dir = CuckooDirectory::<FullBitVector>::new(config)?;
+    // Any of the six organizations can be built at runtime from a spec
+    // string through the builder registry.
+    let registry = cuckoo_directory::cuckoo::standard_registry();
+    let mut dir = registry.build_str("cuckoo-4x512-skew")?;
 
+    // The hot path: one reusable outcome buffer, zero steady-state
+    // allocations per operation.
+    let mut out = Outcome::new();
     let block = LineAddr::from_block_number(0x00ab_cdef);
     for cache in [0u32, 5, 17] {
-        let outcome = dir.add_sharer(block, CacheId::new(cache));
+        dir.apply(
+            DirectoryOp::AddSharer {
+                line: block,
+                cache: CacheId::new(cache),
+            },
+            &mut out,
+        );
         println!(
             "add sharer cache{cache}: new entry = {}, attempts = {}",
-            outcome.allocated_new_entry, outcome.insertion_attempts
+            out.allocated_new_entry(),
+            out.insertion_attempts()
         );
     }
-    println!("sharers of {block}: {:?}", dir.sharers(block));
+    dir.apply(DirectoryOp::Probe { line: block }, &mut out);
+    println!("sharers of {block}: {:?}", out.sharers());
 
     // A write by cache 5 invalidates the other sharers.
-    let write = dir.set_exclusive(block, CacheId::new(5));
-    println!("write by cache5 invalidates: {:?}", write.invalidate);
+    dir.apply(
+        DirectoryOp::SetExclusive {
+            line: block,
+            cache: CacheId::new(5),
+        },
+        &mut out,
+    );
+    println!("write by cache5 invalidates: {:?}", out.invalidate());
     println!("sharers after the write:    {:?}\n", dir.sharers(block));
 
     // --- 2. The same directory inside a simulated 16-core CMP -------------

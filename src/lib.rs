@@ -18,14 +18,42 @@
 //! | [`common`] | `ccd-common` | addresses, identifiers, RNG, statistics |
 //! | [`hash`] | `ccd-hash` | skewing / multiply-shift / strong index hash families |
 //! | [`sharers`] | `ccd-sharers` | full, coarse, hierarchical, limited-pointer sharer sets |
-//! | [`directory`] | `ccd-directory` | the `Directory` trait + Sparse, Skewed, Duplicate-Tag, In-Cache, Tagless baselines |
+//! | [`directory`] | `ccd-directory` | the op/outcome `Directory` protocol, the baselines, the builder registry, sharded composition |
 //! | [`cuckoo`] | `ccd-cuckoo` | the d-ary Cuckoo table and the Cuckoo directory (the paper's contribution) |
 //! | [`cache`] | `ccd-cache` | set-associative private-cache models |
 //! | [`coherence`] | `ccd-coherence` | the trace-driven tiled-CMP simulator |
 //! | [`workloads`] | `ccd-workloads` | synthetic workload/trace generators |
 //! | [`energy`] | `ccd-energy` | the analytical energy/area scaling model |
 //!
-//! # Quick start
+//! # The directory protocol
+//!
+//! Every directory organization — Cuckoo and the five baselines — speaks
+//! one explicit operation/outcome protocol: a
+//! [`DirectoryOp`](directory::DirectoryOp) is dispatched through
+//! [`Directory::apply`](directory::Directory::apply) into a caller-owned,
+//! reusable [`Outcome`](directory::Outcome) buffer, so the steady-state hot
+//! path (lookup hits, sharer updates on existing entries) performs **zero
+//! heap allocations**.  Organizations are built at runtime from spec
+//! strings like `"cuckoo-4x512-skew"` or `"sharded8:sparse-8x256"` through
+//! [`standard_registry`](cuckoo::standard_registry):
+//!
+//! ```
+//! use cuckoo_directory::directory::{DirectoryOp, Outcome};
+//! use cuckoo_directory::prelude::*;
+//!
+//! let registry = cuckoo_directory::cuckoo::standard_registry();
+//! let mut dir = registry.build_str("cuckoo-4x512-skew")?;
+//!
+//! let mut out = Outcome::new();
+//! let line = LineAddr::from_block_number(0xabc);
+//! dir.apply(DirectoryOp::AddSharer { line, cache: CacheId::new(3) }, &mut out);
+//! assert!(out.allocated_new_entry());
+//! dir.apply(DirectoryOp::Probe { line }, &mut out);
+//! assert_eq!(out.sharers(), &[CacheId::new(3)]);
+//! # Ok::<(), ccd_common::ConfigError>(())
+//! ```
+//!
+//! # Quick start (simulator)
 //!
 //! ```
 //! use cuckoo_directory::prelude::*;
@@ -40,6 +68,10 @@
 //! // The Cuckoo directory absorbs the working set without forced
 //! // invalidations.
 //! assert!(report.forced_invalidation_rate() < 0.01);
+//!
+//! // The same simulator is fully string-configurable:
+//! let spec: DirectorySpec = "sharded4:cuckoo-4x512-skew".parse()?;
+//! assert_eq!(spec.label(), "sharded4:cuckoo-4x512-skew");
 //! # Ok::<(), ccd_common::ConfigError>(())
 //! ```
 //!
@@ -60,15 +92,25 @@ pub use ccd_sharers as sharers;
 pub use ccd_workloads as workloads;
 
 /// The types most users of the library need, re-exported flat.
+///
+/// `DirectorySpec` here is the simulator-level spec of `ccd-coherence`
+/// (provisioning factors and paper labels); the string-level geometry spec
+/// lives at [`directory::DirectorySpec`](ccd_directory::DirectorySpec) and
+/// backs [`DirectorySpec::Custom`](ccd_coherence::DirectorySpec::Custom).
 pub mod prelude {
     pub use ccd_cache::{Cache, CacheConfig};
     pub use ccd_coherence::{CmpSimulator, DirectorySpec, Hierarchy, SimReport, SystemConfig};
     pub use ccd_common::{Address, BlockGeometry, CacheId, CoreId, LineAddr, MemRef};
-    pub use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
-    pub use ccd_directory::{Directory, DirectoryStats, SparseDirectory};
+    pub use ccd_cuckoo::{standard_registry, CuckooConfig, CuckooDirectory, CuckooTable};
+    pub use ccd_directory::{
+        BuilderRegistry, Directory, DirectoryOp, DirectoryStats, Outcome, ShardedDirectory,
+        SharerView, SparseDirectory,
+    };
     pub use ccd_energy::{DirOrg, EnergyModel};
     pub use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
-    pub use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, SharerSet};
+    pub use ccd_sharers::{
+        CoarseVector, FullBitVector, HierarchicalVector, SharerFormat, SharerSet,
+    };
     pub use ccd_workloads::{TraceGenerator, WorkloadProfile};
 }
 
@@ -84,5 +126,23 @@ mod tests {
         let model = EnergyModel::shared_l2();
         let point = model.evaluate(&DirOrg::cuckoo_coarse_shared(), 16);
         assert!(point.area_relative > 0.0);
+    }
+
+    #[test]
+    fn prelude_exposes_the_op_outcome_protocol() {
+        let mut dir = standard_registry()
+            .build_str("sparse-4x64-c8")
+            .expect("spec");
+        let mut out = Outcome::new();
+        let line = LineAddr::from_block_number(9);
+        dir.apply(
+            DirectoryOp::AddSharer {
+                line,
+                cache: CacheId::new(2),
+            },
+            &mut out,
+        );
+        assert!(out.allocated_new_entry());
+        assert!(dir.may_hold(line, CacheId::new(2)));
     }
 }

@@ -1,12 +1,39 @@
 //! Cross-organization contract tests: every `Directory` implementation in
 //! the workspace must expose the same observable semantics to the coherence
 //! protocol, differing only in conflict behaviour and conservativeness.
+//!
+//! The suite is driven two ways:
+//!
+//! * through the runtime builder registry (`ccd_cuckoo::standard_registry`)
+//!   from spec strings — covering all six organizations, compressed sharer
+//!   formats and sharded composition, and
+//! * through the paper-style provisioning specs of `ccd-coherence`.
 
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_cuckoo::standard_registry;
+use ccd_directory::{DirectoryOp, Outcome};
 use cuckoo_directory::prelude::*;
 
-fn all_specs() -> Vec<DirectorySpec> {
+/// Every organization (and modifier axis) constructible from the registry.
+const REGISTRY_SPECS: &[&str] = &[
+    "cuckoo-4x512-skew",
+    "cuckoo-3x1024-ms",
+    "cuckoo-4x512@coarse",
+    "cuckoo-4x512@limited",
+    "cuckoo-4x512@hier",
+    "sparse-8x512",
+    "sparse-8x512@coarse",
+    "skewed-4x1024",
+    "skewed-4x1024-strong",
+    "duplicate-tag-2x32",
+    "in-cache-16x64",
+    "tagless-2x32",
+    "sharded4:cuckoo-4x512-skew",
+    "sharded2:sparse-8x512",
+];
+
+fn paper_specs() -> Vec<DirectorySpec> {
     vec![
         DirectorySpec::cuckoo(4, 1.0),
         DirectorySpec::cuckoo(3, 1.5),
@@ -18,15 +45,55 @@ fn all_specs() -> Vec<DirectorySpec> {
     ]
 }
 
-fn build(spec: &DirectorySpec) -> Box<dyn Directory> {
+/// Builds every directory under test, labelled for assertion messages.
+fn all_dirs() -> Vec<(String, Box<dyn Directory>)> {
+    let registry = standard_registry();
     let system = SystemConfig::table1(Hierarchy::SharedL2);
-    spec.build_slice(&system).expect("paper configurations build")
+    let mut dirs: Vec<(String, Box<dyn Directory>)> = REGISTRY_SPECS
+        .iter()
+        .map(|spec| {
+            (
+                (*spec).to_string(),
+                registry.build_str(spec).expect("registry spec builds"),
+            )
+        })
+        .collect();
+    dirs.extend(paper_specs().into_iter().map(|spec| {
+        (
+            spec.label(),
+            spec.build_slice(&system)
+                .expect("paper configurations build"),
+        )
+    }));
+    dirs
+}
+
+#[test]
+fn every_registry_spec_constructs_at_runtime() {
+    let registry = standard_registry();
+    for spec in REGISTRY_SPECS {
+        let dir = registry.build_str(spec).expect(spec);
+        assert!(dir.capacity() > 0, "{spec}");
+        assert!(dir.is_empty(), "{spec}");
+        assert!(!dir.organization().is_empty(), "{spec}");
+    }
+    // All six organization names are registered.
+    let names: Vec<&str> = registry.names().collect();
+    for name in [
+        "cuckoo",
+        "sparse",
+        "skewed",
+        "duplicate-tag",
+        "in-cache",
+        "tagless",
+    ] {
+        assert!(names.contains(&name), "missing builder for {name}");
+    }
 }
 
 #[test]
 fn sharers_are_always_a_superset_of_what_was_added() {
-    for spec in all_specs() {
-        let mut dir = build(&spec);
+    for (label, mut dir) in all_dirs() {
         let caches = dir.num_caches();
         let mut rng = SplitMix64::new(1);
         // Track a modest number of lines so even small organizations hold
@@ -46,26 +113,54 @@ fn sharers_are_always_a_superset_of_what_was_added() {
             if !dir.contains(*line) {
                 // Conflict-prone organizations may have evicted the entry;
                 // that is legal, but then it must not claim to track it.
-                assert!(dir.sharers(*line).is_none(), "{}", spec.label());
+                assert!(dir.sharers(*line).is_none(), "{label}");
                 continue;
             }
             let reported = dir.sharers(*line).expect("tracked line has sharers");
             for holder in holders {
                 assert!(
                     reported.contains(holder),
-                    "{}: reported sharers {:?} missing true holder {holder}",
-                    spec.label(),
-                    reported
+                    "{label}: reported sharers {reported:?} missing true holder {holder}",
+                );
+                assert!(
+                    dir.may_hold(*line, *holder),
+                    "{label}: may_hold denies true holder {holder}",
                 );
             }
+            // The borrowed view agrees with the allocating query.
+            let viewed: Vec<CacheId> = ccd_directory::sharer_view(dir.as_ref(), *line)
+                .expect("tracked")
+                .collect();
+            assert_eq!(viewed, reported, "{label}: sharer_view diverged");
         }
     }
 }
 
 #[test]
+fn probe_reports_the_same_sharers_as_the_allocating_query() {
+    for (label, mut dir) in all_dirs() {
+        let mut out = Outcome::new();
+        let line = LineAddr::from_block_number(0x1CE);
+        dir.apply(DirectoryOp::Probe { line }, &mut out);
+        assert!(!out.hit(), "{label}: probe of untracked line must miss");
+        assert!(out.sharers().is_empty(), "{label}");
+
+        for c in [0u32, 2, 7] {
+            dir.add_sharer(line, CacheId::new(c));
+        }
+        dir.apply(DirectoryOp::Probe { line }, &mut out);
+        assert!(out.hit(), "{label}");
+        let mut probed: Vec<CacheId> = out.sharers().to_vec();
+        probed.sort_unstable();
+        let mut queried = dir.sharers(line).expect("tracked");
+        queried.sort_unstable();
+        assert_eq!(probed, queried, "{label}: probe and sharers() disagree");
+    }
+}
+
+#[test]
 fn exclusive_requests_always_cover_previous_sharers() {
-    for spec in all_specs() {
-        let mut dir = build(&spec);
+    for (label, mut dir) in all_dirs() {
         let line = LineAddr::from_block_number(0xBEEF);
         for c in [1u32, 3, 9, 20] {
             dir.add_sharer(line, CacheId::new(c));
@@ -74,14 +169,12 @@ fn exclusive_requests_always_cover_previous_sharers() {
         for c in [1u32, 3, 9, 20] {
             assert!(
                 result.invalidate.contains(&CacheId::new(c)),
-                "{}: write must invalidate cache{c}",
-                spec.label()
+                "{label}: write must invalidate cache{c}",
             );
         }
         assert!(
             !result.invalidate.contains(&CacheId::new(5)),
-            "{}: the writer itself is never invalidated",
-            spec.label()
+            "{label}: the writer itself is never invalidated",
         );
         // After the write the writer is (at least) among the sharers.
         assert!(dir
@@ -93,9 +186,10 @@ fn exclusive_requests_always_cover_previous_sharers() {
 
 #[test]
 fn removing_all_sharers_eventually_frees_every_entry() {
-    for spec in all_specs() {
-        let mut dir = build(&spec);
-        let lines: Vec<LineAddr> = (0..256u64).map(|i| LineAddr::from_block_number(i * 7)).collect();
+    for (label, mut dir) in all_dirs() {
+        let lines: Vec<LineAddr> = (0..256u64)
+            .map(|i| LineAddr::from_block_number(i * 7))
+            .collect();
         for (i, &line) in lines.iter().enumerate() {
             dir.add_sharer(line, CacheId::new((i % dir.num_caches()) as u32));
         }
@@ -104,44 +198,129 @@ fn removing_all_sharers_eventually_frees_every_entry() {
         }
         assert!(
             dir.is_empty(),
-            "{}: directory still holds {} entries after all sharers left",
-            spec.label(),
+            "{label}: directory still holds {} entries after all sharers left",
             dir.len()
         );
-        assert_eq!(dir.occupancy(), 0.0, "{}", spec.label());
+        assert_eq!(dir.occupancy(), 0.0, "{label}");
     }
 }
 
 #[test]
 fn capacity_and_storage_profiles_are_positive_and_consistent() {
-    for spec in all_specs() {
-        let dir = build(&spec);
-        assert!(dir.capacity() > 0, "{}", spec.label());
+    for (label, dir) in all_dirs() {
+        assert!(dir.capacity() > 0, "{label}");
         let profile = dir.storage_profile();
-        assert!(profile.total_bits > 0, "{}", spec.label());
-        assert!(profile.bits_read_per_lookup > 0, "{}", spec.label());
-        assert!(profile.bits_written_per_update > 0, "{}", spec.label());
+        assert!(profile.total_bits > 0, "{label}");
+        assert!(profile.bits_read_per_lookup > 0, "{label}");
+        assert!(profile.bits_written_per_update > 0, "{label}");
         assert!(
             profile.total_bits >= profile.bits_written_per_update,
-            "{}",
-            spec.label()
+            "{label}",
         );
     }
 }
 
 #[test]
 fn stats_reflect_the_operations_performed() {
-    for spec in all_specs() {
-        let mut dir = build(&spec);
+    for (label, mut dir) in all_dirs() {
         let line = LineAddr::from_block_number(42);
         dir.add_sharer(line, CacheId::new(0));
         dir.add_sharer(line, CacheId::new(1));
         dir.remove_sharer(line, CacheId::new(0));
         let stats = dir.stats();
-        assert_eq!(stats.insertions.get(), 1, "{}", spec.label());
-        assert!(stats.sharer_adds.get() >= 1, "{}", spec.label());
-        assert!(stats.sharer_removes.get() >= 1, "{}", spec.label());
+        assert_eq!(stats.insertions.get(), 1, "{label}");
+        assert!(stats.sharer_adds.get() >= 1, "{label}");
+        assert!(stats.sharer_removes.get() >= 1, "{label}");
         dir.reset_stats();
-        assert_eq!(dir.stats().insertions.get(), 0, "{}", spec.label());
+        assert_eq!(dir.stats().insertions.get(), 0, "{label}");
+    }
+}
+
+/// Property test: a 4-way sharded directory is observably equivalent to a
+/// single slice of the same total capacity on random op streams, as long as
+/// no organization-specific conflicts occur (guaranteed here by keeping
+/// occupancy low).
+#[test]
+fn sharded_directory_is_observably_equivalent_to_a_single_slice() {
+    let registry = standard_registry();
+    for (single_spec, sharded_spec) in [
+        ("cuckoo-4x1024-skew", "sharded4:cuckoo-4x1024-skew"),
+        ("sparse-8x512", "sharded4:sparse-8x512"),
+    ] {
+        let mut single = registry.build_str(single_spec).unwrap();
+        let mut sharded = registry.build_str(sharded_spec).unwrap();
+        assert_eq!(single.capacity(), sharded.capacity());
+
+        let mut rng = SplitMix64::new(0x5EED5);
+        let mut out_a = Outcome::new();
+        let mut out_b = Outcome::new();
+        let caches = single.num_caches() as u64;
+        // ~12% occupancy: far below any conflict threshold, so behaviour
+        // must match exactly.
+        let blocks = single.capacity() as u64 / 2;
+        for step in 0..2000u64 {
+            let line = LineAddr::from_block_number(rng.next_below(blocks));
+            let cache = CacheId::new(rng.next_below(caches) as u32);
+            let op = match rng.next_below(10) {
+                0..=4 => DirectoryOp::AddSharer { line, cache },
+                5 | 6 => DirectoryOp::RemoveSharer { line, cache },
+                7 => DirectoryOp::SetExclusive { line, cache },
+                8 => DirectoryOp::Probe { line },
+                _ => DirectoryOp::RemoveEntry { line },
+            };
+            single.apply(op, &mut out_a);
+            sharded.apply(op, &mut out_b);
+
+            assert_eq!(out_a.hit(), out_b.hit(), "step {step}: hit diverged");
+            assert_eq!(
+                out_a.allocated_new_entry(),
+                out_b.allocated_new_entry(),
+                "step {step}: allocation diverged"
+            );
+            assert_eq!(
+                out_a.removed_entry(),
+                out_b.removed_entry(),
+                "step {step}: removal diverged"
+            );
+            let mut inv_a: Vec<CacheId> = out_a.invalidate().to_vec();
+            let mut inv_b: Vec<CacheId> = out_b.invalidate().to_vec();
+            inv_a.sort_unstable();
+            inv_b.sort_unstable();
+            assert_eq!(inv_a, inv_b, "step {step}: invalidations diverged");
+            assert_eq!(
+                out_a.forced_eviction_count(),
+                0,
+                "step {step}: the single slice must not conflict at this occupancy"
+            );
+            assert_eq!(out_b.forced_eviction_count(), 0, "step {step}");
+
+            assert_eq!(single.len(), sharded.len(), "step {step}: len diverged");
+            assert_eq!(
+                single.contains(line),
+                sharded.contains(line),
+                "step {step}: contains diverged"
+            );
+            assert_eq!(
+                single.sharers(line),
+                sharded.sharers(line),
+                "step {step}: sharers diverged"
+            );
+        }
+        // Aggregate statistics agree on the observable counters.
+        assert_eq!(
+            single.stats().insertions.get(),
+            sharded.stats().insertions.get(),
+            "{single_spec} vs {sharded_spec}: insertions",
+        );
+        assert_eq!(
+            single.stats().entry_removes.get(),
+            sharded.stats().entry_removes.get(),
+            "{single_spec} vs {sharded_spec}: entry removes",
+        );
+        assert_eq!(
+            single.stats().sharer_adds.get(),
+            sharded.stats().sharer_adds.get(),
+            "{single_spec} vs {sharded_spec}: sharer adds",
+        );
     }
 }

@@ -20,7 +20,12 @@ fn small_private() -> SystemConfig {
     small_shared().with_hierarchy(Hierarchy::PrivateL2)
 }
 
-fn run(system: &SystemConfig, spec: &DirectorySpec, profile: &WorkloadProfile, seed: u64) -> SimReport {
+fn run(
+    system: &SystemConfig,
+    spec: &DirectorySpec,
+    profile: &WorkloadProfile,
+    seed: u64,
+) -> SimReport {
     let mut trace = TraceGenerator::new(profile.clone(), system.num_cores, seed);
     let warm = system.total_tracked_frames() as u64 * 8;
     let measure = system.total_tracked_frames() as u64 * 4;

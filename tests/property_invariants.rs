@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) on the core data structures' invariants.
+//! Randomized property tests on the core data structures' invariants.
+//!
+//! These were originally written against `proptest`; the build environment
+//! has no network access, so they now drive the same invariants from the
+//! workspace's own deterministic RNG ([`SplitMix64`]) across many seeds.
 
+use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
 use ccd_hash::HashKind;
 use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet};
 use cuckoo_directory::prelude::*;
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 /// An abstract operation applied to a sharer set / directory entry.
@@ -15,15 +19,14 @@ enum SharerOp {
     Clear,
 }
 
-fn sharer_ops(num_caches: u32) -> impl Strategy<Value = Vec<SharerOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..num_caches).prop_map(SharerOp::Add),
-            (0..num_caches).prop_map(SharerOp::Remove),
-            Just(SharerOp::Clear),
-        ],
-        0..64,
-    )
+fn random_sharer_ops(rng: &mut SplitMix64, num_caches: u32, len: usize) -> Vec<SharerOp> {
+    (0..len)
+        .map(|_| match rng.next_below(8) {
+            0 => SharerOp::Clear,
+            1..=4 => SharerOp::Add(rng.next_below(u64::from(num_caches)) as u32),
+            _ => SharerOp::Remove(rng.next_below(u64::from(num_caches)) as u32),
+        })
+        .collect()
 }
 
 /// Applies the ops to a reference model (exact set) and a representation
@@ -57,6 +60,10 @@ fn check_sharer_set<S: SharerSet>(num_caches: usize, ops: &[SharerOp]) {
         for &c in &model {
             assert!(targets.contains(&CacheId::new(c)));
         }
+        // The zero-allocation path must agree with the allocating one.
+        let mut extended: Vec<CacheId> = Vec::new();
+        set.extend_targets(&mut extended);
+        assert_eq!(extended, targets, "extend_targets diverged");
         // Exact representations must be exactly right.
         if set.is_exact() {
             assert_eq!(
@@ -73,68 +80,84 @@ fn check_sharer_set<S: SharerSet>(num_caches: usize, ops: &[SharerOp]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn full_vector_is_always_exact(ops in sharer_ops(64)) {
-        check_sharer_set::<FullBitVector>(64, &ops);
+fn sharer_set_property<S: SharerSet>(num_caches: usize, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for round in 0..64 {
+        let len = 1 + (round % 63);
+        let ops = random_sharer_ops(&mut rng, num_caches as u32, len);
+        check_sharer_set::<S>(num_caches, &ops);
     }
+}
 
-    #[test]
-    fn hierarchical_vector_is_always_exact(ops in sharer_ops(100)) {
-        check_sharer_set::<HierarchicalVector>(100, &ops);
-    }
+#[test]
+fn full_vector_is_always_exact() {
+    sharer_set_property::<FullBitVector>(64, 0xF011);
+}
 
-    #[test]
-    fn coarse_vector_is_conservative(ops in sharer_ops(64)) {
-        check_sharer_set::<CoarseVector>(64, &ops);
-    }
+#[test]
+fn hierarchical_vector_is_always_exact() {
+    sharer_set_property::<HierarchicalVector>(100, 0x41E2);
+}
 
-    #[test]
-    fn limited_pointer_is_conservative(ops in sharer_ops(32)) {
-        check_sharer_set::<LimitedPointer>(32, &ops);
-    }
+#[test]
+fn coarse_vector_is_conservative() {
+    sharer_set_property::<CoarseVector>(64, 0xC0A2);
+}
 
-    #[test]
-    fn cuckoo_table_never_loses_undiscarded_keys(
-        keys in prop::collection::hash_set(0u64..1_000_000, 1..300),
-        ways in 2usize..6,
-    ) {
+#[test]
+fn limited_pointer_is_conservative() {
+    sharer_set_property::<LimitedPointer>(32, 0x117D);
+}
+
+#[test]
+fn cuckoo_table_never_loses_undiscarded_keys() {
+    let mut rng = SplitMix64::new(0x7AB1E);
+    for round in 0..48u64 {
+        let ways = 2 + (round % 4) as usize;
+        let key_count = 1 + rng.next_below(300) as usize;
+        let keys: HashSet<u64> = (0..key_count).map(|_| rng.next_below(1_000_000)).collect();
         let mut table: CuckooTable<u64> = CuckooTable::new(ways, 256, HashKind::Strong, 7).unwrap();
         let mut expected: HashSet<u64> = HashSet::new();
         for &k in &keys {
             let outcome = table.insert(k, k);
             expected.insert(k);
             if let Some((lost, payload)) = outcome.discarded {
-                prop_assert_eq!(lost, payload, "payload must travel with its key");
+                assert_eq!(lost, payload, "payload must travel with its key");
                 expected.remove(&lost);
             }
         }
-        prop_assert_eq!(table.len(), expected.len());
+        assert_eq!(table.len(), expected.len());
         for &k in &expected {
-            prop_assert!(table.contains(k), "key {} lost without being reported", k);
-            prop_assert_eq!(table.get(k), Some(&k));
+            assert!(table.contains(k), "key {k} lost without being reported");
+            assert_eq!(table.get(k), Some(&k));
         }
-        prop_assert!(table.len() <= table.capacity());
+        assert!(table.len() <= table.capacity());
         // Occupancy is consistent with len().
-        prop_assert!((table.occupancy() - table.len() as f64 / table.capacity() as f64).abs() < 1e-12);
+        assert!((table.occupancy() - table.len() as f64 / table.capacity() as f64).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn cuckoo_directory_tracks_exactly_the_uncovered_model(
-        ops in prop::collection::vec((0u64..500, 0u32..8, prop::bool::ANY), 1..400)
-    ) {
-        // Reference model: block -> set of caches, maintained alongside a
-        // generously sized Cuckoo directory (so no forced evictions occur and
-        // the contents must match the model exactly).
+#[test]
+fn cuckoo_directory_tracks_exactly_the_uncovered_model() {
+    // Reference model: block -> set of caches, maintained alongside a
+    // generously sized Cuckoo directory (so no forced evictions occur and
+    // the contents must match the model exactly).
+    let mut rng = SplitMix64::new(0xD1CE);
+    for _ in 0..24 {
         let mut dir = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 256, 8)).unwrap();
         let mut model: HashMap<u64, HashSet<u32>> = HashMap::new();
-        for (block, cache, add) in ops {
+        let op_count = 1 + rng.next_below(400) as usize;
+        for _ in 0..op_count {
+            let block = rng.next_below(500);
+            let cache = rng.next_below(8) as u32;
+            let add = rng.next_below(2) == 0;
             let line = LineAddr::from_block_number(block);
             if add {
                 let r = dir.add_sharer(line, CacheId::new(cache));
-                prop_assert!(r.forced_evictions.is_empty(), "directory is oversized; no evictions expected");
+                assert!(
+                    r.forced_evictions.is_empty(),
+                    "directory is oversized; no evictions expected"
+                );
                 model.entry(block).or_default().insert(cache);
             } else {
                 dir.remove_sharer(line, CacheId::new(cache));
@@ -146,33 +169,36 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(dir.len(), model.len());
+        assert_eq!(dir.len(), model.len());
         for (block, caches) in &model {
             let sharers = dir.sharers(LineAddr::from_block_number(*block)).unwrap();
-            prop_assert_eq!(sharers.len(), caches.len());
+            assert_eq!(sharers.len(), caches.len());
             for c in caches {
-                prop_assert!(sharers.contains(&CacheId::new(*c)));
+                assert!(sharers.contains(&CacheId::new(*c)));
             }
         }
     }
+}
 
-    #[test]
-    fn cache_lru_respects_capacity_and_recency(
-        blocks in prop::collection::vec(0u64..64, 1..300)
-    ) {
+#[test]
+fn cache_lru_respects_capacity_and_recency() {
+    let mut rng = SplitMix64::new(0xCAC4E);
+    for _ in 0..24 {
         let mut cache = Cache::new(CacheConfig::new(4, 2, 64)).unwrap();
+        let block_count = 1 + rng.next_below(300) as usize;
+        let blocks: Vec<u64> = (0..block_count).map(|_| rng.next_below(64)).collect();
         let mut resident_model: Vec<u64> = Vec::new(); // most recent last
         for &b in &blocks {
             cache.access_read(LineAddr::from_block_number(b));
             resident_model.retain(|&x| x != b);
             resident_model.push(b);
-            prop_assert!(cache.len() <= cache.config().frames());
+            assert!(cache.len() <= cache.config().frames());
             // The most recently accessed block is always resident.
-            prop_assert!(cache.contains(LineAddr::from_block_number(b)));
+            assert!(cache.contains(LineAddr::from_block_number(b)));
         }
         // Every resident line was accessed at some point.
         for (line, _) in cache.resident_lines() {
-            prop_assert!(blocks.contains(&line.block_number()));
+            assert!(blocks.contains(&line.block_number()));
         }
     }
 }

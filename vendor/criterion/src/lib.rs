@@ -1,0 +1,261 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion` API
+//! this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` crate cannot be fetched.  This shim keeps the bench sources
+//! identical to idiomatic criterion code (`benchmark_group`,
+//! `bench_function`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! while providing a simple wall-clock harness:
+//!
+//! * each benchmark is calibrated so one sample runs for roughly
+//!   [`Criterion::measure_budget`] (override with `CCD_BENCH_MS`),
+//! * several samples are taken and the median ns/iter is reported,
+//! * output is plain text, one line per benchmark.
+//!
+//! Swap this for the real criterion by replacing the `criterion` entry in
+//! the workspace `[workspace.dependencies]` table — no source changes
+//! needed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; accepted and echoed in the report line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        ns[ns.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: grow the per-sample iteration count until one sample
+        // fills the measurement budget.
+        let budget = self.criterion.measure_budget;
+        let mut iters = 1u64;
+        loop {
+            let mut probe = Bencher {
+                iters_per_sample: iters,
+                samples: Vec::new(),
+                sample_count: 1,
+            };
+            f(&mut probe);
+            let elapsed = probe.samples.first().copied().unwrap_or_default();
+            if elapsed >= budget || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                ((budget.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64).clamp(2, 16)
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut bencher = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+            sample_count: self.criterion.sample_count,
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns_per_iter();
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns)
+            }
+            Some(Throughput::Bytes(n)) => format!("  ({:.1} MB/s)", n as f64 * 1e3 / ns),
+            None => String::new(),
+        };
+        println!("{}/{id:<28} {ns:>12.1} ns/iter{throughput}", self.name);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_budget: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CCD_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(40);
+        Criterion {
+            measure_budget: Duration::from_millis(ms.max(1)),
+            sample_count: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_finite_time() {
+        let mut c = Criterion {
+            measure_budget: Duration::from_micros(200),
+            sample_count: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut x = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("incr"), |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
