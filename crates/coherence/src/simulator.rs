@@ -9,6 +9,13 @@ use ccd_directory::{Directory, DirectoryOp, DirectoryStats, Outcome};
 /// How often (in processed references) the directory occupancy is sampled.
 const OCCUPANCY_SAMPLE_INTERVAL: u64 = 8_192;
 
+/// How many upcoming references [`CmpSimulator::run`] pulls from the trace
+/// at a time: each window's home-slice directory lines are prefetched before
+/// the references are processed, overlapping the candidate-slot cache misses
+/// of independent references.  Purely a latency optimization — references
+/// are still processed one at a time, in trace order.
+const RUN_PREFETCH_WINDOW: usize = 8;
+
 /// A functional, trace-driven simulator of the paper's tiled CMP.
 ///
 /// See the crate-level documentation for the modelled protocol.  The
@@ -250,15 +257,48 @@ impl CmpSimulator {
 
     /// Processes `count` references drawn from `trace`.  Stops early if the
     /// trace ends.
+    ///
+    /// References are pulled in windows of [`RUN_PREFETCH_WINDOW`]: the home
+    /// slice of every reference in the window is asked to
+    /// [prefetch](Directory::prefetch_line) its candidate directory
+    /// locations before the window is processed, so the directory probes of
+    /// independent references overlap their cache misses.  Processing order
+    /// and semantics are identical to calling [`CmpSimulator::process`] in a
+    /// loop.
     pub fn run<I>(&mut self, trace: &mut I, count: u64)
     where
         I: Iterator<Item = MemRef>,
     {
-        for _ in 0..count {
-            match trace.next() {
-                Some(r) => self.process(r),
-                None => break,
+        let mut window = [None::<MemRef>; RUN_PREFETCH_WINDOW];
+        let mut remaining = count;
+        let mut trace_ended = false;
+        while remaining > 0 && !trace_ended {
+            let want = remaining.min(RUN_PREFETCH_WINDOW as u64) as usize;
+            let mut filled = 0;
+            while filled < want {
+                match trace.next() {
+                    Some(r) => {
+                        window[filled] = Some(r);
+                        filled += 1;
+                    }
+                    None => {
+                        // Stop for good at the first exhaustion, like the
+                        // sequential loop did — a non-fused iterator must
+                        // not be polled again after its first `None`.
+                        trace_ended = true;
+                        break;
+                    }
+                }
             }
+            for r in window.iter().take(filled).flatten() {
+                let line = self.geom.line_of(r.addr);
+                let (slice, local) = self.home_of(line);
+                self.slices[slice].prefetch_line(local);
+            }
+            for r in window.iter().take(filled) {
+                self.process(r.expect("filled window entries are present"));
+            }
+            remaining -= filled as u64;
         }
     }
 
@@ -473,6 +513,29 @@ mod tests {
             cuckoo.forced_invalidation_rate()
         );
         assert!(cuckoo.forced_invalidation_rate() < 0.01);
+    }
+
+    #[test]
+    fn run_stops_permanently_at_the_first_trace_exhaustion() {
+        // A "stuttering" non-fused source (e.g. a transiently empty queue):
+        // refs 1..=3, then None, then more refs.  `run` must stop at the
+        // first None and never poll the iterator again, exactly like the
+        // sequential loop it replaced.
+        let mut sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        let mut n = 0u64;
+        let mut trace = std::iter::from_fn(move || {
+            n += 1;
+            match n {
+                1..=3 => Some(read(0, n)),
+                4 => None,
+                _ => Some(read(0, n + 100)),
+            }
+        });
+        sim.run(&mut trace, 64);
+        assert_eq!(sim.refs_processed(), 3, "must stop at the first None");
+        // The partial window before the exhaustion was still processed.
+        assert!(sim.report().cache_misses >= 3);
     }
 
     #[test]

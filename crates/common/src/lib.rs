@@ -33,6 +33,7 @@ pub mod addr;
 pub mod error;
 pub mod ids;
 pub mod mem;
+pub mod prefetch;
 pub mod rng;
 pub mod stats;
 

@@ -65,17 +65,21 @@ impl<S: SharerSet> CuckooDirectory<S> {
 
     /// Looks `line` up and, if absent, inserts a fresh entry via the cuckoo
     /// displacement procedure, recording hit / allocation / forced-eviction
-    /// facts in `out`.  The entry for `line` is guaranteed to exist
-    /// afterwards.
-    fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) {
+    /// facts in `out`.  One fused table probe covers the lookup, the vacancy
+    /// scan and — on a hit — the payload access: the returned borrow is the
+    /// entry's sharer set, which is guaranteed to exist afterwards.
+    fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) -> &mut S {
         self.stats.lookups.incr();
         let key = line.block_number();
-        if self.table.contains(key) {
+        let num_caches = self.config.num_caches;
+        let capacity = self.config.capacity();
+        let len_before = self.table.len();
+        let entry = self.table.find_or_insert_with(key, || S::new(num_caches));
+        let Some(outcome) = entry.inserted else {
             out.set_hit(true);
-            return;
-        }
+            return entry.value;
+        };
 
-        let outcome = self.table.insert(key, S::new(self.config.num_caches));
         out.record_allocation(outcome.attempts);
         let mut forced = 0u64;
         if let Some((victim_key, victim_sharers)) = outcome.discarded {
@@ -83,7 +87,7 @@ impl<S: SharerSet> CuckooDirectory<S> {
             // attempt is discarded and its cached copies must be
             // invalidated.  The table guarantees the *new* key is always
             // stored — the discarded victim is never `line` itself — which
-            // is what lets `apply` unwrap the entry after this call.
+            // is what makes the returned borrow valid after this call.
             out.record_insertion_failure();
             self.stats.insertion_failures.incr();
             let targets =
@@ -91,9 +95,18 @@ impl<S: SharerSet> CuckooDirectory<S> {
             self.stats.forced_block_invalidations.add(targets as u64);
             forced = 1;
         }
-        let occupancy = self.occupancy();
+        // A discarding insertion removes one entry for the one it adds, so
+        // the table's occupancy after the insertion is derivable without
+        // touching the table (whose payload is borrowed by `entry`).
+        let len_after = if forced == 1 {
+            len_before
+        } else {
+            len_before + 1
+        };
+        let occupancy = len_after as f64 / capacity as f64;
         self.stats
             .record_insertion(outcome.attempts, forced, occupancy);
+        entry.value
     }
 }
 
@@ -121,6 +134,11 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
         self.table.contains(line.block_number())
     }
 
+    // Prefetch the d candidate tag bytes an op for `line` would probe.
+    fn prefetch_line(&self, line: LineAddr) {
+        self.table.prefetch(line.block_number());
+    }
+
     fn may_hold(&self, line: LineAddr, cache: CacheId) -> bool {
         self.table
             .get(line.block_number())
@@ -145,21 +163,14 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
                 }
             }
             DirectoryOp::AddSharer { line, cache } => {
-                self.find_or_allocate(line, out);
+                let entry = self.find_or_allocate(line, out);
+                entry.add(cache);
                 if out.hit() {
                     self.stats.sharer_adds.incr();
                 }
-                self.table
-                    .get_mut(line.block_number())
-                    .expect("entry exists after find_or_allocate")
-                    .add(cache);
             }
             DirectoryOp::SetExclusive { line, cache } => {
-                self.find_or_allocate(line, out);
-                let entry = self
-                    .table
-                    .get_mut(line.block_number())
-                    .expect("entry exists after find_or_allocate");
+                let entry = self.find_or_allocate(line, out);
                 let start = out.invalidate_len();
                 entry.extend_targets(out.invalidate_buf());
                 out.drop_invalidate_from(start, cache);

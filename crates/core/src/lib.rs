@@ -50,11 +50,13 @@
 
 pub mod config;
 pub mod directory;
+#[doc(hidden)]
+pub mod seed_reference;
 pub mod table;
 
 pub use config::CuckooConfig;
 pub use directory::CuckooDirectory;
-pub use table::{CuckooTable, InsertOutcome};
+pub use table::{CuckooTable, FindOrInsert, InsertOutcome, PREFETCH_WINDOW};
 
 use ccd_common::ConfigError;
 use ccd_directory::{match_sharer_format, BuilderRegistry, Directory, DirectorySpec};

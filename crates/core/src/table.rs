@@ -8,6 +8,28 @@
 //! hash-characterization experiments use the table directly with `()`
 //! payloads.
 //!
+//! # Storage layout
+//!
+//! The table stores its slots struct-of-arrays across three parallel dense
+//! arrays, all indexed `way * sets + set_index`:
+//!
+//! * `tags` — one byte per slot: [`EMPTY_TAG`] (0) for a vacant slot, or a
+//!   7-bit key fingerprint with the high bit set for an occupied one.  The
+//!   encoding doubles as the occupancy marker, so the probe loop needs no
+//!   `Option` and a miss touches one byte per way instead of a full slot.
+//! * `keys` — the stored 64-bit keys (garbage where `tags` is empty).
+//! * `values` — the payloads, kept as `MaybeUninit<V>` and only initialized
+//!   where `tags` is occupied.
+//!
+//! A probe gathers the candidate tag of every way into a single integer and
+//! compares all of them branchlessly with SWAR arithmetic (one XOR-subtract-
+//! mask sequence matches up to eight tags at once); only ways whose tag
+//! matches the key's fingerprint are confirmed with a full key compare, so a
+//! negative lookup usually performs **zero** key loads.  Because occupied
+//! tags always have their high bit set and the empty tag is zero, the
+//! vacancy scan is exact (no false positives) and the fingerprint scan can
+//! only over-approximate — which the key confirmation filters.
+//!
 //! # Insertion-attempt accounting
 //!
 //! The accounting matches Section 5.2 of the paper:
@@ -25,16 +47,66 @@
 //!
 //! To keep entries uniformly distributed across the ways, each insertion's
 //! displacement chain starts at the way where the previous chain stopped.
+//!
+//! Each insertion hashes each (key, way) pair exactly once: the hit-probe
+//! and vacancy-probe share one [`IndexHashFamily::index_all_into`] pass, and
+//! the displacement loop reuses each victim's indices for both its vacancy
+//! probe and its next displacement target.
 
+use ccd_common::prefetch::prefetch_slice_element;
 use ccd_common::{ConfigError, LineAddr};
-use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+use ccd_hash::{HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
+use std::mem::MaybeUninit;
 
-/// One stored element: the key (a block number / opaque 64-bit key) plus a
-/// caller-supplied payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Slot<V> {
-    key: u64,
-    value: V,
+/// Tag byte of a vacant slot.  Occupied slots always carry the key's
+/// fingerprint with the high bit set, so `0` is unambiguous.
+const EMPTY_TAG: u8 = 0;
+
+/// Odd multiplier for the tag fingerprint (the 64-bit golden-ratio
+/// constant); the top byte of the product avalanche well enough that two
+/// colliding keys rarely share a fingerprint.
+const FP_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SWAR helpers: a `0x01` / `0x80` in every byte lane.
+const SWAR_LOW: u64 = 0x0101_0101_0101_0101;
+const SWAR_HIGH: u64 = 0x8080_8080_8080_8080;
+
+/// Way counts up to this bound probe through compact stack buffers; wider
+/// tables (up to [`MAX_FAMILY_WAYS`]) fall back to full-width buffers.
+const SMALL_WAYS: usize = 8;
+
+/// How many upcoming operations the batched APIs prefetch ahead of the
+/// probe/insert loop.
+pub const PREFETCH_WINDOW: usize = 8;
+
+/// The occupancy tag stored for `key`: a 7-bit fingerprint with the high
+/// bit set (so it can never equal [`EMPTY_TAG`]).
+#[inline]
+fn fingerprint(key: u64) -> u8 {
+    ((key.wrapping_mul(FP_MULTIPLIER) >> 56) as u8) | 0x80
+}
+
+/// Returns a mask with bit 7 of byte lane `i` set when byte `i` of `word`
+/// equals `tag` — the classic SWAR byte-equality test.
+///
+/// With this table's tag encoding the test is exact for `tag == EMPTY_TAG`
+/// (occupied tags have their high bit set, which the `!x` term excludes) and
+/// may only over-report for fingerprint tags when a *true* match sits in a
+/// lower lane (borrow propagation); callers confirm fingerprint candidates
+/// with a full key compare anyway.
+#[inline]
+fn swar_match(word: u64, tag: u8) -> u64 {
+    let x = word ^ SWAR_LOW.wrapping_mul(u64::from(tag));
+    x.wrapping_sub(SWAR_LOW) & !x & SWAR_HIGH
+}
+
+/// What a fused probe learned about a key's `d` candidate slots.
+#[derive(Clone, Copy, Debug)]
+struct ProbeOutcome {
+    /// Slot currently holding the key (first matching way), if any.
+    hit: Option<usize>,
+    /// First vacant candidate slot in way order, if any.
+    vacant: Option<usize>,
 }
 
 /// The outcome of inserting a new key into a [`CuckooTable`].
@@ -55,6 +127,37 @@ impl<V> InsertOutcome<V> {
     }
 }
 
+/// Result of [`CuckooTable::find_or_insert_with`]: a mutable borrow of the
+/// payload stored for the requested key, plus the insertion outcome when the
+/// key was newly inserted.
+pub struct FindOrInsert<'a, V> {
+    /// The payload stored for the requested key (existing or just created).
+    pub value: &'a mut V,
+    /// `None` when the key was already present (the payload was left
+    /// untouched); the insertion outcome otherwise.
+    pub inserted: Option<InsertOutcome<V>>,
+}
+
+impl<V> std::fmt::Debug for FindOrInsert<'_, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FindOrInsert")
+            .field("was_insert", &self.inserted.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Dispatches a const-generic probe method on the way count, so the common
+/// `d <= 8` tables run with compact stack index buffers.
+macro_rules! ways_dispatch {
+    ($self:ident . $method:ident ( $($arg:expr),* )) => {
+        if $self.ways <= SMALL_WAYS {
+            $self.$method::<SMALL_WAYS>($($arg),*)
+        } else {
+            $self.$method::<MAX_FAMILY_WAYS>($($arg),*)
+        }
+    };
+}
+
 /// A d-ary cuckoo hash table with bounded displacement insertion.
 ///
 /// ```
@@ -68,12 +171,17 @@ impl<V> InsertOutcome<V> {
 /// assert_eq!(table.len(), 1);
 /// # Ok::<(), ccd_common::ConfigError>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct CuckooTable<V> {
     ways: usize,
     sets: usize,
     hashes: HashFamily,
-    slots: Vec<Option<Slot<V>>>,
+    /// Per-slot occupancy tags (`way * sets + index`); see the module docs.
+    tags: Vec<u8>,
+    /// Stored keys, parallel to `tags` (garbage where the tag is empty).
+    keys: Vec<u64>,
+    /// Stored payloads, initialized exactly where the tag is occupied.
+    values: Vec<MaybeUninit<V>>,
     valid: usize,
     max_attempts: u32,
     next_start_way: usize,
@@ -96,11 +204,17 @@ impl<V> CuckooTable<V> {
             });
         }
         let hashes = HashFamily::with_seed(kind, ways, sets, seed)?;
+        debug_assert!(ways <= MAX_FAMILY_WAYS, "hash families cap the way count");
+        let capacity = ways * sets;
+        let mut values = Vec::new();
+        values.resize_with(capacity, MaybeUninit::uninit);
         Ok(CuckooTable {
             ways,
             sets,
             hashes,
-            slots: (0..ways * sets).map(|_| None).collect(),
+            tags: vec![EMPTY_TAG; capacity],
+            keys: vec![0; capacity],
+            values,
             valid: 0,
             max_attempts: crate::config::DEFAULT_MAX_ATTEMPTS,
             next_start_way: 0,
@@ -153,24 +267,193 @@ impl<V> CuckooTable<V> {
         self.valid as f64 / self.capacity() as f64
     }
 
-    fn slot_index(&self, way: usize, key: u64) -> usize {
-        way * self.sets + self.hashes.index(way, LineAddr::from_block_number(key))
+    /// Computes the candidate set index of every way for `key` in one hash
+    /// pass, into `indices[..ways]`.
+    #[inline]
+    fn hash_into(&self, key: u64, indices: &mut [usize]) {
+        self.hashes
+            .index_all_into(LineAddr::from_block_number(key), indices);
+    }
+
+    /// Reads the tag byte of `slot` without a bounds check: every slot this
+    /// table computes is `way * sets + index` with `way < ways` (enforced by
+    /// the probe loops) and `index < sets` (the [`IndexHashFamily`]
+    /// contract, upheld by masking/shifting in every family).
+    #[inline]
+    fn tag_at(&self, slot: usize) -> u8 {
+        debug_assert!(slot < self.tags.len());
+        // SAFETY: see above — slot < ways * sets == tags.len().
+        unsafe { *self.tags.get_unchecked(slot) }
+    }
+
+    /// Reads the key word of `slot`; same bounds argument as
+    /// [`CuckooTable::tag_at`].
+    #[inline]
+    fn key_at(&self, slot: usize) -> u64 {
+        debug_assert!(slot < self.keys.len());
+        // SAFETY: see `tag_at` — slot < ways * sets == keys.len().
+        unsafe { *self.keys.get_unchecked(slot) }
+    }
+
+    /// Gathers the candidate tags of ways `way .. way + lanes` into one SWAR
+    /// word (byte lane `j` = way `way + j`) — the shared chunk primitive of
+    /// every probe loop.
+    #[inline(always)]
+    fn gather_tags(&self, way: usize, lanes: usize, indices: &[usize]) -> u64 {
+        let mut word = 0u64;
+        for j in 0..lanes {
+            let w = way + j;
+            word |= u64::from(self.tag_at(w * self.sets + indices[w])) << (8 * j);
+        }
+        word
+    }
+
+    /// Mask covering the low `lanes` byte lanes of a SWAR word.  Padding
+    /// lanes of a partial chunk are zero bytes: they can never alias a
+    /// fingerprint (fingerprints have the high bit set) but *do* look
+    /// vacant, so vacancy scans must clip with this mask.
+    #[inline]
+    fn lane_mask(lanes: usize) -> u64 {
+        if lanes == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * lanes)) - 1
+        }
+    }
+
+    /// Lookup-only probe: like [`CuckooTable::probe_prehashed`] but without
+    /// the vacancy scan, for the pure-query paths (`contains` / `get` /
+    /// `probe_batch`) that never insert.
+    #[inline]
+    fn probe_hit_prehashed(&self, key: u64, indices: &[usize]) -> Option<usize> {
+        let fp = fingerprint(key);
+        let mut way = 0;
+        while way < self.ways {
+            let lanes = (self.ways - way).min(8);
+            let word = self.gather_tags(way, lanes, indices);
+            let mut candidates = swar_match(word, fp);
+            while candidates != 0 {
+                let w = way + (candidates.trailing_zeros() / 8) as usize;
+                let slot = w * self.sets + indices[w];
+                if self.key_at(slot) == key {
+                    return Some(slot);
+                }
+                candidates &= candidates - 1;
+            }
+            way += lanes;
+        }
+        None
+    }
+
+    /// Probes `key`'s candidate slots given precomputed way `indices`:
+    /// gathers the candidate tags into SWAR words, matches the fingerprint
+    /// and the empty tag branchlessly, and confirms fingerprint candidates
+    /// with a key compare.  Ways are scanned in ascending order, so the hit
+    /// is the first way holding the key and the vacancy is the first vacant
+    /// way — exactly the order the displacement procedure relies on.
+    fn probe_prehashed(&self, key: u64, indices: &[usize]) -> ProbeOutcome {
+        let fp = fingerprint(key);
+        let mut vacant = None;
+        let mut way = 0;
+        while way < self.ways {
+            let lanes = (self.ways - way).min(8);
+            let word = self.gather_tags(way, lanes, indices);
+
+            if vacant.is_none() {
+                let empties = swar_match(word, EMPTY_TAG) & Self::lane_mask(lanes);
+                if empties != 0 {
+                    let w = way + (empties.trailing_zeros() / 8) as usize;
+                    vacant = Some(w * self.sets + indices[w]);
+                }
+            }
+
+            let mut candidates = swar_match(word, fp);
+            while candidates != 0 {
+                let w = way + (candidates.trailing_zeros() / 8) as usize;
+                let slot = w * self.sets + indices[w];
+                if self.key_at(slot) == key {
+                    return ProbeOutcome {
+                        hit: Some(slot),
+                        vacant,
+                    };
+                }
+                candidates &= candidates - 1;
+            }
+            way += lanes;
+        }
+        ProbeOutcome { hit: None, vacant }
+    }
+
+    /// First vacant candidate slot in way order, given precomputed indices.
+    fn first_vacant_prehashed(&self, indices: &[usize]) -> Option<usize> {
+        let mut way = 0;
+        while way < self.ways {
+            let lanes = (self.ways - way).min(8);
+            let word = self.gather_tags(way, lanes, indices);
+            let empties = swar_match(word, EMPTY_TAG) & Self::lane_mask(lanes);
+            if empties != 0 {
+                let w = way + (empties.trailing_zeros() / 8) as usize;
+                return Some(w * self.sets + indices[w]);
+            }
+            way += lanes;
+        }
+        None
     }
 
     /// Finds the slot currently holding `key`, if any.
-    fn find(&self, key: u64) -> Option<usize> {
-        (0..self.ways)
-            .map(|w| self.slot_index(w, key))
-            .find(|&slot| matches!(&self.slots[slot], Some(s) if s.key == key))
+    ///
+    /// Checks way 0 first with a single hash: the vacancy scan prefers
+    /// lower-numbered ways, so at moderate occupancy most resident keys
+    /// live in way 0 and the common hit skips hashing the remaining ways.
+    /// The direct key compare needs no fingerprint — an occupied slot's key
+    /// is authoritative; the tag is only consulted to reject the stale key
+    /// of a removed entry.  A miss falls through to the full SWAR probe,
+    /// which re-examines way 0 (its key cannot match there, so the answer
+    /// is unchanged — first matching way in way order).
+    #[inline]
+    fn find_n<const N: usize>(&self, key: u64) -> Option<usize> {
+        let slot0 = self.hashes.index(0, LineAddr::from_block_number(key));
+        // Non-short-circuit `&`: the tag byte and the key word live in
+        // different arrays, so loading both unconditionally lets the two
+        // cache accesses overlap instead of serializing behind the branch.
+        if (self.tag_at(slot0) != EMPTY_TAG) & (self.key_at(slot0) == key) {
+            return Some(slot0);
+        }
+        let mut indices = [0usize; N];
+        self.hash_into(key, &mut indices);
+        self.probe_hit_prehashed(key, &indices)
     }
 
-    /// Finds a vacant candidate slot for `key`, preferring lower-numbered
-    /// ways (all ways are probed in parallel in hardware, so the choice is
-    /// arbitrary; a fixed preference keeps behaviour deterministic).
-    fn find_vacant(&self, key: u64) -> Option<usize> {
-        (0..self.ways)
-            .map(|w| self.slot_index(w, key))
-            .find(|&slot| self.slots[slot].is_none())
+    fn find(&self, key: u64) -> Option<usize> {
+        ways_dispatch!(self.find_n(key))
+    }
+
+    /// Writes `key`/`value` into the vacant `slot`.
+    #[inline]
+    fn fill_slot(&mut self, slot: usize, key: u64, value: V) {
+        debug_assert_eq!(self.tags[slot], EMPTY_TAG, "fill requires a vacant slot");
+        self.tags[slot] = fingerprint(key);
+        self.keys[slot] = key;
+        self.values[slot].write(value);
+    }
+
+    /// Replaces the occupant of `slot` with `key`/`value`, returning the
+    /// displaced pair.
+    #[inline]
+    fn swap_slot(&mut self, slot: usize, key: u64, value: V) -> (u64, V) {
+        assert!(
+            self.tags[slot] != EMPTY_TAG,
+            "displacement only happens into occupied slots"
+        );
+        let old_key = self.keys[slot];
+        // SAFETY: the occupied tag guarantees the payload is initialized,
+        // and it is replaced (not duplicated) in the same expression.
+        let old_value = unsafe {
+            std::mem::replace(&mut self.values[slot], MaybeUninit::new(value)).assume_init()
+        };
+        self.tags[slot] = fingerprint(key);
+        self.keys[slot] = key;
+        (old_key, old_value)
     }
 
     /// Returns `true` when `key` is present.
@@ -182,30 +465,68 @@ impl<V> CuckooTable<V> {
     /// Returns a reference to the payload stored for `key`.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<&V> {
-        self.find(key)
-            .map(|slot| &self.slots[slot].as_ref().unwrap().value)
+        let slot = self.find(key)?;
+        // SAFETY: `find` only returns occupied slots.
+        Some(unsafe { self.values[slot].assume_init_ref() })
     }
 
     /// Returns a mutable reference to the payload stored for `key`.
     #[must_use]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
         let slot = self.find(key)?;
-        Some(&mut self.slots[slot].as_mut().unwrap().value)
+        // SAFETY: `find` only returns occupied slots.
+        Some(unsafe { self.values[slot].assume_init_mut() })
     }
 
     /// Removes `key`, returning its payload.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let slot = self.find(key)?;
-        let entry = self.slots[slot].take().expect("slot is valid");
+        self.tags[slot] = EMPTY_TAG;
         self.valid -= 1;
-        Some(entry.value)
+        // SAFETY: `find` only returns occupied slots, and the tag is cleared
+        // above so the payload is never read (or dropped) again.
+        Some(unsafe { self.values[slot].assume_init_read() })
     }
 
     /// Iterates over `(key, &payload)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
-        self.slots
+        self.tags
             .iter()
-            .filter_map(|s| s.as_ref().map(|s| (s.key, &s.value)))
+            .enumerate()
+            .filter(|&(_, &tag)| tag != EMPTY_TAG)
+            // SAFETY: occupied tags guarantee initialized payloads.
+            .map(|(slot, _)| {
+                (self.keys[slot], unsafe {
+                    self.values[slot].assume_init_ref()
+                })
+            })
+    }
+
+    /// Hints the CPU to fetch `key`'s candidate tag bytes (and, when
+    /// `and_keys` is set, the key words used to confirm fingerprint
+    /// matches).  Purely a performance hint; see
+    /// [`ccd_common::prefetch::prefetch_read`].
+    fn prefetch_prehashed(&self, indices: &[usize], and_keys: bool) {
+        for (way, &index) in indices.iter().enumerate().take(self.ways) {
+            let slot = way * self.sets + index;
+            prefetch_slice_element(&self.tags, slot);
+            if and_keys {
+                prefetch_slice_element(&self.keys, slot);
+            }
+        }
+    }
+
+    fn prefetch_n<const N: usize>(&self, key: u64) {
+        let mut indices = [0usize; N];
+        self.hash_into(key, &mut indices);
+        self.prefetch_prehashed(&indices, false);
+    }
+
+    /// Issues software prefetches for `key`'s candidate tag bytes, hiding
+    /// the probe's cache misses when called a few operations ahead of the
+    /// actual lookup or insertion.  Semantically a no-op.
+    pub fn prefetch(&self, key: u64) {
+        ways_dispatch!(self.prefetch_n(key));
     }
 
     /// Inserts `key` with `value`, displacing existing entries as needed.
@@ -215,9 +536,24 @@ impl<V> CuckooTable<V> {
     /// recently displaced entry is discarded and returned in
     /// [`InsertOutcome::discarded`]; `key` itself is always stored.
     pub fn insert(&mut self, key: u64, value: V) -> InsertOutcome<V> {
-        // The lookup that precedes every insertion.
-        if let Some(slot) = self.find(key) {
-            self.slots[slot].as_mut().expect("slot is valid").value = value;
+        ways_dispatch!(self.insert_n(key, value))
+    }
+
+    fn insert_n<const N: usize>(&mut self, key: u64, value: V) -> InsertOutcome<V> {
+        let mut indices = [0usize; N];
+        self.hash_into(key, &mut indices);
+        self.insert_prehashed(key, value, &mut indices)
+    }
+
+    /// The insertion body, with `indices[..ways]` already holding `key`'s
+    /// candidate set indices.  The lookup that precedes every insertion and
+    /// the vacancy scan share one fused probe over those indices.
+    fn insert_prehashed(&mut self, key: u64, value: V, indices: &mut [usize]) -> InsertOutcome<V> {
+        let probe = self.probe_prehashed(key, indices);
+        if let Some(slot) = probe.hit {
+            // SAFETY: `probe` only reports occupied slots as hits.
+            unsafe { self.values[slot].assume_init_drop() };
+            self.values[slot].write(value);
             return InsertOutcome {
                 attempts: 1,
                 discarded: None,
@@ -225,8 +561,8 @@ impl<V> CuckooTable<V> {
         }
 
         // Vacant candidate revealed by the lookup: first-attempt success.
-        if let Some(slot) = self.find_vacant(key) {
-            self.slots[slot] = Some(Slot { key, value });
+        if let Some(slot) = probe.vacant {
+            self.fill_slot(slot, key, value);
             self.valid += 1;
             return InsertOutcome {
                 attempts: 1,
@@ -234,11 +570,19 @@ impl<V> CuckooTable<V> {
             };
         }
 
-        // Displacement chain.  `current` is the in-flight entry looking for
-        // a home; we kick out victims round-robin starting at the way where
-        // the previous insertion stopped.
+        self.displace(key, value, indices)
+    }
+
+    /// The displacement chain: the in-flight entry looks for a home, kicking
+    /// out victims round-robin starting at the way where the previous chain
+    /// stopped.  `indices` holds the in-flight entry's candidate indices on
+    /// entry and is reused as the scratch buffer for each victim — every
+    /// victim is hashed exactly once, covering both its vacancy probe and
+    /// its next displacement target.
+    fn displace(&mut self, key: u64, value: V, indices: &mut [usize]) -> InsertOutcome<V> {
         let mut attempts: u32 = 1;
-        let mut current = Slot { key, value };
+        let mut current_key = key;
+        let mut current_value = value;
         let mut way = self.next_start_way;
         self.valid += 1; // `key` will end up stored; track it now.
         loop {
@@ -250,33 +594,31 @@ impl<V> CuckooTable<V> {
                 // tracked and the displaced victim is invalidated instead.
                 self.next_start_way = way;
                 self.valid -= 1;
-                if current.key == key {
-                    let slot = self.slot_index(way, current.key);
-                    let victim = self.slots[slot]
-                        .replace(current)
-                        .expect("displacement only happens into occupied slots");
+                if current_key == key {
+                    let slot = way * self.sets + indices[way];
+                    let victim = self.swap_slot(slot, current_key, current_value);
                     return InsertOutcome {
                         attempts,
-                        discarded: Some((victim.key, victim.value)),
+                        discarded: Some(victim),
                     };
                 }
                 return InsertOutcome {
                     attempts,
-                    discarded: Some((current.key, current.value)),
+                    discarded: Some((current_key, current_value)),
                 };
             }
 
             // Write the in-flight entry into its candidate slot in `way`,
             // displacing whatever lives there.
-            let slot = self.slot_index(way, current.key);
-            let displaced = self.slots[slot].replace(current);
+            let slot = way * self.sets + indices[way];
+            let (victim_key, victim_value) = self.swap_slot(slot, current_key, current_value);
             attempts += 1;
 
-            let victim = displaced.expect("displacement only happens into occupied slots");
-
-            // Probe the victim's candidate slots for a vacancy.
-            if let Some(vacant) = self.find_vacant(victim.key) {
-                self.slots[vacant] = Some(victim);
+            // Probe the victim's candidate slots for a vacancy; its indices
+            // stay in the scratch buffer for the next round.
+            self.hash_into(victim_key, indices);
+            if let Some(vacant) = self.first_vacant_prehashed(indices) {
+                self.fill_slot(vacant, victim_key, victim_value);
                 self.next_start_way = way;
                 return InsertOutcome {
                     attempts,
@@ -286,8 +628,178 @@ impl<V> CuckooTable<V> {
 
             // No vacancy: the victim becomes the in-flight entry and we move
             // on to the next way.
-            current = victim;
+            current_key = victim_key;
+            current_value = victim_value;
             way = (way + 1) % self.ways;
+        }
+    }
+
+    /// Looks `key` up and, when absent, inserts `make()` via the cuckoo
+    /// displacement procedure — one fused probe covers the lookup-hit and
+    /// vacancy scans.  `make` is only invoked when the key is actually
+    /// inserted; an existing payload is left untouched (unlike
+    /// [`CuckooTable::insert`], which replaces it).  The returned borrow
+    /// always refers to the payload stored for `key`, which is guaranteed to
+    /// be resident afterwards even when the insertion discarded a victim.
+    pub fn find_or_insert_with(
+        &mut self,
+        key: u64,
+        make: impl FnOnce() -> V,
+    ) -> FindOrInsert<'_, V> {
+        ways_dispatch!(self.find_or_insert_n(key, make))
+    }
+
+    fn find_or_insert_n<const N: usize>(
+        &mut self,
+        key: u64,
+        make: impl FnOnce() -> V,
+    ) -> FindOrInsert<'_, V> {
+        let mut indices = [0usize; N];
+        self.hash_into(key, &mut indices);
+        let probe = self.probe_prehashed(key, &indices);
+        let (slot, inserted) = if let Some(slot) = probe.hit {
+            (slot, None)
+        } else if let Some(slot) = probe.vacant {
+            self.fill_slot(slot, key, make());
+            self.valid += 1;
+            (
+                slot,
+                Some(InsertOutcome {
+                    attempts: 1,
+                    discarded: None,
+                }),
+            )
+        } else {
+            let outcome = self.displace(key, make(), &mut indices);
+            // The chain may have moved the new entry again before settling,
+            // so its final slot needs one re-probe (rare path: all candidate
+            // slots were occupied).
+            let slot = self
+                .find_n::<N>(key)
+                .expect("insertion always stores the requested key");
+            (slot, Some(outcome))
+        };
+        FindOrInsert {
+            // SAFETY: both branches produce an occupied slot for `key`.
+            value: unsafe { self.values[slot].assume_init_mut() },
+            inserted,
+        }
+    }
+
+    /// Looks up every key of `keys`, writing `true` into the corresponding
+    /// element of `hits` when the key is present.  Operations are processed
+    /// in windows of [`PREFETCH_WINDOW`]: each window's candidate tags are
+    /// hashed and prefetched up front, then probed — overlapping the cache
+    /// misses of up to `window × ways` independent lines.  Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hits` is shorter than `keys`.
+    pub fn probe_batch(&self, keys: &[u64], hits: &mut [bool]) {
+        ways_dispatch!(self.probe_batch_n(keys, hits));
+    }
+
+    fn probe_batch_n<const N: usize>(&self, keys: &[u64], hits: &mut [bool]) {
+        assert!(
+            hits.len() >= keys.len(),
+            "hit buffer of {} entries cannot hold {} lookups",
+            hits.len(),
+            keys.len()
+        );
+        let mut indices = [[0usize; N]; PREFETCH_WINDOW];
+        let mut start = 0;
+        while start < keys.len() {
+            let end = (start + PREFETCH_WINDOW).min(keys.len());
+            for (key, key_indices) in keys[start..end].iter().zip(indices.iter_mut()) {
+                self.hash_into(*key, key_indices);
+                self.prefetch_prehashed(key_indices, false);
+            }
+            for (j, key) in keys[start..end].iter().enumerate() {
+                hits[start + j] = self.probe_hit_prehashed(*key, &indices[j]).is_some();
+            }
+            start = end;
+        }
+    }
+
+    /// Applies a batch of insertions in order, draining `entries` and
+    /// appending one [`InsertOutcome`] per entry to `outcomes`.  Like
+    /// [`CuckooTable::probe_batch`], the candidate slots of a window of
+    /// upcoming insertions are hashed and prefetched before the insertions
+    /// run, and each insertion reuses its prehashed indices — identical
+    /// outcomes to calling [`CuckooTable::insert`] in a loop, with the
+    /// memory latency of independent operations overlapped.  Allocation-free
+    /// once both vectors have reached their steady-state capacity.
+    pub fn apply_batch(
+        &mut self,
+        entries: &mut Vec<(u64, V)>,
+        outcomes: &mut Vec<InsertOutcome<V>>,
+    ) {
+        ways_dispatch!(self.apply_batch_n(entries, outcomes));
+    }
+
+    fn apply_batch_n<const N: usize>(
+        &mut self,
+        entries: &mut Vec<(u64, V)>,
+        outcomes: &mut Vec<InsertOutcome<V>>,
+    ) {
+        // Popping from the back lets each entry be moved out without
+        // shifting the rest; reversing first preserves submission order.
+        entries.reverse();
+        let mut indices = [[0usize; N]; PREFETCH_WINDOW];
+        while !entries.is_empty() {
+            let window = entries.len().min(PREFETCH_WINDOW);
+            for (j, key_indices) in indices.iter_mut().enumerate().take(window) {
+                let key = entries[entries.len() - 1 - j].0;
+                self.hash_into(key, key_indices);
+                self.prefetch_prehashed(key_indices, true);
+            }
+            for key_indices in indices.iter_mut().take(window) {
+                let (key, value) = entries.pop().expect("window is within bounds");
+                outcomes.push(self.insert_prehashed(key, value, key_indices));
+            }
+        }
+    }
+}
+
+impl<V: Clone> Clone for CuckooTable<V> {
+    fn clone(&self) -> Self {
+        let values = self
+            .tags
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&tag, value)| {
+                if tag == EMPTY_TAG {
+                    MaybeUninit::uninit()
+                } else {
+                    // SAFETY: occupied tags guarantee initialized payloads.
+                    MaybeUninit::new(unsafe { value.assume_init_ref() }.clone())
+                }
+            })
+            .collect();
+        CuckooTable {
+            ways: self.ways,
+            sets: self.sets,
+            hashes: self.hashes.clone(),
+            tags: self.tags.clone(),
+            keys: self.keys.clone(),
+            values,
+            valid: self.valid,
+            max_attempts: self.max_attempts,
+            next_start_way: self.next_start_way,
+        }
+    }
+}
+
+impl<V> Drop for CuckooTable<V> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<V>() {
+            for (slot, &tag) in self.tags.iter().enumerate() {
+                if tag != EMPTY_TAG {
+                    // SAFETY: occupied tags guarantee initialized payloads,
+                    // each dropped exactly once here.
+                    unsafe { self.values[slot].assume_init_drop() };
+                }
+            }
         }
     }
 }
@@ -474,5 +986,184 @@ mod tests {
             t.insert(rng.next_u64() >> 8, ());
         }
         assert!((t.occupancy() - 0.25).abs() < 0.01);
+    }
+
+    // ---- SoA-layout specific tests ----------------------------------------
+
+    #[test]
+    fn swar_match_finds_exactly_the_equal_bytes() {
+        // One lane per byte: bit 7 of the matching lane is set.
+        let word = u64::from_le_bytes([0x81, 0x00, 0x93, 0x81, 0x00, 0xFF, 0x7F, 0x01]);
+        let m = swar_match(word, 0x81);
+        assert_eq!(m & (1 << 7), 1 << 7, "lane 0 matches");
+        assert_eq!(m & (1 << 31), 1 << 31, "lane 3 matches");
+        assert_eq!(m & (1 << 15), 0, "empty lane does not match a fingerprint");
+        assert_eq!(m & (1 << 23), 0, "different tag does not match");
+
+        // Vacancy scan is exact for the tag alphabet used by the table
+        // (0x00 or >= 0x80): only the two empty lanes match.
+        let tags = u64::from_le_bytes([0x81, 0x00, 0x93, 0xFF, 0x00, 0x80, 0xA5, 0xC3]);
+        let empties = swar_match(tags, EMPTY_TAG);
+        assert_eq!(empties, (1 << 15) | (1 << 39));
+    }
+
+    #[test]
+    fn fingerprints_are_never_the_empty_tag() {
+        let mut rng = SplitMix64::new(0xF1);
+        for _ in 0..10_000 {
+            let fp = fingerprint(rng.next_u64());
+            assert!(fp >= 0x80, "fingerprint {fp:#x} must have the high bit set");
+        }
+    }
+
+    #[test]
+    fn find_or_insert_only_builds_payloads_for_new_keys() {
+        let mut t: CuckooTable<Vec<u32>> = CuckooTable::new(4, 64, HashKind::Strong, 9).unwrap();
+        let r = t.find_or_insert_with(42, || vec![1]);
+        assert!(r.inserted.is_some());
+        r.value.push(2);
+        // Second call must not invoke `make` and must see the mutation.
+        let r = t.find_or_insert_with(42, || panic!("payload must not be rebuilt"));
+        assert!(r.inserted.is_none());
+        assert_eq!(r.value, &vec![1, 2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn find_or_insert_reports_the_displacement_outcome() {
+        // A full 2x2 table with a 2-attempt budget: inserting an absent key
+        // must displace and discard, yet the new key stays retrievable and
+        // the borrow points at its payload.
+        let mut t: CuckooTable<u64> = CuckooTable::new(2, 2, HashKind::Strong, 17).unwrap();
+        t.set_max_attempts(2);
+        let mut rng = SplitMix64::new(5);
+        while t.len() < t.capacity() {
+            let key = rng.next_u64() >> 8;
+            t.insert(key, key);
+        }
+        let mut fresh = rng.next_u64() >> 8;
+        while t.contains(fresh) {
+            fresh = rng.next_u64() >> 8;
+        }
+        let r = t.find_or_insert_with(fresh, || fresh);
+        let outcome = r.inserted.expect("key was absent");
+        assert_eq!(*r.value, fresh);
+        assert!(outcome.discarded.is_some(), "full table must discard");
+        assert!(t.contains(fresh));
+        assert_eq!(t.len(), t.capacity());
+    }
+
+    #[test]
+    fn probe_batch_agrees_with_contains() {
+        let (table, keys) = filled_table(4, 256, 512, 31);
+        let mut rng = SplitMix64::new(77);
+        let queries: Vec<u64> = keys
+            .iter()
+            .copied()
+            .take(100)
+            .chain((0..100).map(|_| rng.next_u64() >> 8))
+            .collect();
+        let mut hits = vec![false; queries.len()];
+        table.probe_batch(&queries, &mut hits);
+        for (query, hit) in queries.iter().zip(&hits) {
+            assert_eq!(*hit, table.contains(*query), "key {query:#x}");
+        }
+        // Prefetching is a semantic no-op.
+        for &query in &queries {
+            table.prefetch(query);
+        }
+        assert_eq!(table.len(), keys.len());
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_inserts_exactly() {
+        let mut rng = SplitMix64::new(0xBA7C);
+        let entries: Vec<(u64, u64)> = (0..600)
+            .map(|_| rng.next_u64() >> 40)
+            .map(|k| (k, k))
+            .collect();
+
+        let mut sequential: CuckooTable<u64> =
+            CuckooTable::new(3, 64, HashKind::Strong, 2).unwrap();
+        sequential.set_max_attempts(8);
+        let expected: Vec<InsertOutcome<u64>> = entries
+            .iter()
+            .map(|&(k, v)| sequential.insert(k, v))
+            .collect();
+
+        let mut batched: CuckooTable<u64> = CuckooTable::new(3, 64, HashKind::Strong, 2).unwrap();
+        batched.set_max_attempts(8);
+        let mut buffer = entries.clone();
+        let mut outcomes = Vec::new();
+        batched.apply_batch(&mut buffer, &mut outcomes);
+        assert!(buffer.is_empty(), "apply_batch drains its input");
+        assert_eq!(outcomes, expected, "batched outcomes must be identical");
+        assert_eq!(batched.len(), sequential.len());
+        for (k, v) in sequential.iter() {
+            assert_eq!(batched.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn wide_tables_probe_through_the_chunked_swar_path() {
+        // 12 ways exercises the multi-chunk gather (8 + 4 lanes).
+        let (table, keys) = filled_table(12, 64, 384, 3);
+        for &k in &keys {
+            assert!(table.contains(k));
+        }
+        let mut hits = vec![false; keys.len()];
+        table.probe_batch(&keys, &mut hits);
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn clone_deep_copies_payloads_and_drop_is_balanced() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        static LIVE: AtomicI64 = AtomicI64::new(0);
+
+        struct Tracked(u64);
+        impl Tracked {
+            fn new(v: u64) -> Self {
+                LIVE.fetch_add(1, Ordering::Relaxed);
+                Tracked(v)
+            }
+        }
+        impl Clone for Tracked {
+            fn clone(&self) -> Self {
+                Tracked::new(self.0)
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        {
+            let mut t: CuckooTable<Tracked> = CuckooTable::new(2, 4, HashKind::Strong, 1).unwrap();
+            t.set_max_attempts(3);
+            let mut rng = SplitMix64::new(4);
+            for _ in 0..32 {
+                let key = rng.next_u64() >> 8;
+                // Exercises replace-on-existing, displacement and discard.
+                let _ = t.insert(key, Tracked::new(key));
+            }
+            let live_before_clone = LIVE.load(Ordering::Relaxed);
+            assert_eq!(live_before_clone, t.len() as i64);
+            {
+                let mut cloned = t.clone();
+                assert_eq!(LIVE.load(Ordering::Relaxed), 2 * live_before_clone);
+                let (some_key, payload) = {
+                    let (k, v) = cloned.iter().next().unwrap();
+                    (k, v.0)
+                };
+                assert_eq!(payload, some_key);
+                drop(cloned.remove(some_key));
+            }
+            // The clone and everything it held is gone; the original intact.
+            assert_eq!(LIVE.load(Ordering::Relaxed), live_before_clone);
+            assert_eq!(t.iter().count(), t.len());
+        }
+        assert_eq!(LIVE.load(Ordering::Relaxed), 0, "every payload dropped");
     }
 }

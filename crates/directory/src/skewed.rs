@@ -16,8 +16,9 @@
 //! shows for server workloads.
 
 use crate::{Directory, DirectoryStats, Outcome, StorageProfile};
+use ccd_common::prefetch::prefetch_slice_element;
 use ccd_common::{ceil_log2, ConfigError, LineAddr};
-use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+use ccd_hash::{HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
 use ccd_sharers::SharerSet;
 
 #[derive(Clone, Debug)]
@@ -95,8 +96,12 @@ impl<S: SharerSet> SkewedDirectory<S> {
         self.sets
     }
 
-    fn slot_for(&self, way: usize, line: LineAddr) -> usize {
-        way * self.sets + self.hashes.index(way, line)
+    /// All candidate slots of `line`, hashed in one pass into `slots[..ways]`.
+    fn candidate_slots_into(&self, line: LineAddr, slots: &mut [usize]) {
+        self.hashes.index_all_into(line, slots);
+        for (way, slot) in slots.iter_mut().enumerate().take(self.ways) {
+            *slot += way * self.sets;
+        }
     }
 
     fn touch(&mut self, slot: usize) {
@@ -104,15 +109,26 @@ impl<S: SharerSet> SkewedDirectory<S> {
         self.last_use[slot] = self.tick;
     }
 
-    fn find_slot(&self, line: LineAddr) -> Option<usize> {
-        (0..self.ways)
-            .map(|w| self.slot_for(w, line))
+    /// The entry-matching predicate shared by lookup and allocation: the
+    /// first candidate slot whose occupant is `line`.
+    fn find_in(&self, line: LineAddr, candidates: &[usize]) -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
             .find(|&slot| matches!(&self.slots[slot], Some(e) if e.line == line))
+    }
+
+    fn find_slot(&self, line: LineAddr) -> Option<usize> {
+        let mut candidates = [0usize; MAX_FAMILY_WAYS];
+        self.candidate_slots_into(line, &mut candidates);
+        self.find_in(line, &candidates[..self.ways])
     }
 
     fn find_or_allocate(&mut self, line: LineAddr, out: &mut Outcome) -> usize {
         self.stats.lookups.incr();
-        if let Some(slot) = self.find_slot(line) {
+        let mut candidates = [0usize; MAX_FAMILY_WAYS];
+        self.candidate_slots_into(line, &mut candidates);
+        if let Some(slot) = self.find_in(line, &candidates[..self.ways]) {
             self.touch(slot);
             out.set_hit(true);
             return slot;
@@ -123,8 +139,7 @@ impl<S: SharerSet> SkewedDirectory<S> {
         let mut chosen = None;
         let mut lru_slot = usize::MAX;
         let mut lru_time = u64::MAX;
-        for way in 0..self.ways {
-            let slot = self.slot_for(way, line);
+        for &slot in &candidates[..self.ways] {
             if self.slots[slot].is_none() {
                 chosen = Some(slot);
                 break;
@@ -174,6 +189,16 @@ impl<S: SharerSet> Directory for SkewedDirectory<S> {
     }
 
     crate::slot_dispatch::impl_slot_directory_ops!();
+
+    // Prefetch the candidate slot of every way — each sits at an
+    // independent hashed index, so a batched caller overlaps their misses.
+    fn prefetch_line(&self, line: LineAddr) {
+        let mut candidates = [0usize; MAX_FAMILY_WAYS];
+        self.candidate_slots_into(line, &mut candidates);
+        for &slot in &candidates[..self.ways] {
+            prefetch_slice_element(&self.slots, slot);
+        }
+    }
 
     fn stats(&self) -> &DirectoryStats {
         &self.stats

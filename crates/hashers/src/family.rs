@@ -150,11 +150,22 @@ impl IndexHashFamily for HashFamily {
         }
     }
 
+    #[inline]
     fn index(&self, way: usize, line: LineAddr) -> usize {
         match self {
             HashFamily::Skewing(f) => f.index(way, line),
             HashFamily::MultiplyShift(f) => f.index(way, line),
             HashFamily::Strong(f) => f.index(way, line),
+        }
+    }
+
+    // One enum dispatch for the whole probe instead of one per way.
+    #[inline]
+    fn index_all_into(&self, line: LineAddr, out: &mut [usize]) {
+        match self {
+            HashFamily::Skewing(f) => f.index_all_into(line, out),
+            HashFamily::MultiplyShift(f) => f.index_all_into(line, out),
+            HashFamily::Strong(f) => f.index_all_into(line, out),
         }
     }
 

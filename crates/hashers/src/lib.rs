@@ -42,6 +42,12 @@ pub use strong::StrongFamily;
 
 use ccd_common::LineAddr;
 
+/// Upper bound on the way count of *any* family in this crate (the strong
+/// and multiply-shift families allow up to 64 ways; skewing allows 16).
+/// Probe code can size its per-key index buffers with this constant and hold
+/// them on the stack.
+pub const MAX_FAMILY_WAYS: usize = 64;
+
 /// A family of per-way index hash functions over cache-line addresses.
 ///
 /// Implementations map a line address to a set index in `[0, sets())` for
@@ -64,7 +70,33 @@ pub trait IndexHashFamily {
 
     /// Returns the indices for all ways of this family, in way order.
     fn all_indices(&self, line: LineAddr) -> Vec<usize> {
-        (0..self.ways()).map(|w| self.index(w, line)).collect()
+        let mut out = vec![0; self.ways()];
+        self.index_all_into(line, &mut out);
+        out
+    }
+
+    /// Writes the index of every way into `out[..ways()]` in one pass.
+    ///
+    /// This is the hot-path variant of [`IndexHashFamily::all_indices`]: a
+    /// cuckoo probe needs all `d` candidate indices of a key at once, and
+    /// computing them together lets an implementation hoist the per-key work
+    /// (field decomposition, enum dispatch) out of the per-way loop and write
+    /// into a caller-owned stack buffer without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is shorter than [`IndexHashFamily::ways`].
+    /// Elements beyond `ways()` are left untouched.
+    fn index_all_into(&self, line: LineAddr, out: &mut [usize]) {
+        assert!(
+            out.len() >= self.ways(),
+            "index buffer of {} entries cannot hold {} ways",
+            out.len(),
+            self.ways()
+        );
+        for (way, slot) in out.iter_mut().enumerate().take(self.ways()) {
+            *slot = self.index(way, line);
+        }
     }
 
     /// Estimated number of two-input logic levels a hardware implementation
@@ -109,6 +141,33 @@ mod tests {
         check_uniformity(&SkewingFamily::new(4, 256).unwrap(), 100_000);
         check_uniformity(&StrongFamily::new(4, 256).unwrap(), 100_000);
         check_uniformity(&MultiplyShiftFamily::new(4, 256).unwrap(), 100_000);
+    }
+
+    #[test]
+    fn index_all_into_matches_per_way_index_for_every_kind() {
+        let mut rng = SplitMix64::new(0xA11);
+        for kind in [HashKind::Skewing, HashKind::MultiplyShift, HashKind::Strong] {
+            for ways in [2usize, 3, 4, 8, 16] {
+                let family = HashFamily::new(kind, ways, 512).unwrap();
+                let mut buf = [0usize; MAX_FAMILY_WAYS];
+                for _ in 0..200 {
+                    let line = LineAddr::from_block_number(rng.next_u64() >> 6);
+                    family.index_all_into(line, &mut buf);
+                    for (way, &idx) in buf.iter().enumerate().take(ways) {
+                        assert_eq!(idx, family.index(way, line), "{kind} way {way} diverged");
+                    }
+                    assert_eq!(family.all_indices(line), buf[..ways].to_vec());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn index_all_into_rejects_short_buffers() {
+        let family = HashFamily::new(HashKind::Skewing, 4, 256).unwrap();
+        let mut buf = [0usize; 2];
+        family.index_all_into(LineAddr::from_block_number(1), &mut buf);
     }
 
     #[test]

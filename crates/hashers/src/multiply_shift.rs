@@ -90,9 +90,24 @@ impl IndexHashFamily for MultiplyShiftFamily {
         self.sets
     }
 
+    #[inline]
     fn index(&self, way: usize, line: LineAddr) -> usize {
         let m = self.multipliers[way];
         (line.block_number().wrapping_mul(m) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn index_all_into(&self, line: LineAddr, out: &mut [usize]) {
+        assert!(
+            out.len() >= self.multipliers.len(),
+            "index buffer of {} entries cannot hold {} ways",
+            out.len(),
+            self.multipliers.len()
+        );
+        let block = line.block_number();
+        for (slot, &m) in out.iter_mut().zip(&self.multipliers) {
+            *slot = (block.wrapping_mul(m) >> self.shift) as usize;
+        }
     }
 
     fn logic_levels(&self) -> u32 {

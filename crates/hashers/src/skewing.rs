@@ -34,6 +34,9 @@ pub struct SkewingFamily {
     ways: usize,
     sets: usize,
     index_bits: u32,
+    /// Per-way `(rot(A1), rot(A2))` rotation amounts, pre-reduced modulo the
+    /// field width so the per-index hot path never divides.
+    rotations: Vec<(u32, u32)>,
 }
 
 impl SkewingFamily {
@@ -70,18 +73,25 @@ impl SkewingFamily {
                 min: 2,
             });
         }
+        let index_bits = ceil_log2(sets as u64);
+        let rotations = (0..ways as u32)
+            .map(|way| (way % index_bits, (2 * way) % index_bits))
+            .collect();
         Ok(SkewingFamily {
             ways,
             sets,
-            index_bits: ceil_log2(sets as u64),
+            index_bits,
+            rotations,
         })
     }
 
-    /// Rotates the low `bits` bits of `field` right by `amount`.
+    /// Rotates the low `bits` bits of `field` right by `amount`
+    /// (pre-reduced: `amount < bits`).
+    #[inline]
     fn rotate_field(field: u64, amount: u32, bits: u32) -> u64 {
+        debug_assert!(amount < bits, "rotation amounts are pre-reduced");
         let mask = (1u64 << bits) - 1;
         let field = field & mask;
-        let amount = amount % bits;
         if amount == 0 {
             field
         } else {
@@ -99,6 +109,7 @@ impl IndexHashFamily for SkewingFamily {
         self.sets
     }
 
+    #[inline]
     fn index(&self, way: usize, line: LineAddr) -> usize {
         assert!(
             way < self.ways,
@@ -114,8 +125,8 @@ impl IndexHashFamily for SkewingFamily {
         // Second field: rotated by twice the way number to decorrelate.
         let a2 = remaining & mask;
         remaining >>= n;
-        let mut h =
-            Self::rotate_field(a1, way as u32, n) ^ Self::rotate_field(a2, (2 * way) as u32, n);
+        let (rot1, rot2) = self.rotations[way];
+        let mut h = Self::rotate_field(a1, rot1, n) ^ Self::rotate_field(a2, rot2, n);
         // Fold any remaining high-order fields straight in so that every
         // address bit participates in every index.
         while remaining != 0 {
@@ -123,6 +134,48 @@ impl IndexHashFamily for SkewingFamily {
             remaining >>= n;
         }
         (h & mask) as usize
+    }
+
+    #[inline]
+    fn index_all_into(&self, line: LineAddr, out: &mut [usize]) {
+        assert!(
+            out.len() >= self.ways,
+            "index buffer of {} entries cannot hold {} ways",
+            out.len(),
+            self.ways
+        );
+        // Decompose the address into its fields once; only the per-way
+        // rotations differ between ways (XOR is associative, so folding the
+        // high-order fields first yields the same index as `index`).  Each
+        // field is doubled (`a | a << n`) so that an n-bit right-rotation by
+        // `k < n` collapses to a single shift: `(doubled >> k) & mask` —
+        // branch-free and one instruction per rotation.
+        let n = self.index_bits;
+        let mask = (1u64 << n) - 1;
+        let mut remaining = line.block_number();
+        let a1 = remaining & mask;
+        remaining >>= n;
+        let a2 = remaining & mask;
+        remaining >>= n;
+        let mut high = 0u64;
+        while remaining != 0 {
+            high ^= remaining & mask;
+            remaining >>= n;
+        }
+        if n <= 32 {
+            let a1d = a1 | (a1 << n);
+            let a2d = a2 | (a2 << n);
+            for (slot, &(rot1, rot2)) in out.iter_mut().zip(&self.rotations) {
+                *slot = ((((a1d >> rot1) ^ (a2d >> rot2)) & mask) ^ high) as usize;
+            }
+        } else {
+            // Doubling would overflow 64 bits; no real directory has 2^32
+            // sets, but stay correct anyway.
+            for (slot, &(rot1, rot2)) in out.iter_mut().zip(&self.rotations) {
+                let h = Self::rotate_field(a1, rot1, n) ^ Self::rotate_field(a2, rot2, n) ^ high;
+                *slot = (h & mask) as usize;
+            }
+        }
     }
 
     fn logic_levels(&self) -> u32 {
@@ -169,11 +222,22 @@ mod tests {
 
     #[test]
     fn rotation_wraps_correctly() {
-        // rot by field-width is identity; rot of 0b0001 by 1 in a 4-bit
-        // field is 0b1000.
+        // rot of 0b0001 by 1 in a 4-bit field is 0b1000; rot by 0 is the
+        // identity.  Amounts arrive pre-reduced modulo the field width.
         assert_eq!(SkewingFamily::rotate_field(0b0001, 1, 4), 0b1000);
-        assert_eq!(SkewingFamily::rotate_field(0b1001, 4, 4), 0b1001);
+        assert_eq!(SkewingFamily::rotate_field(0b1001, 3, 4), 0b0011);
         assert_eq!(SkewingFamily::rotate_field(0b1001, 0, 4), 0b1001);
+    }
+
+    #[test]
+    fn precomputed_rotations_match_the_modulo_definition() {
+        // The per-way amounts are `way % n` and `2·way % n` — the values the
+        // seed computed inline with a modulo on every index() call.
+        let f = SkewingFamily::new(16, 256).unwrap(); // n = 8
+        for (way, &(r1, r2)) in f.rotations.iter().enumerate() {
+            assert_eq!(r1, way as u32 % 8);
+            assert_eq!(r2, (2 * way) as u32 % 8);
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub const MAX_WAYS: usize = 64;
 pub struct StrongFamily {
     salts: Vec<u64>,
     sets: usize,
+    /// `sets - 1`: the set count is a power of two, so the reduction
+    /// `mixed % sets` is a mask — no division on the hot path.
+    set_mask: u64,
 }
 
 impl StrongFamily {
@@ -70,7 +73,11 @@ impl StrongFamily {
         let salts = (0..ways as u64)
             .map(|w| SplitMix64::mix(seed ^ SplitMix64::mix(w.wrapping_add(1))))
             .collect();
-        Ok(StrongFamily { salts, sets })
+        Ok(StrongFamily {
+            salts,
+            sets,
+            set_mask: sets as u64 - 1,
+        })
     }
 }
 
@@ -83,11 +90,27 @@ impl IndexHashFamily for StrongFamily {
         self.sets
     }
 
+    #[inline]
     fn index(&self, way: usize, line: LineAddr) -> usize {
         let salt = self.salts[way];
         // Two finalizer rounds with a way-specific salt between them.
         let mixed = SplitMix64::mix(SplitMix64::mix(line.block_number() ^ salt).wrapping_add(salt));
-        (mixed % self.sets as u64) as usize
+        (mixed & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn index_all_into(&self, line: LineAddr, out: &mut [usize]) {
+        assert!(
+            out.len() >= self.salts.len(),
+            "index buffer of {} entries cannot hold {} ways",
+            out.len(),
+            self.salts.len()
+        );
+        let block = line.block_number();
+        for (slot, &salt) in out.iter_mut().zip(&self.salts) {
+            let mixed = SplitMix64::mix(SplitMix64::mix(block ^ salt).wrapping_add(salt));
+            *slot = (mixed & self.set_mask) as usize;
+        }
     }
 
     fn logic_levels(&self) -> u32 {

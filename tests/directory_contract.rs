@@ -324,3 +324,85 @@ fn sharded_directory_is_observably_equivalent_to_a_single_slice() {
         );
     }
 }
+
+#[test]
+fn apply_batch_is_observably_identical_to_sequential_apply() {
+    // The windowed, prefetching batch entry point must be a pure latency
+    // optimization: for every organization, driving the same op stream
+    // through `apply_batch` and through an `apply` loop yields the same
+    // per-op outcomes, the same statistics and the same final contents.
+    let registry = standard_registry();
+    for (label, mut sequential) in all_dirs() {
+        let mut batched = match registry.build_str(&label) {
+            Ok(dir) => dir,
+            // Paper-spec labels are not registry specs; rebuild those via
+            // the same path as `all_dirs` by skipping them here (the
+            // registry-built organizations already cover every type).
+            Err(_) => continue,
+        };
+
+        let caches = sequential.num_caches() as u64;
+        let mut rng = SplitMix64::new(0xBA7C4);
+        let ops: Vec<DirectoryOp> = (0..512)
+            .map(|_| {
+                let line = LineAddr::from_block_number(rng.next_below(96) * 13);
+                let cache = CacheId::new(rng.next_below(caches) as u32);
+                match rng.next_below(5) {
+                    0 => DirectoryOp::Probe { line },
+                    1 => DirectoryOp::SetExclusive { line, cache },
+                    2 => DirectoryOp::RemoveSharer { line, cache },
+                    3 => DirectoryOp::RemoveEntry { line },
+                    _ => DirectoryOp::AddSharer { line, cache },
+                }
+            })
+            .collect();
+
+        // Sequential reference: record a digest of every outcome.
+        let mut out = Outcome::new();
+        let mut expected: Vec<(bool, bool, u32, usize, usize)> = Vec::new();
+        for op in &ops {
+            sequential.apply(*op, &mut out);
+            expected.push((
+                out.hit(),
+                out.allocated_new_entry(),
+                out.insertion_attempts(),
+                out.invalidate().len(),
+                out.forced_eviction_count(),
+            ));
+        }
+
+        // Batched run through the windowed prefetching path.
+        let mut observed = Vec::with_capacity(ops.len());
+        let mut batch_out = Outcome::new();
+        batched.apply_batch(&ops, &mut batch_out, &mut |_, o| {
+            observed.push((
+                o.hit(),
+                o.allocated_new_entry(),
+                o.insertion_attempts(),
+                o.invalidate().len(),
+                o.forced_eviction_count(),
+            ));
+        });
+
+        assert_eq!(observed, expected, "{label}: per-op outcomes diverged");
+        assert_eq!(batched.len(), sequential.len(), "{label}: len diverged");
+        assert_eq!(
+            batched.stats().insertions.get(),
+            sequential.stats().insertions.get(),
+            "{label}: insertion stats diverged"
+        );
+        assert_eq!(
+            batched.stats().forced_evictions.get(),
+            sequential.stats().forced_evictions.get(),
+            "{label}: eviction stats diverged"
+        );
+        for block in 0..96u64 {
+            let line = LineAddr::from_block_number(block * 13);
+            assert_eq!(
+                batched.sharers(line),
+                sequential.sharers(line),
+                "{label}: contents diverged at block {block}"
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! workspace's own deterministic RNG ([`SplitMix64`]) across many seeds.
 
 use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_cuckoo::seed_reference::AosReferenceTable;
 use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
 use ccd_hash::HashKind;
 use ccd_sharers::{CoarseVector, FullBitVector, HierarchicalVector, LimitedPointer, SharerSet};
@@ -177,6 +178,166 @@ fn cuckoo_directory_tracks_exactly_the_uncovered_model() {
                 assert!(sharers.contains(&CacheId::new(*c)));
             }
         }
+    }
+}
+
+#[test]
+fn soa_table_matches_the_seed_aos_model_bit_for_bit() {
+    // Drive the SoA/SWAR table and the seed's AoS algorithm in lockstep
+    // through the same (hash family, budget, operation stream) and demand
+    // identical insertion outcomes — including the rare displacement-chain
+    // branches: budget exhaustion, discard selection, and the chain circling
+    // back to the in-flight incoming key (which must trigger one final
+    // displacement so the requested key stays tracked).
+    let mut rng = SplitMix64::new(0x5EED_30DE1);
+    for (ways, sets, budget) in [
+        (2usize, 2usize, 1u32),
+        (2, 2, 3),
+        (2, 8, 4),
+        (3, 8, 2),
+        (3, 16, 32),
+        (4, 16, 8),
+        (12, 8, 6), // exercises the multi-chunk (>8-way) SWAR path
+    ] {
+        for kind in [HashKind::Skewing, HashKind::MultiplyShift, HashKind::Strong] {
+            let hash_seed = rng.next_u64();
+            let mut table: CuckooTable<u64> =
+                CuckooTable::new(ways, sets, kind, hash_seed).unwrap();
+            table.set_max_attempts(budget);
+            let mut model =
+                AosReferenceTable::<u64>::new(ways, sets, kind, hash_seed, budget).unwrap();
+
+            // A small key space keeps hits, displacements and discards all
+            // frequent; removals keep vacancies appearing mid-stream.
+            let key_space = (ways * sets * 2) as u64;
+            for step in 0..2_000u64 {
+                let key = rng.next_below(key_space);
+                if rng.next_below(10) < 7 {
+                    let outcome = table.insert(key, step);
+                    let (attempts, discarded) = model.insert(key, step);
+                    assert_eq!(
+                        outcome.attempts, attempts,
+                        "{ways}x{sets}-{kind} budget {budget}: attempt count diverged at step {step}"
+                    );
+                    assert_eq!(
+                        outcome.discarded, discarded,
+                        "{ways}x{sets}-{kind} budget {budget}: discard choice diverged at step {step}"
+                    );
+                } else {
+                    assert_eq!(
+                        table.remove(key),
+                        model.remove(key),
+                        "{ways}x{sets}-{kind}: removal diverged at step {step}"
+                    );
+                }
+                assert_eq!(table.len(), model.len());
+            }
+            let table_contents: HashMap<u64, u64> = table.iter().map(|(k, v)| (k, *v)).collect();
+            let model_contents: HashMap<u64, u64> = model.iter().map(|(k, v)| (k, *v)).collect();
+            assert_eq!(
+                table_contents, model_contents,
+                "{ways}x{sets}-{kind}: final contents diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn attempt_budget_of_one_discards_on_the_first_attempt() {
+    // Section 5.2 edge case: with `max_attempts = 1` a conflicting insertion
+    // gets no displacement chain at all.  The incoming key still performs
+    // its one final displacement (the request is never the victim), so the
+    // previous occupant of the start way's candidate slot is discarded, the
+    // attempt count is exactly 1, and occupancy is unchanged.
+    let mut table: CuckooTable<u64> = CuckooTable::new(3, 16, HashKind::Strong, 9).unwrap();
+    let mut rng = SplitMix64::new(0xB1);
+    while table.len() < table.capacity() {
+        let key = rng.next_below(1 << 20);
+        table.insert(key, key * 2);
+    }
+    table.set_max_attempts(1);
+    let mut discards = 0usize;
+    for _ in 0..64 {
+        let mut fresh = rng.next_below(1 << 20);
+        while table.contains(fresh) {
+            fresh = rng.next_below(1 << 20);
+        }
+        let o = table.insert(fresh, fresh * 2);
+        assert_eq!(o.attempts, 1, "budget 1 permits exactly one attempt");
+        let (lost, payload) = o.discarded.expect("full table must discard");
+        assert_eq!(payload, lost * 2, "payload travels with its key");
+        assert_ne!(lost, fresh, "the incoming request is never discarded");
+        assert!(table.contains(fresh), "the requested key must be tracked");
+        assert!(!table.contains(lost), "the victim must be gone");
+        assert_eq!(table.len(), table.capacity(), "one-for-one swap");
+        discards += 1;
+    }
+    assert_eq!(discards, 64);
+}
+
+#[test]
+fn two_way_table_at_full_occupancy_exhausts_the_budget_exactly() {
+    // ways = 2 at 100% occupancy: no vacancy exists anywhere, so every
+    // insertion of a fresh key must run its displacement chain to the full
+    // attempt budget, discard exactly one resident entry, and keep the
+    // table exactly full.
+    let mut table: CuckooTable<u64> = CuckooTable::new(2, 8, HashKind::Strong, 21).unwrap();
+    let mut rng = SplitMix64::new(0x2F);
+    while table.len() < table.capacity() {
+        let key = rng.next_below(1 << 16);
+        table.insert(key, key);
+    }
+    for budget in [2u32, 5, 32] {
+        table.set_max_attempts(budget);
+        for _ in 0..16 {
+            let mut fresh = rng.next_below(1 << 16);
+            while table.contains(fresh) {
+                fresh = rng.next_below(1 << 16);
+            }
+            let o = table.insert(fresh, fresh);
+            assert_eq!(
+                o.attempts, budget,
+                "with zero vacancies the chain must run to the budget"
+            );
+            let (lost, _) = o.discarded.expect("full table must discard");
+            assert_ne!(lost, fresh);
+            assert!(table.contains(fresh));
+            assert!(!table.contains(lost));
+            assert_eq!(table.len(), table.capacity());
+        }
+    }
+}
+
+#[test]
+fn chains_that_circle_back_to_the_incoming_key_keep_it_tracked() {
+    // Re-insert of a key that is currently in flight in its own chain: on a
+    // tiny table the displacement chain frequently displaces the incoming
+    // key again before the budget runs out.  Whatever happens inside the
+    // chain, the documented accounting must hold: the incoming key is
+    // stored, it is never the discard victim, and the attempt count never
+    // exceeds the budget.
+    let mut rng = SplitMix64::new(0xC17C);
+    for seed in 0..6u64 {
+        let mut table: CuckooTable<u64> = CuckooTable::new(2, 2, HashKind::Strong, seed).unwrap();
+        table.set_max_attempts(4);
+        let mut discards = 0usize;
+        for step in 0..600u64 {
+            let key = rng.next_below(48);
+            let o = table.insert(key, step);
+            assert!(o.attempts <= 4);
+            if let Some((lost, _)) = o.discarded {
+                assert_ne!(lost, key, "the incoming request is never discarded");
+                assert!(!table.contains(lost));
+                discards += 1;
+            }
+            assert!(
+                table.contains(key),
+                "seed {seed}: key {key} lost at step {step}"
+            );
+            assert_eq!(table.get(key), Some(&step), "insert replaces the payload");
+            assert!(table.len() <= table.capacity());
+        }
+        assert!(discards > 0, "a 4-entry table under this load must discard");
     }
 }
 

@@ -3,15 +3,20 @@
 //! The acceptance criterion of the op/outcome redesign: with a warmed-up,
 //! reused [`Outcome`] buffer, the lookup-hit (`Probe`) path and the
 //! `AddSharer`-on-existing-entry path perform **zero heap allocations** per
-//! operation, for every organization the registry can build.
+//! operation, for every organization the registry can build.  The same
+//! proof covers the prefetch hints and the batched entry points — the
+//! directory-level `apply_batch` window and the raw cuckoo table's
+//! `probe_batch` / `apply_batch`, which probe through the SoA tag arrays
+//! with caller-owned buffers.
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; this file
 //! contains a single `#[test]` so no concurrent test can perturb the
 //! counters.
 
 use ccd_common::{CacheId, LineAddr};
-use ccd_cuckoo::standard_registry;
+use ccd_cuckoo::{standard_registry, CuckooTable, InsertOutcome};
 use ccd_directory::{DirectoryOp, Outcome};
+use ccd_hash::HashKind;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -140,5 +145,78 @@ fn steady_state_hot_paths_do_not_allocate() {
             }
         });
         assert_eq!(queries, 0, "{spec}: pure queries allocated {queries} times");
+
+        // 4. Line prefetch hints and the batched apply path: with warmed-up
+        // op/outcome buffers and an allocation-free sink, a window-prefetched
+        // batch of Probe + AddSharer-on-existing ops must not allocate.
+        let ops: Vec<DirectoryOp> = lines
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &line)| {
+                [
+                    DirectoryOp::Probe { line },
+                    DirectoryOp::AddSharer {
+                        line,
+                        cache: CacheId::new(i as u32 % 32),
+                    },
+                ]
+            })
+            .collect();
+        let mut batch_hits = 0u64;
+        let batched = count_allocs(4, || {
+            for &line in &lines {
+                dir.prefetch_line(line);
+            }
+            dir.apply_batch(&ops, &mut out, &mut |_, o| {
+                batch_hits += u64::from(o.hit());
+            });
+        });
+        assert_eq!(batched, 0, "{spec}: apply_batch allocated {batched} times");
+        assert_eq!(batch_hits, 4 * ops.len() as u64, "{spec}: batch missed");
     }
+
+    // --- The raw cuckoo table's batched probe and insert paths ------------
+
+    let mut table: CuckooTable<u64> = CuckooTable::new(4, 512, HashKind::Skewing, 1).unwrap();
+    let keys: Vec<u64> = (0..256u64).map(|i| i * 613).collect();
+    let mut hits = vec![false; keys.len()];
+    let mut entries: Vec<(u64, u64)> = Vec::with_capacity(keys.len());
+    let mut outcomes: Vec<InsertOutcome<u64>> = Vec::with_capacity(keys.len());
+
+    // Warm up: populate the table and let every reusable buffer grow.
+    entries.extend(keys.iter().map(|&k| (k, k)));
+    table.apply_batch(&mut entries, &mut outcomes);
+    assert!(outcomes.iter().all(InsertOutcome::succeeded));
+
+    // Batched lookups over caller-owned buffers are allocation-free.
+    let probe_allocs = count_allocs(4, || {
+        table.probe_batch(&keys, &mut hits);
+        assert!(hits.iter().all(|&h| h));
+    });
+    assert_eq!(
+        probe_allocs, 0,
+        "CuckooTable::probe_batch allocated {probe_allocs} times"
+    );
+
+    // Batched re-insertions (payload replacement on existing keys) reuse
+    // the entry and outcome buffers without allocating.
+    let insert_allocs = count_allocs(4, || {
+        entries.extend(keys.iter().map(|&k| (k, k + 1)));
+        outcomes.clear();
+        table.apply_batch(&mut entries, &mut outcomes);
+        assert_eq!(outcomes.len(), keys.len());
+        assert!(outcomes.iter().all(|o| o.attempts == 1));
+    });
+    assert_eq!(
+        insert_allocs, 0,
+        "CuckooTable::apply_batch allocated {insert_allocs} times"
+    );
+
+    // Scalar prefetch hints are pure.
+    let prefetch_allocs = count_allocs(4, || {
+        for &k in &keys {
+            table.prefetch(k);
+        }
+    });
+    assert_eq!(prefetch_allocs, 0, "prefetch allocated {prefetch_allocs}");
 }
