@@ -5,7 +5,7 @@
 //! entries it could have placed, while anything beyond ~16 attempts changes
 //! nothing at practical occupancies.
 
-use ccd_bench::{write_json, TextTable};
+use ccd_bench::{write_json, ParallelRunner, TextTable};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
@@ -48,12 +48,11 @@ fn run(cap: u32, target: f64) -> CapRow {
 
 fn main() {
     println!("== Ablation: insertion-attempt budget (4-way, skewing hashes) ==\n");
-    let mut rows = Vec::new();
-    for target in [0.5, 0.75, 0.9] {
-        for cap in [2u32, 4, 8, 16, 32, 64] {
-            rows.push(run(cap, target));
-        }
-    }
+    let grid: Vec<(f64, u32)> = [0.5, 0.75, 0.9]
+        .into_iter()
+        .flat_map(|target| [2u32, 4, 8, 16, 32, 64].map(|cap| (target, cap)))
+        .collect();
+    let rows = ParallelRunner::from_env().map(&grid, |&(target, cap)| run(cap, target));
     let mut table = TextTable::new(vec![
         "fill target",
         "attempt cap",

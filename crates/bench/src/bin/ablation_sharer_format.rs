@@ -4,7 +4,7 @@
 //! this ablation quantifies the area/energy trade-off of the four formats
 //! implemented in `ccd-sharers` at 64 and 1024 cores (Shared-L2 model).
 
-use ccd_bench::{write_json, TextTable};
+use ccd_bench::{write_json, ParallelRunner, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 use ccd_sharers::SharerFormat;
 
@@ -45,20 +45,21 @@ fn org_for(format: SharerFormat) -> Option<DirOrg> {
 fn main() {
     println!("== Ablation: sharer-vector format on a 4-way 1x Cuckoo tag store (Shared-L2) ==\n");
     let model = EnergyModel::shared_l2();
-    let mut rows = Vec::new();
-    for cores in [64usize, 1024] {
+    let grid: Vec<(usize, SharerFormat)> = [64usize, 1024]
+        .into_iter()
+        .flat_map(|cores| SharerFormat::all().map(|format| (cores, format)))
+        .collect();
+    let rows = ParallelRunner::from_env().map(&grid, |&(cores, format)| {
         let caches = 2 * cores;
-        for format in SharerFormat::all() {
-            let point = org_for(format).map(|org| model.evaluate(&org, cores));
-            rows.push(FormatRow {
-                format: format.to_string(),
-                cores,
-                entry_bits: format.entry_bits(caches),
-                energy_percent: point.map(|p| p.energy_relative * 100.0),
-                area_percent: point.map(|p| p.area_relative * 100.0),
-            });
+        let point = org_for(format).map(|org| model.evaluate(&org, cores));
+        FormatRow {
+            format: format.to_string(),
+            cores,
+            entry_bits: format.entry_bits(caches),
+            energy_percent: point.map(|p| p.energy_relative * 100.0),
+            area_percent: point.map(|p| p.area_relative * 100.0),
         }
-    }
+    });
     let mut table = TextTable::new(vec![
         "cores",
         "sharer format",

@@ -1,9 +1,8 @@
 //! Figure 10 — average insertion attempts per workload for the selected
 //! Cuckoo organizations (4×512 Shared-L2, 3×8192 Private-L2).
 
-use ccd_bench::{
-    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
-};
+use ccd_bench::sweep::cuckoo_org_label;
+use ccd_bench::{print_system_banner, write_json, RunScale, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_hash::HashKind;
 use ccd_workloads::WorkloadProfile;
@@ -20,38 +19,61 @@ ccd_bench::impl_to_json!(AttemptsRow {
     private_l2_attempts
 });
 
+/// One sweep per hierarchy, each pairing its own selected Cuckoo geometry;
+/// returns the sweep plus the organization label its cells carry, so
+/// result lookups can never drift from the spec.
+fn sweep_for(hierarchy: Hierarchy, scale: RunScale) -> (SweepSpec, String) {
+    let (ways, sets, base_seed) = match hierarchy {
+        Hierarchy::SharedL2 => (4usize, 512usize, 0xA10),
+        Hierarchy::PrivateL2 => (3, 8192, 0xA11),
+    };
+    let org_label = cuckoo_org_label(ways, sets);
+    let sweep = SweepSpec::new(format!("Figure 10 ({hierarchy})"))
+        .system(hierarchy.to_string(), SystemConfig::table1(hierarchy))
+        .org(
+            org_label.clone(),
+            DirectorySpec::CuckooExplicit {
+                ways,
+                sets,
+                hash: HashKind::Skewing,
+            },
+        )
+        .workloads(WorkloadProfile::all_paper_workloads())
+        .scale(scale)
+        .base_seed(base_seed);
+    (sweep, org_label)
+}
+
 fn main() {
     let scale = RunScale::from_env();
     let shared = SystemConfig::table1(Hierarchy::SharedL2);
-    let private = SystemConfig::table1(Hierarchy::PrivateL2);
-    let shared_spec = DirectorySpec::CuckooExplicit {
-        ways: 4,
-        sets: 512,
-        hash: HashKind::Skewing,
-    };
-    let private_spec = DirectorySpec::CuckooExplicit {
-        ways: 3,
-        sets: 8192,
-        hash: HashKind::Skewing,
-    };
     print_system_banner(
         "Figure 10: Cuckoo average insertion attempts (4x512 / 3x8192)",
         &shared,
     );
     println!();
 
-    let workloads = WorkloadProfile::all_paper_workloads();
-    let rows: Vec<AttemptsRow> = parallel_map(workloads, |profile| {
-        let s = simulate_workload(&shared, &shared_spec, profile, scale, 0xA10)
-            .expect("shared simulation failed");
-        let p = simulate_workload(&private, &private_spec, profile, scale, 0xA11)
-            .expect("private simulation failed");
-        AttemptsRow {
-            workload: profile.name.to_string(),
-            shared_l2_attempts: s.avg_insertion_attempts(),
-            private_l2_attempts: p.avg_insertion_attempts(),
-        }
-    });
+    let (shared_sweep, shared_org) = sweep_for(Hierarchy::SharedL2, scale);
+    let (private_sweep, private_org) = sweep_for(Hierarchy::PrivateL2, scale);
+    let shared_results = shared_sweep.run().expect("shared simulation failed");
+    let private_results = private_sweep.run().expect("private simulation failed");
+
+    let rows: Vec<AttemptsRow> = WorkloadProfile::all_paper_workloads()
+        .iter()
+        .map(|profile| {
+            let s = shared_results
+                .find("Shared-L2", &shared_org, profile.name)
+                .expect("shared cell");
+            let p = private_results
+                .find("Private-L2", &private_org, profile.name)
+                .expect("private cell");
+            AttemptsRow {
+                workload: profile.name.to_string(),
+                shared_l2_attempts: s.report.avg_insertion_attempts(),
+                private_l2_attempts: p.report.avg_insertion_attempts(),
+            }
+        })
+        .collect();
 
     let mut table = TextTable::new(vec![
         "workload",

@@ -5,7 +5,8 @@
 //! configuration and ocean on the Private-L2 configuration, using the
 //! selected 4×512 and 3×8192 Cuckoo organizations.
 
-use ccd_bench::{print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::sweep::cuckoo_org_label;
+use ccd_bench::{print_system_banner, write_json, RunScale, SweepCell, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_hash::HashKind;
 use ccd_workloads::WorkloadProfile;
@@ -21,15 +22,8 @@ ccd_bench::impl_to_json!(Distribution {
     percent_by_attempts
 });
 
-fn distribution(
-    label: &str,
-    system: &SystemConfig,
-    spec: &DirectorySpec,
-    profile: &WorkloadProfile,
-    scale: RunScale,
-) -> Distribution {
-    let report = simulate_workload(system, spec, profile, scale, 0xF11).expect("simulation failed");
-    let hist = &report.directory.insertion_attempts;
+fn distribution(label: &str, cell: &SweepCell) -> Distribution {
+    let hist = &cell.report.directory.insertion_attempts;
     let percent_by_attempts = (0..=hist.max_value())
         .map(|a| (a, hist.fraction(a) * 100.0))
         .filter(|&(a, pct)| a > 0 && (pct > 0.0 || a <= 8))
@@ -40,38 +34,48 @@ fn distribution(
     }
 }
 
+/// The worst-case point of one hierarchy as a single-cell sweep.
+fn worst_case_sweep(hierarchy: Hierarchy, scale: RunScale) -> SweepSpec {
+    let (ways, sets, profile) = match hierarchy {
+        Hierarchy::SharedL2 => (4usize, 512usize, WorkloadProfile::oracle()),
+        Hierarchy::PrivateL2 => (3, 8192, WorkloadProfile::ocean()),
+    };
+    SweepSpec::new(format!("Figure 11 ({hierarchy})"))
+        .system(hierarchy.to_string(), SystemConfig::table1(hierarchy))
+        .org(
+            cuckoo_org_label(ways, sets),
+            DirectorySpec::CuckooExplicit {
+                ways,
+                sets,
+                hash: HashKind::Skewing,
+            },
+        )
+        .workload(profile)
+        .scale(scale)
+        .base_seed(0xF11)
+}
+
 fn main() {
     let scale = RunScale::from_env();
     let shared = SystemConfig::table1(Hierarchy::SharedL2);
-    let private = SystemConfig::table1(Hierarchy::PrivateL2);
     print_system_banner(
         "Figure 11: worst-case insertion-attempt distributions",
         &shared,
     );
     println!();
 
-    let oracle = distribution(
-        "OLTP Oracle (Shared-L2, 4x512)",
-        &shared,
-        &DirectorySpec::CuckooExplicit {
-            ways: 4,
-            sets: 512,
-            hash: HashKind::Skewing,
-        },
-        &WorkloadProfile::oracle(),
-        scale,
-    );
-    let ocean = distribution(
-        "ocean (Private-L2, 3x8192)",
-        &private,
-        &DirectorySpec::CuckooExplicit {
-            ways: 3,
-            sets: 8192,
-            hash: HashKind::Skewing,
-        },
-        &WorkloadProfile::ocean(),
-        scale,
-    );
+    let shared_results = worst_case_sweep(Hierarchy::SharedL2, scale)
+        .run()
+        .expect("simulation failed");
+    let private_results = worst_case_sweep(Hierarchy::PrivateL2, scale)
+        .run()
+        .expect("simulation failed");
+
+    // Each worst-case sweep is a single cell by construction.
+    assert_eq!(shared_results.cells.len(), 1);
+    assert_eq!(private_results.cells.len(), 1);
+    let oracle = distribution("OLTP Oracle (Shared-L2, 4x512)", &shared_results.cells[0]);
+    let ocean = distribution("ocean (Private-L2, 3x8192)", &private_results.cells[0]);
 
     for dist in [&oracle, &ocean] {
         println!("{}", dist.label);

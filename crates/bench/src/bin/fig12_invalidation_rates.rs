@@ -7,9 +7,7 @@
 //! 8× capacity, (c) a 4-way skewed-associative directory with 2× capacity,
 //! and (d) the selected Cuckoo directory (1× Shared-L2 / 1.5× Private-L2).
 
-use ccd_bench::{
-    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
-};
+use ccd_bench::{print_system_banner, write_json, RunScale, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_workloads::WorkloadProfile;
 
@@ -31,9 +29,10 @@ ccd_bench::impl_to_json!(InvalidationRow {
     cuckoo_percent
 });
 
+const ORG_LABELS: [&str; 4] = ["Sparse 2x", "Sparse 8x", "Skewed 2x", "Cuckoo"];
+
 fn main() {
     let scale = RunScale::from_env();
-    let workloads = WorkloadProfile::all_paper_workloads();
     let mut rows: Vec<InvalidationRow> = Vec::new();
 
     for hierarchy in [Hierarchy::SharedL2, Hierarchy::PrivateL2] {
@@ -43,34 +42,35 @@ fn main() {
             Hierarchy::SharedL2 => DirectorySpec::cuckoo(4, 1.0),
             Hierarchy::PrivateL2 => DirectorySpec::cuckoo(3, 1.5),
         };
-        let specs = [
-            DirectorySpec::sparse(8, 2.0),
-            DirectorySpec::sparse(8, 8.0),
-            DirectorySpec::skewed(4, 2.0),
-            cuckoo,
-        ];
 
-        // One simulation per (workload, organization), all independent.
-        let jobs: Vec<(WorkloadProfile, DirectorySpec)> = workloads
-            .iter()
-            .flat_map(|w| specs.iter().map(move |s| (w.clone(), s.clone())))
-            .collect();
-        let rates = parallel_map(jobs, |(profile, spec)| {
-            simulate_workload(&system, spec, profile, scale, 0xF12)
-                .expect("simulation failed")
-                .forced_invalidation_rate()
-                * 100.0
-        });
+        let results = SweepSpec::new(format!("Figure 12 ({hierarchy})"))
+            .system(hierarchy.to_string(), system)
+            .org(ORG_LABELS[0], DirectorySpec::sparse(8, 2.0))
+            .org(ORG_LABELS[1], DirectorySpec::sparse(8, 8.0))
+            .org(ORG_LABELS[2], DirectorySpec::skewed(4, 2.0))
+            .org(ORG_LABELS[3], cuckoo)
+            .workloads(WorkloadProfile::all_paper_workloads())
+            .scale(scale)
+            .base_seed(0xF12)
+            .run()
+            .expect("simulation failed");
 
-        for (w_idx, workload) in workloads.iter().enumerate() {
-            let base = w_idx * specs.len();
+        for workload in WorkloadProfile::all_paper_workloads() {
+            let rate = |org: &str| {
+                results
+                    .find(&hierarchy.to_string(), org, workload.name)
+                    .expect("sweep covers the full cross product")
+                    .report
+                    .forced_invalidation_rate()
+                    * 100.0
+            };
             rows.push(InvalidationRow {
                 configuration: hierarchy.to_string(),
                 workload: workload.name.to_string(),
-                sparse_2x_percent: rates[base],
-                sparse_8x_percent: rates[base + 1],
-                skewed_2x_percent: rates[base + 2],
-                cuckoo_percent: rates[base + 3],
+                sparse_2x_percent: rate(ORG_LABELS[0]),
+                sparse_8x_percent: rate(ORG_LABELS[1]),
+                skewed_2x_percent: rate(ORG_LABELS[2]),
+                cuckoo_percent: rate(ORG_LABELS[3]),
             });
         }
     }

@@ -1,7 +1,7 @@
 //! Figure 13 — analytical power and area comparison of directory
 //! organizations for 16–1024 cores, Shared-L2 and Private-L2.
 
-use ccd_bench::{write_json, TextTable};
+use ccd_bench::{write_json, ParallelRunner, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 
 #[derive(Debug)]
@@ -22,18 +22,16 @@ ccd_bench::impl_to_json!(Series {
 
 fn sweep(hierarchy: &str, model: &EnergyModel, orgs: &[DirOrg]) -> Vec<Series> {
     let cores = EnergyModel::paper_core_counts();
-    orgs.iter()
-        .map(|org| {
-            let points = model.sweep(org, &cores);
-            Series {
-                hierarchy: hierarchy.to_string(),
-                organization: org.label(),
-                cores: cores.clone(),
-                energy_percent: points.iter().map(|p| p.energy_relative * 100.0).collect(),
-                area_percent: points.iter().map(|p| p.area_relative * 100.0).collect(),
-            }
-        })
-        .collect()
+    ParallelRunner::from_env().map(orgs, |org| {
+        let points = model.sweep(org, &cores);
+        Series {
+            hierarchy: hierarchy.to_string(),
+            organization: org.label(),
+            cores: cores.clone(),
+            energy_percent: points.iter().map(|p| p.energy_relative * 100.0).collect(),
+            area_percent: points.iter().map(|p| p.area_relative * 100.0).collect(),
+        }
+    })
 }
 
 fn print_panel(title: &str, series: &[Series], energy: bool) {

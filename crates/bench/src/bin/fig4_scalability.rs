@@ -6,7 +6,7 @@
 //! analytical model; the same sweep with the Private-L2 model is part of
 //! the Figure 13 binary.
 
-use ccd_bench::{write_json, TextTable};
+use ccd_bench::{write_json, ParallelRunner, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 
 #[derive(Debug)]
@@ -30,18 +30,15 @@ fn main() {
     let model = EnergyModel::shared_l2();
     let cores = EnergyModel::paper_core_counts();
 
-    let series: Vec<Fig4Series> = DirOrg::figure4_set()
-        .iter()
-        .map(|org| {
-            let points = model.sweep(org, &cores);
-            Fig4Series {
-                organization: org.label(),
-                cores: cores.clone(),
-                energy_percent: points.iter().map(|p| p.energy_relative * 100.0).collect(),
-                area_percent: points.iter().map(|p| p.area_relative * 100.0).collect(),
-            }
-        })
-        .collect();
+    let series: Vec<Fig4Series> = ParallelRunner::from_env().map(&DirOrg::figure4_set(), |org| {
+        let points = model.sweep(org, &cores);
+        Fig4Series {
+            organization: org.label(),
+            cores: cores.clone(),
+            energy_percent: points.iter().map(|p| p.energy_relative * 100.0).collect(),
+            area_percent: points.iter().map(|p| p.area_relative * 100.0).collect(),
+        }
+    });
 
     for (title, energy) in [
         ("Energy (% of a 1MB L2 tag lookup)", true),

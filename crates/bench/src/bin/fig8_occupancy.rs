@@ -7,9 +7,7 @@
 //! over-provisioning while the Private-L2 configuration needs ~1.5×
 //! (Section 5.2).
 
-use ccd_bench::{
-    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
-};
+use ccd_bench::{print_system_banner, write_json, RunScale, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_workloads::WorkloadProfile;
 
@@ -25,23 +23,13 @@ ccd_bench::impl_to_json!(OccupancyRow {
     private_l2_occupancy
 });
 
-fn measure(system: &SystemConfig, profile: &WorkloadProfile, scale: RunScale) -> f64 {
-    // Use an amply provisioned (2x) Cuckoo directory so no forced evictions
-    // perturb the measurement, then rescale the reported occupancy to the
-    // worst-case (1x) capacity.
-    let spec = DirectorySpec::cuckoo(4, 2.0);
-    let report = simulate_workload(
-        system,
-        &spec,
-        profile,
-        scale,
-        0x0CC + profile.name.len() as u64,
-    )
-    .expect("simulation failed");
+/// Rescales a reported occupancy (relative to the amply provisioned 2x
+/// measurement directory) to the worst-case 1x capacity.
+fn rescale(system: &SystemConfig, occupancy: f64) -> f64 {
     let capacity_per_slice = 4.0
         * ((system.tracked_frames_per_slice() as f64 * 2.0 / 4.0).ceil() as usize)
             .next_power_of_two() as f64;
-    report.avg_directory_occupancy * capacity_per_slice / system.tracked_frames_per_slice() as f64
+    occupancy * capacity_per_slice / system.tracked_frames_per_slice() as f64
 }
 
 fn main() {
@@ -52,12 +40,34 @@ fn main() {
     print_system_banner("", &private);
     println!();
 
-    let workloads = WorkloadProfile::all_paper_workloads();
-    let rows: Vec<OccupancyRow> = parallel_map(workloads, |profile| OccupancyRow {
-        workload: profile.name.to_string(),
-        shared_l2_occupancy: measure(&shared, profile, scale),
-        private_l2_occupancy: measure(&private, profile, scale),
-    });
+    // An amply provisioned (2x) Cuckoo directory, so no forced evictions
+    // perturb the measurement; the occupancy is rescaled to 1x below.
+    let results = SweepSpec::new("Figure 8 occupancy")
+        .system("Shared-L2", shared.clone())
+        .system("Private-L2", private.clone())
+        .org("Cuckoo 2x", DirectorySpec::cuckoo(4, 2.0))
+        .workloads(WorkloadProfile::all_paper_workloads())
+        .scale(scale)
+        .base_seed(0x0CC)
+        .run()
+        .expect("simulation failed");
+
+    let rows: Vec<OccupancyRow> = WorkloadProfile::all_paper_workloads()
+        .iter()
+        .map(|profile| {
+            let s = results
+                .find("Shared-L2", "Cuckoo 2x", profile.name)
+                .expect("shared cell");
+            let p = results
+                .find("Private-L2", "Cuckoo 2x", profile.name)
+                .expect("private cell");
+            OccupancyRow {
+                workload: profile.name.to_string(),
+                shared_l2_occupancy: rescale(&shared, s.report.avg_directory_occupancy),
+                private_l2_occupancy: rescale(&private, p.report.avg_directory_occupancy),
+            }
+        })
+        .collect();
 
     let mut table = TextTable::new(vec![
         "workload",

@@ -4,14 +4,13 @@
 //! Sweeps the same under- to over-provisioned Cuckoo organizations the paper
 //! evaluates for the Shared-L2 and Private-L2 configurations, averaging the
 //! insertion attempts and forced-invalidation rates over the full workload
-//! suite.
+//! suite.  The sweep itself is the declarative [`fig9_sweep`] spec, fanned
+//! across threads by the engine's parallel runner (`CCD_WORKERS=1` forces a
+//! serial run with byte-identical output).
 
-use ccd_bench::{
-    parallel_map, print_system_banner, simulate_workload, write_json, RunScale, TextTable,
-};
-use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
-use ccd_hash::HashKind;
-use ccd_workloads::WorkloadProfile;
+use ccd_bench::sweep::{cuckoo_org_label, fig9_organizations};
+use ccd_bench::{fig9_sweep, print_system_banner, write_json, RunScale, TextTable};
+use ccd_coherence::{Hierarchy, SystemConfig};
 
 #[derive(Debug)]
 struct ProvisioningRow {
@@ -29,61 +28,27 @@ ccd_bench::impl_to_json!(ProvisioningRow {
     forced_invalidation_rate_percent
 });
 
-/// The per-slice organizations of Figure 9: (ways, sets, provisioning label).
-fn organizations(hierarchy: Hierarchy) -> Vec<(usize, usize, &'static str)> {
-    match hierarchy {
-        Hierarchy::SharedL2 => vec![
-            (4, 1024, "2x"),
-            (3, 1024, "1.5x"),
-            (4, 512, "1x"),
-            (3, 512, "3/4x"),
-            (4, 256, "1/2x"),
-            (3, 256, "3/8x"),
-        ],
-        Hierarchy::PrivateL2 => vec![
-            (4, 8192, "2x"),
-            (3, 8192, "1.5x"),
-            (8, 2048, "1x"),
-            (3, 4096, "3/4x"),
-            (8, 1024, "1/2x"),
-            (3, 2048, "3/8x"),
-        ],
-    }
-}
-
 fn main() {
     let scale = RunScale::from_env();
-    let workloads = WorkloadProfile::all_paper_workloads();
     let mut rows = Vec::new();
 
     for hierarchy in [Hierarchy::SharedL2, Hierarchy::PrivateL2] {
         let system = SystemConfig::table1(hierarchy);
         print_system_banner("Figure 9: Cuckoo provisioning sweep", &system);
 
-        for (ways, sets, label) in organizations(hierarchy) {
-            let spec = DirectorySpec::CuckooExplicit {
-                ways,
-                sets,
-                hash: HashKind::Skewing,
-            };
-            let reports = parallel_map(workloads.clone(), |profile| {
-                simulate_workload(&system, &spec, profile, scale, 0xF19 + ways as u64)
-                    .expect("simulation failed")
-            });
-            let attempts: f64 = reports
-                .iter()
-                .map(|r| r.avg_insertion_attempts())
-                .sum::<f64>()
-                / reports.len() as f64;
-            let invalidation_rate: f64 = reports
-                .iter()
-                .map(|r| r.forced_invalidation_rate())
-                .sum::<f64>()
-                / reports.len() as f64;
+        let results = fig9_sweep(hierarchy, scale)
+            .run()
+            .expect("simulation failed");
+        for &(ways, sets, provisioning) in fig9_organizations(hierarchy) {
+            let org_label = cuckoo_org_label(ways, sets);
+            let attempts =
+                results.mean_where(|c| c.org == org_label, |r| r.avg_insertion_attempts());
+            let invalidation_rate =
+                results.mean_where(|c| c.org == org_label, |r| r.forced_invalidation_rate());
             rows.push(ProvisioningRow {
                 configuration: hierarchy.to_string(),
                 organization: format!("{ways} x {sets}"),
-                provisioning: label.to_string(),
+                provisioning: provisioning.to_string(),
                 avg_insertion_attempts: attempts,
                 forced_invalidation_rate_percent: invalidation_rate * 100.0,
             });

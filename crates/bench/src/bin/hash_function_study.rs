@@ -9,7 +9,7 @@
 //!    configuration where the paper observed strong hashes eliminating the
 //!    residual forced invalidations.
 
-use ccd_bench::{print_system_banner, simulate_workload, write_json, RunScale, TextTable};
+use ccd_bench::{print_system_banner, write_json, ParallelRunner, RunScale, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
@@ -67,15 +67,16 @@ fn table_study(kind: HashKind, target: f64) -> TableStudyRow {
 
 fn main() {
     let scale = RunScale::from_env();
+    let runner = ParallelRunner::from_env();
     println!("== Section 5.5: hash-function selection ==\n");
 
-    // Part 1: raw table behaviour.
-    let mut raw_rows = Vec::new();
-    for kind in HashKind::all() {
-        for target in [0.5, 0.75, 0.9] {
-            raw_rows.push(table_study(kind, target));
-        }
-    }
+    // Part 1: raw table behaviour — one characterization per (hash, target)
+    // grid point, fanned across the runner's workers.
+    let grid: Vec<(HashKind, f64)> = HashKind::all()
+        .into_iter()
+        .flat_map(|kind| [0.5, 0.75, 0.9].map(|target| (kind, target)))
+        .collect();
+    let raw_rows = runner.map(&grid, |&(kind, target)| table_study(kind, target));
     let mut table = TextTable::new(vec![
         "hash family",
         "fill target",
@@ -92,26 +93,37 @@ fn main() {
     }
     table.print();
 
-    // Part 2: ocean on the Private-L2 system at 1.5x provisioning.
+    // Part 2: ocean on the Private-L2 system at 1.5x provisioning, as a
+    // two-organization sweep (one org per hash family).
     let system = SystemConfig::table1(Hierarchy::PrivateL2);
     println!();
     print_system_banner("ocean, Cuckoo 1.5x, skewing vs strong hashes", &system);
-    let mut sim_rows = Vec::new();
+    let mut sim_sweep = SweepSpec::new("Section 5.5 hash study")
+        .system("Private-L2", system)
+        .workload(WorkloadProfile::ocean())
+        .scale(scale)
+        .base_seed(0x0CEA);
     for kind in [HashKind::Skewing, HashKind::Strong] {
-        let spec = DirectorySpec::Cuckoo {
-            ways: 3,
-            provisioning: 1.5,
-            hash: kind,
-        };
-        let report = simulate_workload(&system, &spec, &WorkloadProfile::ocean(), scale, 0x0CEA)
-            .expect("simulation failed");
-        sim_rows.push(SimStudyRow {
-            hash: kind.to_string(),
-            workload: "ocean".to_string(),
-            forced_invalidation_percent: report.forced_invalidation_rate() * 100.0,
-            avg_attempts: report.avg_insertion_attempts(),
-        });
+        sim_sweep = sim_sweep.org(
+            kind.to_string(),
+            DirectorySpec::Cuckoo {
+                ways: 3,
+                provisioning: 1.5,
+                hash: kind,
+            },
+        );
     }
+    let sim_results = sim_sweep.run_with(&runner).expect("simulation failed");
+    let sim_rows: Vec<SimStudyRow> = sim_results
+        .cells
+        .iter()
+        .map(|cell| SimStudyRow {
+            hash: cell.org.clone(),
+            workload: cell.workload.clone(),
+            forced_invalidation_percent: cell.report.forced_invalidation_rate() * 100.0,
+            avg_attempts: cell.report.avg_insertion_attempts(),
+        })
+        .collect();
     let mut table = TextTable::new(vec!["hash family", "forced invalidation %", "avg attempts"]);
     for r in &sim_rows {
         table.add_row(vec![

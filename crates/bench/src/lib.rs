@@ -8,9 +8,11 @@
 //! * [`RunScale`] — how many references to warm up and measure per
 //!   simulation, scaled to the tracked-cache capacity and overridable with
 //!   the `CCD_SCALE` environment variable (`quick`, `default`, `full`),
+//! * [`SweepSpec`] — declarative parameter sweeps (organizations × systems
+//!   × workloads × seeds) fanned across threads by the engine's
+//!   [`ParallelRunner`] with deterministic results,
 //! * [`simulate_workload`] — build + warm + measure one (system, directory,
 //!   workload) combination,
-//! * [`parallel_map`] — run independent simulations across threads,
 //! * [`TextTable`] — fixed-width table printing for the figure data,
 //! * [`write_json`] — persist results under `results/` for EXPERIMENTS.md.
 
@@ -18,6 +20,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod json;
+pub mod sweep;
 
 use ccd_coherence::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
 use ccd_common::ConfigError;
@@ -25,6 +28,9 @@ use ccd_workloads::{TraceGenerator, WorkloadProfile};
 use json::ToJson;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+pub use ccd_coherence::{ParallelRunner, SimJob};
+pub use sweep::{fig9_sweep, SweepCell, SweepResults, SweepSpec};
 
 impl_to_json!(WorkloadProfile {
     name,
@@ -82,10 +88,17 @@ impl RunScale {
     /// default scale.
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_env_named().0
+    }
+
+    /// Like [`RunScale::from_env`], but also returns the canonical name of
+    /// the selected scale (for result files that record how they were run).
+    #[must_use]
+    pub fn from_env_named() -> (Self, &'static str) {
         match std::env::var("CCD_SCALE").as_deref() {
-            Ok("quick") => Self::quick(),
-            Ok("full") => Self::full(),
-            _ => Self::default_scale(),
+            Ok("quick") => (Self::quick(), "quick"),
+            Ok("full") => (Self::full(), "full"),
+            _ => (Self::default_scale(), "default"),
         }
     }
 
@@ -129,42 +142,6 @@ pub fn simulate_workload(
         scale.warmup_refs(system),
         scale.measure_refs(system),
     )
-}
-
-/// Applies `f` to every item of `items`, running the invocations across
-/// `std::thread::available_parallelism()` worker threads, and returns the
-/// results in input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
-                }
-                let result = f(&items[index]);
-                *results[index].lock().unwrap() = Some(result);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every item processed"))
-        .collect()
 }
 
 /// A fixed-width text table, printed the way the figure data is reported in
@@ -279,16 +256,6 @@ mod tests {
         assert!(scale.warmup_refs(&private) > scale.warmup_refs(&shared));
         assert!(scale.measure_refs(&shared) < scale.warmup_refs(&shared));
         assert_eq!(RunScale::default(), RunScale::default_scale());
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        // Empty input is fine.
-        let empty: Vec<u64> = Vec::new();
-        assert!(parallel_map(empty, |&x: &u64| x).is_empty());
     }
 
     #[test]

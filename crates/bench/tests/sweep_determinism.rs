@@ -1,0 +1,96 @@
+//! Property test: a parallel sweep is indistinguishable from a serial one.
+//!
+//! For randomly generated sweep specifications — always spanning at least
+//! two directory organizations — the parallel runner must produce
+//! [`SimReport`]s *identical* (full structural equality, histograms and
+//! accumulated floats included) to a single-worker serial run with the same
+//! seeds.  This is the load-bearing property behind the byte-identical
+//! fig7/fig10/fig11 outputs and the CI golden files.
+
+use ccd_bench::{ParallelRunner, RunScale, SweepSpec};
+use ccd_coherence::{DirectorySpec, SystemConfig};
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_workloads::WorkloadProfile;
+
+/// The organization pool random sweeps draw from.
+fn org_pool() -> Vec<(&'static str, DirectorySpec)> {
+    vec![
+        ("Cuckoo 1x", DirectorySpec::cuckoo(4, 1.0)),
+        ("Cuckoo 3-way 1.5x", DirectorySpec::cuckoo(3, 1.5)),
+        ("Sparse 2x", DirectorySpec::sparse(8, 2.0)),
+        ("Skewed 2x", DirectorySpec::skewed(4, 2.0)),
+        ("Duplicate-Tag", DirectorySpec::DuplicateTag),
+    ]
+}
+
+fn random_sweep(rng: &mut SplitMix64, case: usize) -> SweepSpec {
+    let orgs = org_pool();
+    let workloads = WorkloadProfile::all_paper_workloads();
+
+    // At least two organizations per sweep, random beyond that.
+    let num_orgs = 2 + (rng.next_u64() % (orgs.len() as u64 - 1)) as usize;
+    let first_org = (rng.next_u64() % orgs.len() as u64) as usize;
+    let num_workloads = 1 + (rng.next_u64() % 3) as usize;
+    let first_workload = (rng.next_u64() % workloads.len() as u64) as usize;
+    let num_seeds = 1 + (rng.next_u64() % 3) as usize;
+
+    let mut sweep = SweepSpec::new(format!("property case {case}"))
+        .system("Shared-L2 (small)", SystemConfig::shared_l2(4))
+        .seeds((0..num_seeds as u64).map(|i| rng.next_u64() ^ i))
+        .scale(RunScale::quick())
+        .base_seed(rng.next_u64());
+    for i in 0..num_orgs {
+        let (label, spec) = &orgs[(first_org + i) % orgs.len()];
+        sweep = sweep.org(*label, spec.clone());
+    }
+    for i in 0..num_workloads {
+        sweep = sweep.workload(workloads[(first_workload + i) % workloads.len()].clone());
+    }
+    sweep
+}
+
+#[test]
+fn parallel_sweeps_reproduce_serial_reports_exactly() {
+    let mut rng = SplitMix64::new(0x5EED_CA5E);
+    for case in 0..6 {
+        let sweep = random_sweep(&mut rng, case);
+        assert!(sweep.orgs.len() >= 2, "property requires ≥ 2 organizations");
+
+        let serial = sweep
+            .run_with(&ParallelRunner::serial())
+            .expect("serial run");
+        let parallel = sweep
+            .run_with(&ParallelRunner::with_workers(8))
+            .expect("parallel run");
+
+        assert_eq!(serial.cells.len(), sweep.len(), "case {case}");
+        assert_eq!(serial.cells.len(), parallel.cells.len(), "case {case}");
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                (&s.system, &s.org, &s.workload, s.seed, s.trace_seed),
+                (&p.system, &p.org, &p.workload, p.seed, p.trace_seed),
+                "cell keys must line up in axis order (case {case})"
+            );
+            // Full structural equality: every counter, histogram bucket and
+            // accumulated float — not just summary statistics.
+            assert_eq!(
+                s.report, p.report,
+                "case {case}: {}/{}/{} seed {}",
+                s.system, s.org, s.workload, s.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn rerunning_the_same_sweep_is_reproducible_across_runner_shapes() {
+    // The same spec re-run with a different (but >1) worker count must also
+    // match — scheduling is not allowed to leak into results.
+    let mut rng = SplitMix64::new(7);
+    let sweep = random_sweep(&mut rng, 99);
+    let two = sweep.run_with(&ParallelRunner::with_workers(2)).unwrap();
+    let many = sweep.run_with(&ParallelRunner::with_workers(16)).unwrap();
+    for (a, b) in two.cells.iter().zip(&many.cells) {
+        assert_eq!(a.report, b.report);
+    }
+}

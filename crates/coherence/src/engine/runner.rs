@@ -1,0 +1,326 @@
+//! Deterministic parallel execution of independent simulations.
+
+use crate::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
+use ccd_common::ConfigError;
+use ccd_workloads::{TraceGenerator, WorkloadProfile};
+
+use super::SimStats;
+
+/// One fully-described simulation: build the system, warm it up on a
+/// deterministic trace, measure, report.
+///
+/// A job is a pure value — running it twice, on any thread, produces the
+/// same [`SimReport`].  That property is what lets the
+/// [`ParallelRunner`] fan jobs out without affecting results.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// The simulated CMP.
+    pub system: SystemConfig,
+    /// The directory organization under test.
+    pub spec: DirectorySpec,
+    /// The workload driving the trace generator.
+    pub profile: WorkloadProfile,
+    /// Trace-generator seed.
+    pub seed: u64,
+    /// References to process before statistics are reset.
+    pub warmup_refs: u64,
+    /// References to measure after the reset.
+    pub measure_refs: u64,
+}
+
+impl SimJob {
+    /// Returns a copy of the job with a different trace seed — the
+    /// per-replica variation axis.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Self {
+        SimJob {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Checks that the job can be built, without running it: validates the
+    /// system configuration and constructs one trial directory slice.
+    /// Cheap relative to a simulation, so batch runners can reject a bad
+    /// sweep before spending any simulation wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// The error [`SimJob::run`] would eventually surface.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.system.validate()?;
+        self.spec.build_slice(&self.system).map(drop)
+    }
+
+    /// Runs the job to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; see [`CmpSimulator::new`].
+    pub fn run(&self) -> Result<SimReport, ConfigError> {
+        let (organization, stats) = self.run_stats()?;
+        Ok(stats.report(organization))
+    }
+
+    /// Runs the job and returns its organization label plus the raw,
+    /// mergeable statistics snapshot (used by replica reductions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; see [`CmpSimulator::new`].
+    pub fn run_stats(&self) -> Result<(String, SimStats), ConfigError> {
+        let mut sim = CmpSimulator::new(self.system.clone(), &self.spec)?;
+        let mut trace = TraceGenerator::new(self.profile.clone(), self.system.num_cores, self.seed);
+        sim.run(&mut trace, self.warmup_refs);
+        sim.reset_stats();
+        sim.run(&mut trace, self.measure_refs);
+        Ok((sim.organization().to_string(), sim.stats()))
+    }
+}
+
+/// Fans independent work items across `std::thread::scope` workers with
+/// deterministic, order-independent result collection.
+///
+/// Three properties make every run reproducible:
+///
+/// 1. each item is processed by a pure function of the item alone (no
+///    shared mutable state),
+/// 2. results are stored by *input index*, never by completion order,
+/// 3. reductions ([`ParallelRunner::run_replicas`]) fold the indexed
+///    results in input order — which is what makes the floating-point
+///    accumulators inside [`SimStats`] bit-exactly reproducible (float
+///    addition is not associative; the integer counters would be
+///    order-independent on their own).
+///
+/// A runner with one worker executes inline on the calling thread, so
+/// `CCD_WORKERS=1` gives a genuinely serial run for A/B comparisons; the
+/// outputs must be (and are, see the determinism tests) byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelRunner {
+    workers: usize,
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelRunner {
+    /// A runner with one worker per available hardware thread.
+    #[must_use]
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        ParallelRunner { workers }
+    }
+
+    /// A runner with exactly `workers` workers (clamped to at least one).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-worker runner: everything executes inline, in input order,
+    /// on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::with_workers(1)
+    }
+
+    /// Reads the worker count from the `CCD_WORKERS` environment variable
+    /// (`1` forces a serial run); defaults to [`ParallelRunner::new`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("CCD_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) => Self::with_workers(n),
+            None => Self::new(),
+        }
+    }
+
+    /// Number of worker threads the runner fans out to.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when the runner executes inline without spawning threads.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// With more than one worker the items are claimed dynamically (an
+    /// atomic cursor) so long and short jobs load-balance; the output order
+    /// is the input order regardless.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.is_serial() || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let workers = self.workers.min(items.len());
+        let results: Vec<std::sync::Mutex<Option<R>>> =
+            items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    let result = f(&items[index]);
+                    *results[index].lock().unwrap() = Some(result);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every item processed"))
+            .collect()
+    }
+
+    /// Runs every job, returning reports in job order.
+    ///
+    /// Every job is [validated](SimJob::validate) up front, so a
+    /// mis-configured cell fails the whole batch *before* any simulation
+    /// wall-clock is spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in job order) construction error, if any.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Result<Vec<SimReport>, ConfigError> {
+        for job in jobs {
+            job.validate()?;
+        }
+        self.map(jobs, SimJob::run).into_iter().collect()
+    }
+
+    /// Runs `job` once per seed and reduces the per-replica statistics into
+    /// one aggregate report.
+    ///
+    /// The reduction folds the indexed results in seed order — a fixed
+    /// order regardless of worker scheduling, so even the floating-point
+    /// accumulators come out bit-identical on every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error, if any.  With an empty seed
+    /// list the job's own seed is used (one replica).
+    pub fn run_replicas(&self, job: &SimJob, seeds: &[u64]) -> Result<SimReport, ConfigError> {
+        job.validate()?;
+        let own = [job.seed];
+        let seeds = if seeds.is_empty() { &own[..] } else { seeds };
+        let results: Vec<_> = self.map(seeds, |&seed| job.with_seed(seed).run_stats());
+        let mut merged = SimStats::new();
+        let mut organization = String::new();
+        for result in results {
+            let (label, stats) = result?;
+            organization = label;
+            merged.merge(&stats);
+        }
+        Ok(merged.report(organization))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hierarchy;
+
+    fn quick_job() -> SimJob {
+        SimJob {
+            system: SystemConfig::shared_l2(4),
+            spec: DirectorySpec::cuckoo(4, 1.0),
+            profile: WorkloadProfile::apache(),
+            seed: 7,
+            warmup_refs: 5_000,
+            measure_refs: 5_000,
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 7, 64] {
+            let runner = ParallelRunner::with_workers(workers);
+            assert_eq!(
+                runner.map(&items, |&x| x * 3),
+                expected,
+                "{workers} workers"
+            );
+        }
+        assert!(ParallelRunner::serial().is_serial());
+        assert!(ParallelRunner::serial()
+            .map(&Vec::<u64>::new(), |&x| x)
+            .is_empty());
+    }
+
+    #[test]
+    fn jobs_produce_identical_reports_serially_and_in_parallel() {
+        let jobs: Vec<SimJob> = (0..4).map(|i| quick_job().with_seed(i)).collect();
+        let serial = ParallelRunner::serial().run_jobs(&jobs).unwrap();
+        let parallel = ParallelRunner::with_workers(4).run_jobs(&jobs).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.refs_processed, p.refs_processed);
+            assert_eq!(s.cache_misses, p.cache_misses);
+            assert_eq!(s.directory.insertions.get(), p.directory.insertions.get());
+            assert!((s.avg_directory_occupancy - p.avg_directory_occupancy).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn replica_reduction_is_schedule_independent() {
+        let job = quick_job();
+        let seeds = [1u64, 2, 3, 4, 5];
+        let serial = ParallelRunner::serial().run_replicas(&job, &seeds).unwrap();
+        let parallel = ParallelRunner::with_workers(5)
+            .run_replicas(&job, &seeds)
+            .unwrap();
+        assert_eq!(serial.refs_processed, 5 * job.measure_refs);
+        assert_eq!(serial.refs_processed, parallel.refs_processed);
+        assert_eq!(serial.cache_accesses, parallel.cache_accesses);
+        assert_eq!(
+            serial.directory.insertion_attempts,
+            parallel.directory.insertion_attempts
+        );
+        assert!((serial.avg_directory_occupancy - parallel.avg_directory_occupancy).abs() == 0.0);
+        assert_eq!(serial.organization, "Cuckoo 1x (4-way)");
+    }
+
+    #[test]
+    fn bad_jobs_surface_their_config_errors() {
+        let mut job = quick_job();
+        job.system = SystemConfig::shared_l2(3); // not a power of two
+        assert!(ParallelRunner::new().run_jobs(&[job.clone()]).is_err());
+        assert!(ParallelRunner::new().run_replicas(&job, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn private_l2_jobs_run_too() {
+        let mut job = quick_job();
+        job.system = SystemConfig {
+            num_cores: 4,
+            ..SystemConfig::shared_l2(4)
+        }
+        .with_hierarchy(Hierarchy::PrivateL2);
+        let report = job.run().unwrap();
+        assert_eq!(report.refs_processed, job.measure_refs);
+    }
+}

@@ -20,6 +20,26 @@
 //! handed the *slice-local* line (block number with the slice bits divided
 //! out) so that intra-slice indexing is not aliased by the interleaving.
 //!
+//! # Engine architecture
+//!
+//! The simulator is a thin composition of three explicit layers (the
+//! [`engine`] module):
+//!
+//! * [`engine::TileCaches`] — the per-core private caches plus the
+//!   core→cache routing of the hierarchy;
+//! * [`engine::DirectoryComplex`] — the directory slices plus the
+//!   global↔slice-local line interleaving;
+//! * [`engine::StatsPipeline`] — the protocol counters, assembled into a
+//!   mergeable [`engine::SimStats`] snapshot (integer counters merge
+//!   order-independently; float accumulators rely on the runner's fixed
+//!   input-order fold for bit-exact reproducibility).
+//!
+//! Independent simulations — sweep points and per-seed workload replicas —
+//! are described as pure [`engine::SimJob`] values and fanned across
+//! threads by [`engine::ParallelRunner`], whose results are collected by
+//! input index and reduced in input order, so a parallel sweep is
+//! byte-identical to a serial one.
+//!
 //! # Example
 //!
 //! ```
@@ -42,11 +62,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod engine;
 pub mod report;
 pub mod simulator;
 pub mod spec;
 
 pub use config::{Hierarchy, SystemConfig};
+pub use engine::{ParallelRunner, SimJob, SimStats};
 pub use report::SimReport;
 pub use simulator::CmpSimulator;
 pub use spec::DirectorySpec;

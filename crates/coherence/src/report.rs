@@ -9,7 +9,7 @@ use ccd_directory::DirectoryStats;
 /// [`SimReport::avg_directory_occupancy`] (Figure 8),
 /// [`SimReport::avg_insertion_attempts`] (Figures 9–11) and
 /// [`SimReport::forced_invalidation_rate`] (Figures 9 and 12).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Label of the directory organization simulated.
     pub organization: String,

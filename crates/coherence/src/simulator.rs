@@ -1,13 +1,10 @@
-//! The tiled-CMP simulator proper.
+//! The tiled-CMP simulator proper: a thin composition of the engine layers.
 
-use crate::{DirectorySpec, Hierarchy, SimReport, SystemConfig};
-use ccd_cache::{AccessOutcome, Cache, CoherenceState};
-use ccd_common::stats::{Counter, MeanAccumulator};
-use ccd_common::{AccessType, BlockGeometry, CacheId, ConfigError, CoreId, LineAddr, MemRef};
-use ccd_directory::{Directory, DirectoryOp, DirectoryStats, Outcome};
-
-/// How often (in processed references) the directory occupancy is sampled.
-const OCCUPANCY_SAMPLE_INTERVAL: u64 = 8_192;
+use crate::engine::{DirectoryComplex, SimStats, StatsPipeline, TileCaches};
+use crate::{DirectorySpec, SimReport, SystemConfig};
+use ccd_cache::{AccessOutcome, CoherenceState};
+use ccd_common::{CacheId, ConfigError, LineAddr, MemRef};
+use ccd_directory::{DirectoryOp, Outcome};
 
 /// How many upcoming references [`CmpSimulator::run`] pulls from the trace
 /// at a time: each window's home-slice directory lines are prefetched before
@@ -19,30 +16,29 @@ const RUN_PREFETCH_WINDOW: usize = 8;
 /// A functional, trace-driven simulator of the paper's tiled CMP.
 ///
 /// See the crate-level documentation for the modelled protocol.  The
-/// simulator owns one private cache per tracked cache (two L1s per core in
-/// the Shared-L2 hierarchy, one private L2 per core in Private-L2) and one
-/// directory slice per tile.
+/// simulator composes the three engine layers — [`TileCaches`] for the
+/// private caches, [`DirectoryComplex`] for the distributed directory and
+/// [`StatsPipeline`] for the protocol counters — and implements the
+/// coherence protocol that ties them together.  It is `Send`, so whole
+/// simulations can be constructed on one thread and driven on another (the
+/// [`engine::ParallelRunner`](crate::engine::ParallelRunner) relies on
+/// this).
 pub struct CmpSimulator {
     system: SystemConfig,
-    label: String,
-    geom: BlockGeometry,
-    caches: Vec<Cache>,
-    slices: Vec<Box<dyn Directory>>,
+    tiles: TileCaches,
+    directory: DirectoryComplex,
+    stats: StatsPipeline,
     /// Reusable op-outcome buffer: the per-reference protocol sequence
     /// performs no heap allocation once its capacity is warmed up.
     outcome: Outcome,
-    refs_processed: u64,
-    occupancy_samples: MeanAccumulator,
-    coherence_invalidations: Counter,
-    forced_invalidations: Counter,
 }
 
 impl std::fmt::Debug for CmpSimulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CmpSimulator")
             .field("system", &self.system)
-            .field("organization", &self.label)
-            .field("refs_processed", &self.refs_processed)
+            .field("organization", &self.directory.organization())
+            .field("refs_processed", &self.stats.refs_processed())
             .finish_non_exhaustive()
     }
 }
@@ -57,24 +53,15 @@ impl CmpSimulator {
     /// geometry, or the directory specification.
     pub fn new(system: SystemConfig, spec: &DirectorySpec) -> Result<Self, ConfigError> {
         system.validate()?;
-        let tracked_cache = system.tracked_cache();
-        let caches = (0..system.num_private_caches())
-            .map(|_| Cache::new(tracked_cache))
-            .collect::<Result<Vec<_>, _>>()?;
-        let slices = (0..system.num_slices())
-            .map(|_| spec.build_slice(&system))
-            .collect::<Result<Vec<_>, _>>()?;
+        let tiles = TileCaches::new(&system)?;
+        let directory = DirectoryComplex::new(&system, spec)?;
+        let stats = StatsPipeline::new(system.occupancy_sample_interval);
         Ok(CmpSimulator {
-            geom: system.block,
-            label: spec.label(),
             system,
-            caches,
-            slices,
+            tiles,
+            directory,
+            stats,
             outcome: Outcome::new(),
-            refs_processed: 0,
-            occupancy_samples: MeanAccumulator::new(),
-            coherence_invalidations: Counter::new(),
-            forced_invalidations: Counter::new(),
         })
     }
 
@@ -84,57 +71,34 @@ impl CmpSimulator {
         &self.system
     }
 
+    /// The private-cache layer.
+    #[must_use]
+    pub fn tiles(&self) -> &TileCaches {
+        &self.tiles
+    }
+
+    /// The directory layer.
+    #[must_use]
+    pub fn directory(&self) -> &DirectoryComplex {
+        &self.directory
+    }
+
     /// The label of the directory organization under test.
     #[must_use]
     pub fn organization(&self) -> &str {
-        &self.label
+        self.directory.organization()
     }
 
     /// Number of references processed since the last statistics reset.
     #[must_use]
     pub fn refs_processed(&self) -> u64 {
-        self.refs_processed
+        self.stats.refs_processed()
     }
 
     /// Current mean directory occupancy across all slices.
     #[must_use]
     pub fn current_occupancy(&self) -> f64 {
-        let sum: f64 = self.slices.iter().map(|s| s.occupancy()).sum();
-        sum / self.slices.len() as f64
-    }
-
-    /// Which private cache services an access of `kind` issued by `core`.
-    fn cache_for(&self, core: CoreId, kind: AccessType) -> CacheId {
-        match self.system.hierarchy {
-            Hierarchy::SharedL2 => {
-                let base = 2 * core.raw();
-                if kind.is_instruction() {
-                    CacheId::new(base)
-                } else {
-                    CacheId::new(base + 1)
-                }
-            }
-            Hierarchy::PrivateL2 => CacheId::new(core.raw()),
-        }
-    }
-
-    /// Splits a global line address into its home slice and the slice-local
-    /// line handed to that slice's directory.
-    fn home_of(&self, line: LineAddr) -> (usize, LineAddr) {
-        let slices = self.system.num_slices() as u64;
-        let block = line.block_number();
-        (
-            (block % slices) as usize,
-            LineAddr::from_block_number(block / slices),
-        )
-    }
-
-    /// Reconstructs the global line address from a slice index and the
-    /// slice-local line reported by that slice.
-    fn global_line(&self, slice: usize, local: LineAddr) -> LineAddr {
-        LineAddr::from_block_number(
-            local.block_number() * self.system.num_slices() as u64 + slice as u64,
-        )
+        self.directory.occupancy()
     }
 
     /// Applies the cache-side effects of a directory update: coherence
@@ -142,18 +106,15 @@ impl CmpSimulator {
     /// whose directory entries were evicted.
     fn apply_update(&mut self, slice: usize, line: LineAddr, out: &Outcome) {
         for &target in out.invalidate() {
-            if self.caches[target.index()].invalidate(line).is_some() {
-                self.coherence_invalidations.incr();
+            if self.tiles.invalidate(target, line) {
+                self.stats.record_coherence_invalidation();
             }
         }
         for eviction in out.forced_evictions() {
-            let victim_line = self.global_line(slice, eviction.line);
+            let victim_line = self.directory.global_line(slice, eviction.line);
             for &target in eviction.targets {
-                if self.caches[target.index()]
-                    .invalidate(victim_line)
-                    .is_some()
-                {
-                    self.forced_invalidations.incr();
+                if self.tiles.invalidate(target, victim_line) {
+                    self.stats.record_forced_invalidation();
                 }
             }
         }
@@ -163,7 +124,7 @@ impl CmpSimulator {
     /// buffer and applies the resulting invalidations to the caches.
     fn dispatch(&mut self, slice: usize, line: LineAddr, op: DirectoryOp) {
         let mut out = std::mem::take(&mut self.outcome);
-        self.slices[slice].apply(op, &mut out);
+        self.directory.apply(slice, op, &mut out);
         self.apply_update(slice, line, &out);
         self.outcome = out;
     }
@@ -179,12 +140,13 @@ impl CmpSimulator {
         requester: CacheId,
     ) {
         let mut out = std::mem::take(&mut self.outcome);
-        self.slices[slice].apply(DirectoryOp::Probe { line: local }, &mut out);
+        self.directory
+            .apply(slice, DirectoryOp::Probe { line: local }, &mut out);
         for &sharer in out.sharers() {
             if sharer != requester
-                && self.caches[sharer.index()].state_of(line) == Some(CoherenceState::Modified)
+                && self.tiles.state_of(sharer, line) == Some(CoherenceState::Modified)
             {
-                self.caches[sharer.index()].downgrade(line);
+                self.tiles.downgrade(sharer, line);
             }
         }
         self.outcome = out;
@@ -192,20 +154,14 @@ impl CmpSimulator {
 
     /// Processes one memory reference.
     pub fn process(&mut self, mem_ref: MemRef) {
-        let line = self.geom.line_of(mem_ref.addr);
-        let cache_id = self.cache_for(mem_ref.core, mem_ref.kind);
+        let line = self.system.block.line_of(mem_ref.addr);
+        let cache_id = self.tiles.cache_for(mem_ref.core, mem_ref.kind);
         let is_write = mem_ref.kind.is_write();
 
-        let outcome = if is_write {
-            self.caches[cache_id.index()].access_write(line)
-        } else {
-            self.caches[cache_id.index()].access_read(line)
-        };
-
-        match outcome {
+        match self.tiles.access(cache_id, line, is_write) {
             AccessOutcome::Hit => {}
             AccessOutcome::UpgradeMiss => {
-                let (slice, local) = self.home_of(line);
+                let (slice, local) = self.directory.home_of(line);
                 self.dispatch(
                     slice,
                     line,
@@ -218,7 +174,7 @@ impl CmpSimulator {
             AccessOutcome::Miss { victim } => {
                 // Tell the victim's home slice the block left this cache.
                 if let Some(evicted) = victim {
-                    let (vslice, vlocal) = self.home_of(evicted.line);
+                    let (vslice, vlocal) = self.directory.home_of(evicted.line);
                     self.dispatch(
                         vslice,
                         evicted.line,
@@ -228,7 +184,7 @@ impl CmpSimulator {
                         },
                     );
                 }
-                let (slice, local) = self.home_of(line);
+                let (slice, local) = self.directory.home_of(line);
                 let op = if is_write {
                     DirectoryOp::SetExclusive {
                         line: local,
@@ -245,13 +201,9 @@ impl CmpSimulator {
             }
         }
 
-        self.refs_processed += 1;
-        if self
-            .refs_processed
-            .is_multiple_of(OCCUPANCY_SAMPLE_INTERVAL)
-        {
-            let occupancy = self.current_occupancy();
-            self.occupancy_samples.record(occupancy);
+        if self.stats.retire_reference() {
+            let occupancy = self.directory.occupancy();
+            self.stats.record_occupancy(occupancy);
         }
     }
 
@@ -260,11 +212,11 @@ impl CmpSimulator {
     ///
     /// References are pulled in windows of [`RUN_PREFETCH_WINDOW`]: the home
     /// slice of every reference in the window is asked to
-    /// [prefetch](Directory::prefetch_line) its candidate directory
-    /// locations before the window is processed, so the directory probes of
-    /// independent references overlap their cache misses.  Processing order
-    /// and semantics are identical to calling [`CmpSimulator::process`] in a
-    /// loop.
+    /// [prefetch](ccd_directory::Directory::prefetch_line) its candidate
+    /// directory locations before the window is processed, so the directory
+    /// probes of independent references overlap their cache misses.
+    /// Processing order and semantics are identical to calling
+    /// [`CmpSimulator::process`] in a loop.
     pub fn run<I>(&mut self, trace: &mut I, count: u64)
     where
         I: Iterator<Item = MemRef>,
@@ -291,9 +243,8 @@ impl CmpSimulator {
                 }
             }
             for r in window.iter().take(filled).flatten() {
-                let line = self.geom.line_of(r.addr);
-                let (slice, local) = self.home_of(line);
-                self.slices[slice].prefetch_line(local);
+                let line = self.system.block.line_of(r.addr);
+                self.directory.prefetch(line);
             }
             for r in window.iter().take(filled) {
                 self.process(r.expect("filled window entries are present"));
@@ -306,43 +257,30 @@ impl CmpSimulator {
     /// keeping cache and directory *contents* — i.e. the end-of-warm-up
     /// reset of the paper's methodology.
     pub fn reset_stats(&mut self) {
-        for slice in &mut self.slices {
-            slice.reset_stats();
+        self.directory.reset_stats();
+        self.tiles.reset_stats();
+        self.stats.reset();
+    }
+
+    /// A mergeable snapshot of every statistic of the measured interval.
+    ///
+    /// When no periodic occupancy sample has been taken yet (short runs),
+    /// the current occupancy is recorded as a single synthetic sample so
+    /// the snapshot — and any aggregate merged from it — still reports a
+    /// meaningful occupancy.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut stats = self.stats.collect(&self.tiles, &self.directory);
+        if stats.occupancy_samples.count() == 0 {
+            stats.occupancy_samples.record(self.directory.occupancy());
         }
-        for cache in &mut self.caches {
-            cache.reset_stats();
-        }
-        self.refs_processed = 0;
-        self.occupancy_samples = MeanAccumulator::new();
-        self.coherence_invalidations.reset();
-        self.forced_invalidations.reset();
+        stats
     }
 
     /// Produces the aggregated report for the measured interval.
     #[must_use]
     pub fn report(&self) -> SimReport {
-        let mut directory = DirectoryStats::new();
-        for slice in &self.slices {
-            directory.merge(slice.stats());
-        }
-        let (accesses, misses) = self.caches.iter().fold((0u64, 0u64), |(a, m), c| {
-            (a + c.stats().accesses.get(), m + c.stats().misses.get())
-        });
-        let avg_occupancy = if self.occupancy_samples.count() > 0 {
-            self.occupancy_samples.mean()
-        } else {
-            self.current_occupancy()
-        };
-        SimReport {
-            organization: self.label.clone(),
-            refs_processed: self.refs_processed,
-            directory,
-            avg_directory_occupancy: avg_occupancy,
-            cache_accesses: accesses,
-            cache_misses: misses,
-            coherence_invalidations: self.coherence_invalidations.get(),
-            forced_invalidations: self.forced_invalidations.get(),
-        }
+        self.stats().report(self.directory.organization())
     }
 
     /// Convenience wrapper: builds a simulator, warms it up and measures.
@@ -371,7 +309,8 @@ impl CmpSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccd_common::Address;
+    use crate::Hierarchy;
+    use ccd_common::{Address, BlockGeometry, CoreId};
     use ccd_workloads::{TraceGenerator, WorkloadProfile};
 
     fn small_shared_system() -> SystemConfig {
@@ -381,6 +320,7 @@ mod tests {
             l1: ccd_cache::CacheConfig::new(64, 2, 64),
             private_l2: ccd_cache::CacheConfig::new(256, 4, 64),
             block: BlockGeometry::new(64),
+            ..SystemConfig::shared_l2(4)
         }
     }
 
@@ -399,6 +339,17 @@ mod tests {
         bad.num_cores = 3;
         assert!(CmpSimulator::new(bad, &DirectorySpec::cuckoo(4, 1.0)).is_err());
         assert!(CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(1, 1.0)).is_err());
+        let unsampled = small_shared_system().with_occupancy_sample_interval(0);
+        assert!(CmpSimulator::new(unsampled, &DirectorySpec::cuckoo(4, 1.0)).is_err());
+    }
+
+    #[test]
+    fn simulators_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CmpSimulator>();
+        let sim = CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        let handle = std::thread::spawn(move || sim.current_occupancy());
+        assert_eq!(handle.join().unwrap(), 0.0);
     }
 
     #[test]
@@ -472,9 +423,8 @@ mod tests {
         for block in 0..1000u64 {
             sim.process(read(0, block));
         }
-        let total_dir_entries: usize = (0..sim.slices.len()).map(|i| sim.slices[i].len()).sum();
         // Only the 4 resident blocks of core 0's D-cache are tracked.
-        assert_eq!(total_dir_entries, 4);
+        assert_eq!(sim.directory().total_entries(), 4);
         let report = sim.report();
         assert_eq!(report.forced_invalidations, 0);
         assert!(report.directory.sharer_removes.get() > 900);
@@ -569,6 +519,30 @@ mod tests {
         assert!(
             report.cache_miss_rate() > 0.9,
             "cold cache: almost all misses"
+        );
+    }
+
+    #[test]
+    fn custom_sample_intervals_take_effect() {
+        // With a 16-reference interval a 64-reference run takes 4 periodic
+        // samples; with the 8192 default it takes none (and the report falls
+        // back to a single synthetic end-state sample).
+        let system = small_shared_system().with_occupancy_sample_interval(16);
+        let mut sim = CmpSimulator::new(system, &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        for block in 0..64u64 {
+            sim.process(read(0, block));
+        }
+        assert_eq!(sim.stats().occupancy_samples.count(), 4);
+
+        let mut default_sim =
+            CmpSimulator::new(small_shared_system(), &DirectorySpec::cuckoo(4, 1.0)).unwrap();
+        for block in 0..64u64 {
+            default_sim.process(read(0, block));
+        }
+        assert_eq!(
+            default_sim.stats().occupancy_samples.count(),
+            1,
+            "synthetic end-state sample only"
         );
     }
 }

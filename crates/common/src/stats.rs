@@ -47,6 +47,12 @@ impl Counter {
         self.0 = 0;
     }
 
+    /// Merges another counter into this one (saturating), so per-worker
+    /// counters can be reduced into one aggregate regardless of merge order.
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+
     /// Returns this count as a fraction of `denom`, or 0 when `denom` is 0.
     #[must_use]
     pub fn fraction_of(self, denom: u64) -> f64 {
@@ -386,6 +392,86 @@ mod tests {
         c.add(u64::MAX);
         c.incr();
         assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_merge_is_order_independent_and_saturates() {
+        let mut a = Counter::new();
+        let mut b = Counter::new();
+        a.add(7);
+        b.add(35);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab.get(), 42);
+        assert_eq!(ab, ba, "merge must commute");
+
+        // Merging an untouched counter is the identity.
+        let empty = Counter::new();
+        ab.merge(&empty);
+        assert_eq!(ab.get(), 42);
+        let mut from_empty = Counter::new();
+        from_empty.merge(&ab);
+        assert_eq!(from_empty.get(), 42);
+
+        // Overflow-adjacent: sums past u64::MAX saturate instead of wrapping.
+        let mut near_max = Counter::new();
+        near_max.add(u64::MAX - 1);
+        let mut two = Counter::new();
+        two.add(2);
+        near_max.merge(&two);
+        assert_eq!(near_max.get(), u64::MAX);
+        near_max.merge(&two);
+        assert_eq!(near_max.get(), u64::MAX, "saturated counters stay put");
+    }
+
+    #[test]
+    fn mean_accumulator_merge_empty_and_extreme_cases() {
+        // empty ← empty stays empty (no spurious min/max/count).
+        let mut empty = MeanAccumulator::new();
+        empty.merge(&MeanAccumulator::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+
+        // empty ← populated adopts the other side's samples exactly.
+        let mut filled = MeanAccumulator::new();
+        filled.record(2.0);
+        filled.record(4.0);
+        let mut target = MeanAccumulator::new();
+        target.merge(&filled);
+        assert_eq!(target.count(), 2);
+        assert!((target.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(target.min(), Some(2.0));
+        assert_eq!(target.max(), Some(4.0));
+
+        // Merge commutes: (a ⊎ b) == (b ⊎ a) on all observable fields.
+        let mut a = MeanAccumulator::new();
+        a.record(-1.0);
+        a.record(5.0);
+        let mut b = MeanAccumulator::new();
+        b.record(0.25);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        assert_eq!(ab.min(), Some(-1.0));
+        assert_eq!(ab.max(), Some(5.0));
+
+        // Overflow-adjacent sample magnitudes survive the merge as f64s.
+        let mut huge = MeanAccumulator::new();
+        huge.record(f64::MAX / 2.0);
+        let mut other = MeanAccumulator::new();
+        other.record(f64::MAX / 2.0);
+        huge.merge(&other);
+        assert!(huge.mean().is_finite());
+        assert!((huge.mean() - f64::MAX / 2.0).abs() < f64::MAX * 1e-10);
     }
 
     #[test]

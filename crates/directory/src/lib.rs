@@ -526,7 +526,12 @@ pub fn sharer_view(dir: &dyn Directory, line: LineAddr) -> Option<SharerView<'_>
 /// provide the allocation-free [`Directory::apply`] entry point plus pure
 /// queries; the legacy per-operation methods are default shims over
 /// `apply`.
-pub trait Directory {
+///
+/// `Send` is a supertrait: every organization is plain owned data, so built
+/// slices (and the simulators composed from them) can be constructed on one
+/// thread and driven on another — the property the parallel sweep runner in
+/// `ccd-coherence` relies on.
+pub trait Directory: Send {
     /// Human-readable name of the organization (e.g. `"sparse-8x256"`).
     fn organization(&self) -> String;
 
@@ -725,6 +730,19 @@ mod tests {
         let dir =
             SparseDirectory::<ccd_sharers::FullBitVector>::new(4, 16, 8).expect("valid geometry");
         assert_object_safe(&dir);
+    }
+
+    #[test]
+    fn built_directories_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn Directory>();
+        assert_send::<Box<dyn Directory>>();
+        // A built slice really can cross a thread boundary.
+        let dir: Box<dyn Directory> = Box::new(
+            SparseDirectory::<ccd_sharers::FullBitVector>::new(4, 16, 8).expect("valid geometry"),
+        );
+        let handle = std::thread::spawn(move || dir.capacity());
+        assert_eq!(handle.join().unwrap(), 64);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use ccd_common::stats::{Counter, Histogram, MeanAccumulator, RateEstimator};
 pub const MAX_TRACKED_ATTEMPTS: usize = 32;
 
 /// Statistics accumulated by a directory slice.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DirectoryStats {
     /// Lookups performed (reads of the directory, including the implicit
     /// lookup preceding every insertion).

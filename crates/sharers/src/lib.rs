@@ -67,7 +67,7 @@ use std::fmt::Debug;
 /// [`SharerSet::invalidation_targets`] may over-approximate but never
 /// under-approximate the set of caches that were [`SharerSet::add`]ed and
 /// not since [`SharerSet::remove`]d.
-pub trait SharerSet: Clone + Debug {
+pub trait SharerSet: Clone + Debug + Send {
     /// Creates an empty sharer set sized for `num_caches` private caches,
     /// using the representation's default parameters.
     fn new(num_caches: usize) -> Self;

@@ -20,6 +20,8 @@
 //!   nine paper workloads,
 //! * [`TraceGenerator`] — an infinite iterator of [`MemRef`]s implementing
 //!   the two-region (shared/private) access model,
+//! * [`TraceFamily`] — a splittable family of independent per-seed replica
+//!   streams for parallel sweeps,
 //! * [`zipf::ZipfSampler`] — the locality model,
 //! * [`random_stream::RandomKeyStream`] — unique uniformly random keys for
 //!   the pure cuckoo-hash characterization of Figure 7.
@@ -44,7 +46,7 @@ pub mod profiles;
 pub mod random_stream;
 pub mod zipf;
 
-pub use generator::TraceGenerator;
+pub use generator::{derive_seed, TraceFamily, TraceGenerator};
 pub use profiles::{WorkloadCategory, WorkloadProfile};
 pub use random_stream::RandomKeyStream;
 pub use zipf::ZipfSampler;

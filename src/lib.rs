@@ -99,7 +99,10 @@ pub use ccd_workloads as workloads;
 /// backs [`DirectorySpec::Custom`](ccd_coherence::DirectorySpec::Custom).
 pub mod prelude {
     pub use ccd_cache::{Cache, CacheConfig};
-    pub use ccd_coherence::{CmpSimulator, DirectorySpec, Hierarchy, SimReport, SystemConfig};
+    pub use ccd_coherence::{
+        CmpSimulator, DirectorySpec, Hierarchy, ParallelRunner, SimJob, SimReport, SimStats,
+        SystemConfig,
+    };
     pub use ccd_common::{Address, BlockGeometry, CacheId, CoreId, LineAddr, MemRef};
     pub use ccd_cuckoo::{standard_registry, CuckooConfig, CuckooDirectory, CuckooTable};
     pub use ccd_directory::{
@@ -111,7 +114,7 @@ pub mod prelude {
     pub use ccd_sharers::{
         CoarseVector, FullBitVector, HierarchicalVector, SharerFormat, SharerSet,
     };
-    pub use ccd_workloads::{TraceGenerator, WorkloadProfile};
+    pub use ccd_workloads::{TraceFamily, TraceGenerator, WorkloadProfile};
 }
 
 #[cfg(test)]
