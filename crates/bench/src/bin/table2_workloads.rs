@@ -2,7 +2,7 @@
 //!
 //! Prints the synthetic stand-ins for the paper's workload suite: the
 //! footprint and access-mix parameters each generator is calibrated to
-//! (see `ccd-workloads` and DESIGN.md for the substitution rationale).
+//! (see `ccd-workloads` and ARCHITECTURE.md for the substitution rationale).
 
 use ccd_bench::{write_json, TextTable};
 use ccd_workloads::WorkloadProfile;

@@ -1,0 +1,96 @@
+//! Replays a recorded `CCDT` trace against a directory organization.
+//!
+//! ```text
+//! trace_replay <trace.ccdt> [--org SPEC] [--hierarchy shared|private] [--warmup N]
+//! ```
+//!
+//! The system is sized from the trace header's core count; `--org` takes
+//! either a paper label shortcut (`cuckoo`, `sparse`, `skewed`) or any
+//! `ccd-directory` spec string (`"sharded4:cuckoo-4x512-skew"`).  The first
+//! `--warmup` references only warm the caches; the rest are measured.
+//! Replaying the same file twice produces byte-identical reports.
+
+use ccd_coherence::{DirectorySpec, Hierarchy, SimJob, SystemConfig};
+use ccd_workloads::{TraceReader, WorkloadSpec};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: trace_replay <trace.ccdt> [--org SPEC] [--hierarchy shared|private] [--warmup N]";
+
+fn org_spec(name: &str) -> Result<DirectorySpec, String> {
+    match name {
+        "cuckoo" => Ok(DirectorySpec::cuckoo(4, 1.0)),
+        "sparse" => Ok(DirectorySpec::sparse(8, 2.0)),
+        "skewed" => Ok(DirectorySpec::skewed(4, 2.0)),
+        custom => DirectorySpec::custom(custom).map_err(|e| e.to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut org = DirectorySpec::cuckoo(4, 1.0);
+    let mut hierarchy = Hierarchy::SharedL2;
+    let mut warmup = 0u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--org" => org = org_spec(&flag_value("--org")?)?,
+            "--hierarchy" => {
+                hierarchy = match flag_value("--hierarchy")?.as_str() {
+                    "shared" => Hierarchy::SharedL2,
+                    "private" => Hierarchy::PrivateL2,
+                    other => return Err(format!("unknown hierarchy `{other}`\n{USAGE}")),
+                }
+            }
+            "--warmup" => {
+                warmup = flag_value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [path] = positional.try_into().map_err(|_| USAGE.to_string())?;
+
+    let header = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let cores = header.num_cores() as usize;
+    let total = header.record_count();
+    if warmup >= total {
+        return Err(format!(
+            "--warmup {warmup} consumes the whole trace ({total} records)"
+        ));
+    }
+
+    let job = SimJob {
+        system: SystemConfig::shared_l2(cores).with_hierarchy(hierarchy),
+        spec: org,
+        workload: WorkloadSpec::replay(&path),
+        seed: 0, // ignored by replays
+        warmup_refs: warmup,
+        measure_refs: total - warmup,
+    };
+    let report = job.run().map_err(|e| e.to_string())?;
+
+    println!("== replayed {path}: {total} refs ({cores} cores, {warmup} warm-up) ==",);
+    println!("   organization: {}", report.organization);
+    println!("{}", report.summary());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! micro-benchmarks.
 //!
 //! Every table and figure of the paper's evaluation has a corresponding
-//! binary in this crate (see DESIGN.md §4 for the index).  All binaries
+//! binary in this crate (see the READMEs reproducing-the-figures walkthrough for the index).  All binaries
 //! share the plumbing here:
 //!
 //! * [`RunScale`] — how many references to warm up and measure per

@@ -5,7 +5,7 @@
 //! every figure binary used to hand-roll its own loop over them.
 //! [`SweepSpec`] expresses the sweep as *data*: the cross product of the
 //! axes becomes a list of pure [`SimJob`]s, the
-//! [`ParallelRunner`](ccd_coherence::ParallelRunner) fans them across
+//! [`ParallelRunner`] fans them across
 //! worker threads, and the results come back as [`SweepCell`]s tagged with
 //! their axis labels, in axis order, regardless of scheduling.
 //!
@@ -40,7 +40,7 @@ use crate::RunScale;
 use ccd_coherence::{DirectorySpec, ParallelRunner, SimJob, SimReport, SystemConfig};
 use ccd_common::ConfigError;
 use ccd_hash::HashKind;
-use ccd_workloads::{derive_seed, WorkloadProfile};
+use ccd_workloads::{derive_seed, WorkloadProfile, WorkloadSpec};
 
 /// Default [`SweepSpec::base_seed`].
 pub const DEFAULT_BASE_SEED: u64 = 0xCCD5;
@@ -58,8 +58,9 @@ pub struct SweepSpec {
     pub systems: Vec<(String, SystemConfig)>,
     /// Labelled directory organizations.
     pub orgs: Vec<(String, DirectorySpec)>,
-    /// Workload profiles (labelled by their own names).
-    pub workloads: Vec<WorkloadProfile>,
+    /// Workloads — paper profiles, scenario specs, or trace replays —
+    /// labelled by their own [`WorkloadSpec::label`]s.
+    pub workloads: Vec<WorkloadSpec>,
     /// Seed-axis values (replicas per cell).  Defaults to `[0]`.
     pub seeds: Vec<u64>,
     /// Warm-up/measure scale applied to every point.
@@ -106,18 +107,34 @@ impl SweepSpec {
         self
     }
 
-    /// Adds one workload profile.
+    /// Adds one workload: a [`WorkloadProfile`], a parsed
+    /// [`ScenarioSpec`](ccd_workloads::ScenarioSpec), or any
+    /// [`WorkloadSpec`].
     #[must_use]
-    pub fn workload(mut self, profile: WorkloadProfile) -> Self {
-        self.workloads.push(profile);
+    pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
+        self.workloads.push(workload.into());
         self
     }
 
-    /// Adds many workload profiles.
+    /// Adds many workloads (see [`SweepSpec::workload`]).
     #[must_use]
-    pub fn workloads(mut self, profiles: impl IntoIterator<Item = WorkloadProfile>) -> Self {
-        self.workloads.extend(profiles);
+    pub fn workloads<W: Into<WorkloadSpec>>(
+        mut self,
+        workloads: impl IntoIterator<Item = W>,
+    ) -> Self {
+        self.workloads.extend(workloads.into_iter().map(Into::into));
         self
+    }
+
+    /// Adds one workload parsed from a spec string (paper profile name,
+    /// scenario spec, or `replay:<path>`; see
+    /// [`WorkloadSpec`]).
+    ///
+    /// # Errors
+    ///
+    /// The parse error, naming the offending input.
+    pub fn workload_str(self, spec: &str) -> Result<Self, ConfigError> {
+        Ok(self.workload(spec.parse::<WorkloadSpec>()?))
     }
 
     /// Replaces the seed axis (replicas per cell).
@@ -174,18 +191,18 @@ impl SweepSpec {
             let warmup_refs = self.scale.warmup_refs(system);
             let measure_refs = self.scale.measure_refs(system);
             for (org_label, spec) in &self.orgs {
-                for (wi, profile) in self.workloads.iter().enumerate() {
+                for (wi, workload) in self.workloads.iter().enumerate() {
                     for &seed in &self.seeds {
                         let key = CellKey {
                             system: system_label.clone(),
                             org: org_label.clone(),
-                            workload: profile.name.to_string(),
+                            workload: workload.label(),
                             seed,
                         };
                         let job = SimJob {
                             system: system.clone(),
                             spec: spec.clone(),
-                            profile: profile.clone(),
+                            workload: workload.clone(),
                             seed: self.trace_seed(si, wi, seed),
                             warmup_refs,
                             measure_refs,
@@ -443,6 +460,29 @@ mod tests {
         let rate = results.mean_where(|c| c.org == "Cuckoo 1x", |r| r.forced_invalidation_rate());
         assert!(rate < 0.05, "{rate}");
         assert_eq!(results.mean_where(|_| false, |r| r.cache_miss_rate()), 0.0);
+    }
+
+    #[test]
+    fn scenario_workloads_ride_the_workload_axis() {
+        let results = SweepSpec::new("scenarios")
+            .system("Shared-L2", SystemConfig::shared_l2(4))
+            .org("Cuckoo 1x", DirectorySpec::cuckoo(4, 1.0))
+            .workload_str("migratory-b256")
+            .unwrap()
+            .workload_str("oracle")
+            .unwrap()
+            .scale(RunScale::quick())
+            .run_with(&ParallelRunner::new())
+            .unwrap();
+        assert_eq!(results.cells.len(), 2);
+        let migratory = results
+            .find("Shared-L2", "Cuckoo 1x", "migratory-b256")
+            .expect("scenario cell labelled by its spec string");
+        assert!(migratory.report.refs_processed > 0);
+        assert!(results.find("Shared-L2", "Cuckoo 1x", "Oracle").is_some());
+
+        // Parse errors surface before any simulation runs.
+        assert!(SweepSpec::new("bad").workload_str("martian-b2").is_err());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Record→replay fidelity and scenario-sweep determinism.
+//!
+//! The contract the workload subsystem makes: a recorded trace replayed
+//! through the simulator produces a `SimReport` **byte-identical** to the
+//! live generation it was recorded from — serially, in parallel, and when
+//! the replay rides the sweep harness's workload axis.
+
+use ccd_bench::{ParallelRunner, RunScale, SweepSpec};
+use ccd_coherence::{DirectorySpec, SimJob, SystemConfig};
+use ccd_workloads::{record_trace, WorkloadSpec};
+use std::path::PathBuf;
+
+fn temp_trace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ccd-scenario-replay-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn live_job(workload: &str, spec: DirectorySpec) -> SimJob {
+    SimJob {
+        system: SystemConfig::shared_l2(4),
+        spec,
+        workload: workload.parse().expect("valid workload spec"),
+        seed: 0xFEED,
+        warmup_refs: 20_000,
+        measure_refs: 20_000,
+    }
+}
+
+/// Records the exact reference window a job consumes and returns the
+/// replay twin of the job.
+fn record_twin(job: &SimJob, file: &str) -> SimJob {
+    let path = temp_trace(file);
+    let stream = job
+        .workload
+        .stream(job.system.num_cores, job.seed)
+        .expect("live stream builds");
+    let written = record_trace(
+        &path,
+        job.system.num_cores as u32,
+        stream,
+        job.warmup_refs + job.measure_refs,
+    )
+    .expect("recording succeeds");
+    assert_eq!(written, job.warmup_refs + job.measure_refs);
+    SimJob {
+        workload: WorkloadSpec::replay(path.to_string_lossy()),
+        ..job.clone()
+    }
+}
+
+#[test]
+fn replayed_traces_reproduce_live_reports_byte_identically() {
+    // One scenario family and one paper profile, across two organizations:
+    // the recording must be a perfect stand-in for the generator.
+    for (workload, file) in [
+        ("migratory-b512-zipf0.8", "migratory.ccdt"),
+        ("oracle", "oracle.ccdt"),
+    ] {
+        for spec in [DirectorySpec::cuckoo(4, 1.0), DirectorySpec::sparse(8, 2.0)] {
+            let live = live_job(workload, spec);
+            let replay = record_twin(&live, file);
+
+            let live_report = live.run().expect("live job runs");
+
+            // Serial and parallel replay runs are both byte-identical to
+            // the live generation (SimReport's derived PartialEq covers
+            // every counter, histogram bucket and float bit).
+            let serial = ParallelRunner::serial()
+                .run_jobs(std::slice::from_ref(&replay))
+                .expect("serial replay runs");
+            let parallel = ParallelRunner::with_workers(4)
+                .run_jobs(&[replay.clone(), replay.clone()])
+                .expect("parallel replay runs");
+            assert_eq!(serial[0], live_report, "{workload}: serial replay");
+            assert_eq!(parallel[0], live_report, "{workload}: parallel replay");
+            assert_eq!(parallel[1], live_report, "{workload}: replay is repeatable");
+        }
+    }
+}
+
+#[test]
+fn replay_rides_the_sweep_workload_axis() {
+    // Record one migratory window, then cross the *same* trace with two
+    // organizations through the sweep harness: both cells replay the
+    // identical stream, so their reference counts match exactly and the
+    // run is schedule-independent.  The recording must cover the sweep's
+    // full warm-up + measure window — SimJob::validate rejects shorter
+    // recordings rather than truncating (asserted below).
+    let system = SystemConfig::shared_l2(4);
+    let scale = RunScale::quick();
+    let sweep_refs = scale.warmup_refs(&system) + scale.measure_refs(&system);
+    let mut probe = live_job("migratory-b512", DirectorySpec::cuckoo(4, 1.0));
+    probe.warmup_refs = scale.warmup_refs(&system);
+    probe.measure_refs = scale.measure_refs(&system);
+    let twin = record_twin(&probe, "sweep-axis.ccdt");
+    let path = match &twin.workload {
+        WorkloadSpec::Replay { path } => path.clone(),
+        other => panic!("expected replay twin, got {other:?}"),
+    };
+
+    // A job demanding more references than the recording holds fails
+    // validation up front instead of silently truncating its measurement.
+    let mut short = twin.clone();
+    short.measure_refs = sweep_refs; // total now exceeds the recording
+    assert!(short.validate().is_err(), "short recordings are rejected");
+
+    let sweep = SweepSpec::new("replay sweep")
+        .system("Shared-L2", system)
+        .org("Cuckoo 1x", DirectorySpec::cuckoo(4, 1.0))
+        .org("Sparse 2x", DirectorySpec::sparse(8, 2.0))
+        .workload_str(&format!("replay:{path}"))
+        .expect("replay spec parses")
+        .scale(RunScale::quick());
+
+    let serial = sweep.run_with(&ParallelRunner::serial()).expect("serial");
+    let parallel = sweep
+        .run_with(&ParallelRunner::with_workers(8))
+        .expect("parallel");
+    assert_eq!(serial.cells.len(), 2);
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(s.report, p.report, "schedule independence");
+        assert_eq!(s.workload, format!("replay:{path}"), "axis label");
+    }
+    // Both organizations consumed the identical recorded stream.
+    assert_eq!(
+        serial.cells[0].report.refs_processed,
+        serial.cells[1].report.refs_processed
+    );
+}
+
+#[test]
+fn scenario_sweeps_are_schedule_independent() {
+    let sweep = SweepSpec::new("scenario determinism")
+        .system("Shared-L2", SystemConfig::shared_l2(4))
+        .org("Cuckoo 1x", DirectorySpec::cuckoo(4, 1.0))
+        .org("Skewed 2x", DirectorySpec::skewed(4, 2.0))
+        .workload_str("readmostly-b1024")
+        .unwrap()
+        .workload_str("prodcons-b256-e32")
+        .unwrap()
+        .workload_str("falseshare")
+        .unwrap()
+        .workload_str("stream-b2048")
+        .unwrap()
+        .seeds([0, 1])
+        .scale(RunScale::quick());
+
+    let serial = sweep.run_with(&ParallelRunner::serial()).expect("serial");
+    let parallel = sweep
+        .run_with(&ParallelRunner::with_workers(8))
+        .expect("parallel");
+    assert_eq!(serial.cells.len(), 2 * 4 * 2);
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(s.org, p.org);
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.trace_seed, p.trace_seed);
+        assert_eq!(s.report, p.report, "{}/{}", s.org, s.workload);
+    }
+    // Competing organizations stay trace-paired on the scenario axis too.
+    for cell in &serial.cells {
+        let twin = serial
+            .cells
+            .iter()
+            .find(|c| c.org != cell.org && c.workload == cell.workload && c.seed == cell.seed)
+            .expect("other org at the same point");
+        assert_eq!(cell.trace_seed, twin.trace_seed);
+    }
+}

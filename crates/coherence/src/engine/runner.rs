@@ -2,7 +2,7 @@
 
 use crate::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
 use ccd_common::ConfigError;
-use ccd_workloads::{TraceGenerator, WorkloadProfile};
+use ccd_workloads::WorkloadSpec;
 
 use super::SimStats;
 
@@ -11,16 +11,20 @@ use super::SimStats;
 ///
 /// A job is a pure value — running it twice, on any thread, produces the
 /// same [`SimReport`].  That property is what lets the
-/// [`ParallelRunner`] fan jobs out without affecting results.
+/// [`ParallelRunner`] fan jobs out without affecting results.  The
+/// workload axis is a [`WorkloadSpec`], so a job can drive the system with
+/// a calibrated paper profile, any parameterized scenario family, or a
+/// recorded trace replayed bit-identically.
 #[derive(Clone, Debug)]
 pub struct SimJob {
     /// The simulated CMP.
     pub system: SystemConfig,
     /// The directory organization under test.
     pub spec: DirectorySpec,
-    /// The workload driving the trace generator.
-    pub profile: WorkloadProfile,
-    /// Trace-generator seed.
+    /// The workload driving the reference stream (profile, scenario, or
+    /// trace replay).
+    pub workload: WorkloadSpec,
+    /// Trace-stream seed (ignored by trace replays).
     pub seed: u64,
     /// References to process before statistics are reset.
     pub warmup_refs: u64,
@@ -40,16 +44,22 @@ impl SimJob {
     }
 
     /// Checks that the job can be built, without running it: validates the
-    /// system configuration and constructs one trial directory slice.
-    /// Cheap relative to a simulation, so batch runners can reject a bad
-    /// sweep before spending any simulation wall-clock.
+    /// system configuration, constructs one trial directory slice, and
+    /// validates the workload (scenario knobs, replay-file header — and
+    /// that a replayed recording holds at least the references this job
+    /// will consume, so a short trace fails here instead of silently
+    /// truncating the measurement).  Cheap relative to a simulation, so
+    /// batch runners can reject a bad sweep before spending any simulation
+    /// wall-clock.
     ///
     /// # Errors
     ///
     /// The error [`SimJob::run`] would eventually surface.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.system.validate()?;
-        self.spec.build_slice(&self.system).map(drop)
+        self.spec.build_slice(&self.system)?;
+        self.workload
+            .validate(self.system.num_cores, self.warmup_refs + self.measure_refs)
     }
 
     /// Runs the job to completion.
@@ -70,7 +80,7 @@ impl SimJob {
     /// Propagates construction errors; see [`CmpSimulator::new`].
     pub fn run_stats(&self) -> Result<(String, SimStats), ConfigError> {
         let mut sim = CmpSimulator::new(self.system.clone(), &self.spec)?;
-        let mut trace = TraceGenerator::new(self.profile.clone(), self.system.num_cores, self.seed);
+        let mut trace = self.workload.stream(self.system.num_cores, self.seed)?;
         sim.run(&mut trace, self.warmup_refs);
         sim.reset_stats();
         sim.run(&mut trace, self.measure_refs);
@@ -246,7 +256,7 @@ mod tests {
         SimJob {
             system: SystemConfig::shared_l2(4),
             spec: DirectorySpec::cuckoo(4, 1.0),
-            profile: WorkloadProfile::apache(),
+            workload: ccd_workloads::WorkloadProfile::apache().into(),
             seed: 7,
             warmup_refs: 5_000,
             measure_refs: 5_000,
@@ -310,6 +320,30 @@ mod tests {
         job.system = SystemConfig::shared_l2(3); // not a power of two
         assert!(ParallelRunner::new().run_jobs(&[job.clone()]).is_err());
         assert!(ParallelRunner::new().run_replicas(&job, &[1, 2]).is_err());
+
+        // Workload errors are caught by up-front validation too.
+        let mut job = quick_job();
+        job.workload = WorkloadSpec::replay("/definitely/not/a/trace.ccdt");
+        assert!(job.validate().is_err());
+        assert!(ParallelRunner::new().run_jobs(&[job]).is_err());
+        let mut job = quick_job();
+        job.workload = "migratory-16c".parse().unwrap(); // pins 16, system has 4
+        assert!(job.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_workloads_drive_jobs_like_profiles() {
+        let mut job = quick_job();
+        job.workload = "falseshare-b32".parse().unwrap();
+        let report = job.run().unwrap();
+        assert_eq!(report.refs_processed, job.measure_refs);
+        assert!(
+            report.coherence_invalidations > 0,
+            "false sharing must invalidate"
+        );
+        // Scenario jobs are deterministic values like any other.
+        let again = job.run().unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

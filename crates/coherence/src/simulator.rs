@@ -11,7 +11,7 @@ use ccd_directory::{DirectoryOp, Outcome};
 /// the references are processed, overlapping the candidate-slot cache misses
 /// of independent references.  Purely a latency optimization — references
 /// are still processed one at a time, in trace order.
-const RUN_PREFETCH_WINDOW: usize = 8;
+pub const RUN_PREFETCH_WINDOW: usize = 8;
 
 /// A functional, trace-driven simulator of the paper's tiled CMP.
 ///

@@ -13,7 +13,7 @@
 //! The table stores its slots struct-of-arrays across three parallel dense
 //! arrays, all indexed `way * sets + set_index`:
 //!
-//! * `tags` — one byte per slot: [`EMPTY_TAG`] (0) for a vacant slot, or a
+//! * `tags` — one byte per slot: `EMPTY_TAG` (0) for a vacant slot, or a
 //!   7-bit key fingerprint with the high bit set for an occupied one.  The
 //!   encoding doubles as the occupancy marker, so the probe loop needs no
 //!   `Option` and a miss touches one byte per way instead of a full slot.
@@ -80,7 +80,7 @@ const SMALL_WAYS: usize = 8;
 pub const PREFETCH_WINDOW: usize = 8;
 
 /// The occupancy tag stored for `key`: a 7-bit fingerprint with the high
-/// bit set (so it can never equal [`EMPTY_TAG`]).
+/// bit set (so it can never equal `EMPTY_TAG`).
 #[inline]
 fn fingerprint(key: u64) -> u8 {
     ((key.wrapping_mul(FP_MULTIPLIER) >> 56) as u8) | 0x80

@@ -139,12 +139,12 @@ impl FromStr for DirectorySpec {
         // `shardedN:` prefix.
         let mut shards = 1usize;
         if let Some(rest) = body.strip_prefix("sharded") {
-            let (count, rest) = rest
-                .split_once(':')
-                .ok_or_else(|| Self::parse_error(input, "expected `shardedN:<spec>`"))?;
+            let (count, rest) = rest.split_once(':').ok_or_else(|| {
+                Self::parse_error(input, "expected `shardedN:<spec>` (missing `:`)")
+            })?;
             shards = count
                 .parse()
-                .map_err(|_| Self::parse_error(input, "invalid shard count"))?;
+                .map_err(|_| Self::parse_error(input, format!("invalid shard count `{count}`")))?;
             if shards == 0 {
                 return Err(ConfigError::Zero {
                     what: "shard count",
@@ -178,7 +178,26 @@ impl FromStr for DirectorySpec {
                 body.strip_prefix(alias)
                     .is_some_and(|rest| rest.starts_with('-'))
             })
-            .ok_or_else(|| Self::parse_error(input, "unknown organization"))?;
+            .ok_or_else(|| {
+                // A known organization with no geometry gets the more
+                // precise error.
+                if ORGS.iter().any(|(alias, _)| body == *alias) {
+                    Self::parse_error(
+                        input,
+                        format!("organization `{body}` is missing its `-WxS` geometry"),
+                    )
+                } else {
+                    let known: Vec<&str> = ORGS.iter().map(|(alias, _)| *alias).collect();
+                    Self::parse_error(
+                        input,
+                        format!(
+                            "unknown organization `{}` (known: {})",
+                            body.split('-').next().unwrap_or(body),
+                            known.join(", ")
+                        ),
+                    )
+                }
+            })?;
         let rest = &body[alias.len() + 1..];
 
         // Geometry, then optional `-` separated modifiers.
@@ -189,7 +208,9 @@ impl FromStr for DirectorySpec {
         let (ways, sets) = geometry
             .split_once('x')
             .and_then(|(w, s)| Some((w.parse().ok()?, s.parse().ok()?)))
-            .ok_or_else(|| Self::parse_error(input, "expected `WxS` geometry"))?;
+            .ok_or_else(|| {
+                Self::parse_error(input, format!("expected `WxS` geometry, got `{geometry}`"))
+            })?;
 
         let mut spec = DirectorySpec::new(org.to_string(), ways, sets)
             .with_sharers(sharers)
@@ -503,6 +524,39 @@ mod tests {
         assert!("sharded0:sparse-4x64".parse::<DirectorySpec>().is_err());
         assert!("shardedq:sparse-4x64".parse::<DirectorySpec>().is_err());
         assert!("sparse-4x64@martian".parse::<DirectorySpec>().is_err());
+    }
+
+    /// Every parse failure must name the offending token, not just reject
+    /// the whole string — the difference between a usable CLI error and an
+    /// afternoon of squinting.
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        let message = |input: &str| input.parse::<DirectorySpec>().unwrap_err().to_string();
+
+        let err = message("mystery-4x64");
+        assert!(err.contains("`mystery`"), "{err}");
+        assert!(err.contains("cuckoo"), "should list known orgs: {err}");
+
+        let err = message("sparse");
+        assert!(err.contains("`sparse`"), "{err}");
+        assert!(err.contains("geometry"), "{err}");
+
+        let err = message("sparse-4xq");
+        assert!(err.contains("`4xq`"), "{err}");
+
+        let err = message("sparse-4x64-bogus");
+        assert!(err.contains("`bogus`"), "{err}");
+
+        let err = message("shardedq:sparse-4x64");
+        assert!(err.contains("`q`"), "{err}");
+
+        let err = message("sparse-4x64@martian");
+        assert!(err.contains("`martian`"), "{err}");
+
+        // The full input is always quoted for context.
+        for input in ["mystery-4x64", "sparse-4xq", "sparse-4x64-bogus"] {
+            assert!(message(input).contains(input), "{input}");
+        }
     }
 
     #[test]

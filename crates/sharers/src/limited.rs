@@ -1,7 +1,7 @@
 //! Limited-pointer sharer representation.
 //!
 //! Stores up to a small fixed number of exact cache pointers per entry
-//! (Agarwal et al.'s Dir_i schemes, cited as [3] in the paper).  When more
+//! (Agarwal et al.'s Dir_i schemes, cited as \[3\] in the paper).  When more
 //! caches than pointers share a block the entry *overflows* and the
 //! representation becomes conservative: every cache is considered a
 //! potential sharer until the entry is cleared (the classic

@@ -11,8 +11,14 @@
 //! shared-data and per-core private footprints, the read/write mix and the
 //! access locality.  Those are exactly the properties that determine
 //! directory occupancy (Figure 8), insertion pressure (Figures 9–11) and
-//! forced-invalidation behaviour (Figure 12); see DESIGN.md for the
+//! forced-invalidation behaviour (Figure 12); see ARCHITECTURE.md for the
 //! substitution rationale.
+//!
+//! Beyond the paper's suite, the crate is a *library of scenarios*: named,
+//! parameterized sharing-pattern families (read-mostly, producer–consumer,
+//! migratory, false sharing, streaming scans) selectable from compact spec
+//! strings, plus a binary trace format so any synthetic run can be recorded
+//! once and replayed bit-identically.
 //!
 //! # Structure
 //!
@@ -22,6 +28,12 @@
 //!   the two-region (shared/private) access model,
 //! * [`TraceFamily`] — a splittable family of independent per-seed replica
 //!   streams for parallel sweeps,
+//! * [`scenario`] — the [`WorkloadFamily`] trait, the five classic
+//!   sharing-pattern families, and [`ScenarioSpec`] spec-string parsing,
+//! * [`WorkloadSpec`] — one runtime-selectable handle over *any* workload:
+//!   paper profile, scenario, or recorded trace,
+//! * [`trace_io`] — the compact `CCDT` record/replay format
+//!   ([`TraceWriter`] / [`TraceReader`]),
 //! * [`zipf::ZipfSampler`] — the locality model,
 //! * [`random_stream::RandomKeyStream`] — unique uniformly random keys for
 //!   the pure cuckoo-hash characterization of Figure 7.
@@ -44,11 +56,19 @@
 pub mod generator;
 pub mod profiles;
 pub mod random_stream;
+pub mod scenario;
+pub mod spec;
+pub mod trace_io;
 pub mod zipf;
 
 pub use generator::{derive_seed, TraceFamily, TraceGenerator};
 pub use profiles::{WorkloadCategory, WorkloadProfile};
 pub use random_stream::RandomKeyStream;
+pub use scenario::{
+    families, family_by_name, ScenarioParams, ScenarioSpec, TraceStream, WorkloadFamily,
+};
+pub use spec::WorkloadSpec;
+pub use trace_io::{read_trace, record_trace, TraceReader, TraceWriter};
 pub use zipf::ZipfSampler;
 
 pub use ccd_common::MemRef;

@@ -22,7 +22,7 @@
 //! | [`cuckoo`] | `ccd-cuckoo` | the d-ary Cuckoo table and the Cuckoo directory (the paper's contribution) |
 //! | [`cache`] | `ccd-cache` | set-associative private-cache models |
 //! | [`coherence`] | `ccd-coherence` | the trace-driven tiled-CMP simulator |
-//! | [`workloads`] | `ccd-workloads` | synthetic workload/trace generators |
+//! | [`workloads`] | `ccd-workloads` | workload profiles, sharing-pattern scenario families, trace record/replay |
 //! | [`energy`] | `ccd-energy` | the analytical energy/area scaling model |
 //!
 //! # The directory protocol
@@ -95,8 +95,8 @@ pub use ccd_workloads as workloads;
 ///
 /// `DirectorySpec` here is the simulator-level spec of `ccd-coherence`
 /// (provisioning factors and paper labels); the string-level geometry spec
-/// lives at [`directory::DirectorySpec`](ccd_directory::DirectorySpec) and
-/// backs [`DirectorySpec::Custom`](ccd_coherence::DirectorySpec::Custom).
+/// lives at [`directory::DirectorySpec`] and backs
+/// [`DirectorySpec::Custom`](ccd_coherence::DirectorySpec::Custom).
 pub mod prelude {
     pub use ccd_cache::{Cache, CacheConfig};
     pub use ccd_coherence::{
@@ -114,7 +114,10 @@ pub mod prelude {
     pub use ccd_sharers::{
         CoarseVector, FullBitVector, HierarchicalVector, SharerFormat, SharerSet,
     };
-    pub use ccd_workloads::{TraceFamily, TraceGenerator, WorkloadProfile};
+    pub use ccd_workloads::{
+        ScenarioSpec, TraceFamily, TraceGenerator, TraceReader, TraceWriter, WorkloadProfile,
+        WorkloadSpec,
+    };
 }
 
 #[cfg(test)]

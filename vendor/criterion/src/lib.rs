@@ -8,7 +8,7 @@
 //! while providing a simple wall-clock harness:
 //!
 //! * each benchmark is calibrated so one sample runs for roughly
-//!   [`Criterion::measure_budget`] (override with `CCD_BENCH_MS`),
+//!   `Criterion::measure_budget` (override with `CCD_BENCH_MS`),
 //! * several samples are taken and the median ns/iter is reported,
 //! * output is plain text, one line per benchmark.
 //!
