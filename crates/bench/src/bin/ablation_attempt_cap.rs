@@ -5,7 +5,7 @@
 //! entries it could have placed, while anything beyond ~16 attempts changes
 //! nothing at practical occupancies.
 
-use ccd_bench::{write_json, ParallelRunner, TextTable};
+use ccd_bench::{write_json, TextTable};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
@@ -52,7 +52,7 @@ fn main() {
         .into_iter()
         .flat_map(|target| [2u32, 4, 8, 16, 32, 64].map(|cap| (target, cap)))
         .collect();
-    let rows = ParallelRunner::from_env().map(&grid, |&(target, cap)| run(cap, target));
+    let rows = ccd_bench::runner_from_env().map(&grid, |&(target, cap)| run(cap, target));
     let mut table = TextTable::new(vec![
         "fill target",
         "attempt cap",

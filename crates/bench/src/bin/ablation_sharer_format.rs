@@ -4,7 +4,7 @@
 //! this ablation quantifies the area/energy trade-off of the four formats
 //! implemented in `ccd-sharers` at 64 and 1024 cores (Shared-L2 model).
 
-use ccd_bench::{write_json, ParallelRunner, TextTable};
+use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 use ccd_sharers::SharerFormat;
 
@@ -49,7 +49,7 @@ fn main() {
         .into_iter()
         .flat_map(|cores| SharerFormat::all().map(|format| (cores, format)))
         .collect();
-    let rows = ParallelRunner::from_env().map(&grid, |&(cores, format)| {
+    let rows = ccd_bench::runner_from_env().map(&grid, |&(cores, format)| {
         let caches = 2 * cores;
         let point = org_for(format).map(|org| model.evaluate(&org, cores));
         FormatRow {

@@ -17,7 +17,7 @@
 //! and instruction path.  Results are written to `BENCH_probe.json` in the
 //! working directory and under the usual results directory.
 
-use ccd_bench::{write_json, TextTable};
+use ccd_bench::{write_bench_json, TextTable};
 use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_cuckoo::seed_reference::AosReferenceTable;
 use ccd_cuckoo::CuckooTable;
@@ -242,9 +242,5 @@ fn main() {
         gate.speedup_scalar
     );
 
-    write_json("BENCH_probe", &rows);
-    let root_copy = ccd_bench::json::ToJson::to_json(&rows).to_pretty();
-    if let Err(e) = std::fs::write("BENCH_probe.json", root_copy) {
-        eprintln!("warning: could not write BENCH_probe.json: {e}");
-    }
+    write_bench_json("BENCH_probe", &rows);
 }

@@ -1,0 +1,194 @@
+//! `bench_service` — throughput/latency scaling of the concurrent
+//! directory service.
+//!
+//! Sweeps worker count × shard count × workload through
+//! `ccd_service::DirectoryService`: every cell streams the same
+//! deterministic load (three catalog workloads, seed-paired across all
+//! topologies) through the service and records wall-clock throughput,
+//! the merged statistics, and the FNV digest of the sequence-ordered
+//! outcome log.  Before timing anything, each (workload, shard count)
+//! pair is applied through the inline serial reference
+//! (`DirectoryService::run_serial`) and **every concurrent cell is
+//! asserted bit-identical to it** — the service's core determinism
+//! contract, exercised at benchmark scale on every run.
+//!
+//! Results land in `BENCH_service.json` at the repository root *and*
+//! under `results/` (one code path writes both).  All fields except the
+//! wall-clock ones (`seconds`, `mops_per_sec`) are deterministic, so CI
+//! golden-checks the quick-scale output with those two field names
+//! filtered out.
+
+use ccd_bench::{write_bench_json, RunScale, TextTable};
+use ccd_service::{DirectoryService, LoadSpec, ServiceConfig, ServiceReport};
+use std::time::Instant;
+
+/// Shard organization: a 16 K-entry 4-way cuckoo directory tracking 16
+/// caches; the set count divides by every shard count on the axis.
+const SPEC: &str = "cuckoo-4x4096-c16";
+const CORES: usize = 16;
+const BASE_SEED: u64 = 0x5E21;
+
+/// The workload axis: the calibrated Oracle profile plus two scenario
+/// families with very different sharing behaviour.
+const WORKLOADS: &[&str] = &["oracle", "migratory-zipf0.9", "falseshare"];
+const SHARD_AXIS: &[usize] = &[4, 16];
+const WORKER_AXIS: &[usize] = &[1, 2, 4];
+
+#[derive(Debug)]
+struct ServiceRow {
+    workload: String,
+    shards: usize,
+    workers: usize,
+    requests: u64,
+    entries: u64,
+    insertions: u64,
+    invalidations: u64,
+    forced_invalidations: u64,
+    outcome_digest: String,
+    matches_serial: bool,
+    seconds: f64,
+    mops_per_sec: f64,
+}
+ccd_bench::impl_to_json!(ServiceRow {
+    workload,
+    shards,
+    workers,
+    requests,
+    entries,
+    insertions,
+    invalidations,
+    forced_invalidations,
+    outcome_digest,
+    matches_serial,
+    seconds,
+    mops_per_sec,
+});
+
+#[derive(Debug)]
+struct ServiceBench {
+    scale: String,
+    spec: String,
+    cores: usize,
+    requests: u64,
+    rows: Vec<ServiceRow>,
+}
+ccd_bench::impl_to_json!(ServiceBench {
+    scale,
+    spec,
+    cores,
+    requests,
+    rows,
+});
+
+fn requests_for(scale_name: &str) -> u64 {
+    match scale_name {
+        "quick" => 150_000,
+        "full" => 4_000_000,
+        _ => 1_000_000,
+    }
+}
+
+fn load_for(workload: &str, index: usize, requests: u64) -> LoadSpec {
+    // Seeds derive from the workload index only, so every (shards,
+    // workers) topology — and the serial reference — streams the same
+    // trace for a given workload.
+    LoadSpec::parse(workload, CORES, BASE_SEED + index as u64, requests)
+        .expect("catalog workload parses")
+}
+
+fn run_cell(shards: usize, workers: usize, load: &LoadSpec) -> (ServiceReport, f64) {
+    let config = ServiceConfig::new(SPEC, shards, workers);
+    let service = DirectoryService::build_standard(config).expect("bench topology builds");
+    let start = Instant::now();
+    let report = service.run_load(load).expect("bench load runs");
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let (_, scale_name) = RunScale::from_env_named();
+    let requests = requests_for(scale_name);
+    println!("== BENCH_service: shard-per-worker directory service scaling ==");
+    println!(
+        "   spec {SPEC}, {CORES} cores, {requests} requests/cell, scale {scale_name}, \
+         shards x workers = {SHARD_AXIS:?} x {WORKER_AXIS:?}"
+    );
+
+    // Untimed warm-up: pay one-time process costs before the timed cells.
+    let _ = run_cell(
+        SHARD_AXIS[0],
+        *WORKER_AXIS.last().unwrap(),
+        &load_for(WORKLOADS[0], 0, requests.min(50_000)),
+    );
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    for (index, workload) in WORKLOADS.iter().enumerate() {
+        let load = load_for(workload, index, requests);
+        for &shards in SHARD_AXIS {
+            // The bit-identity reference for this (workload, shards) pair.
+            let serial = DirectoryService::build_standard(ServiceConfig::new(SPEC, shards, 1))
+                .expect("bench topology builds")
+                .run_load_serial(&load)
+                .expect("serial reference runs");
+            for &workers in WORKER_AXIS {
+                let (report, seconds) = run_cell(shards, workers, &load);
+                let matches_serial = report.semantics() == serial.semantics();
+                assert!(
+                    matches_serial,
+                    "{workload} x {shards} shards x {workers} workers diverged \
+                     from serial application"
+                );
+                rows.push(ServiceRow {
+                    workload: (*workload).to_string(),
+                    shards,
+                    workers,
+                    requests: report.requests,
+                    entries: report.entries as u64,
+                    insertions: report.stats.directory.insertions.get(),
+                    invalidations: report.stats.invalidations.get(),
+                    forced_invalidations: report.stats.forced_invalidations.get(),
+                    outcome_digest: format!("{:016x}", report.outcome_digest),
+                    matches_serial,
+                    seconds,
+                    mops_per_sec: report.requests as f64 / seconds.max(1e-9) / 1e6,
+                });
+            }
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "workload",
+        "shards",
+        "workers",
+        "Mreq/s",
+        "entries",
+        "forced inv",
+        "digest",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.workload.clone(),
+            row.shards.to_string(),
+            row.workers.to_string(),
+            format!("{:.2}", row.mops_per_sec),
+            row.entries.to_string(),
+            row.forced_invalidations.to_string(),
+            row.outcome_digest.clone(),
+        ]);
+    }
+    println!();
+    table.print();
+    println!(
+        "\nall {} cells bit-identical to serial application: {}",
+        rows.len(),
+        rows.iter().all(|r| r.matches_serial)
+    );
+
+    let bench = ServiceBench {
+        scale: scale_name.to_string(),
+        spec: SPEC.to_string(),
+        cores: CORES,
+        requests,
+        rows,
+    };
+    write_bench_json("BENCH_service", &bench);
+}

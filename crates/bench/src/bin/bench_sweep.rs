@@ -6,7 +6,7 @@
 //! produce *byte-identical* results, and records both wall-clocks in
 //! `results/BENCH_sweep.json`.
 
-use ccd_bench::{fig9_sweep, write_json, ParallelRunner, RunScale, SweepResults, TextTable};
+use ccd_bench::{fig9_sweep, write_bench_json, ParallelRunner, RunScale, SweepResults, TextTable};
 use ccd_coherence::Hierarchy;
 use std::time::Instant;
 
@@ -59,7 +59,7 @@ fn run_all(runner: &ParallelRunner, scale: RunScale) -> Vec<SweepResults> {
 
 fn main() {
     let (scale, scale_name) = RunScale::from_env_named();
-    let parallel_runner = ParallelRunner::from_env();
+    let parallel_runner = ccd_bench::runner_from_env();
     println!("== Sweep wall-clock: fig9 provisioning, serial vs parallel ==");
     println!(
         "   scale {scale_name}, parallel workers {}",
@@ -128,5 +128,5 @@ fn main() {
     println!();
     table.print();
 
-    write_json("BENCH_sweep", &bench);
+    write_bench_json("BENCH_sweep", &bench);
 }

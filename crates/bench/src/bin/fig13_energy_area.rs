@@ -1,7 +1,7 @@
 //! Figure 13 — analytical power and area comparison of directory
 //! organizations for 16–1024 cores, Shared-L2 and Private-L2.
 
-use ccd_bench::{write_json, ParallelRunner, TextTable};
+use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 
 #[derive(Debug)]
@@ -22,7 +22,7 @@ ccd_bench::impl_to_json!(Series {
 
 fn sweep(hierarchy: &str, model: &EnergyModel, orgs: &[DirOrg]) -> Vec<Series> {
     let cores = EnergyModel::paper_core_counts();
-    ParallelRunner::from_env().map(orgs, |org| {
+    ccd_bench::runner_from_env().map(orgs, |org| {
         let points = model.sweep(org, &cores);
         Series {
             hierarchy: hierarchy.to_string(),

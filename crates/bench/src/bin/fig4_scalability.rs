@@ -6,7 +6,7 @@
 //! analytical model; the same sweep with the Private-L2 model is part of
 //! the Figure 13 binary.
 
-use ccd_bench::{write_json, ParallelRunner, TextTable};
+use ccd_bench::{write_json, TextTable};
 use ccd_energy::{DirOrg, EnergyModel};
 
 #[derive(Debug)]
@@ -30,7 +30,7 @@ fn main() {
     let model = EnergyModel::shared_l2();
     let cores = EnergyModel::paper_core_counts();
 
-    let series: Vec<Fig4Series> = ParallelRunner::from_env().map(&DirOrg::figure4_set(), |org| {
+    let series: Vec<Fig4Series> = ccd_bench::runner_from_env().map(&DirOrg::figure4_set(), |org| {
         let points = model.sweep(org, &cores);
         Fig4Series {
             organization: org.label(),

@@ -6,7 +6,7 @@
 //! strong hash functions, driven with uniformly random values exactly as in
 //! Section 5.1.
 
-use ccd_bench::{write_json, ParallelRunner, TextTable};
+use ccd_bench::{write_json, TextTable};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
@@ -77,7 +77,7 @@ fn main() {
     // Each arity's characterization is independent; fan them across the
     // engine runner's workers (results stay in arity order either way).
     let arities = [2usize, 3, 4, 8];
-    let curves: Vec<Curve> = ParallelRunner::from_env().map(&arities, |&d| {
+    let curves: Vec<Curve> = ccd_bench::runner_from_env().map(&arities, |&d| {
         characterize(d, 32 * 1024 / d.next_power_of_two(), 0xC0FFEE + d as u64)
     });
 

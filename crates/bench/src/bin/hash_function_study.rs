@@ -9,7 +9,7 @@
 //!    configuration where the paper observed strong hashes eliminating the
 //!    residual forced invalidations.
 
-use ccd_bench::{print_system_banner, write_json, ParallelRunner, RunScale, SweepSpec, TextTable};
+use ccd_bench::{print_system_banner, write_json, RunScale, SweepSpec, TextTable};
 use ccd_coherence::{DirectorySpec, Hierarchy, SystemConfig};
 use ccd_cuckoo::CuckooTable;
 use ccd_hash::HashKind;
@@ -67,7 +67,7 @@ fn table_study(kind: HashKind, target: f64) -> TableStudyRow {
 
 fn main() {
     let scale = RunScale::from_env();
-    let runner = ParallelRunner::from_env();
+    let runner = ccd_bench::runner_from_env();
     println!("== Section 5.5: hash-function selection ==\n");
 
     // Part 1: raw table behaviour — one characterization per (hash, target)

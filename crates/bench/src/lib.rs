@@ -14,7 +14,9 @@
 //! * [`simulate_workload`] — build + warm + measure one (system, directory,
 //!   workload) combination,
 //! * [`TextTable`] — fixed-width table printing for the figure data,
-//! * [`write_json`] — persist results under `results/` for EXPERIMENTS.md.
+//! * [`write_json`] — persist results under `results/` for EXPERIMENTS.md,
+//! * [`write_bench_json`] — persist the headline `BENCH_*` files to the
+//!   repository root *and* `results/` from one render (CI diffs the two).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -201,6 +203,20 @@ impl TextTable {
     }
 }
 
+/// The environment-selected [`ParallelRunner`], for binaries: exits with a
+/// readable message (naming the offending `CCD_WORKERS` token) instead of
+/// a panic backtrace when the variable is invalid.
+#[must_use]
+pub fn runner_from_env() -> ParallelRunner {
+    match ParallelRunner::from_env() {
+        Ok(runner) => runner,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Directory where the figure binaries persist their JSON results.
 #[must_use]
 pub fn results_dir() -> PathBuf {
@@ -212,13 +228,35 @@ pub fn results_dir() -> PathBuf {
 /// Serializes `value` as pretty JSON under [`results_dir`]`/name.json`.
 /// Failures are reported to stderr but do not abort the experiment.
 pub fn write_json<T: ToJson>(name: &str, value: &T) {
-    let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: could not create {}: {e}", dir.display());
-        return;
+    write_json_text(
+        &results_dir().join(format!("{name}.json")),
+        &value.to_json().to_pretty(),
+    );
+}
+
+/// Serializes `value` as pretty JSON to **both** `BENCH` locations —
+/// [`results_dir`]`/name.json` and `./name.json` at the repository root —
+/// from one render, so the two tracked copies can never drift (CI diffs
+/// them byte-for-byte).  Use this for the headline `BENCH_*` result files;
+/// per-figure results stay under [`write_json`].
+pub fn write_bench_json<T: ToJson>(name: &str, value: &T) {
+    let rendered = value.to_json().to_pretty();
+    write_json_text(&results_dir().join(format!("{name}.json")), &rendered);
+    write_json_text(Path::new(&format!("{name}.json")), &rendered);
+}
+
+/// Writes pre-rendered JSON, creating parent directories; failures are
+/// reported to stderr but do not abort the experiment.
+fn write_json_text(path: &Path, rendered: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("warning: could not create {}: {e}", parent.display());
+                return;
+            }
+        }
     }
-    let path: &Path = &dir.join(format!("{name}.json"));
-    if let Err(e) = std::fs::write(path, value.to_json().to_pretty()) {
+    if let Err(e) = std::fs::write(path, rendered) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }

@@ -247,9 +247,10 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// See [`SweepSpec::run_with`].
+    /// See [`SweepSpec::run_with`]; additionally an invalid `CCD_WORKERS`
+    /// value is a named parse error rather than a silent fallback.
     pub fn run(&self) -> Result<SweepResults, ConfigError> {
-        self.run_with(&ParallelRunner::from_env())
+        self.run_with(&ParallelRunner::from_env()?)
     }
 }
 

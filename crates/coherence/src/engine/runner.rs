@@ -142,15 +142,33 @@ impl ParallelRunner {
     }
 
     /// Reads the worker count from the `CCD_WORKERS` environment variable
-    /// (`1` forces a serial run); defaults to [`ParallelRunner::new`].
-    #[must_use]
-    pub fn from_env() -> Self {
-        match std::env::var("CCD_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) => Self::with_workers(n),
-            None => Self::new(),
+    /// (`1` forces a serial run); an unset variable defaults to
+    /// [`ParallelRunner::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] — quoting the offending token, consistent
+    /// with the spec parsers — when the variable is set but is not a
+    /// positive integer (`0` would mean "no workers at all" and is
+    /// rejected rather than silently clamped; unparseable values are
+    /// rejected rather than silently falling back to the default).
+    pub fn from_env() -> Result<Self, ConfigError> {
+        match std::env::var("CCD_WORKERS") {
+            Err(std::env::VarError::NotPresent) => Ok(Self::new()),
+            Err(std::env::VarError::NotUnicode(_)) => Err(ConfigError::Parse {
+                what: "CCD_WORKERS is not valid unicode; \
+                       expected a positive worker count"
+                    .to_string(),
+            }),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(workers) if workers >= 1 => Ok(Self::with_workers(workers)),
+                _ => Err(ConfigError::Parse {
+                    what: format!(
+                        "CCD_WORKERS `{}`: expected a positive worker count",
+                        raw.trim()
+                    ),
+                }),
+            },
         }
     }
 
@@ -312,6 +330,32 @@ mod tests {
         );
         assert!((serial.avg_directory_occupancy - parallel.avg_directory_occupancy).abs() == 0.0);
         assert_eq!(serial.organization, "Cuckoo 1x (4-way)");
+    }
+
+    #[test]
+    fn from_env_rejects_invalid_worker_counts() {
+        // The only test in this binary touching CCD_WORKERS, so the env
+        // mutation cannot race with a concurrent reader.
+        let restore = std::env::var("CCD_WORKERS").ok();
+        std::env::remove_var("CCD_WORKERS");
+        assert!(ParallelRunner::from_env().is_ok());
+        std::env::set_var("CCD_WORKERS", "3");
+        assert_eq!(ParallelRunner::from_env().unwrap().workers(), 3);
+        std::env::set_var("CCD_WORKERS", " 1 ");
+        assert!(ParallelRunner::from_env().unwrap().is_serial());
+        for bad in ["0", "-2", "many", "1.5"] {
+            std::env::set_var("CCD_WORKERS", bad);
+            let err = ParallelRunner::from_env().unwrap_err().to_string();
+            assert!(err.contains("CCD_WORKERS"), "{err}");
+            assert!(
+                err.contains(&format!("`{bad}`")),
+                "must quote the token: {err}"
+            );
+        }
+        match restore {
+            Some(value) => std::env::set_var("CCD_WORKERS", value),
+            None => std::env::remove_var("CCD_WORKERS"),
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   workloads and the hash-characterization experiments ([`rng`]),
 //! * light-weight statistics (counters, histograms, running means) used by
 //!   the directories, caches and the coherence simulator ([`stats`]),
+//! * bounded backpressure channels connecting the directory service's
+//!   ingestion frontend to its shard-owning workers ([`channel`]),
 //! * the shared error type ([`ConfigError`]).
 //!
 //! # Example
@@ -30,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod channel;
 pub mod error;
 pub mod ids;
 pub mod mem;

@@ -1,0 +1,175 @@
+//! Service topology configuration.
+
+use ccd_common::ConfigError;
+use ccd_directory::DirectorySpec;
+
+/// Default number of request batches a worker queue can hold before the
+/// ingestion frontend blocks.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Default number of requests per ingestion batch.
+pub const DEFAULT_BATCH: usize = 256;
+
+/// The shape of a [`DirectoryService`](crate::DirectoryService).
+///
+/// * `spec` names the organization of every shard (a `ccd-directory` spec
+///   string such as `"cuckoo-4x4096-c16"`); the spec's set count is divided
+///   across the shards so the **total capacity is independent of the shard
+///   count**, exactly like `shardedN:` specs.
+/// * `shards` fixes the address interleaving (`block mod shards`) and with
+///   it the service's *semantics*: outcome streams and statistics depend on
+///   the shard count only.
+/// * `workers` fixes the *parallelism*: shard `s` is owned by worker
+///   `s mod workers`, every shard is owned by exactly one worker, and no
+///   lock ever guards a shard — which is why any worker count produces
+///   bit-identical results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Directory spec string built for every shard (set count divided by
+    /// the shard count).
+    pub spec: String,
+    /// Number of address-interleaved shards (the unit of ownership).
+    pub shards: usize,
+    /// Number of worker threads (at most one per shard).
+    pub workers: usize,
+    /// Batches each worker queue holds before ingestion blocks.
+    pub queue_depth: usize,
+    /// Requests per ingestion batch.
+    pub batch: usize,
+    /// Record one [`OutcomeRecord`](crate::OutcomeRecord) per request.
+    /// Verification and the golden digests need the log; a pure throughput
+    /// measurement can turn it off.
+    pub record_outcomes: bool,
+}
+
+impl ServiceConfig {
+    /// A config with the given topology and default queue/batch sizes,
+    /// outcome recording on.
+    #[must_use]
+    pub fn new(spec: impl Into<String>, shards: usize, workers: usize) -> Self {
+        ServiceConfig {
+            spec: spec.into(),
+            shards,
+            workers,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            batch: DEFAULT_BATCH,
+            record_outcomes: true,
+        }
+    }
+
+    /// Returns the config with a different queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns the config with a different batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns the config with outcome recording switched on or off.
+    #[must_use]
+    pub fn with_outcomes(mut self, record_outcomes: bool) -> Self {
+        self.record_outcomes = record_outcomes;
+        self
+    }
+
+    /// Validates the topology and parses the shard spec.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Zero`] — zero shards, workers, queue depth or batch;
+    /// * [`ConfigError::Inconsistent`] — more workers than shards, a
+    ///   `shardedN:` spec prefix (the service does its own interleaving),
+    ///   or a set count not divisible by the shard count;
+    /// * any parse error from [`DirectorySpec`].
+    pub fn validate(&self) -> Result<DirectorySpec, ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::Zero {
+                what: "service shard count",
+            });
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::Zero {
+                what: "service worker count",
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError::Zero {
+                what: "service queue depth",
+            });
+        }
+        if self.batch == 0 {
+            return Err(ConfigError::Zero {
+                what: "service batch size",
+            });
+        }
+        if self.workers > self.shards {
+            return Err(ConfigError::Inconsistent {
+                what: "service worker count must not exceed the shard count \
+                       (each worker owns at least one shard)",
+            });
+        }
+        let spec: DirectorySpec = self.spec.parse()?;
+        if spec.shards != 1 {
+            return Err(ConfigError::Inconsistent {
+                what: "service shard interleaving is configured by ServiceConfig::shards; \
+                       the spec string must not carry a `shardedN:` prefix",
+            });
+        }
+        if !spec.sets.is_multiple_of(self.shards) {
+            return Err(ConfigError::Inconsistent {
+                what: "service shard count must divide the spec's set count \
+                       so total capacity is preserved",
+            });
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_sound_topology() {
+        let config = ServiceConfig::new("sparse-4x256-c8", 4, 2)
+            .with_queue_depth(2)
+            .with_batch(32)
+            .with_outcomes(false);
+        let spec = config.validate().unwrap();
+        assert_eq!(spec.org, "sparse");
+        assert_eq!(config.queue_depth, 2);
+        assert_eq!(config.batch, 32);
+        assert!(!config.record_outcomes);
+    }
+
+    #[test]
+    fn rejects_degenerate_topologies() {
+        let base = |shards, workers| ServiceConfig::new("sparse-4x256-c8", shards, workers);
+        assert!(base(0, 1).validate().is_err());
+        assert!(base(4, 0).validate().is_err());
+        assert!(base(2, 4).validate().is_err(), "more workers than shards");
+        assert!(base(4, 4).with_queue_depth(0).validate().is_err());
+        assert!(base(4, 4).with_batch(0).validate().is_err());
+        // 3 shards do not divide 256 sets.
+        assert!(base(3, 1).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_pre_sharded_specs_and_bad_spec_strings() {
+        let err = ServiceConfig::new("sharded2:sparse-4x256", 4, 2)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("shardedN:"), "{err}");
+        // Spec parse errors pass through with their token-level message.
+        let err = ServiceConfig::new("sparse-4xq", 4, 2)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("`4xq`"), "{err}");
+    }
+}

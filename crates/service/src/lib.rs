@@ -1,0 +1,57 @@
+//! `ccd-service` — a concurrent, shard-per-worker directory service.
+//!
+//! The Cuckoo Directory paper argues its organization scales to many-core
+//! systems because lookups and insertions stay cheap under heavy concurrent
+//! reference streams.  The rest of this workspace exercises the directories
+//! through offline, serial simulations; this crate puts them **online**: a
+//! multi-threaded [`DirectoryService`] that
+//!
+//! * owns address-interleaved directory shards, each owned by exactly one
+//!   worker thread — **no locks on the hot path**;
+//! * ingests coherence requests through bounded channels
+//!   ([`ccd_common::channel`]) with blocking backpressure, so any generator
+//!   becomes a closed loop;
+//! * drains requests in batches through the directories' batched fast path
+//!   ([`Directory::apply_batch`] / [`Directory::prefetch_line`]);
+//! * exposes a snapshot-consistent, mergeable [`ServiceStats`] built from
+//!   the same `Counter::merge` / `DirectoryStats::merge` machinery as the
+//!   simulation engine;
+//! * keeps a sequence-numbered [`OutcomeRecord`] log, so **any worker
+//!   count over a fixed shard count is verifiably bit-identical** to the
+//!   inline serial reference ([`DirectoryService::run_serial`]).
+//!
+//! Traffic comes from the [`LoadSpec`] frontend: any workload the
+//! `ccd-workloads` catalog can name — paper profile, sharing-pattern
+//! scenario, or recorded trace replay — deterministically becomes directory
+//! traffic per `(workload, cores, seed)`.
+//!
+//! ```
+//! use ccd_service::{DirectoryService, LoadSpec, ServiceConfig};
+//!
+//! let load = LoadSpec::parse("migratory-zipf0.9", 8, 7, 20_000)?;
+//! let config = ServiceConfig::new("cuckoo-4x512-c8", 4, 2);
+//!
+//! // Two workers, four shards...
+//! let report = DirectoryService::build_standard(config.clone())?.run_load(&load)?;
+//! // ...are bit-identical to inline serial application.
+//! let serial = DirectoryService::build_standard(config)?.run_load_serial(&load)?;
+//! assert_eq!(report.semantics(), serial.semantics());
+//! assert_eq!(report.requests, 20_000);
+//! # Ok::<(), ccd_common::ConfigError>(())
+//! ```
+//!
+//! [`Directory::apply_batch`]: ccd_directory::Directory::apply_batch
+//! [`Directory::prefetch_line`]: ccd_directory::Directory::prefetch_line
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod load;
+pub mod request;
+pub mod service;
+
+pub use config::{ServiceConfig, DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
+pub use load::{op_for, LoadSpec, OpStream};
+pub use request::{digest_outcomes, OutcomeRecord, Request};
+pub use service::{DirectoryService, ServiceReport, ServiceStats};

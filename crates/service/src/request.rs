@@ -1,0 +1,185 @@
+//! The service's wire types: sequence-numbered requests and the compact
+//! outcome log used to verify bit-identity against serial application.
+
+use ccd_directory::{DirectoryOp, Outcome};
+
+/// One coherence request in flight inside the service.
+///
+/// The ingestion frontend stamps every operation with a global sequence
+/// number (its position in the input stream) and pre-routes it: `shard` is
+/// the *worker-local* shard index and the operation's line has already been
+/// translated to the owning shard's local address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Position of this operation in the global input stream.
+    pub seq: u64,
+    /// Worker-local index of the owning shard.
+    pub shard: u32,
+    /// The operation, with its line in shard-local coordinates.
+    pub op: DirectoryOp,
+}
+
+/// Everything one applied request observably did, in 48 bytes.
+///
+/// A record captures the full observable content of the [`Outcome`] buffer:
+/// the scalar flags and counts verbatim, and the variable-length parts
+/// (semantic invalidation targets, forced-eviction victims and their
+/// targets) folded into [`OutcomeRecord::detail`] with FNV-1a.  Two outcome
+/// streams are therefore equal **iff** every operation produced the same
+/// hits, allocations, attempt counts, invalidation sets and eviction sets —
+/// which is exactly the service's bit-identity contract against serial
+/// application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutcomeRecord {
+    /// Sequence number of the request that produced this outcome.
+    pub seq: u64,
+    /// Global index of the shard that applied it.
+    pub shard: u32,
+    /// Insertion attempts performed (0 when nothing was allocated).
+    pub attempts: u32,
+    /// Semantic invalidation targets (other sharers on an exclusive
+    /// request, holders on an entry removal).
+    pub invalidations: u32,
+    /// Directory entries displaced to make room.
+    pub forced_evictions: u32,
+    /// Cached blocks invalidated by those displacements.
+    pub forced_invalidations: u32,
+    /// [`Outcome::hit`].
+    pub hit: bool,
+    /// [`Outcome::allocated_new_entry`].
+    pub allocated: bool,
+    /// [`Outcome::insertion_failed`].
+    pub failed: bool,
+    /// [`Outcome::invalidated_all`].
+    pub invalidated_all: bool,
+    /// [`Outcome::removed_entry`].
+    pub removed_entry: bool,
+    /// FNV-1a fold of the variable-length outcome content: the semantic
+    /// invalidation targets in order, then each forced eviction's (global)
+    /// victim line and its invalidation targets.
+    pub detail: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl OutcomeRecord {
+    /// Captures the outcome buffer of one applied request.  `shard` is the
+    /// global shard index; eviction victim lines inside `out` are expected
+    /// to be in that shard's local address space and are folded as such
+    /// (both sides of the bit-identity comparison capture the same way).
+    #[must_use]
+    pub fn capture(seq: u64, shard: u32, out: &Outcome) -> Self {
+        let mut detail = FNV_OFFSET;
+        for cache in out.invalidate() {
+            detail = fnv_u64(detail, u64::from(cache.raw()));
+        }
+        for eviction in out.forced_evictions() {
+            detail = fnv_u64(detail, eviction.line.block_number());
+            for cache in eviction.targets {
+                detail = fnv_u64(detail, u64::from(cache.raw()));
+            }
+        }
+        OutcomeRecord {
+            seq,
+            shard,
+            attempts: out.insertion_attempts(),
+            invalidations: out.invalidate().len() as u32,
+            forced_evictions: out.forced_eviction_count() as u32,
+            forced_invalidations: out.forced_invalidation_count() as u32,
+            hit: out.hit(),
+            allocated: out.allocated_new_entry(),
+            failed: out.insertion_failed(),
+            invalidated_all: out.invalidated_all(),
+            removed_entry: out.removed_entry(),
+            detail,
+        }
+    }
+
+    /// Folds this record into a running FNV-1a digest (see
+    /// [`digest_outcomes`]).
+    #[must_use]
+    pub fn fold(&self, mut hash: u64) -> u64 {
+        hash = fnv_u64(hash, self.seq);
+        hash = fnv_u64(hash, u64::from(self.shard));
+        hash = fnv_u64(hash, u64::from(self.attempts));
+        hash = fnv_u64(hash, u64::from(self.invalidations));
+        hash = fnv_u64(hash, u64::from(self.forced_evictions));
+        hash = fnv_u64(hash, u64::from(self.forced_invalidations));
+        let flags = u64::from(self.hit)
+            | u64::from(self.allocated) << 1
+            | u64::from(self.failed) << 2
+            | u64::from(self.invalidated_all) << 3
+            | u64::from(self.removed_entry) << 4;
+        hash = fnv_u64(hash, flags);
+        fnv_u64(hash, self.detail)
+    }
+}
+
+/// FNV-1a digest of an outcome log in sequence order.
+///
+/// Two configurations of the service (any worker count over the same shard
+/// count) produce the same digest iff their merged outcome logs are
+/// identical record-for-record; `BENCH_service.json` records the digest so
+/// the golden check pins it.
+#[must_use]
+pub fn digest_outcomes(records: &[OutcomeRecord]) -> u64 {
+    records
+        .iter()
+        .fold(FNV_OFFSET, |hash, record| record.fold(hash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::{CacheId, LineAddr};
+
+    fn sample_outcome() -> Outcome {
+        let mut out = Outcome::new();
+        out.set_hit(true);
+        out.record_allocation(3);
+        out.push_invalidate(CacheId::new(2));
+        out.push_forced_eviction_one(LineAddr::from_block_number(9), CacheId::new(1));
+        out
+    }
+
+    #[test]
+    fn capture_reflects_the_outcome_buffer() {
+        let record = OutcomeRecord::capture(17, 4, &sample_outcome());
+        assert_eq!(record.seq, 17);
+        assert_eq!(record.shard, 4);
+        assert_eq!(record.attempts, 3);
+        assert_eq!(record.invalidations, 1);
+        assert_eq!(record.forced_evictions, 1);
+        assert_eq!(record.forced_invalidations, 1);
+        assert!(record.hit && record.allocated);
+        assert!(!record.failed && !record.invalidated_all && !record.removed_entry);
+    }
+
+    #[test]
+    fn detail_hash_distinguishes_variable_content() {
+        let base = OutcomeRecord::capture(0, 0, &sample_outcome());
+        let mut other = sample_outcome();
+        other.push_invalidate(CacheId::new(3));
+        let changed = OutcomeRecord::capture(0, 0, &other);
+        assert_ne!(base.detail, changed.detail);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = OutcomeRecord::capture(0, 0, &sample_outcome());
+        let b = OutcomeRecord::capture(1, 1, &sample_outcome());
+        assert_ne!(digest_outcomes(&[a, b]), digest_outcomes(&[b, a]));
+        assert_eq!(digest_outcomes(&[a, b]), digest_outcomes(&[a, b]));
+        assert_ne!(digest_outcomes(&[a]), digest_outcomes(&[a, b]));
+    }
+}

@@ -1,0 +1,673 @@
+//! The concurrent shard-per-worker directory service.
+//!
+//! # Topology
+//!
+//! ```text
+//!             ┌────────────── DirectoryService::run ──────────────┐
+//!             │                                                   │
+//! ops ──► router (caller thread)                                  │
+//!             │  seq-stamp, route by block % shards,              │
+//!             │  batch per owning worker                          │
+//!             ├─── bounded channel ──► worker 0 ── shards 0,W,2W… │
+//!             ├─── bounded channel ──► worker 1 ── shards 1,W+1,… │
+//!             └─── bounded channel ──► worker W-1 ─ shards …      │
+//! ```
+//!
+//! Every shard is owned by exactly one worker, so the hot path takes no
+//! lock: a worker's only synchronization is the bounded ingestion channel
+//! it drains batches from (and the allocation-recycling return channel it
+//! offers drained batch buffers back on).  Batches are applied through the
+//! directories' own batched fast path — [`Directory::apply_batch`] when a
+//! worker owns a single shard, and the same window-prefetch discipline
+//! ([`Directory::prefetch_line`] per [`APPLY_BATCH_WINDOW`]) across shards
+//! otherwise.
+//!
+//! # Determinism contract
+//!
+//! The shard count fixes the service's *semantics*; the worker count is
+//! *pure parallelism*:
+//!
+//! 1. the router stamps requests with their global sequence number and
+//!    routes in input order,
+//! 2. each worker's channel is FIFO, so each shard observes exactly the
+//!    per-address (in fact per-shard) subsequence of the input stream, in
+//!    input order, regardless of how many workers exist,
+//! 3. statistics merge in global shard order and outcome logs merge by
+//!    sequence number.
+//!
+//! Consequently, for a fixed shard count, **every worker count produces
+//! bit-identical outcome logs, statistics and shard contents** — equal to
+//! [`DirectoryService::run_serial`], the inline reference that applies the
+//! same per-shard streams on the calling thread with no channels at all.
+//! `crates/service/tests/service_determinism.rs` enforces this across
+//! scenario families, trace replays and (workers × shards) grids.
+
+use crate::config::ServiceConfig;
+use crate::load::LoadSpec;
+use crate::request::{digest_outcomes, OutcomeRecord, Request};
+use ccd_common::channel::{bounded, Receiver, Sender};
+use ccd_common::stats::Counter;
+use ccd_common::{ConfigError, LineAddr};
+use ccd_directory::{
+    BuilderRegistry, Directory, DirectoryOp, DirectorySpec, DirectoryStats, Outcome,
+    APPLY_BATCH_WINDOW,
+};
+use std::fmt;
+
+/// Snapshot-consistent service statistics, built from the same mergeable
+/// machinery the simulation engine uses ([`Counter::merge`],
+/// [`DirectoryStats::merge`]).
+///
+/// A snapshot is taken after the ingestion stream is fully drained and all
+/// workers have quiesced, so it is consistent by construction: every
+/// counter reflects exactly the same prefix of the request stream (all of
+/// it).  Per-shard directory statistics merge in global shard order — a
+/// fixed order — so even the floating-point accumulators inside
+/// [`DirectoryStats`] are bit-identical across worker counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests applied (equals the requests ingested once drained).
+    pub requests: Counter,
+    /// Semantic invalidation targets across all requests.
+    pub invalidations: Counter,
+    /// Cached-block invalidations forced by directory-capacity conflicts.
+    pub forced_invalidations: Counter,
+    /// Directory statistics merged across all shards, in shard order.
+    pub directory: DirectoryStats,
+}
+
+impl ServiceStats {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceStats::default()
+    }
+
+    /// Merges another snapshot into this one.  Integer counters merge
+    /// order-independently; merge [`ServiceStats::directory`] snapshots in
+    /// a fixed order when bit-exact float reproducibility matters.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.requests.merge(&other.requests);
+        self.invalidations.merge(&other.invalidations);
+        self.forced_invalidations.merge(&other.forced_invalidations);
+        self.directory.merge(&other.directory);
+    }
+}
+
+/// The result of running a service to completion over one request stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// Label of the shard organization, e.g. `service8x[Cuckoo 1x (4-way)]`.
+    /// Deliberately independent of the worker count.
+    pub organization: String,
+    /// Number of address-interleaved shards.
+    pub shards: usize,
+    /// Worker threads used (`1` for [`DirectoryService::run_serial`]).
+    pub workers: usize,
+    /// Requests applied.
+    pub requests: u64,
+    /// Ingestion batches drained.  A scheduling detail, not semantics: the
+    /// batch count depends on how requests split across workers, so it is
+    /// excluded from [`ServiceReport::semantics`].
+    pub batches: u64,
+    /// Directory entries resident across all shards after the drain.
+    pub entries: usize,
+    /// The merged statistics snapshot.
+    pub stats: ServiceStats,
+    /// The sequence-ordered outcome log (empty when
+    /// [`ServiceConfig::record_outcomes`] is off).
+    pub outcomes: Vec<OutcomeRecord>,
+    /// FNV-1a digest of the outcome log ([`digest_outcomes`]).
+    pub outcome_digest: u64,
+}
+
+impl ServiceReport {
+    /// The worker-count-independent part of the report — everything the
+    /// determinism contract says must be bit-identical for a fixed shard
+    /// count.  Two reports with equal `semantics()` applied the same
+    /// per-shard streams to the same effect.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn semantics(
+        &self,
+    ) -> (
+        &str,
+        usize,
+        u64,
+        usize,
+        &ServiceStats,
+        &[OutcomeRecord],
+        u64,
+    ) {
+        (
+            &self.organization,
+            self.shards,
+            self.requests,
+            self.entries,
+            &self.stats,
+            &self.outcomes,
+            self.outcome_digest,
+        )
+    }
+}
+
+/// A built directory service: `shards` independent directory slices plus
+/// the topology that will drive them.  Consume it with
+/// [`DirectoryService::run`] (concurrent) or
+/// [`DirectoryService::run_serial`] (the inline reference).
+pub struct DirectoryService {
+    config: ServiceConfig,
+    slices: Vec<Box<dyn Directory>>,
+    organization: String,
+}
+
+impl fmt::Debug for DirectoryService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DirectoryService")
+            .field("organization", &self.organization)
+            .field("shards", &self.config.shards)
+            .field("workers", &self.config.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DirectoryService {
+    /// Builds the service's shards from `config` using `registry`.
+    ///
+    /// The spec's set count is divided across the shards, so the total
+    /// capacity is the same for every shard count (exactly like the
+    /// `shardedN:` spec prefix).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceConfig::validate`] and [`BuilderRegistry::build`].
+    pub fn build(config: ServiceConfig, registry: &BuilderRegistry) -> Result<Self, ConfigError> {
+        let spec = config.validate()?;
+        let slice_spec = DirectorySpec {
+            sets: spec.sets / config.shards,
+            ..spec
+        };
+        let slices = (0..config.shards)
+            .map(|_| registry.build(&slice_spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let organization = format!("service{}x[{}]", config.shards, slices[0].organization());
+        Ok(DirectoryService {
+            config,
+            slices,
+            organization,
+        })
+    }
+
+    /// [`DirectoryService::build`] with the standard six-organization
+    /// registry (`ccd_cuckoo::standard_registry`).
+    ///
+    /// # Errors
+    ///
+    /// See [`DirectoryService::build`].
+    pub fn build_standard(config: ServiceConfig) -> Result<Self, ConfigError> {
+        Self::build(config, &ccd_cuckoo::standard_registry())
+    }
+
+    /// The service's organization label (independent of the worker count).
+    #[must_use]
+    pub fn organization(&self) -> &str {
+        &self.organization
+    }
+
+    /// Number of tracked caches per shard.
+    #[must_use]
+    pub fn num_caches(&self) -> usize {
+        self.slices[0].num_caches()
+    }
+
+    /// Total entry capacity across all shards.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slices.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Checks that `load` fits this service (its cores map onto tracked
+    /// caches, its workload validates for the configured request count).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Inconsistent`] on a core/cache mismatch, or the
+    /// load's own validation error.
+    pub fn check_load(&self, load: &LoadSpec) -> Result<(), ConfigError> {
+        if load.cores > self.num_caches() {
+            return Err(ConfigError::Inconsistent {
+                what: "load generates references for more cores than the \
+                       directory spec tracks caches (add a `-cN` modifier)",
+            });
+        }
+        load.validate()
+    }
+
+    /// Streams `load` through the concurrent service.
+    ///
+    /// # Errors
+    ///
+    /// See [`DirectoryService::check_load`].
+    pub fn run_load(self, load: &LoadSpec) -> Result<ServiceReport, ConfigError> {
+        self.check_load(load)?;
+        let ops = load.ops()?;
+        Ok(self.run(ops))
+    }
+
+    /// Streams `load` through the inline serial reference.
+    ///
+    /// # Errors
+    ///
+    /// See [`DirectoryService::check_load`].
+    pub fn run_load_serial(self, load: &LoadSpec) -> Result<ServiceReport, ConfigError> {
+        self.check_load(load)?;
+        let ops = load.ops()?;
+        Ok(self.run_serial(ops))
+    }
+
+    /// Routes `op`'s line: the owning global shard and the shard-local line.
+    #[inline]
+    fn route(shards: u64, line: LineAddr) -> (usize, LineAddr) {
+        let block = line.block_number();
+        (
+            (block % shards) as usize,
+            LineAddr::from_block_number(block / shards),
+        )
+    }
+
+    /// Runs the service over `ops`: spawns one worker thread per configured
+    /// worker, ingests the stream in batches with backpressure from the
+    /// calling thread, drains everything, joins the workers and assembles
+    /// the snapshot.  See the module docs for the determinism contract.
+    #[must_use]
+    pub fn run(mut self, ops: impl Iterator<Item = DirectoryOp>) -> ServiceReport {
+        let shards = self.config.shards;
+        let workers = self.config.workers;
+        let batch = self.config.batch;
+        let record = self.config.record_outcomes;
+
+        // Distribute shard ownership: worker `w` owns global shards
+        // `w, w + W, w + 2W, …` — local index `i` is global `w + i·W`.
+        let mut owned: Vec<Vec<Box<dyn Directory>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (global, slice) in self.slices.drain(..).enumerate() {
+            owned[global % workers].push(slice);
+        }
+
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let mut txs: Vec<Sender<Vec<Request>>> = Vec::with_capacity(workers);
+            let mut recycle: Vec<Receiver<Vec<Request>>> = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for (index, slices) in owned.into_iter().enumerate() {
+                let (tx, rx) = bounded::<Vec<Request>>(self.config.queue_depth);
+                // One spare slot beyond the queue depth so a worker's
+                // non-blocking buffer return almost never drops a buffer.
+                let (recycle_tx, recycle_rx) = bounded::<Vec<Request>>(self.config.queue_depth + 1);
+                txs.push(tx);
+                recycle.push(recycle_rx);
+                handles.push(
+                    scope.spawn(move || {
+                        worker_loop(index, workers, slices, &rx, &recycle_tx, record)
+                    }),
+                );
+            }
+
+            // The router: stamp, route, batch, send (blocking on a full
+            // queue — the service's backpressure towards the generator).
+            let mut staging: Vec<Vec<Request>> =
+                (0..workers).map(|_| Vec::with_capacity(batch)).collect();
+            for (seq, op) in ops.enumerate() {
+                let (shard, local) = Self::route(shards as u64, op.line());
+                let owner = shard % workers;
+                staging[owner].push(Request {
+                    seq: seq as u64,
+                    shard: (shard / workers) as u32,
+                    op: op.with_line(local),
+                });
+                if staging[owner].len() == batch {
+                    let fresh = recycle[owner]
+                        .try_recv()
+                        .unwrap_or_else(|| Vec::with_capacity(batch));
+                    let full = std::mem::replace(&mut staging[owner], fresh);
+                    if txs[owner].send(full).is_err() {
+                        // The worker is gone (it panicked); stop feeding and
+                        // let the join below surface the panic.
+                        break;
+                    }
+                }
+            }
+            for (owner, slot) in staging.into_iter().enumerate() {
+                if !slot.is_empty() {
+                    let _ = txs[owner].send(slot);
+                }
+            }
+            drop(txs);
+
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("service worker panicked"))
+                .collect()
+        });
+
+        finish(self.organization, shards, workers, outputs, record)
+    }
+
+    /// The serial reference: applies the same per-shard streams inline on
+    /// the calling thread — no workers, no channels, no batching.  Any
+    /// concurrent run over the same shard count must match this
+    /// bit-identically (see [`ServiceReport::semantics`]).
+    #[must_use]
+    pub fn run_serial(mut self, ops: impl Iterator<Item = DirectoryOp>) -> ServiceReport {
+        let shards = self.config.shards;
+        let record = self.config.record_outcomes;
+        let mut output = WorkerOutput::new(0, std::mem::take(&mut self.slices));
+        let mut out = Outcome::new();
+        for (seq, op) in ops.enumerate() {
+            let (shard, local) = Self::route(shards as u64, op.line());
+            output.slices[shard].apply(op.with_line(local), &mut out);
+            output.applied += 1;
+            absorb_into(
+                &mut output.outcomes,
+                &mut output.invalidations,
+                &mut output.forced_invalidations,
+                seq as u64,
+                shard as u32,
+                &out,
+                record,
+            );
+        }
+        // One "worker" owning every shard in global order.
+        finish(self.organization, shards, 1, vec![output], record)
+    }
+}
+
+/// What one worker hands back when its queue closes.
+struct WorkerOutput {
+    /// The worker's index (`global shard = index + local · workers`).
+    index: usize,
+    /// The owned slices, in local order.
+    slices: Vec<Box<dyn Directory>>,
+    outcomes: Vec<OutcomeRecord>,
+    applied: u64,
+    batches: u64,
+    invalidations: u64,
+    forced_invalidations: u64,
+}
+
+impl WorkerOutput {
+    fn new(index: usize, slices: Vec<Box<dyn Directory>>) -> Self {
+        WorkerOutput {
+            index,
+            slices,
+            outcomes: Vec::new(),
+            applied: 0,
+            batches: 0,
+            invalidations: 0,
+            forced_invalidations: 0,
+        }
+    }
+}
+
+/// One worker's drain loop: receive a batch, apply it through the batched
+/// fast path, account the outcomes, return the buffer, repeat until the
+/// ingestion side hangs up.
+fn worker_loop(
+    index: usize,
+    workers: usize,
+    slices: Vec<Box<dyn Directory>>,
+    rx: &Receiver<Vec<Request>>,
+    recycle_tx: &Sender<Vec<Request>>,
+    record: bool,
+) -> WorkerOutput {
+    let mut output = WorkerOutput::new(index, slices);
+    let mut out = Outcome::new();
+    let mut ops_buf: Vec<DirectoryOp> = Vec::new();
+    while let Some(mut requests) = rx.recv() {
+        output.batches += 1;
+        output.applied += requests.len() as u64;
+        if output.slices.len() == 1 {
+            // Single owned shard: the whole batch targets it, so the
+            // organization's own (possibly overridden) batched fast path
+            // applies directly.
+            ops_buf.clear();
+            ops_buf.extend(requests.iter().map(|r| r.op));
+            let global_shard = index as u32;
+            let mut at = 0usize;
+            let (slice, acc) = (&mut output.slices, &mut requests);
+            let mut absorb = |_op: &DirectoryOp, out: &Outcome| {
+                let seq = acc[at].seq;
+                at += 1;
+                // Inlined WorkerOutput::absorb (the closure cannot borrow
+                // `output` while `output.slices` is mutably borrowed).
+                absorb_into(
+                    &mut output.outcomes,
+                    &mut output.invalidations,
+                    &mut output.forced_invalidations,
+                    seq,
+                    global_shard,
+                    out,
+                    record,
+                );
+            };
+            slice[0].apply_batch(&ops_buf, &mut out, &mut absorb);
+        } else {
+            // Multiple shards: same window discipline as the default
+            // `apply_batch`, with each request prefetching and applying on
+            // its own shard.
+            let mut start = 0;
+            while start < requests.len() {
+                let end = (start + APPLY_BATCH_WINDOW).min(requests.len());
+                for request in &requests[start..end] {
+                    output.slices[request.shard as usize].prefetch_line(request.op.line());
+                }
+                for request in &requests[start..end] {
+                    output.slices[request.shard as usize].apply(request.op, &mut out);
+                    let global_shard = request.shard * workers as u32 + index as u32;
+                    absorb_into(
+                        &mut output.outcomes,
+                        &mut output.invalidations,
+                        &mut output.forced_invalidations,
+                        request.seq,
+                        global_shard,
+                        &out,
+                        record,
+                    );
+                }
+                start = end;
+            }
+        }
+        requests.clear();
+        // Non-blocking buffer return; on a full recycle ring the buffer is
+        // simply dropped and the router allocates a fresh one.
+        let _ = recycle_tx.try_send(requests);
+    }
+    output
+}
+
+/// The outcome-accounting kernel shared by both worker paths and the
+/// serial reference (free function so closures can borrow the output
+/// fields disjointly from the slices).
+#[allow(clippy::too_many_arguments)]
+fn absorb_into(
+    outcomes: &mut Vec<OutcomeRecord>,
+    invalidations: &mut u64,
+    forced_invalidations: &mut u64,
+    seq: u64,
+    global_shard: u32,
+    out: &Outcome,
+    record: bool,
+) {
+    *invalidations += out.invalidate().len() as u64;
+    *forced_invalidations += out.forced_invalidation_count() as u64;
+    if record {
+        outcomes.push(OutcomeRecord::capture(seq, global_shard, out));
+    }
+}
+
+/// Reassembles worker outputs into the final report: shards back into
+/// global order, per-shard statistics merged in that (fixed) order,
+/// outcome logs merged by sequence number.
+fn finish(
+    organization: String,
+    shards: usize,
+    workers: usize,
+    mut outputs: Vec<WorkerOutput>,
+    record: bool,
+) -> ServiceReport {
+    outputs.sort_by_key(|output| output.index);
+    debug_assert!(outputs
+        .iter()
+        .enumerate()
+        .all(|(index, output)| output.index == index));
+
+    let mut stats = ServiceStats::new();
+    let mut requests = 0u64;
+    let mut outcomes: Vec<OutcomeRecord> = Vec::new();
+    let mut batches = 0u64;
+    for output in &outputs {
+        requests += output.applied;
+        batches += output.batches;
+        stats.invalidations.add(output.invalidations);
+        stats.forced_invalidations.add(output.forced_invalidations);
+    }
+    stats.requests.add(requests);
+    // Per-shard statistics merge in global shard order — a fixed order, so
+    // the float accumulators are reproducible at every worker count.  The
+    // worker that owns global shard `g` is `g mod workers`; its local index
+    // for that shard is `g div workers` (serial runs are one worker owning
+    // every shard in global order).
+    let stride = outputs.len();
+    let mut entries = 0usize;
+    for shard in 0..shards {
+        let slice = &outputs[shard % stride].slices[shard / stride];
+        entries += slice.len();
+        stats.directory.merge(slice.stats());
+    }
+    for output in &mut outputs {
+        outcomes.append(&mut output.outcomes);
+    }
+    outcomes.sort_unstable_by_key(|record| record.seq);
+    let outcome_digest = if record {
+        digest_outcomes(&outcomes)
+    } else {
+        0
+    };
+
+    ServiceReport {
+        organization,
+        shards,
+        workers,
+        requests,
+        batches,
+        entries,
+        stats,
+        outcomes,
+        outcome_digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::CacheId;
+
+    fn ops(n: u64) -> Vec<DirectoryOp> {
+        // A deterministic little op mix touching a handful of lines from a
+        // handful of caches, including removals.
+        (0..n)
+            .map(|i| {
+                let line = LineAddr::from_block_number(i * 7 % 64);
+                let cache = CacheId::new((i % 8) as u32);
+                match i % 5 {
+                    0 | 1 => DirectoryOp::AddSharer { line, cache },
+                    2 => DirectoryOp::SetExclusive { line, cache },
+                    3 => DirectoryOp::RemoveSharer { line, cache },
+                    _ => DirectoryOp::Probe { line },
+                }
+            })
+            .collect()
+    }
+
+    fn build(shards: usize, workers: usize) -> DirectoryService {
+        DirectoryService::build_standard(
+            ServiceConfig::new("sparse-4x64-c8", shards, workers).with_batch(16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_reports_geometry_and_labels() {
+        let service = build(4, 2);
+        assert_eq!(service.capacity(), 4 * 64);
+        assert_eq!(service.num_caches(), 8);
+        assert!(service.organization().starts_with("service4x["));
+        // The label ignores the worker count.
+        assert_eq!(build(4, 1).organization(), service.organization());
+    }
+
+    #[test]
+    fn concurrent_run_matches_the_serial_reference() {
+        let stream = ops(5_000);
+        let serial = build(4, 1).run_serial(stream.iter().copied());
+        for workers in [1, 2, 4] {
+            let report = build(4, workers).run(stream.iter().copied());
+            assert_eq!(report.workers, workers);
+            assert_eq!(
+                report.semantics(),
+                serial.semantics(),
+                "{workers} workers must be bit-identical to serial"
+            );
+        }
+        assert_eq!(serial.requests, 5_000);
+        assert_eq!(serial.outcomes.len(), 5_000);
+        assert!(serial.stats.directory.insertions.get() > 0);
+        // The log is sequence-ordered and dense.
+        for (i, record) in serial.outcomes.iter().enumerate() {
+            assert_eq!(record.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn different_shard_counts_are_different_semantics() {
+        let stream = ops(2_000);
+        let two = build(2, 1).run_serial(stream.iter().copied());
+        let four = build(4, 1).run_serial(stream.iter().copied());
+        assert_eq!(two.requests, four.requests);
+        assert_ne!(two.organization, four.organization);
+    }
+
+    #[test]
+    fn outcome_recording_can_be_disabled() {
+        let stream = ops(1_000);
+        let config = ServiceConfig::new("sparse-4x64-c8", 2, 2).with_outcomes(false);
+        let report = DirectoryService::build_standard(config)
+            .unwrap()
+            .run(stream.into_iter());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.outcome_digest, 0);
+        assert_eq!(report.requests, 1_000);
+    }
+
+    #[test]
+    fn load_checks_reject_core_overflow() {
+        let service = build(2, 1);
+        let load = LoadSpec::parse("oracle", 16, 1, 100).unwrap();
+        assert!(service.check_load(&load).is_err(), "8 caches, 16 cores");
+        let load = LoadSpec::parse("oracle", 8, 1, 100).unwrap();
+        assert!(build(2, 1).run_load(&load).is_ok());
+    }
+
+    #[test]
+    fn service_stats_merge_uses_the_mergeable_machinery() {
+        let stream = ops(1_000);
+        let half_a = build(2, 1).run_serial(stream[..500].iter().copied());
+        let half_b = build(2, 1).run_serial(stream[500..].iter().copied());
+        let whole_requests = half_a.stats.requests.get() + half_b.stats.requests.get();
+        let mut merged = half_a.stats.clone();
+        merged.merge(&half_b.stats);
+        assert_eq!(merged.requests.get(), whole_requests);
+        assert_eq!(
+            merged.directory.lookups.get(),
+            half_a.stats.directory.lookups.get() + half_b.stats.directory.lookups.get()
+        );
+    }
+}

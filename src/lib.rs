@@ -23,6 +23,7 @@
 //! | [`cache`] | `ccd-cache` | set-associative private-cache models |
 //! | [`coherence`] | `ccd-coherence` | the trace-driven tiled-CMP simulator |
 //! | [`workloads`] | `ccd-workloads` | workload profiles, sharing-pattern scenario families, trace record/replay |
+//! | [`service`] | `ccd-service` | the concurrent shard-per-worker directory service and its load-generator frontend |
 //! | [`energy`] | `ccd-energy` | the analytical energy/area scaling model |
 //!
 //! # The directory protocol
@@ -88,6 +89,7 @@ pub use ccd_cuckoo as cuckoo;
 pub use ccd_directory as directory;
 pub use ccd_energy as energy;
 pub use ccd_hash as hash;
+pub use ccd_service as service;
 pub use ccd_sharers as sharers;
 pub use ccd_workloads as workloads;
 
@@ -111,6 +113,7 @@ pub mod prelude {
     };
     pub use ccd_energy::{DirOrg, EnergyModel};
     pub use ccd_hash::{HashFamily, HashKind, IndexHashFamily};
+    pub use ccd_service::{DirectoryService, LoadSpec, ServiceConfig, ServiceReport};
     pub use ccd_sharers::{
         CoarseVector, FullBitVector, HierarchicalVector, SharerFormat, SharerSet,
     };
