@@ -172,7 +172,7 @@ impl Cache {
     #[must_use]
     pub fn state_of(&self, line: LineAddr) -> Option<CoherenceState> {
         self.find_frame(line)
-            .map(|f| self.frames[f].as_ref().unwrap().state)
+            .map(|f| self.frames[f].as_ref().expect("frame is valid").state)
     }
 
     /// Iterates over all resident lines and their states.

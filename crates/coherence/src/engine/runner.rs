@@ -206,6 +206,10 @@ impl ParallelRunner {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ordering: Relaxed suffices — the cursor only hands out
+                    // distinct indices (fetch_add is atomic at every
+                    // ordering); results are published through each slot's
+                    // Mutex and the scope join, not through this counter.
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if index >= items.len() {
                         break;

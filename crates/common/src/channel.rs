@@ -20,11 +20,18 @@
 //!   then ends [`Receiver::recv`] with `None` — no sentinel messages;
 //! * **introspection** — queue depth and capacity are observable
 //!   ([`Receiver::len`], [`Receiver::capacity`]), which the tests (and
-//!   service diagnostics) use to assert occupancy directly.
+//!   service diagnostics) use to assert occupancy directly.  Depth reads
+//!   are lock-free (a relaxed atomic mirror of the queue length), so
+//!   monitoring never contends with the transfer path.
 //!
 //! The implementation is a fixed-capacity ring (`VecDeque` that never grows
 //! past its capacity) behind one mutex and two condition variables; `send`
 //! and `recv` are each one lock acquisition in the un-contended fast path.
+//! The sender count and receiver liveness flag deliberately stay *inside*
+//! the mutex rather than becoming atomics: the blocked-side checks
+//! (`recv` testing `senders == 0`, `send` testing `receiver_alive`) must
+//! happen while holding the lock the condvar re-acquires, or a disconnect
+//! between the check and the wait would be a classic lost wakeup.
 //!
 //! ```
 //! use ccd_common::channel::bounded;
@@ -42,6 +49,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Creates a bounded channel able to hold up to `capacity` in-flight items.
@@ -63,6 +71,7 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        depth: AtomicUsize::new(0),
         capacity,
     });
     (
@@ -83,6 +92,10 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Lock-free mirror of `state.queue.len()`, maintained while holding
+    /// the mutex and read without it ([`Receiver::len`]).  Advisory only:
+    /// nothing synchronizes through it.
+    depth: AtomicUsize,
     capacity: usize,
 }
 
@@ -133,6 +146,11 @@ impl<T> Sender<T> {
             }
             if state.queue.len() < self.shared.capacity {
                 state.queue.push_back(value);
+                let depth = state.queue.len();
+                // ordering: Relaxed suffices — the mirror is advisory
+                // introspection updated under the mutex; the queue itself
+                // is published by the mutex release, never by this counter.
+                self.shared.depth.store(depth, Ordering::Relaxed);
                 drop(state);
                 self.shared.not_empty.notify_one();
                 return Ok(());
@@ -156,6 +174,9 @@ impl<T> Sender<T> {
             return Err(TrySendError { value, full: true });
         }
         state.queue.push_back(value);
+        let depth = state.queue.len();
+        // ordering: Relaxed suffices — advisory mirror, see `Sender::send`.
+        self.shared.depth.store(depth, Ordering::Relaxed);
         drop(state);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -224,6 +245,10 @@ impl<T> Receiver<T> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if let Some(value) = state.queue.pop_front() {
+                let depth = state.queue.len();
+                // ordering: Relaxed suffices — advisory mirror updated
+                // under the mutex, see `Sender::send`.
+                self.shared.depth.store(depth, Ordering::Relaxed);
                 drop(state);
                 self.shared.not_full.notify_one();
                 return Some(value);
@@ -240,6 +265,12 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Option<T> {
         let mut state = self.shared.state.lock().unwrap();
         let value = state.queue.pop_front();
+        if value.is_some() {
+            let depth = state.queue.len();
+            // ordering: Relaxed suffices — advisory mirror updated under
+            // the mutex, see `Sender::send`.
+            self.shared.depth.store(depth, Ordering::Relaxed);
+        }
         drop(state);
         if value.is_some() {
             self.shared.not_full.notify_one();
@@ -248,9 +279,16 @@ impl<T> Receiver<T> {
     }
 
     /// Number of items currently queued.
+    ///
+    /// Lock-free: reads an atomic mirror of the queue length, so
+    /// monitoring never contends with `send`/`recv`.  Exact whenever the
+    /// channel is quiescent; during concurrent transfers the value is a
+    /// consistent recent snapshot.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shared.state.lock().unwrap().queue.len()
+        // ordering: Relaxed suffices — a monitoring read; no memory is
+        // accessed on the strength of the returned value.
+        self.shared.depth.load(Ordering::Relaxed)
     }
 
     /// `true` when no items are queued.
@@ -273,6 +311,8 @@ impl<T> Drop for Receiver<T> {
         // Unsent items are dropped with the queue; senders blocked on a
         // full ring must wake up to observe the disconnect.
         state.queue.clear();
+        // ordering: Relaxed suffices — advisory mirror, see `Sender::send`.
+        self.shared.depth.store(0, Ordering::Relaxed);
         drop(state);
         self.shared.not_full.notify_all();
     }

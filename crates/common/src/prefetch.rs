@@ -14,13 +14,15 @@
 /// dereferenced by this function.
 #[inline(always)]
 pub fn prefetch_read<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    // Miri has no model for the prefetch intrinsic; the hint is a
+    // semantic no-op anyway, so it simply disappears under `cfg(miri)`.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     // SAFETY: `_mm_prefetch` is a hint instruction; it performs no memory
     // access and cannot fault, regardless of the pointer's validity.
     unsafe {
         std::arch::x86_64::_mm_prefetch(ptr.cast::<i8>(), std::arch::x86_64::_MM_HINT_T0);
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     {
         let _ = ptr;
     }

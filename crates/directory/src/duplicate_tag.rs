@@ -41,6 +41,7 @@ pub struct DuplicateTagDirectory {
     valid: usize,
     stats: DirectoryStats,
     /// Number of distinct lines currently tracked (for `len`)
+    // ccd-lint: allow(no-default-hasher) reason="membership/count only, never iterated; probe-path lookups need O(1)"
     distinct: std::collections::HashMap<u64, u32>,
 }
 
@@ -84,6 +85,7 @@ impl DuplicateTagDirectory {
             tick: 0,
             valid: 0,
             stats: DirectoryStats::new(),
+            // ccd-lint: allow(no-default-hasher) reason="membership/count only, never iterated"
             distinct: std::collections::HashMap::new(),
         })
     }

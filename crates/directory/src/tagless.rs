@@ -27,6 +27,7 @@
 use crate::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
 use ccd_common::rng::SplitMix64;
 use ccd_common::{CacheId, ConfigError, LineAddr};
+// ccd-lint: allow(no-default-hasher) reason="exact-presence map is keyed lookups only, never iterated"
 use std::collections::HashMap;
 
 /// Default number of Bloom-filter buckets per (cache, set) filter.
@@ -48,6 +49,7 @@ pub struct TaglessDirectory {
     /// Exact per-line presence, used to keep the counting filters consistent
     /// and to answer `len`/`contains` exactly (mirrors the bookkeeping the
     /// hardware design derives from observing cache fills and evictions).
+    // ccd-lint: allow(no-default-hasher) reason="keyed lookups only, never iterated; sharers-path gets need O(1)"
     present: HashMap<u64, Vec<CacheId>>,
     stats: DirectoryStats,
 }
@@ -136,6 +138,7 @@ impl TaglessDirectory {
             buckets,
             probes,
             filters: vec![vec![0u8; cache_sets * buckets]; num_caches],
+            // ccd-lint: allow(no-default-hasher) reason="keyed lookups only, never iterated"
             present: HashMap::new(),
             stats: DirectoryStats::new(),
         })

@@ -1,0 +1,161 @@
+//! The `ccd-lint` command-line gate.
+//!
+//! ```text
+//! cargo run -p ccd-lint -- --workspace [--json] [--rule NAME]...
+//! cargo run -p ccd-lint -- --workspace --write-inventory
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+
+use ccd_lint::{render_inventory, render_json, rules::Config, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    write_inventory: bool,
+    rule_filter: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: ccd-lint --workspace [--root PATH] [--json] [--rule NAME]... [--write-inventory]\n\
+     \n\
+     Scans the workspace for determinism, concurrency-discipline, unsafe-audit\n\
+     and panic-surface violations (ARCHITECTURE.md contract #7).\n\
+     \n\
+       --workspace         scan the enclosing cargo workspace (required)\n\
+       --root PATH         workspace root (default: walk up from the cwd)\n\
+       --json              emit machine-readable diagnostics\n\
+       --rule NAME         only report this rule (repeatable)\n\
+       --write-inventory   regenerate lint/unsafe_inventory.json and exit\n"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        write_inventory: false,
+        rule_filter: Vec::new(),
+    };
+    let mut workspace_flag = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace_flag = true,
+            "--json" => opts.json = true,
+            "--write-inventory" => opts.write_inventory = true,
+            "--root" => {
+                let path = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--rule" => {
+                let name = args.next().ok_or("--rule requires a rule name")?;
+                if !ccd_lint::RULE_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{name}` (known: {})",
+                        ccd_lint::RULE_NAMES.join(", ")
+                    ));
+                }
+                opts.rule_filter.push(name);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace_flag {
+        return Err("`--workspace` is required (the analyzer has exactly one scope)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Walks up from the cwd to the first directory whose `Cargo.toml` declares
+/// a `[workspace]`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(why) => {
+            if why.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("ccd-lint: {why}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = opts.root.clone().or_else(find_root) else {
+        eprintln!("ccd-lint: no workspace root found above the current directory");
+        return ExitCode::from(2);
+    };
+    let config = Config::workspace(root);
+    let mut report = match workspace::run(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("ccd-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.write_inventory {
+        let path = config.root.join(&config.unsafe_inventory);
+        if let Some(parent) = path.parent() {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("ccd-lint: cannot create `{}`: {err}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        let body = render_inventory(&report.unsafe_blocks);
+        if let Err(err) = std::fs::write(&path, body) {
+            eprintln!("ccd-lint: cannot write `{}`: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ccd-lint: wrote {} entries to {}",
+            report.unsafe_blocks.len(),
+            config.unsafe_inventory
+        );
+        // The inventory was just regenerated; drift findings against the
+        // old file no longer apply.
+        report.diagnostics.retain(|d| d.rule != "unsafe-inventory");
+    }
+
+    if !opts.rule_filter.is_empty() {
+        report
+            .diagnostics
+            .retain(|d| opts.rule_filter.iter().any(|r| r == d.rule));
+    }
+
+    if opts.json {
+        print!("{}", render_json(&report));
+    } else {
+        for diag in &report.diagnostics {
+            println!("{diag}");
+        }
+        println!(
+            "ccd-lint: {} file(s) scanned, {} unsafe block(s), {} diagnostic(s)",
+            report.files_scanned,
+            report.unsafe_blocks.len(),
+            report.diagnostics.len()
+        );
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,482 @@
+//! A hand-rolled Rust source scanner: comment/literal stripping and test
+//! region tracking.
+//!
+//! The analyzer never parses Rust properly (no `syn` — the workspace builds
+//! offline); instead every rule works on a per-line *code view* in which
+//! comments are removed and the contents of string/char literals are blanked
+//! out.  That is exactly enough precision for token-level rules ("does
+//! `Mutex` appear in code?") without false positives from doc examples,
+//! prose, or literals.  The scanner understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments
+//!   (`/* /* */ */`), routed into a per-line comment view (rules that
+//!   require justification comments read that side);
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, any number of `#`s), including multi-line bodies;
+//! * char literals (`'a'`, `'\n'`, `'\u{1F600}'`) distinguished from
+//!   lifetimes (`'a`, `'static`) by lookahead;
+//! * `#[cfg(test)]` / `#[test]` items, whose entire brace-matched body is
+//!   flagged as test code so rules can exempt it.
+
+/// One source line, split into the views the rules consume.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// The comment text carried by this line (markers stripped).
+    pub comment: String,
+    /// The original source text of the line, verbatim.
+    pub raw: String,
+    /// `true` when the line sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub is_test: bool,
+}
+
+impl Line {
+    /// `true` when the code view holds anything but whitespace.
+    #[must_use]
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+/// A scanned source file: its repo-relative path plus per-line views.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// What kind of target the file belongs to (library, binary, test…).
+    pub kind: FileKind,
+    /// Per-line views, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Coarse classification of a file by where it lives; rules scope
+/// themselves by kind (e.g. the panic-surface rule covers only `Lib`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` (excluding `src/bin/`).
+    Lib,
+    /// Executable code: `src/bin/`, `benches/`.
+    Bin,
+    /// Example programs under `examples/`.
+    Example,
+    /// Integration tests under `tests/` — skipped by every rule.
+    Test,
+}
+
+/// Classifies a repo-relative path into a [`FileKind`].
+#[must_use]
+pub fn classify(path: &str) -> FileKind {
+    if path.split('/').any(|seg| seg == "tests") {
+        FileKind::Test
+    } else if path.split('/').any(|seg| seg == "examples") {
+        FileKind::Example
+    } else if path.contains("/bin/") || path.split('/').any(|seg| seg == "benches") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Attribute spellings that introduce test-only items.  Matching is by
+/// substring over the comment-stripped code view, so occurrences in prose
+/// or string literals cannot trigger it.
+const TEST_ATTRS: &[&str] = &[
+    "#[cfg(test)]",
+    "#[test]",
+    "#[cfg(all(test",
+    "#[cfg(any(test",
+];
+
+/// Scans `source`, producing per-line code/comment views and test flags.
+#[must_use]
+pub fn scan_source(path: &str, source: &str) -> ScannedFile {
+    let kind = classify(path);
+    let mut lines = split_views(source);
+    mark_test_regions(&mut lines);
+    // Files that are tests wholesale (integration tests, fixtures under a
+    // `tests/` dir) are test code line one onward.
+    if kind == FileKind::Test {
+        for line in &mut lines {
+            line.is_test = true;
+        }
+    }
+    ScannedFile {
+        path: path.to_string(),
+        kind,
+        lines,
+    }
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` = the next char is escaped.
+    Str(bool),
+    /// Inside `r##"…"##` with the given number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; `true` = the next char is escaped.
+    CharLit(bool),
+}
+
+fn split_views(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut raw = String::new();
+    let mut mode = Mode::Code;
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                raw: std::mem::take(&mut raw),
+                is_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    raw.push('/');
+                    mode = Mode::LineComment;
+                    i += 2;
+                    // Doc-comment markers (`///x`, `//!`) read as prose.
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    raw.push('*');
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str(false);
+                    i += 1;
+                    continue;
+                }
+                // Raw (and raw byte) strings: `r"`, `r#"`, `br##"`, …
+                // Only when `r`/`b` starts a token, so identifiers ending
+                // in `r` followed by operators stay untouched.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some((hashes, skip)) = raw_string_open(&chars, i) {
+                        for k in 1..skip {
+                            raw.push(chars[i + k]);
+                        }
+                        code.push_str(&"\u{20}".repeat(skip.saturating_sub(1)));
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += skip;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Lifetime or char literal?  A char literal closes
+                    // within a couple of chars or starts with a backslash.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2).copied() == Some('\''),
+                        None => false,
+                    };
+                    if is_char {
+                        code.push('\'');
+                        mode = Mode::CharLit(false);
+                        i += 1;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    raw.push('*');
+                    comment.push_str("/*");
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    raw.push('/');
+                    if depth > 1 {
+                        comment.push_str("*/");
+                    }
+                    mode = if depth > 1 {
+                        Mode::BlockComment(depth - 1)
+                    } else {
+                        Mode::Code
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str(escaped) => {
+                if escaped {
+                    code.push(' ');
+                    mode = Mode::Str(false);
+                } else if c == '\\' {
+                    code.push(' ');
+                    mode = Mode::Str(true);
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    for k in 0..hashes as usize {
+                        raw.push(chars[i + 1 + k]);
+                        code.push(' ');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::CharLit(escaped) => {
+                if escaped {
+                    code.push(' ');
+                    mode = Mode::CharLit(false);
+                } else if c == '\\' {
+                    code.push(' ');
+                    mode = Mode::CharLit(true);
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            raw,
+            is_test: false,
+        });
+    }
+    lines
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` opens a raw string (`r…`/`br…`), returns the hash count
+/// and total chars consumed through the opening quote.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j).copied() != Some('r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j).copied() == Some('"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// `true` when the `"` at `i` is followed by exactly `hashes` `#`s.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Tracks brace depth across lines to flag the body of every
+/// `#[cfg(test)]`/`#[test]` item (and the attribute line itself) as test
+/// code.  Brace-less items (`#[cfg(test)] use …;`) end at their `;`.
+fn mark_test_regions(lines: &mut [Line]) {
+    #[derive(Clone, Copy)]
+    enum Region {
+        None,
+        /// Attribute seen at this depth; waiting for the item's `{` or `;`.
+        Pending(i64),
+        /// Inside the item's block, which opened at this depth.
+        Active(i64),
+    }
+    let mut depth: i64 = 0;
+    let mut region = Region::None;
+    for line in lines.iter_mut() {
+        if matches!(region, Region::None) && TEST_ATTRS.iter().any(|a| line.code.contains(a)) {
+            region = Region::Pending(depth);
+        }
+        let mut test_here = !matches!(region, Region::None);
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if let Region::Pending(d) = region {
+                        if depth == d {
+                            region = Region::Active(d);
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Region::Active(d) = region {
+                        if depth == d {
+                            region = Region::None;
+                            test_here = true;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Region::Pending(d) = region {
+                        if depth == d {
+                            region = Region::None;
+                            test_here = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.is_test = test_here || !matches!(region, Region::None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        scan_source("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn line_comments_move_to_the_comment_view() {
+        let f = scan("let x = 1; // SAFETY: fine\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_remain() {
+        let f = scan("let s = \"Mutex inside a string\";\n");
+        assert!(!f.lines[0].code.contains("Mutex"));
+        assert!(f.lines[0].code.contains("let s = \""));
+        assert!(f.lines[0].raw.contains("Mutex"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let f = scan("let s = r#\"has \"quotes\" and Mutex\"#; let t = \"esc \\\" Mutex\";\n");
+        assert!(!f.lines[0].code.contains("Mutex"));
+        assert!(f.lines[0].code.contains("; let t = \""));
+        assert!(f.lines[0].code.trim_end().ends_with("\";"));
+    }
+
+    #[test]
+    fn multiline_strings_blank_every_line() {
+        let f = scan("let s = \"line one Mutex\nline two Mutex\";\nlet x = Mutex;\n");
+        assert!(!f.lines[0].code.contains("Mutex"));
+        assert!(!f.lines[1].code.contains("Mutex"));
+        assert!(f.lines[2].code.contains("Mutex"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = scan("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let f = scan("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains("'x'"));
+        let f = scan("let c = '\\u{1F600}'; let m = Mutex;\n");
+        assert!(f.lines[0].code.contains("Mutex"));
+        assert!(!f.lines[0].code.contains("1F600"));
+    }
+
+    #[test]
+    fn cfg_test_module_body_is_flagged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].is_test);
+        assert!(f.lines[1].is_test, "attribute line");
+        assert!(f.lines[2].is_test);
+        assert!(f.lines[3].is_test);
+        assert!(f.lines[4].is_test, "closing brace");
+        assert!(!f.lines[5].is_test);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_flagged() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let f = scan(src);
+        assert!(f.lines[0].is_test && f.lines[1].is_test && f.lines[2].is_test);
+        assert!(f.lines[3].is_test);
+        assert!(!f.lines[4].is_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nlet live = 1;\n";
+        let f = scan(src);
+        assert!(f.lines[0].is_test && f.lines[1].is_test);
+        assert!(!f.lines[2].is_test);
+    }
+
+    #[test]
+    fn cfg_attr_test_does_not_open_a_region() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S;\n";
+        let f = scan(src);
+        assert!(!f.lines[0].is_test && !f.lines[1].is_test);
+    }
+
+    #[test]
+    fn doc_comment_code_is_not_code() {
+        let src = "//! let x: HashMap<u32, u32> = HashMap::new();\nfn live() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn tests_directories_are_test_files() {
+        assert_eq!(classify("crates/x/tests/foo.rs"), FileKind::Test);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::Test);
+        assert_eq!(classify("crates/x/src/bin/tool.rs"), FileKind::Bin);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("crates/x/src/lib.rs"), FileKind::Lib);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: hot-path crates must stay lock-free.
+
+pub struct Guarded {
+    pub inner: std::sync::Mutex<u64>,
+    pub shared: std::sync::RwLock<u64>,
+    pub cell: std::cell::RefCell<u64>,
+}

@@ -1,0 +1,16 @@
+//! Fixture: atomic orderings need justification comments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed suffices — the value is advisory only.
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn smallest() -> std::cmp::Ordering {
+    std::cmp::Ordering::Less
+}

@@ -1,0 +1,7 @@
+//! Fixture: binaries may panic on startup errors.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().expect("argv[0] exists");
+    println!("{first}");
+}

@@ -1,0 +1,24 @@
+//! Fixture: determinism rules fire in result-bearing code.
+
+pub fn tallies() -> usize {
+    let scores: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    scores.len()
+}
+
+pub fn spin_for_a_bit() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn stamp_secs() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hashmap_and_clocks_are_fine_in_tests() {
+        let _ = std::collections::HashSet::<u32>::new();
+        let _ = std::time::Instant::now();
+    }
+}

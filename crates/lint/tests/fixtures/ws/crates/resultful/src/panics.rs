@@ -1,0 +1,14 @@
+//! Fixture: panic surface in library code.
+
+pub fn first(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+pub fn named(values: &[u64]) -> u64 {
+    values.first().copied().expect("fixture: must be non-empty")
+}
+
+pub fn suppressed(values: &[u64]) -> u64 {
+    // ccd-lint: allow(no-unwrap-in-lib) reason="fixture exercises the waiver path"
+    values.first().copied().unwrap()
+}

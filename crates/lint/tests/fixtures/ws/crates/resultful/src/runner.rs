@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned runner file may spawn threads.
+
+pub fn run() -> i32 {
+    let handle = std::thread::spawn(|| 1);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+//! Fixture: the escape hatches are themselves checked.
+
+// ccd-lint: allow(imaginary-rule) reason="unknown rules are rejected"
+pub fn fine() -> u64 {
+    7
+}
+
+// ccd-lint: allow(no-wallclock) reason="nothing here reads the clock"
+pub fn also_fine() -> u64 {
+    11
+}
+
+// ccd-lint: allow(no-wallclock)
+pub fn tail() -> u64 {
+    13
+}

@@ -1,0 +1,9 @@
+//! Fixture: ad-hoc threads are flagged outside sanctioned runners.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub fn scoped() {
+    std::thread::scope(|_| {});
+}

@@ -1,0 +1,10 @@
+//! Fixture: unsafe blocks need SAFETY comments and inventory entries.
+
+pub fn read_first(values: &[u64]) -> u64 {
+    unsafe { *values.as_ptr() }
+}
+
+pub fn read_last(values: &[u64]) -> u64 {
+    // SAFETY: fixture — the caller guarantees `values` is non-empty.
+    unsafe { *values.as_ptr().add(values.len() - 1) }
+}

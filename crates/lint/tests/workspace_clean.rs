@@ -1,0 +1,33 @@
+//! The analyzer's own gate: the real workspace must be clean.
+//!
+//! This makes `cargo test` enforce the same invariants as the CI
+//! `ccd-lint` step — a violation anywhere in the tree fails this test
+//! with the full diagnostic listing.
+
+use ccd_lint::rules::Config;
+use ccd_lint::workspace::run;
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = run(&Config::workspace(root)).expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walk break?",
+        report.files_scanned
+    );
+    let listing: String = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}\n", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "ccd-lint found {} violation(s):\n{listing}",
+        report.diagnostics.len()
+    );
+}

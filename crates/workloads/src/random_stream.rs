@@ -6,12 +6,14 @@
 //! 64-bit keys drawn uniformly at random, deterministic for a given seed.
 
 use ccd_common::rng::{Rng64, Xoshiro256};
+// ccd-lint: allow(no-default-hasher) reason="dedup membership only, never iterated"
 use std::collections::HashSet;
 
 /// An infinite stream of unique random 64-bit keys.
 #[derive(Clone, Debug)]
 pub struct RandomKeyStream {
     rng: Xoshiro256,
+    // ccd-lint: allow(no-default-hasher) reason="dedup membership only, never iterated"
     seen: HashSet<u64>,
 }
 
@@ -21,6 +23,7 @@ impl RandomKeyStream {
     pub fn new(seed: u64) -> Self {
         RandomKeyStream {
             rng: Xoshiro256::new(seed),
+            // ccd-lint: allow(no-default-hasher) reason="dedup membership only, never iterated"
             seen: HashSet::new(),
         }
     }

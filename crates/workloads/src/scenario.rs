@@ -812,11 +812,14 @@ impl ScenarioSpec {
     /// from `num_cores`.
     pub fn stream(&self, num_cores: usize, seed: u64) -> Result<Box<dyn TraceStream>, ConfigError> {
         self.validate(num_cores)?;
-        let family = family_by_name(&self.family).expect("validated above");
-        let cores = self
-            .params
-            .effective_cores(num_cores)
-            .expect("validated above");
+        let family = family_by_name(&self.family).ok_or_else(|| ConfigError::Parse {
+            what: format!(
+                "unknown workload family `{}` (known: {})",
+                self.family,
+                known_family_names()
+            ),
+        })?;
+        let cores = self.params.effective_cores(num_cores)?;
         Ok(family.stream(&self.params, cores, seed))
     }
 }

@@ -49,12 +49,32 @@ fn allocations() -> u64 {
 
 /// Runs `rounds` iterations of `f` and returns how many allocations they
 /// performed in total.
-fn count_allocs(rounds: u64, mut f: impl FnMut()) -> u64 {
+fn count_allocs(rounds: u64, f: &mut impl FnMut()) -> u64 {
     let before = allocations();
     for _ in 0..rounds {
         f();
     }
     allocations() - before
+}
+
+/// Measures `f` up to `attempts` times and returns the smallest
+/// allocation count observed.
+///
+/// The counting allocator is process-wide, and the libtest harness's
+/// main thread allocates sporadically (event channel, output
+/// buffering) while the test thread runs, so a single measurement can
+/// report a couple of phantom allocations.  A true per-operation
+/// allocation reproduces in every attempt and keeps the minimum
+/// nonzero; harness noise is transient and washes out.
+fn min_allocs(attempts: u32, rounds: u64, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..attempts {
+        best = best.min(count_allocs(rounds, &mut f));
+        if best == 0 {
+            break;
+        }
+    }
+    best
 }
 
 #[test]
@@ -99,7 +119,7 @@ fn steady_state_hot_paths_do_not_allocate() {
 
         // Control: the counter itself works — the legacy allocating query
         // must register allocations.
-        let control = count_allocs(1, || {
+        let control = count_allocs(1, &mut || {
             for &line in &lines {
                 std::hint::black_box(dir.sharers(line));
             }
@@ -107,7 +127,7 @@ fn steady_state_hot_paths_do_not_allocate() {
         assert!(control > 0, "{spec}: counting-allocator control failed");
 
         // 1. Lookup-hit path: Probe of tracked lines.
-        let probes = count_allocs(4, || {
+        let probes = min_allocs(3, 4, || {
             for &line in &lines {
                 dir.apply(DirectoryOp::Probe { line }, &mut out);
                 assert!(out.hit());
@@ -116,7 +136,7 @@ fn steady_state_hot_paths_do_not_allocate() {
         assert_eq!(probes, 0, "{spec}: Probe hit path allocated {probes} times");
 
         // 2. AddSharer on an existing entry (sharer already present).
-        let adds = count_allocs(4, || {
+        let adds = min_allocs(3, 4, || {
             for (i, &line) in lines.iter().enumerate() {
                 dir.apply(
                     DirectoryOp::AddSharer {
@@ -134,7 +154,7 @@ fn steady_state_hot_paths_do_not_allocate() {
         );
 
         // 3. Pure queries: contains / may_hold / borrowed sharer view.
-        let queries = count_allocs(4, || {
+        let queries = min_allocs(3, 4, || {
             for &line in &lines {
                 assert!(dir.contains(line));
                 let n = ccd_directory::sharer_view(dir.as_ref(), line)
@@ -162,17 +182,17 @@ fn steady_state_hot_paths_do_not_allocate() {
                 ]
             })
             .collect();
-        let mut batch_hits = 0u64;
-        let batched = count_allocs(4, || {
+        let batched = min_allocs(3, 4, || {
             for &line in &lines {
                 dir.prefetch_line(line);
             }
+            let mut round_hits = 0u64;
             dir.apply_batch(&ops, &mut out, &mut |_, o| {
-                batch_hits += u64::from(o.hit());
+                round_hits += u64::from(o.hit());
             });
+            assert_eq!(round_hits, ops.len() as u64, "{spec}: batch missed");
         });
         assert_eq!(batched, 0, "{spec}: apply_batch allocated {batched} times");
-        assert_eq!(batch_hits, 4 * ops.len() as u64, "{spec}: batch missed");
     }
 
     // --- The raw cuckoo table's batched probe and insert paths ------------
@@ -189,7 +209,7 @@ fn steady_state_hot_paths_do_not_allocate() {
     assert!(outcomes.iter().all(InsertOutcome::succeeded));
 
     // Batched lookups over caller-owned buffers are allocation-free.
-    let probe_allocs = count_allocs(4, || {
+    let probe_allocs = min_allocs(3, 4, || {
         table.probe_batch(&keys, &mut hits);
         assert!(hits.iter().all(|&h| h));
     });
@@ -200,7 +220,7 @@ fn steady_state_hot_paths_do_not_allocate() {
 
     // Batched re-insertions (payload replacement on existing keys) reuse
     // the entry and outcome buffers without allocating.
-    let insert_allocs = count_allocs(4, || {
+    let insert_allocs = min_allocs(3, 4, || {
         entries.extend(keys.iter().map(|&k| (k, k + 1)));
         outcomes.clear();
         table.apply_batch(&mut entries, &mut outcomes);
@@ -213,7 +233,7 @@ fn steady_state_hot_paths_do_not_allocate() {
     );
 
     // Scalar prefetch hints are pure.
-    let prefetch_allocs = count_allocs(4, || {
+    let prefetch_allocs = min_allocs(3, 4, || {
         for &k in &keys {
             table.prefetch(k);
         }
