@@ -56,6 +56,16 @@ pub enum ConfigError {
     },
 }
 
+impl ConfigError {
+    /// Builds a [`ConfigError::Parse`] from any message — the one-liner the
+    /// spec-string parsers (`DirectorySpec`, `WorkloadSpec`, `FaultPlan`)
+    /// use at every rejection site.
+    #[must_use]
+    pub fn parse(what: impl Into<String>) -> Self {
+        ConfigError::Parse { what: what.into() }
+    }
+}
+
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -111,6 +121,18 @@ mod tests {
             what: "sharer width differs from cache count",
         };
         assert!(e.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn parse_helper_builds_the_parse_variant() {
+        let e = ConfigError::parse(format!("fault plan `{}`: unknown clause", "x@y"));
+        assert_eq!(
+            e,
+            ConfigError::Parse {
+                what: "fault plan `x@y`: unknown clause".to_string()
+            }
+        );
+        assert!(e.to_string().starts_with("parse error:"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use error::ConfigError;
 pub use ids::{CacheId, CoreId, SliceId};
 pub use mem::{AccessType, MemRef};
 pub use rng::{SplitMix64, Xoshiro256};
-pub use stats::{Counter, Histogram, MeanAccumulator, RateEstimator};
+pub use stats::{Counter, Fnv64, Histogram, MeanAccumulator, RateEstimator};
 
 /// The physical address width assumed by the paper's system (Table 1).
 pub const PHYSICAL_ADDRESS_BITS: u32 = 48;

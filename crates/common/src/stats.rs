@@ -70,6 +70,64 @@ impl From<Counter> for u64 {
     }
 }
 
+/// An incremental FNV-1a digest over 64-bit words.
+///
+/// The workspace's determinism contracts are proven by folding observable
+/// results (outcome records, recovery checkpoints) into one order-sensitive
+/// fingerprint and comparing it across configurations: equal digests mean
+/// bit-identical observable streams.  FNV-1a is used because it is tiny,
+/// has no dependencies, and — critically — is fully specified here, so the
+/// fingerprint can never drift with a standard-library hasher change (the
+/// same reason the `no-default-hasher` lint rule exists).
+///
+/// ```
+/// use ccd_common::stats::Fnv64;
+/// let mut a = Fnv64::new();
+/// a.fold(1).fold(2);
+/// let mut b = Fnv64::new();
+/// b.fold(2).fold(1);
+/// assert_ne!(a.finish(), b.finish(), "the digest is order-sensitive");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a digest at the offset basis.
+    #[must_use]
+    pub const fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word into the digest, byte by byte in little-endian
+    /// order, returning `self` for chaining.
+    pub fn fold(&mut self, value: u64) -> &mut Self {
+        let mut hash = self.0;
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(Self::PRIME);
+        }
+        self.0 = hash;
+        self
+    }
+
+    /// The current digest value.
+    #[must_use]
+    pub const fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
 /// A bounded histogram of small non-negative integer observations.
 ///
 /// Observations larger than the configured bound are accumulated in the
@@ -384,6 +442,28 @@ mod tests {
         assert_eq!(c.fraction_of(0), 0.0);
         c.reset();
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn fnv64_matches_the_reference_vectors_and_is_order_sensitive() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), Fnv64::OFFSET);
+        assert_eq!(Fnv64::default(), Fnv64::new());
+
+        // One zero word: eight zero bytes, each multiplying by the prime.
+        let mut expected = Fnv64::OFFSET;
+        for _ in 0..8 {
+            expected = expected.wrapping_mul(Fnv64::PRIME);
+        }
+        let mut digest = Fnv64::new();
+        digest.fold(0);
+        assert_eq!(digest.finish(), expected);
+
+        let mut ab = Fnv64::new();
+        ab.fold(0xa).fold(0xb);
+        let mut ba = Fnv64::new();
+        ba.fold(0xb).fold(0xa);
+        assert_ne!(ab.finish(), ba.finish());
     }
 
     #[test]

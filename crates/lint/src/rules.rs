@@ -127,7 +127,7 @@ impl Config {
             wallclock_allowed: owned(&["crates/bench/src/bin"]),
             spawn_allowed: owned(&[
                 "crates/coherence/src/engine/runner.rs",
-                "crates/service/src/service.rs",
+                "crates/service/src/supervisor.rs",
             ]),
             lock_free: owned(&[
                 "crates/core",
@@ -384,7 +384,8 @@ pub fn check_tokens(file: &ScannedFile, cfg: &Config) -> Vec<Diagnostic> {
                         "thread-discipline",
                         format!(
                             "`{call}` outside the sanctioned runners (ParallelRunner, the \
-                             service worker module): ad-hoc threads bypass the determinism \
+                             service supervisor — which owns both initial spawns and \
+                             post-crash respawns): ad-hoc threads bypass the determinism \
                              contract"
                         ),
                     );

@@ -1,5 +1,6 @@
 //! Service topology configuration.
 
+use crate::fault::FaultPlan;
 use ccd_common::ConfigError;
 use ccd_directory::DirectorySpec;
 
@@ -23,7 +24,7 @@ pub const DEFAULT_BATCH: usize = 256;
 ///   `s mod workers`, every shard is owned by exactly one worker, and no
 ///   lock ever guards a shard — which is why any worker count produces
 ///   bit-identical results.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceConfig {
     /// Directory spec string built for every shard (set count divided by
     /// the shard count).
@@ -40,6 +41,9 @@ pub struct ServiceConfig {
     /// Verification and the golden digests need the log; a pure throughput
     /// measurement can turn it off.
     pub record_outcomes: bool,
+    /// An armed fault-injection schedule, or `None` (the default) for a
+    /// fault-free run.  See [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServiceConfig {
@@ -54,6 +58,7 @@ impl ServiceConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             batch: DEFAULT_BATCH,
             record_outcomes: true,
+            fault_plan: None,
         }
     }
 
@@ -78,6 +83,23 @@ impl ServiceConfig {
         self
     }
 
+    /// Returns the config with a fault-injection plan armed.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Returns the config with a fault plan parsed from a `faults-…` spec
+    /// string (see [`FaultPlan::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// The plan's parse error.
+    pub fn with_fault_spec(self, spec: &str) -> Result<Self, ConfigError> {
+        Ok(self.with_faults(FaultPlan::parse(spec)?))
+    }
+
     /// Validates the topology and parses the shard spec.
     ///
     /// # Errors
@@ -85,7 +107,8 @@ impl ServiceConfig {
     /// * [`ConfigError::Zero`] — zero shards, workers, queue depth or batch;
     /// * [`ConfigError::Inconsistent`] — more workers than shards, a
     ///   `shardedN:` spec prefix (the service does its own interleaving),
-    ///   or a set count not divisible by the shard count;
+    ///   a set count not divisible by the shard count, or a fault plan
+    ///   naming a worker the topology does not have;
     /// * any parse error from [`DirectorySpec`].
     pub fn validate(&self) -> Result<DirectorySpec, ConfigError> {
         if self.shards == 0 {
@@ -113,6 +136,9 @@ impl ServiceConfig {
                 what: "service worker count must not exceed the shard count \
                        (each worker owns at least one shard)",
             });
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate_for(self.workers)?;
         }
         let spec: DirectorySpec = self.spec.parse()?;
         if spec.shards != 1 {
@@ -158,6 +184,20 @@ mod tests {
         assert!(base(4, 4).with_batch(0).validate().is_err());
         // 3 shards do not divide 256 sets.
         assert!(base(3, 1).validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_validated_against_the_worker_count() {
+        let config = ServiceConfig::new("sparse-4x256-c8", 4, 2)
+            .with_fault_spec("faults-crash@w1:100")
+            .unwrap();
+        assert!(config.validate().is_ok());
+        let config = config.with_fault_spec("faults-crash@w2:100").unwrap();
+        let err = config.validate().unwrap_err();
+        assert!(err.to_string().contains("worker index"), "{err}");
+        assert!(ServiceConfig::new("sparse-4x256-c8", 4, 2)
+            .with_fault_spec("faults-oops")
+            .is_err());
     }
 
     #[test]

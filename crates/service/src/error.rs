@@ -1,0 +1,76 @@
+//! The service's error surface.
+
+use ccd_common::ConfigError;
+use std::fmt;
+
+/// Everything a [`DirectoryService`](crate::DirectoryService) run can fail
+/// with.
+///
+/// Before the supervision layer existed, a worker panic propagated through
+/// a bare `join().expect(...)` and aborted the whole process; now it is a
+/// value callers can match on: [`ServiceError::WorkerCrashed`] names the
+/// worker and carries the stringified panic payload.  The supervisor only
+/// surfaces it when recovery is impossible — a genuine (non-injected)
+/// panic, or a fault plan's `abort@` clause.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The topology, spec string, load or fault plan was rejected.
+    Config(ConfigError),
+    /// A worker thread panicked and the supervisor could not (or was
+    /// scheduled not to) recover it.
+    WorkerCrashed {
+        /// Index of the worker that died.
+        worker: usize,
+        /// The panic payload, stringified (an [`InjectedCrash`] renders
+        /// its `Display` form).
+        ///
+        /// [`InjectedCrash`]: crate::fault::InjectedCrash
+        cause: String,
+    },
+}
+
+impl From<ConfigError> for ServiceError {
+    fn from(err: ConfigError) -> Self {
+        ServiceError::Config(err)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config(err) => write!(f, "{err}"),
+            ServiceError::WorkerCrashed { worker, cause } => {
+                write!(f, "service worker {worker} crashed: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Config(err) => Some(err),
+            ServiceError::WorkerCrashed { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let err: ServiceError = ConfigError::Zero { what: "shards" }.into();
+        assert_eq!(err.to_string(), "shards must be non-zero");
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err = ServiceError::WorkerCrashed {
+            worker: 3,
+            cause: "injected crash on worker 3 at seq 9 (unrecoverable)".into(),
+        };
+        assert!(err.to_string().contains("worker 3 crashed"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

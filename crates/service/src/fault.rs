@@ -1,0 +1,582 @@
+//! Deterministic fault injection for the directory service.
+//!
+//! A [`FaultPlan`] is a seeded, spec-string-driven schedule of failures —
+//! worker panics, artificial batch-processing stalls, admission-control
+//! shedding — parsed and validated exactly like the workspace's other spec
+//! strings (`DirectorySpec`, workload specs).  Faults are *scheduled
+//! against the request sequence numbering*, never against time, so a plan
+//! reproduces the same failure at the same point in the stream on every
+//! run, at every worker count, on every machine:
+//!
+//! ```text
+//! faults-seed7-crash@w2:5000-stall@w0:2ms-shed0.01
+//! └─┬──┘ └─┬──┘ └────┬─────┘ └────┬─────┘ └──┬───┘
+//!   │      │         │            │          └ shed each batch offer with
+//!   │      │         │            │            probability 0.01 (seeded)
+//!   │      │         │            └ worker 0 sleeps 2ms per batch
+//!   │      │         └ worker 2 panics before applying seq 5000
+//!   │      └ seed for the shedding gate
+//!   └ required prefix
+//! ```
+//!
+//! Clause reference:
+//!
+//! | clause          | meaning                                                |
+//! |-----------------|--------------------------------------------------------|
+//! | `seed<N>`       | seed for the [`ShedGate`] RNG (default 0)              |
+//! | `crash@w<W>:<S>`| worker `W` panics before applying the first request with `seq >= S`; *recoverable* — the supervisor replays and resumes |
+//! | `abort@w<W>:<S>`| like `crash@`, but marked unrecoverable: the supervisor surfaces `ServiceError::WorkerCrashed` instead of recovering |
+//! | `stall@w<W>:<N>ms` | worker `W` sleeps `N` ms before each batch (latency only — results are unaffected) |
+//! | `shed<P>`       | the router sheds each batch offer with probability `P ∈ [0, 1)`; shed offers are counted and re-offered, so no request is lost |
+//!
+//! Injection sites are compiled into the worker loop as an
+//! `Option<WorkerFaults>` hook — `None` (the unarmed case) costs one branch
+//! per batch and nothing else.  Injected panics carry an [`InjectedCrash`]
+//! payload so the supervisor can tell a scheduled failure from a genuine
+//! bug, and [`silence_injected_panics`] keeps the default panic hook's
+//! backtrace spew out of expected-failure test output.
+
+use ccd_common::rng::Rng64;
+use ccd_common::{ConfigError, Xoshiro256};
+use std::time::Duration;
+
+/// The longest stall a plan may schedule, per batch.  A cap keeps a typo
+/// from turning a test suite into an overnight run.
+pub const MAX_STALL_MS: u64 = 1_000;
+
+/// One scheduled worker panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The worker that will panic.
+    pub worker: usize,
+    /// The panic fires immediately before this worker applies its first
+    /// request with `seq >= seq`.
+    pub seq: u64,
+    /// `false` for `abort@` clauses: the supervisor must not recover.
+    pub recoverable: bool,
+}
+
+/// One scheduled per-batch stall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPoint {
+    /// The worker that will stall.
+    pub worker: usize,
+    /// Sleep applied before each batch the worker drains.
+    pub millis: u64,
+}
+
+/// A parsed, validated fault schedule.  See the module docs for the
+/// grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    label: String,
+    seed: u64,
+    crashes: Vec<CrashPoint>,
+    stalls: Vec<StallPoint>,
+    shed: f64,
+}
+
+impl FaultPlan {
+    /// Parses a `faults-…` spec string.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] naming the offending clause; rejected inputs
+    /// include duplicate `(worker, seq)` crash points, more than one stall
+    /// per worker, `shed` outside `[0, 1)` and stalls over
+    /// [`MAX_STALL_MS`].
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let mut parts = spec.split('-');
+        if parts.next() != Some("faults") {
+            return Err(ConfigError::parse(format!(
+                "fault plan `{spec}` must start with `faults`"
+            )));
+        }
+        let mut seed = 0u64;
+        let mut crashes: Vec<CrashPoint> = Vec::new();
+        let mut stalls: Vec<StallPoint> = Vec::new();
+        let mut shed = 0.0f64;
+        for clause in parts {
+            if let Some(rest) = clause.strip_prefix("seed") {
+                seed = rest.parse().map_err(|_| bad(spec, clause, "seed"))?;
+            } else if let Some(rest) = clause.strip_prefix("crash@") {
+                let (worker, seq) = worker_colon_value(rest)
+                    .ok_or_else(|| bad(spec, clause, "crash@w<worker>:<seq>"))?;
+                crashes.push(CrashPoint {
+                    worker,
+                    seq,
+                    recoverable: true,
+                });
+            } else if let Some(rest) = clause.strip_prefix("abort@") {
+                let (worker, seq) = worker_colon_value(rest)
+                    .ok_or_else(|| bad(spec, clause, "abort@w<worker>:<seq>"))?;
+                crashes.push(CrashPoint {
+                    worker,
+                    seq,
+                    recoverable: false,
+                });
+            } else if let Some(rest) = clause.strip_prefix("stall@") {
+                let inner = rest
+                    .strip_suffix("ms")
+                    .ok_or_else(|| bad(spec, clause, "stall@w<worker>:<millis>ms"))?;
+                let (worker, millis) = worker_colon_value(inner)
+                    .ok_or_else(|| bad(spec, clause, "stall@w<worker>:<millis>ms"))?;
+                if millis > MAX_STALL_MS {
+                    return Err(ConfigError::parse(format!(
+                        "fault plan `{spec}`: stall of {millis}ms exceeds the \
+                         {MAX_STALL_MS}ms cap"
+                    )));
+                }
+                stalls.push(StallPoint { worker, millis });
+            } else if let Some(rest) = clause.strip_prefix("shed") {
+                shed = rest.parse().map_err(|_| bad(spec, clause, "shed<p>"))?;
+                if !(0.0..1.0).contains(&shed) {
+                    return Err(ConfigError::parse(format!(
+                        "fault plan `{spec}`: shed probability {shed} is outside [0, 1)"
+                    )));
+                }
+            } else {
+                return Err(ConfigError::parse(format!(
+                    "fault plan `{spec}`: unknown clause `{clause}`"
+                )));
+            }
+        }
+        // Canonical order: crashes by (worker, seq) — which is also the
+        // firing order each worker observes — and stalls by worker.
+        crashes.sort_by_key(|c| (c.worker, c.seq));
+        if crashes
+            .windows(2)
+            .any(|w| (w[0].worker, w[0].seq) == (w[1].worker, w[1].seq))
+        {
+            return Err(ConfigError::parse(format!(
+                "fault plan `{spec}`: duplicate crash point (same worker and seq)"
+            )));
+        }
+        stalls.sort_by_key(|s| s.worker);
+        if stalls.windows(2).any(|w| w[0].worker == w[1].worker) {
+            return Err(ConfigError::parse(format!(
+                "fault plan `{spec}`: more than one stall for the same worker"
+            )));
+        }
+        let label = render_label(seed, &crashes, &stalls, shed);
+        Ok(FaultPlan {
+            label,
+            seed,
+            crashes,
+            stalls,
+            shed,
+        })
+    }
+
+    /// The canonical spec string (clauses in a fixed order), parseable back
+    /// into an equal plan.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The shedding-gate seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scheduled crashes, sorted by `(worker, seq)`.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+
+    /// Scheduled stalls, sorted by worker.
+    #[must_use]
+    pub fn stalls(&self) -> &[StallPoint] {
+        &self.stalls
+    }
+
+    /// The per-offer shedding probability.
+    #[must_use]
+    pub fn shed(&self) -> f64 {
+        self.shed
+    }
+
+    /// `true` when every scheduled crash is recoverable (a plan with no
+    /// crashes is trivially recoverable).
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        self.crashes.iter().all(|c| c.recoverable)
+    }
+
+    /// `true` when the plan schedules nothing at all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.crashes.is_empty() && self.stalls.is_empty() && self.shed == 0.0
+    }
+
+    /// Checks that every referenced worker exists under a `workers`-wide
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Inconsistent`] when a clause names worker `>= workers`.
+    pub fn validate_for(&self, workers: usize) -> Result<(), ConfigError> {
+        let referenced = self
+            .crashes
+            .iter()
+            .map(|c| c.worker)
+            .chain(self.stalls.iter().map(|s| s.worker))
+            .max();
+        match referenced {
+            Some(w) if w >= workers => Err(ConfigError::Inconsistent {
+                what: "fault plan names a worker index >= the service worker count",
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Compiles the per-worker injection hooks: `arm(w, fired)` is what
+    /// worker `w`'s loop consults, with the first `fired` of its crash
+    /// points disarmed (a replacement worker spawned after recovery `k`
+    /// must not re-fire the crashes its predecessors already fired).
+    #[must_use]
+    pub fn arm(&self, worker: usize, fired: usize) -> Option<WorkerFaults> {
+        let crashes: Vec<CrashPoint> = self
+            .crashes
+            .iter()
+            .filter(|c| c.worker == worker)
+            .skip(fired)
+            .copied()
+            .collect();
+        let stall = self
+            .stalls
+            .iter()
+            .find(|s| s.worker == worker)
+            .map(|s| Duration::from_millis(s.millis));
+        if crashes.is_empty() && stall.is_none() {
+            return None;
+        }
+        Some(WorkerFaults { crashes, stall })
+    }
+
+    /// The router's admission-control gate, or `None` when the plan sheds
+    /// nothing.
+    #[must_use]
+    pub fn shed_gate(&self) -> Option<ShedGate> {
+        (self.shed > 0.0).then(|| ShedGate::new(self.seed, self.shed))
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::parse(s)
+    }
+}
+
+fn bad(spec: &str, clause: &str, expected: &str) -> ConfigError {
+    ConfigError::parse(format!(
+        "fault plan `{spec}`: clause `{clause}` does not match `{expected}`"
+    ))
+}
+
+/// Parses `w<digits>:<digits>` into `(worker, value)`.
+fn worker_colon_value(text: &str) -> Option<(usize, u64)> {
+    let rest = text.strip_prefix('w')?;
+    let (worker, value) = rest.split_once(':')?;
+    Some((worker.parse().ok()?, value.parse().ok()?))
+}
+
+fn render_label(seed: u64, crashes: &[CrashPoint], stalls: &[StallPoint], shed: f64) -> String {
+    use std::fmt::Write as _;
+    let mut label = format!("faults-seed{seed}");
+    for c in crashes {
+        let kind = if c.recoverable { "crash" } else { "abort" };
+        let _ = write!(label, "-{kind}@w{}:{}", c.worker, c.seq);
+    }
+    for s in stalls {
+        let _ = write!(label, "-stall@w{}:{}ms", s.worker, s.millis);
+    }
+    if shed > 0.0 {
+        let _ = write!(label, "-shed{shed}");
+    }
+    label
+}
+
+/// One worker's compiled injection hooks ([`FaultPlan::arm`]).
+#[derive(Clone, Debug)]
+pub struct WorkerFaults {
+    /// This worker's remaining crash points, in firing (seq) order.
+    crashes: Vec<CrashPoint>,
+    /// Per-batch sleep, when scheduled.
+    stall: Option<Duration>,
+}
+
+impl WorkerFaults {
+    /// Where this batch must be cut short by a scheduled crash: the index
+    /// of the first request with `seq >= the next crash point` (requests
+    /// before it apply normally, then the worker panics), together with
+    /// that crash point.  `None` when no crash fires inside this batch.
+    ///
+    /// Worker queues are FIFO and seqs within one worker's stream ascend,
+    /// so scanning the batch in order finds the unique cut.
+    #[must_use]
+    pub fn crash_cut(&self, seqs: impl Iterator<Item = u64>) -> Option<(usize, CrashPoint)> {
+        let next = *self.crashes.first()?;
+        seqs.enumerate()
+            .find(|&(_, seq)| seq >= next.seq)
+            .map(|(at, _)| (at, next))
+    }
+
+    /// Sleeps this worker's scheduled per-batch stall, if any.  Pure
+    /// latency: no clock is read and no result depends on the sleep.
+    pub fn stall(&self) {
+        if let Some(pause) = self.stall {
+            std::thread::sleep(pause);
+        }
+    }
+
+    /// The scheduled per-batch stall, if any.
+    #[must_use]
+    pub fn stall_duration(&self) -> Option<Duration> {
+        self.stall
+    }
+
+    /// The remaining crash points, in firing order.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+}
+
+/// The payload of an injected worker panic.
+///
+/// Carrying a concrete type (via `std::panic::panic_any`) lets the
+/// supervisor distinguish a scheduled failure from a genuine bug when it
+/// downcasts the payload, and lets the quiet panic hook suppress exactly
+/// the expected panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// The worker that panicked.
+    pub worker: usize,
+    /// The sequence number the crash fired at (the first request *not*
+    /// applied).
+    pub seq: u64,
+    /// Mirrors [`CrashPoint::recoverable`].
+    pub recoverable: bool,
+}
+
+impl InjectedCrash {
+    /// Fires this crash: panics with `self` as the payload.
+    pub fn fire(self) -> ! {
+        std::panic::panic_any(self)
+    }
+}
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected crash on worker {} at seq {} ({})",
+            self.worker,
+            self.seq,
+            if self.recoverable {
+                "recoverable"
+            } else {
+                "unrecoverable"
+            }
+        )
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// [`InjectedCrash`] payloads and delegates everything else to the
+/// previously installed hook.
+///
+/// Injected panics are *expected*: the supervisor catches and handles
+/// them, so the default hook's "thread panicked" + backtrace output would
+/// be pure noise — and alarming noise — in every fault-injection test and
+/// benchmark.  The wrapper is installed under a [`std::sync::Once`] and
+/// never uninstalled, which keeps it safe under concurrently running
+/// tests.
+pub fn silence_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The router's seeded admission-control gate: decides, per batch offer,
+/// whether to *shed* — count the offer as rejected and retry — instead of
+/// delivering immediately.
+///
+/// The gate models an overloaded frontend turning requests away, but
+/// deterministically: the decision stream depends only on the plan seed
+/// (one seeded [`Xoshiro256`] consumed by the single router thread in
+/// offer order), never on queue timing.  Shed offers are
+/// re-offered rather than dropped, so shedding perturbs scheduling and the
+/// `shed` counter — not results.
+#[derive(Clone, Debug)]
+pub struct ShedGate {
+    rng: Xoshiro256,
+    probability: f64,
+}
+
+impl ShedGate {
+    /// A gate shedding with `probability` per offer, seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64, probability: f64) -> Self {
+        ShedGate {
+            rng: Xoshiro256::new(seed),
+            probability,
+        }
+    }
+
+    /// Draws the next decision: `true` to shed this offer.
+    pub fn should_shed(&mut self) -> bool {
+        self.rng.next_f64() < self.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar_and_renders_a_canonical_label() {
+        let plan = FaultPlan::parse("faults-seed7-crash@w2:5000-stall@w0:2ms-shed0.01").unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(
+            plan.crashes(),
+            &[CrashPoint {
+                worker: 2,
+                seq: 5000,
+                recoverable: true
+            }]
+        );
+        assert_eq!(
+            plan.stalls(),
+            &[StallPoint {
+                worker: 0,
+                millis: 2
+            }]
+        );
+        assert!((plan.shed() - 0.01).abs() < 1e-12);
+        assert!(plan.is_recoverable());
+        assert!(!plan.is_noop());
+        assert_eq!(
+            plan.label(),
+            "faults-seed7-crash@w2:5000-stall@w0:2ms-shed0.01"
+        );
+        // The label round-trips to an equal plan, clause order regardless.
+        let shuffled =
+            FaultPlan::parse("faults-shed0.01-stall@w0:2ms-crash@w2:5000-seed7").unwrap();
+        assert_eq!(shuffled, plan);
+        assert_eq!(FaultPlan::parse(plan.label()).unwrap(), plan);
+    }
+
+    #[test]
+    fn abort_clauses_make_the_plan_unrecoverable() {
+        let plan = FaultPlan::parse("faults-abort@w1:100").unwrap();
+        assert!(!plan.is_recoverable());
+        assert!(!plan.crashes()[0].recoverable);
+        let mixed = FaultPlan::parse("faults-crash@w0:5-abort@w0:10").unwrap();
+        assert!(!mixed.is_recoverable());
+        assert_eq!(mixed.crashes().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_and_inconsistent_specs() {
+        for spec in [
+            "fault-crash@w0:1",                 // wrong prefix
+            "faults-crash@0:1",                 // missing `w`
+            "faults-crash@w0",                  // missing seq
+            "faults-stall@w0:2",                // missing `ms`
+            "faults-stall@w0:2000ms",           // over the cap
+            "faults-shed1.5",                   // probability out of range
+            "faults-shed1.0",                   // [0, 1) is half-open
+            "faults-seedx",                     // unparsable seed
+            "faults-explode@w0:1",              // unknown clause
+            "faults-crash@w0:1-crash@w0:1",     // duplicate crash point
+            "faults-stall@w0:1ms-stall@w0:2ms", // two stalls, one worker
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                err.to_string().contains("fault plan"),
+                "`{spec}` should fail with a fault-plan message, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_for_checks_worker_bounds() {
+        let plan = FaultPlan::parse("faults-crash@w2:100").unwrap();
+        assert!(plan.validate_for(3).is_ok());
+        assert!(plan.validate_for(2).is_err());
+        assert!(FaultPlan::parse("faults").unwrap().validate_for(1).is_ok());
+    }
+
+    #[test]
+    fn arm_compiles_per_worker_hooks_and_skips_fired_crashes() {
+        let plan = FaultPlan::parse("faults-crash@w1:10-crash@w1:30-stall@w0:1ms-shed0.5").unwrap();
+        assert!(plan.arm(2, 0).is_none(), "worker 2 has no scheduled faults");
+        let w0 = plan.arm(0, 0).unwrap();
+        assert!(w0.crashes().is_empty());
+        assert_eq!(w0.stall_duration(), Some(Duration::from_millis(1)));
+        let w1 = plan.arm(1, 0).unwrap();
+        assert_eq!(w1.crashes().len(), 2);
+        // After the first crash fired, the replacement arms only the rest.
+        let w1_after = plan.arm(1, 1).unwrap();
+        assert_eq!(w1_after.crashes(), &w1.crashes()[1..]);
+        assert!(plan.arm(1, 2).is_none(), "all crashes fired, no stall");
+        assert!(plan.shed_gate().is_some());
+        assert!(FaultPlan::parse("faults").unwrap().shed_gate().is_none());
+    }
+
+    #[test]
+    fn crash_cut_finds_the_first_request_at_or_past_the_trigger() {
+        let plan = FaultPlan::parse("faults-crash@w0:100").unwrap();
+        let hooks = plan.arm(0, 0).unwrap();
+        // The trigger seq itself need not appear in the stream.
+        let (at, point) = hooks.crash_cut([40, 90, 150, 200].into_iter()).unwrap();
+        assert_eq!(at, 2);
+        assert_eq!(point.seq, 100);
+        assert!(hooks.crash_cut([1, 2, 3].into_iter()).is_none());
+        let (at, _) = hooks.crash_cut([100].into_iter()).unwrap();
+        assert_eq!(at, 0, "a crash can cut a batch at its first request");
+    }
+
+    #[test]
+    fn shed_gate_is_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let mut gate = ShedGate::new(seed, 0.5);
+            (0..64).map(|_| gate.should_shed()).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        let sheds = draw(7).iter().filter(|&&s| s).count();
+        assert!((10..54).contains(&sheds), "p=0.5 over 64 draws: {sheds}");
+
+        let mut never = ShedGate::new(1, 0.0);
+        assert!((0..64).all(|_| !never.should_shed()));
+    }
+
+    #[test]
+    fn injected_crash_displays_and_fires_as_a_typed_panic() {
+        let crash = InjectedCrash {
+            worker: 3,
+            seq: 42,
+            recoverable: true,
+        };
+        assert!(crash.to_string().contains("worker 3"));
+        assert!(crash.to_string().contains("seq 42"));
+        silence_injected_panics();
+        let caught = std::panic::catch_unwind(|| crash.fire()).unwrap_err();
+        let payload = caught.downcast_ref::<InjectedCrash>().unwrap();
+        assert_eq!(*payload, crash);
+    }
+}

@@ -25,6 +25,14 @@
 //! scenario, or recorded trace replay — deterministically becomes directory
 //! traffic per `(workload, cores, seed)`.
 //!
+//! Workers run **supervised** ([`supervisor`]): a seeded [`FaultPlan`] can
+//! deterministically crash, stall, or shed against the service, and the
+//! supervisor recovers crashed workers by replaying the sequenced request
+//! journal — the post-recovery report is still bit-identical to the
+//! fault-free serial reference ([`ServiceReport::recovery_semantics`]).
+//! Unrecoverable crashes surface as [`ServiceError::WorkerCrashed`] instead
+//! of aborting the process.
+//!
 //! ```
 //! use ccd_service::{DirectoryService, LoadSpec, ServiceConfig};
 //!
@@ -37,7 +45,7 @@
 //! let serial = DirectoryService::build_standard(config)?.run_load_serial(&load)?;
 //! assert_eq!(report.semantics(), serial.semantics());
 //! assert_eq!(report.requests, 20_000);
-//! # Ok::<(), ccd_common::ConfigError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! [`Directory::apply_batch`]: ccd_directory::Directory::apply_batch
@@ -47,11 +55,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod load;
 pub mod request;
 pub mod service;
+pub mod supervisor;
 
 pub use config::{ServiceConfig, DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
+pub use error::ServiceError;
+pub use fault::{CrashPoint, FaultPlan, StallPoint};
 pub use load::{op_for, LoadSpec, OpStream};
 pub use request::{digest_outcomes, OutcomeRecord, Request};
 pub use service::{DirectoryService, ServiceReport, ServiceStats};

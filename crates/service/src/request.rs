@@ -1,6 +1,7 @@
 //! The service's wire types: sequence-numbered requests and the compact
 //! outcome log used to verify bit-identity against serial application.
 
+use ccd_common::stats::Fnv64;
 use ccd_directory::{DirectoryOp, Outcome};
 
 /// One coherence request in flight inside the service.
@@ -60,18 +61,6 @@ pub struct OutcomeRecord {
     pub detail: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-#[inline]
-fn fnv_u64(mut hash: u64, value: u64) -> u64 {
-    for byte in value.to_le_bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
 impl OutcomeRecord {
     /// Captures the outcome buffer of one applied request.  `shard` is the
     /// global shard index; eviction victim lines inside `out` are expected
@@ -79,14 +68,14 @@ impl OutcomeRecord {
     /// (both sides of the bit-identity comparison capture the same way).
     #[must_use]
     pub fn capture(seq: u64, shard: u32, out: &Outcome) -> Self {
-        let mut detail = FNV_OFFSET;
+        let mut detail = Fnv64::new();
         for cache in out.invalidate() {
-            detail = fnv_u64(detail, u64::from(cache.raw()));
+            detail.fold(u64::from(cache.raw()));
         }
         for eviction in out.forced_evictions() {
-            detail = fnv_u64(detail, eviction.line.block_number());
+            detail.fold(eviction.line.block_number());
             for cache in eviction.targets {
-                detail = fnv_u64(detail, u64::from(cache.raw()));
+                detail.fold(u64::from(cache.raw()));
             }
         }
         OutcomeRecord {
@@ -101,27 +90,26 @@ impl OutcomeRecord {
             failed: out.insertion_failed(),
             invalidated_all: out.invalidated_all(),
             removed_entry: out.removed_entry(),
-            detail,
+            detail: detail.finish(),
         }
     }
 
     /// Folds this record into a running FNV-1a digest (see
     /// [`digest_outcomes`]).
-    #[must_use]
-    pub fn fold(&self, mut hash: u64) -> u64 {
-        hash = fnv_u64(hash, self.seq);
-        hash = fnv_u64(hash, u64::from(self.shard));
-        hash = fnv_u64(hash, u64::from(self.attempts));
-        hash = fnv_u64(hash, u64::from(self.invalidations));
-        hash = fnv_u64(hash, u64::from(self.forced_evictions));
-        hash = fnv_u64(hash, u64::from(self.forced_invalidations));
+    pub fn fold(&self, digest: &mut Fnv64) {
+        digest
+            .fold(self.seq)
+            .fold(u64::from(self.shard))
+            .fold(u64::from(self.attempts))
+            .fold(u64::from(self.invalidations))
+            .fold(u64::from(self.forced_evictions))
+            .fold(u64::from(self.forced_invalidations));
         let flags = u64::from(self.hit)
             | u64::from(self.allocated) << 1
             | u64::from(self.failed) << 2
             | u64::from(self.invalidated_all) << 3
             | u64::from(self.removed_entry) << 4;
-        hash = fnv_u64(hash, flags);
-        fnv_u64(hash, self.detail)
+        digest.fold(flags).fold(self.detail);
     }
 }
 
@@ -133,9 +121,11 @@ impl OutcomeRecord {
 /// the golden check pins it.
 #[must_use]
 pub fn digest_outcomes(records: &[OutcomeRecord]) -> u64 {
-    records
-        .iter()
-        .fold(FNV_OFFSET, |hash, record| record.fold(hash))
+    let mut digest = Fnv64::new();
+    for record in records {
+        record.fold(&mut digest);
+    }
+    digest.finish()
 }
 
 #[cfg(test)]

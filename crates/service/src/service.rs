@@ -19,7 +19,8 @@
 //! offers drained batch buffers back on).  Batches are applied through the
 //! directories' own batched fast path — [`Directory::apply_batch`] when a
 //! worker owns a single shard, and the same window-prefetch discipline
-//! ([`Directory::prefetch_line`] per [`APPLY_BATCH_WINDOW`]) across shards
+//! ([`Directory::prefetch_line`] per [`ccd_directory::APPLY_BATCH_WINDOW`])
+//! across shards
 //! otherwise.
 //!
 //! # Determinism contract
@@ -41,16 +42,26 @@
 //! same per-shard streams on the calling thread with no channels at all.
 //! `crates/service/tests/service_determinism.rs` enforces this across
 //! scenario families, trace replays and (workers × shards) grids.
+//!
+//! The contract extends to **failure paths**: workers run supervised (see
+//! [`crate::supervisor`]), and when a worker crashes under a
+//! recoverable [`FaultPlan`](crate::fault::FaultPlan) the supervisor
+//! rebuilds its shards by deterministic replay of the sequenced request
+//! journal and resumes — the post-recovery report still matches the
+//! fault-free serial reference ([`ServiceReport::recovery_semantics`]).
+//! Unrecoverable crashes surface as
+//! [`crate::ServiceError::WorkerCrashed`]
+//! instead of aborting the process.
 
 use crate::config::ServiceConfig;
+use crate::error::ServiceError;
 use crate::load::LoadSpec;
-use crate::request::{digest_outcomes, OutcomeRecord, Request};
-use ccd_common::channel::{bounded, Receiver, Sender};
+use crate::request::{digest_outcomes, OutcomeRecord};
+use crate::supervisor;
 use ccd_common::stats::Counter;
 use ccd_common::{ConfigError, LineAddr};
 use ccd_directory::{
     BuilderRegistry, Directory, DirectoryOp, DirectorySpec, DirectoryStats, Outcome,
-    APPLY_BATCH_WINDOW,
 };
 use std::fmt;
 
@@ -72,6 +83,13 @@ pub struct ServiceStats {
     pub invalidations: Counter,
     /// Cached-block invalidations forced by directory-capacity conflicts.
     pub forced_invalidations: Counter,
+    /// Batch offers the admission-control gate shed (counted, then
+    /// re-offered — shedding never loses a request).  Always zero without
+    /// an armed `shed` fault clause.
+    pub shed: Counter,
+    /// Worker crashes the supervisor recovered from by journal replay.
+    /// Always zero without an armed `crash@` fault clause.
+    pub recoveries: Counter,
     /// Directory statistics merged across all shards, in shard order.
     pub directory: DirectoryStats,
 }
@@ -90,6 +108,8 @@ impl ServiceStats {
         self.requests.merge(&other.requests);
         self.invalidations.merge(&other.invalidations);
         self.forced_invalidations.merge(&other.forced_invalidations);
+        self.shed.merge(&other.shed);
+        self.recoveries.merge(&other.recoveries);
         self.directory.merge(&other.directory);
     }
 }
@@ -149,6 +169,44 @@ impl ServiceReport {
             self.outcome_digest,
         )
     }
+
+    /// The part of the report the **fault-recovery** determinism contract
+    /// covers: [`ServiceReport::semantics`] minus the two counters that
+    /// describe the failure handling itself ([`ServiceStats::shed`],
+    /// [`ServiceStats::recoveries`]).
+    ///
+    /// A run under a recoverable fault plan must match the fault-free
+    /// serial reference on this view: shedding and recovery may change how
+    /// work was scheduled and accounted, never what it computed.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn recovery_semantics(
+        &self,
+    ) -> (
+        &str,
+        usize,
+        u64,
+        usize,
+        (u64, u64, u64),
+        &DirectoryStats,
+        &[OutcomeRecord],
+        u64,
+    ) {
+        (
+            &self.organization,
+            self.shards,
+            self.requests,
+            self.entries,
+            (
+                self.stats.requests.get(),
+                self.stats.invalidations.get(),
+                self.stats.forced_invalidations.get(),
+            ),
+            &self.stats.directory,
+            &self.outcomes,
+            self.outcome_digest,
+        )
+    }
 }
 
 /// A built directory service: `shards` independent directory slices plus
@@ -156,9 +214,13 @@ impl ServiceReport {
 /// [`DirectoryService::run`] (concurrent) or
 /// [`DirectoryService::run_serial`] (the inline reference).
 pub struct DirectoryService {
-    config: ServiceConfig,
-    slices: Vec<Box<dyn Directory>>,
-    organization: String,
+    pub(crate) config: ServiceConfig,
+    pub(crate) slices: Vec<Box<dyn Directory>>,
+    pub(crate) organization: String,
+    /// Kept for the supervisor: a crashed worker's shards are rebuilt from
+    /// the same registry and per-shard spec the service was built from.
+    pub(crate) registry: BuilderRegistry,
+    pub(crate) slice_spec: DirectorySpec,
 }
 
 impl fmt::Debug for DirectoryService {
@@ -195,6 +257,8 @@ impl DirectoryService {
             config,
             slices,
             organization,
+            registry: registry.clone(),
+            slice_spec,
         })
     }
 
@@ -247,11 +311,11 @@ impl DirectoryService {
     ///
     /// # Errors
     ///
-    /// See [`DirectoryService::check_load`].
-    pub fn run_load(self, load: &LoadSpec) -> Result<ServiceReport, ConfigError> {
+    /// See [`DirectoryService::check_load`] and [`DirectoryService::run`].
+    pub fn run_load(self, load: &LoadSpec) -> Result<ServiceReport, ServiceError> {
         self.check_load(load)?;
         let ops = load.ops()?;
-        Ok(self.run(ops))
+        self.run(ops)
     }
 
     /// Streams `load` through the inline serial reference.
@@ -259,7 +323,7 @@ impl DirectoryService {
     /// # Errors
     ///
     /// See [`DirectoryService::check_load`].
-    pub fn run_load_serial(self, load: &LoadSpec) -> Result<ServiceReport, ConfigError> {
+    pub fn run_load_serial(self, load: &LoadSpec) -> Result<ServiceReport, ServiceError> {
         self.check_load(load)?;
         let ops = load.ops()?;
         Ok(self.run_serial(ops))
@@ -267,7 +331,7 @@ impl DirectoryService {
 
     /// Routes `op`'s line: the owning global shard and the shard-local line.
     #[inline]
-    fn route(shards: u64, line: LineAddr) -> (usize, LineAddr) {
+    pub(crate) fn route(shards: u64, line: LineAddr) -> (usize, LineAddr) {
         let block = line.block_number();
         (
             (block % shards) as usize,
@@ -275,80 +339,23 @@ impl DirectoryService {
         )
     }
 
-    /// Runs the service over `ops`: spawns one worker thread per configured
-    /// worker, ingests the stream in batches with backpressure from the
-    /// calling thread, drains everything, joins the workers and assembles
-    /// the snapshot.  See the module docs for the determinism contract.
-    #[must_use]
-    pub fn run(mut self, ops: impl Iterator<Item = DirectoryOp>) -> ServiceReport {
-        let shards = self.config.shards;
-        let workers = self.config.workers;
-        let batch = self.config.batch;
-        let record = self.config.record_outcomes;
-
-        // Distribute shard ownership: worker `w` owns global shards
-        // `w, w + W, w + 2W, …` — local index `i` is global `w + i·W`.
-        let mut owned: Vec<Vec<Box<dyn Directory>>> = (0..workers).map(|_| Vec::new()).collect();
-        for (global, slice) in self.slices.drain(..).enumerate() {
-            owned[global % workers].push(slice);
-        }
-
-        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
-            let mut txs: Vec<Sender<Vec<Request>>> = Vec::with_capacity(workers);
-            let mut recycle: Vec<Receiver<Vec<Request>>> = Vec::with_capacity(workers);
-            let mut handles = Vec::with_capacity(workers);
-            for (index, slices) in owned.into_iter().enumerate() {
-                let (tx, rx) = bounded::<Vec<Request>>(self.config.queue_depth);
-                // One spare slot beyond the queue depth so a worker's
-                // non-blocking buffer return almost never drops a buffer.
-                let (recycle_tx, recycle_rx) = bounded::<Vec<Request>>(self.config.queue_depth + 1);
-                txs.push(tx);
-                recycle.push(recycle_rx);
-                handles.push(
-                    scope.spawn(move || {
-                        worker_loop(index, workers, slices, &rx, &recycle_tx, record)
-                    }),
-                );
-            }
-
-            // The router: stamp, route, batch, send (blocking on a full
-            // queue — the service's backpressure towards the generator).
-            let mut staging: Vec<Vec<Request>> =
-                (0..workers).map(|_| Vec::with_capacity(batch)).collect();
-            for (seq, op) in ops.enumerate() {
-                let (shard, local) = Self::route(shards as u64, op.line());
-                let owner = shard % workers;
-                staging[owner].push(Request {
-                    seq: seq as u64,
-                    shard: (shard / workers) as u32,
-                    op: op.with_line(local),
-                });
-                if staging[owner].len() == batch {
-                    let fresh = recycle[owner]
-                        .try_recv()
-                        .unwrap_or_else(|| Vec::with_capacity(batch));
-                    let full = std::mem::replace(&mut staging[owner], fresh);
-                    if txs[owner].send(full).is_err() {
-                        // The worker is gone (it panicked); stop feeding and
-                        // let the join below surface the panic.
-                        break;
-                    }
-                }
-            }
-            for (owner, slot) in staging.into_iter().enumerate() {
-                if !slot.is_empty() {
-                    let _ = txs[owner].send(slot);
-                }
-            }
-            drop(txs);
-
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("service worker panicked"))
-                .collect()
-        });
-
-        finish(self.organization, shards, workers, outputs, record)
+    /// Runs the service over `ops`: spawns one supervised worker thread per
+    /// configured worker, ingests the stream in batches with backpressure
+    /// from the calling thread, drains everything, joins the workers and
+    /// assembles the snapshot.  See the module docs for the determinism
+    /// contract and [`crate::supervisor`] for the failure
+    /// handling.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::WorkerCrashed`] when a worker panics and the
+    /// supervisor cannot recover it: the panic was not an injected fault,
+    /// or the fault plan scheduled it as unrecoverable (`abort@`).
+    pub fn run(
+        self,
+        ops: impl Iterator<Item = DirectoryOp>,
+    ) -> Result<ServiceReport, ServiceError> {
+        supervisor::run_concurrent(self, ops)
     }
 
     /// The serial reference: applies the same per-shard streams inline on
@@ -376,25 +383,25 @@ impl DirectoryService {
             );
         }
         // One "worker" owning every shard in global order.
-        finish(self.organization, shards, 1, vec![output], record)
+        finish(self.organization, shards, 1, vec![output], record, 0, 0)
     }
 }
 
 /// What one worker hands back when its queue closes.
-struct WorkerOutput {
+pub(crate) struct WorkerOutput {
     /// The worker's index (`global shard = index + local · workers`).
-    index: usize,
+    pub(crate) index: usize,
     /// The owned slices, in local order.
-    slices: Vec<Box<dyn Directory>>,
-    outcomes: Vec<OutcomeRecord>,
-    applied: u64,
-    batches: u64,
-    invalidations: u64,
-    forced_invalidations: u64,
+    pub(crate) slices: Vec<Box<dyn Directory>>,
+    pub(crate) outcomes: Vec<OutcomeRecord>,
+    pub(crate) applied: u64,
+    pub(crate) batches: u64,
+    pub(crate) invalidations: u64,
+    pub(crate) forced_invalidations: u64,
 }
 
 impl WorkerOutput {
-    fn new(index: usize, slices: Vec<Box<dyn Directory>>) -> Self {
+    pub(crate) fn new(index: usize, slices: Vec<Box<dyn Directory>>) -> Self {
         WorkerOutput {
             index,
             slices,
@@ -407,87 +414,11 @@ impl WorkerOutput {
     }
 }
 
-/// One worker's drain loop: receive a batch, apply it through the batched
-/// fast path, account the outcomes, return the buffer, repeat until the
-/// ingestion side hangs up.
-fn worker_loop(
-    index: usize,
-    workers: usize,
-    slices: Vec<Box<dyn Directory>>,
-    rx: &Receiver<Vec<Request>>,
-    recycle_tx: &Sender<Vec<Request>>,
-    record: bool,
-) -> WorkerOutput {
-    let mut output = WorkerOutput::new(index, slices);
-    let mut out = Outcome::new();
-    let mut ops_buf: Vec<DirectoryOp> = Vec::new();
-    while let Some(mut requests) = rx.recv() {
-        output.batches += 1;
-        output.applied += requests.len() as u64;
-        if output.slices.len() == 1 {
-            // Single owned shard: the whole batch targets it, so the
-            // organization's own (possibly overridden) batched fast path
-            // applies directly.
-            ops_buf.clear();
-            ops_buf.extend(requests.iter().map(|r| r.op));
-            let global_shard = index as u32;
-            let mut at = 0usize;
-            let (slice, acc) = (&mut output.slices, &mut requests);
-            let mut absorb = |_op: &DirectoryOp, out: &Outcome| {
-                let seq = acc[at].seq;
-                at += 1;
-                // Inlined WorkerOutput::absorb (the closure cannot borrow
-                // `output` while `output.slices` is mutably borrowed).
-                absorb_into(
-                    &mut output.outcomes,
-                    &mut output.invalidations,
-                    &mut output.forced_invalidations,
-                    seq,
-                    global_shard,
-                    out,
-                    record,
-                );
-            };
-            slice[0].apply_batch(&ops_buf, &mut out, &mut absorb);
-        } else {
-            // Multiple shards: same window discipline as the default
-            // `apply_batch`, with each request prefetching and applying on
-            // its own shard.
-            let mut start = 0;
-            while start < requests.len() {
-                let end = (start + APPLY_BATCH_WINDOW).min(requests.len());
-                for request in &requests[start..end] {
-                    output.slices[request.shard as usize].prefetch_line(request.op.line());
-                }
-                for request in &requests[start..end] {
-                    output.slices[request.shard as usize].apply(request.op, &mut out);
-                    let global_shard = request.shard * workers as u32 + index as u32;
-                    absorb_into(
-                        &mut output.outcomes,
-                        &mut output.invalidations,
-                        &mut output.forced_invalidations,
-                        request.seq,
-                        global_shard,
-                        &out,
-                        record,
-                    );
-                }
-                start = end;
-            }
-        }
-        requests.clear();
-        // Non-blocking buffer return; on a full recycle ring the buffer is
-        // simply dropped and the router allocates a fresh one.
-        let _ = recycle_tx.try_send(requests);
-    }
-    output
-}
-
 /// The outcome-accounting kernel shared by both worker paths and the
 /// serial reference (free function so closures can borrow the output
 /// fields disjointly from the slices).
 #[allow(clippy::too_many_arguments)]
-fn absorb_into(
+pub(crate) fn absorb_into(
     outcomes: &mut Vec<OutcomeRecord>,
     invalidations: &mut u64,
     forced_invalidations: &mut u64,
@@ -505,13 +436,17 @@ fn absorb_into(
 
 /// Reassembles worker outputs into the final report: shards back into
 /// global order, per-shard statistics merged in that (fixed) order,
-/// outcome logs merged by sequence number.
-fn finish(
+/// outcome logs merged by sequence number.  `shed` and `recoveries` come
+/// from the supervisor (always 0 for serial runs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish(
     organization: String,
     shards: usize,
     workers: usize,
     mut outputs: Vec<WorkerOutput>,
     record: bool,
+    shed: u64,
+    recoveries: u64,
 ) -> ServiceReport {
     outputs.sort_by_key(|output| output.index);
     debug_assert!(outputs
@@ -530,6 +465,8 @@ fn finish(
         stats.forced_invalidations.add(output.forced_invalidations);
     }
     stats.requests.add(requests);
+    stats.shed.add(shed);
+    stats.recoveries.add(recoveries);
     // Per-shard statistics merge in global shard order — a fixed order, so
     // the float accumulators are reproducible at every worker count.  The
     // worker that owns global shard `g` is `g mod workers`; its local index
@@ -609,7 +546,7 @@ mod tests {
         let stream = ops(5_000);
         let serial = build(4, 1).run_serial(stream.iter().copied());
         for workers in [1, 2, 4] {
-            let report = build(4, workers).run(stream.iter().copied());
+            let report = build(4, workers).run(stream.iter().copied()).unwrap();
             assert_eq!(report.workers, workers);
             assert_eq!(
                 report.semantics(),
@@ -641,7 +578,8 @@ mod tests {
         let config = ServiceConfig::new("sparse-4x64-c8", 2, 2).with_outcomes(false);
         let report = DirectoryService::build_standard(config)
             .unwrap()
-            .run(stream.into_iter());
+            .run(stream.into_iter())
+            .unwrap();
         assert!(report.outcomes.is_empty());
         assert_eq!(report.outcome_digest, 0);
         assert_eq!(report.requests, 1_000);

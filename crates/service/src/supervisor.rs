@@ -1,0 +1,671 @@
+//! Worker supervision: crash detection, deterministic journal replay, and
+//! resilient batch delivery for [`DirectoryService::run`].
+//!
+//! # Supervision state machine
+//!
+//! ```text
+//!            spawn                    batch delivered
+//!   ┌──────────────────► RUNNING ◄───────────────────┐
+//!   │                       │                        │
+//!   │              panic (caught by the              │
+//!   │               worker's catch_unwind;           │
+//!   │               its Receiver drops, so           │
+//!   │               the router's next send           │
+//!   │               fails Disconnected)              │
+//!   │                       ▼                        │
+//!   │                    CRASHED                     │
+//!   │                       │ injected + recoverable │
+//!   │                       │ + journaled?           │
+//!   │            yes        ▼         no             │
+//!   │        ┌─────────► classify ──────────┐        │
+//!   │        ▼                              ▼        │
+//!   │   REBUILD shards              FAILED: shut down
+//!   │   REPLAY journal              every lane, join,
+//!   │     │    (armed: later        surface
+//!   │     │     crash points        ServiceError::
+//!   │     │     may re-fire —       WorkerCrashed
+//!   │     │     rebuild again)
+//!   │     ▼
+//!   └─ RESPAWN with the replayed state, re-offer the
+//!      undelivered batch, resume ─────────────────────┘
+//! ```
+//!
+//! # Why recovery preserves the digest
+//!
+//! The router journals every batch it *successfully delivers* to a worker
+//! with scheduled crash points (copied before the send; rolled back if the
+//! send fails).  A worker's unwind destroys its shards and all its
+//! accounting, so recovery starts from nothing: fresh shards built from
+//! the same registry and per-shard spec, then the journal — the worker's
+//! exact request subsequence, in FIFO order — replayed through the *same*
+//! batch-application code the live worker runs.  Replay is therefore not
+//! approximately equivalent to the lost work; it is the same fold over the
+//! same sequence, so the recovered worker's outcome records, statistics
+//! and shard contents are bit-identical to a run in which the crash never
+//! happened.  The undelivered batch that surfaced the disconnect was
+//! rolled back out of the journal and is re-offered to the replacement, so
+//! nothing is lost or applied twice.
+//!
+//! Replay runs with the remaining crash points still armed: a second crash
+//! point whose trigger lies inside the journaled range fires *during
+//! replay* (the supervisor just rebuilds and replays again), which is what
+//! makes the total number of recoveries — and with it
+//! [`ServiceStats::recoveries`](crate::ServiceStats::recoveries) —
+//! independent of detection timing.  Scheduled stalls are skipped during
+//! replay; they are pure latency and replay owes nobody latency.
+//!
+//! # Delivery resilience
+//!
+//! Sends use [`Sender::send_timeout`] under a deterministic bounded
+//! exponential [`Backoff`] of virtual ticks (no wall-clock reads): a full
+//! queue is retried with geometrically longer bounded waits, and every
+//! expiry re-checks for a disconnect, so a stalled worker is probed gently
+//! while a crashed one is still detected promptly.  When a fault plan
+//! sheds, the seeded admission gate may reject (and count) an offer before
+//! it is retried — shedding perturbs scheduling and the
+//! [`ServiceStats::shed`](crate::ServiceStats::shed) counter, never
+//! results.  When a run fails, the supervisor closes every lane with
+//! [`Sender::shutdown`] so healthy workers abandon their backlogs instead
+//! of draining work nobody will read.
+//!
+//! [`DirectoryService::run`]: crate::DirectoryService::run
+
+use crate::error::ServiceError;
+use crate::fault::{silence_injected_panics, FaultPlan, InjectedCrash, ShedGate, WorkerFaults};
+use crate::request::Request;
+use crate::service::{absorb_into, finish, DirectoryService, ServiceReport, WorkerOutput};
+use ccd_common::channel::{bounded, Backoff, Receiver, SendTimeoutError, Sender};
+use ccd_directory::{
+    BuilderRegistry, Directory, DirectoryOp, DirectorySpec, Outcome, APPLY_BATCH_WINDOW,
+};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::{Scope, ScopedJoinHandle};
+
+/// First tick budget of the delivery backoff schedule.
+pub(crate) const SEND_BACKOFF_START: u32 = 1;
+
+/// Tick-budget cap of the delivery backoff schedule (1024 ticks ≈ 100ms of
+/// bounded waiting per round at [`ccd_common::channel::TICK`]).
+pub(crate) const SEND_BACKOFF_MAX: u32 = 1024;
+
+/// Everything about a run that never changes while it executes.
+struct RunEnv {
+    registry: BuilderRegistry,
+    slice_spec: DirectorySpec,
+    plan: Option<FaultPlan>,
+    /// Per worker: does the plan schedule crash points for it?  Only those
+    /// workers pay for journaling; for everyone else the fault layer costs
+    /// one `Option` check per batch.
+    journaled: Vec<bool>,
+    workers: usize,
+    shards: usize,
+    batch: usize,
+    queue_depth: usize,
+    record: bool,
+}
+
+impl RunEnv {
+    /// Number of shards worker `w` owns (`w, w + W, w + 2W, …`).
+    fn owned_shards(&self, worker: usize) -> usize {
+        (self.shards - worker).div_ceil(self.workers)
+    }
+
+    /// Builds fresh, empty slices for worker `w`'s shards.
+    fn rebuild_slices(&self, worker: usize) -> Result<Vec<Box<dyn Directory>>, ServiceError> {
+        (0..self.owned_shards(worker))
+            .map(|_| self.registry.build(&self.slice_spec))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ServiceError::from)
+    }
+}
+
+/// What a dead worker left behind: who, why, and whether the panic was a
+/// scheduled injection.
+struct CrashNote {
+    worker: usize,
+    cause: String,
+    injected: Option<InjectedCrash>,
+}
+
+impl CrashNote {
+    fn new(worker: usize, payload: Box<dyn Any + Send>) -> Self {
+        let injected = payload.downcast_ref::<InjectedCrash>().copied();
+        let cause = match injected {
+            Some(crash) => crash.to_string(),
+            None => payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string()),
+        };
+        CrashNote {
+            worker,
+            cause,
+            injected,
+        }
+    }
+
+    fn into_error(self) -> ServiceError {
+        ServiceError::WorkerCrashed {
+            worker: self.worker,
+            cause: self.cause,
+        }
+    }
+}
+
+/// The supervisor's mutable view of the worker fleet.
+struct Supervisor<'scope> {
+    txs: Vec<Sender<Vec<Request>>>,
+    recycles: Vec<Receiver<Vec<Request>>>,
+    handles: Vec<Option<ScopedJoinHandle<'scope, Result<WorkerOutput, CrashNote>>>>,
+    /// Per worker: every request successfully delivered so far, in FIFO
+    /// order (empty for non-journaled workers).
+    journals: Vec<Vec<Request>>,
+    /// Per worker: how many of its crash points have fired.
+    fired: Vec<usize>,
+    gate: Option<ShedGate>,
+    shed: u64,
+    recoveries: u64,
+}
+
+impl<'scope> Supervisor<'scope> {
+    /// Spawns the initial fleet.
+    fn launch<'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        env: &RunEnv,
+        owned: Vec<Vec<Box<dyn Directory>>>,
+    ) -> Self {
+        let mut sup = Supervisor {
+            txs: Vec::with_capacity(env.workers),
+            recycles: Vec::with_capacity(env.workers),
+            handles: Vec::with_capacity(env.workers),
+            journals: (0..env.workers).map(|_| Vec::new()).collect(),
+            fired: vec![0; env.workers],
+            gate: env.plan.as_ref().and_then(FaultPlan::shed_gate),
+            shed: 0,
+            recoveries: 0,
+        };
+        for (index, slices) in owned.into_iter().enumerate() {
+            let hooks = env.plan.as_ref().and_then(|p| p.arm(index, 0));
+            let (tx, recycle_rx, handle) =
+                spawn_worker(scope, env, WorkerOutput::new(index, slices), hooks);
+            sup.txs.push(tx);
+            sup.recycles.push(recycle_rx);
+            sup.handles.push(Some(handle));
+        }
+        sup
+    }
+
+    /// Delivers one admitted batch to `owner`, riding out stalls (bounded
+    /// backoff), shedding (counted, re-offered) and crashes (recover, then
+    /// re-offer).  On success the batch — journaled if the owner is — is
+    /// in the owner's queue.
+    fn deliver<'env>(
+        &mut self,
+        scope: &'scope Scope<'scope, 'env>,
+        env: &RunEnv,
+        owner: usize,
+        batch: Vec<Request>,
+    ) -> Result<(), ServiceError> {
+        // Admission control: draw the gate once per shed rejection plus
+        // the final admission.  The decision stream is consumed only here,
+        // on the single router thread, in offer order — deterministic.
+        if let Some(gate) = self.gate.as_mut() {
+            while gate.should_shed() {
+                self.shed += 1;
+            }
+        }
+        if env.journaled[owner] {
+            self.journals[owner].extend_from_slice(&batch);
+        }
+        let mut pending = batch;
+        let mut backoff = Backoff::new(SEND_BACKOFF_START, SEND_BACKOFF_MAX);
+        loop {
+            match self.txs[owner].send_timeout(pending, backoff.next_ticks()) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::TimedOut(batch)) => {
+                    // Queue full; the worker is alive but slow (or
+                    // stalled).  Wait a deterministically longer bounded
+                    // interval and re-offer.
+                    pending = batch;
+                }
+                Err(SendTimeoutError::Disconnected(batch)) => {
+                    // This batch was never delivered: roll it back out of
+                    // the journal so recovery does not replay it…
+                    if env.journaled[owner] {
+                        let keep = self.journals[owner].len().saturating_sub(batch.len());
+                        self.journals[owner].truncate(keep);
+                    }
+                    self.recover(scope, env, owner)?;
+                    // …then re-journal and re-offer it to the replacement
+                    // on a fresh backoff schedule.  No new gate draw: the
+                    // batch was already admitted.
+                    if env.journaled[owner] {
+                        self.journals[owner].extend_from_slice(&batch);
+                    }
+                    pending = batch;
+                    backoff = Backoff::new(SEND_BACKOFF_START, SEND_BACKOFF_MAX);
+                }
+            }
+        }
+    }
+
+    /// Handles a detected crash of `owner`: joins the corpse, classifies
+    /// the panic, and — when it was a scheduled recoverable injection on a
+    /// journaled worker — rebuilds the worker's shards by replay and
+    /// respawns it.  Anything else is fatal for the run.
+    fn recover<'env>(
+        &mut self,
+        scope: &'scope Scope<'scope, 'env>,
+        env: &RunEnv,
+        owner: usize,
+    ) -> Result<(), ServiceError> {
+        let note = self.join_corpse(owner);
+        match note.injected {
+            Some(crash) if crash.recoverable && env.journaled[owner] => {
+                self.fired[owner] += 1;
+                self.recoveries += 1;
+            }
+            _ => return Err(note.into_error()),
+        }
+        let output = self.replay(env, owner)?;
+        let hooks = env
+            .plan
+            .as_ref()
+            .and_then(|p| p.arm(owner, self.fired[owner]));
+        let (tx, recycle_rx, handle) = spawn_worker(scope, env, output, hooks);
+        self.txs[owner] = tx;
+        self.recycles[owner] = recycle_rx;
+        self.handles[owner] = Some(handle);
+        Ok(())
+    }
+
+    /// Rebuilds `owner`'s state by replaying its journal onto fresh
+    /// shards, looping while armed crash points keep firing mid-replay.
+    /// Terminates: every iteration either completes, fails, or advances
+    /// `fired` (bounded by the plan's crash-point count).
+    fn replay(&mut self, env: &RunEnv, owner: usize) -> Result<WorkerOutput, ServiceError> {
+        loop {
+            let slices = env.rebuild_slices(owner)?;
+            let hooks = env
+                .plan
+                .as_ref()
+                .and_then(|p| p.arm(owner, self.fired[owner]));
+            match replay_journal(owner, slices, &self.journals[owner], env, hooks) {
+                Ok(output) => return Ok(output),
+                Err(note) => match note.injected {
+                    Some(crash) if crash.recoverable => {
+                        self.fired[owner] += 1;
+                        self.recoveries += 1;
+                    }
+                    _ => return Err(note.into_error()),
+                },
+            }
+        }
+    }
+
+    /// Joins a worker whose channel disconnected and distills its crash
+    /// note.
+    fn join_corpse(&mut self, owner: usize) -> CrashNote {
+        let Some(handle) = self.handles[owner].take() else {
+            return CrashNote {
+                worker: owner,
+                cause: "supervisor lost the worker's join handle".to_string(),
+                injected: None,
+            };
+        };
+        match handle.join() {
+            Ok(Err(note)) => note,
+            Ok(Ok(_)) => CrashNote {
+                // A clean exit with the ingestion side still open cannot
+                // happen unless the worker's receiver was torn down some
+                // other way; treat it as an unrecoverable crash.
+                worker: owner,
+                cause: "worker exited while its queue was still open".to_string(),
+                injected: None,
+            },
+            // A panic that escaped the worker's own catch_unwind.
+            Err(payload) => CrashNote::new(owner, payload),
+        }
+    }
+
+    /// Closes every lane by explicit shutdown: healthy workers abandon
+    /// their backlogs and exit promptly instead of draining results the
+    /// failed run will never report.
+    fn abort(&self) {
+        for tx in &self.txs {
+            tx.shutdown();
+        }
+    }
+
+    /// Ends ingestion (drops every sender) and joins the fleet,
+    /// recovering workers that crashed after their last delivery: with the
+    /// stream over, their full journals *are* their final state, so replay
+    /// alone finishes the job — no respawn.
+    fn join_all(mut self, env: &RunEnv) -> Result<(Vec<WorkerOutput>, u64, u64), ServiceError> {
+        self.txs.clear();
+        let mut outputs = Vec::with_capacity(env.workers);
+        for owner in 0..env.workers {
+            let Some(handle) = self.handles[owner].take() else {
+                continue;
+            };
+            let note = match handle.join() {
+                Ok(Ok(output)) => {
+                    outputs.push(output);
+                    continue;
+                }
+                Ok(Err(note)) => note,
+                Err(payload) => CrashNote::new(owner, payload),
+            };
+            match note.injected {
+                Some(crash) if crash.recoverable && env.journaled[owner] => {
+                    self.fired[owner] += 1;
+                    self.recoveries += 1;
+                }
+                _ => {
+                    self.abort();
+                    return Err(note.into_error());
+                }
+            }
+            match self.replay(env, owner) {
+                Ok(output) => outputs.push(output),
+                Err(err) => {
+                    self.abort();
+                    return Err(err);
+                }
+            }
+        }
+        Ok((outputs, self.shed, self.recoveries))
+    }
+}
+
+/// Runs the concurrent service under supervision.  See the module docs.
+pub(crate) fn run_concurrent(
+    mut service: DirectoryService,
+    ops: impl Iterator<Item = DirectoryOp>,
+) -> Result<ServiceReport, ServiceError> {
+    let workers = service.config.workers;
+    let shards = service.config.shards;
+    let batch = service.config.batch;
+    let record = service.config.record_outcomes;
+    let plan = service.config.fault_plan.clone().filter(|p| !p.is_noop());
+    if plan.as_ref().is_some_and(|p| !p.crashes().is_empty()) {
+        silence_injected_panics();
+    }
+    let journaled = (0..workers)
+        .map(|w| {
+            plan.as_ref()
+                .is_some_and(|p| p.crashes().iter().any(|c| c.worker == w))
+        })
+        .collect();
+    let env = RunEnv {
+        registry: service.registry.clone(),
+        slice_spec: service.slice_spec.clone(),
+        plan,
+        journaled,
+        workers,
+        shards,
+        batch,
+        queue_depth: service.config.queue_depth,
+        record,
+    };
+    let organization = std::mem::take(&mut service.organization);
+
+    // Distribute shard ownership: worker `w` owns global shards
+    // `w, w + W, w + 2W, …` — local index `i` is global `w + i·W`.
+    let mut owned: Vec<Vec<Box<dyn Directory>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (global, slice) in service.slices.drain(..).enumerate() {
+        owned[global % workers].push(slice);
+    }
+
+    let (outputs, shed, recoveries) = std::thread::scope(|scope| {
+        let mut sup = Supervisor::launch(scope, &env, owned);
+
+        // The router: stamp, route, batch, deliver (with backpressure
+        // towards the generator and supervision towards the workers).
+        let mut staging: Vec<Vec<Request>> =
+            (0..workers).map(|_| Vec::with_capacity(batch)).collect();
+        let routed = (|| -> Result<(), ServiceError> {
+            for (seq, op) in ops.enumerate() {
+                let (shard, local) = DirectoryService::route(shards as u64, op.line());
+                let owner = shard % workers;
+                staging[owner].push(Request {
+                    seq: seq as u64,
+                    shard: (shard / workers) as u32,
+                    op: op.with_line(local),
+                });
+                if staging[owner].len() == batch {
+                    let fresh = sup.recycles[owner]
+                        .try_recv()
+                        .unwrap_or_else(|| Vec::with_capacity(batch));
+                    let full = std::mem::replace(&mut staging[owner], fresh);
+                    sup.deliver(scope, &env, owner, full)?;
+                }
+            }
+            for (owner, slot) in staging.drain(..).enumerate() {
+                if !slot.is_empty() {
+                    sup.deliver(scope, &env, owner, slot)?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(err) = routed {
+            sup.abort();
+            return Err(err);
+        }
+        sup.join_all(&env)
+    })?;
+
+    Ok(finish(
+        organization,
+        shards,
+        workers,
+        outputs,
+        record,
+        shed,
+        recoveries,
+    ))
+}
+
+/// Spawns one supervised worker.  The worker's entire body — including its
+/// [`Receiver`] — lives inside a `catch_unwind`, so an unwinding panic
+/// drops the receiver (failing the router's next send: that is the crash
+/// *detection* path) and surfaces as an orderly `Err(CrashNote)` through
+/// `join` (the crash *classification* path), never as a process abort.
+type WorkerLanes<'scope> = (
+    Sender<Vec<Request>>,
+    Receiver<Vec<Request>>,
+    ScopedJoinHandle<'scope, Result<WorkerOutput, CrashNote>>,
+);
+
+fn spawn_worker<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    env: &RunEnv,
+    output: WorkerOutput,
+    hooks: Option<WorkerFaults>,
+) -> WorkerLanes<'scope> {
+    let (tx, rx) = bounded::<Vec<Request>>(env.queue_depth);
+    // One spare slot beyond the queue depth so a worker's non-blocking
+    // buffer return almost never drops a buffer.
+    let (recycle_tx, recycle_rx) = bounded::<Vec<Request>>(env.queue_depth + 1);
+    let workers = env.workers;
+    let record = env.record;
+    let handle = scope.spawn(move || drive_worker(output, workers, rx, recycle_tx, record, hooks));
+    (tx, recycle_rx, handle)
+}
+
+/// One worker's supervised drain loop: receive a batch, fire any scheduled
+/// fault, apply the batch through the batched fast path, account the
+/// outcomes, return the buffer, repeat until the ingestion side hangs up
+/// or shuts down.
+fn drive_worker(
+    output: WorkerOutput,
+    workers: usize,
+    rx: Receiver<Vec<Request>>,
+    recycle_tx: Sender<Vec<Request>>,
+    record: bool,
+    hooks: Option<WorkerFaults>,
+) -> Result<WorkerOutput, CrashNote> {
+    let worker = output.index;
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut output = output;
+        let mut out = Outcome::new();
+        let mut ops_buf: Vec<DirectoryOp> = Vec::new();
+        // Both a natural end of stream (Disconnected) and a supervisor
+        // abort (Shutdown) end the loop; the distinction matters to the
+        // supervisor, not to the worker.
+        while let Ok(mut requests) = rx.recv() {
+            output.batches += 1;
+            if let Some(hooks) = hooks.as_ref() {
+                hooks.stall();
+                if let Some((cut, point)) = hooks.crash_cut(requests.iter().map(|r| r.seq)) {
+                    // Apply the prefix normally, then die exactly where
+                    // the plan says — before the first request with
+                    // `seq >= the trigger`.
+                    apply_requests(
+                        &mut output,
+                        &requests[..cut],
+                        workers,
+                        record,
+                        &mut out,
+                        &mut ops_buf,
+                    );
+                    InjectedCrash {
+                        worker: output.index,
+                        seq: requests[cut].seq,
+                        recoverable: point.recoverable,
+                    }
+                    .fire();
+                }
+            }
+            apply_requests(
+                &mut output,
+                &requests,
+                workers,
+                record,
+                &mut out,
+                &mut ops_buf,
+            );
+            requests.clear();
+            // Non-blocking buffer return; on a full recycle ring the
+            // buffer is simply dropped and the router allocates fresh.
+            let _ = recycle_tx.try_send(requests);
+        }
+        output
+    }))
+    .map_err(|payload| CrashNote::new(worker, payload))
+}
+
+/// Replays a journal onto fresh slices, producing the `WorkerOutput` the
+/// dead worker would have accumulated had it applied exactly these
+/// requests.  Remaining crash points stay armed (see the module docs);
+/// stalls do not.
+fn replay_journal(
+    worker: usize,
+    slices: Vec<Box<dyn Directory>>,
+    journal: &[Request],
+    env: &RunEnv,
+    hooks: Option<WorkerFaults>,
+) -> Result<WorkerOutput, CrashNote> {
+    let workers = env.workers;
+    let record = env.record;
+    let batch = env.batch.max(1);
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut output = WorkerOutput::new(worker, slices);
+        let mut out = Outcome::new();
+        let mut ops_buf: Vec<DirectoryOp> = Vec::new();
+        for chunk in journal.chunks(batch) {
+            output.batches += 1;
+            if let Some(hooks) = hooks.as_ref() {
+                if let Some((cut, point)) = hooks.crash_cut(chunk.iter().map(|r| r.seq)) {
+                    apply_requests(
+                        &mut output,
+                        &chunk[..cut],
+                        workers,
+                        record,
+                        &mut out,
+                        &mut ops_buf,
+                    );
+                    InjectedCrash {
+                        worker,
+                        seq: chunk[cut].seq,
+                        recoverable: point.recoverable,
+                    }
+                    .fire();
+                }
+            }
+            apply_requests(&mut output, chunk, workers, record, &mut out, &mut ops_buf);
+        }
+        output
+    }))
+    .map_err(|payload| CrashNote::new(worker, payload))
+}
+
+/// The shared batch-application kernel: exactly this code runs in live
+/// workers and in recovery replay, which is half of the digest-identity
+/// argument (the other half is the journal being the worker's exact
+/// delivered subsequence).
+fn apply_requests(
+    output: &mut WorkerOutput,
+    requests: &[Request],
+    workers: usize,
+    record: bool,
+    out: &mut Outcome,
+    ops_buf: &mut Vec<DirectoryOp>,
+) {
+    output.applied += requests.len() as u64;
+    if output.slices.len() == 1 {
+        // Single owned shard: the whole batch targets it, so the
+        // organization's own (possibly overridden) batched fast path
+        // applies directly.
+        ops_buf.clear();
+        ops_buf.extend(requests.iter().map(|r| r.op));
+        let global_shard = output.index as u32;
+        let mut at = 0usize;
+        let (slices, outcomes) = (&mut output.slices, &mut output.outcomes);
+        let (invalidations, forced) = (&mut output.invalidations, &mut output.forced_invalidations);
+        let mut absorb = |_op: &DirectoryOp, out: &Outcome| {
+            let seq = requests[at].seq;
+            at += 1;
+            // The closure borrows the accounting fields disjointly from
+            // the mutably borrowed slice.
+            absorb_into(
+                outcomes,
+                invalidations,
+                forced,
+                seq,
+                global_shard,
+                out,
+                record,
+            );
+        };
+        slices[0].apply_batch(ops_buf, out, &mut absorb);
+    } else {
+        // Multiple shards: same window discipline as the default
+        // `apply_batch`, with each request prefetching and applying on its
+        // own shard.
+        let index = output.index as u32;
+        let mut start = 0;
+        while start < requests.len() {
+            let end = (start + APPLY_BATCH_WINDOW).min(requests.len());
+            for request in &requests[start..end] {
+                output.slices[request.shard as usize].prefetch_line(request.op.line());
+            }
+            for request in &requests[start..end] {
+                output.slices[request.shard as usize].apply(request.op, out);
+                let global_shard = request.shard * workers as u32 + index;
+                absorb_into(
+                    &mut output.outcomes,
+                    &mut output.invalidations,
+                    &mut output.forced_invalidations,
+                    request.seq,
+                    global_shard,
+                    out,
+                    record,
+                );
+            }
+            start = end;
+        }
+    }
+}

@@ -1,8 +1,10 @@
-//! Quick service smoke test, honoring `CCD_WORKERS`.
+//! Quick service smoke test, honoring `CCD_WORKERS` and `CCD_FAULTS`.
 //!
 //! CI runs this under `CCD_WORKERS=1` and `CCD_WORKERS=4`, so the inline
 //! single-worker topology and a genuinely concurrent one are both
-//! exercised against the serial reference on every push.
+//! exercised against the serial reference on every push — plus a
+//! `CCD_FAULTS` variant that arms a crash plan and checks the service
+//! recovers to the same answer.
 
 use ccd_service::{DirectoryService, LoadSpec, ServiceConfig};
 
@@ -21,6 +23,17 @@ fn workers_from_env() -> usize {
     }
 }
 
+/// An optional `faults-…` spec string (see `ccd_service::FaultPlan`) armed
+/// on the concurrent run only.  Bad specs fail loudly, never silently.
+fn fault_spec_from_env() -> Option<String> {
+    match std::env::var("CCD_FAULTS") {
+        Err(std::env::VarError::NotPresent) => None,
+        Ok(raw) if raw.trim().is_empty() => None,
+        Ok(raw) => Some(raw.trim().to_string()),
+        Err(e) => panic!("CCD_FAULTS unreadable: {e:?}"),
+    }
+}
+
 #[test]
 fn smoke_service_matches_serial_at_the_env_worker_count() {
     let workers = workers_from_env();
@@ -35,18 +48,37 @@ fn smoke_service_matches_serial_at_the_env_worker_count() {
             .expect("smoke topology builds")
             .run_load_serial(&load)
             .expect("serial reference runs");
-    let report =
-        DirectoryService::build_standard(ServiceConfig::new("cuckoo-4x4096-c16", shards, workers))
-            .expect("smoke topology builds")
-            .run_load(&load)
-            .expect("service runs");
+    let mut config = ServiceConfig::new("cuckoo-4x4096-c16", shards, workers);
+    let faults = fault_spec_from_env();
+    if let Some(spec) = &faults {
+        config = config
+            .with_fault_spec(spec)
+            .unwrap_or_else(|e| panic!("CCD_FAULTS `{spec}`: {e}"));
+    }
+    let report = DirectoryService::build_standard(config)
+        .expect("smoke topology builds")
+        .run_load(&load)
+        .expect("service runs (and recovers, under CCD_FAULTS)");
 
     assert_eq!(report.workers, workers);
     assert_eq!(report.requests, 30_000);
     assert!(report.stats.directory.insertions.get() > 0);
-    assert_eq!(
-        report.semantics(),
-        serial.semantics(),
-        "service with {workers} workers must match serial application"
-    );
+    if faults.is_some() {
+        // Under an armed fault plan the `shed`/`recoveries` counters may
+        // differ from the (fault-free) serial reference; everything the
+        // service *computed* must still match.
+        assert_eq!(
+            report.recovery_semantics(),
+            serial.recovery_semantics(),
+            "service with {workers} workers under `{:?}` must recover to \
+             the serial answer",
+            faults
+        );
+    } else {
+        assert_eq!(
+            report.semantics(),
+            serial.semantics(),
+            "service with {workers} workers must match serial application"
+        );
+    }
 }
