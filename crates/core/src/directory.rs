@@ -15,7 +15,9 @@
 
 use crate::{config::CuckooConfig, table::CuckooTable};
 use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
-use ccd_directory::{Directory, DirectoryOp, DirectoryStats, Outcome, StorageProfile};
+use ccd_directory::{
+    Directory, DirectoryOp, DirectoryStats, Outcome, ProbeVariant, StorageProfile,
+};
 use ccd_sharers::SharerSet;
 
 /// A Cuckoo directory slice: a d-ary cuckoo hash table of sharer sets.
@@ -31,12 +33,25 @@ impl<S: SharerSet> CuckooDirectory<S> {
     ///
     /// # Errors
     ///
-    /// Returns the [`ConfigError`] produced by [`CuckooConfig::validate`] or
-    /// by the hash-family construction.
+    /// Returns the [`ConfigError`] produced by [`CuckooConfig::validate`],
+    /// by the hash-family construction, by an invalid probe-variant request
+    /// (e.g. `localized` without the `tagalt` family), or by a malformed
+    /// `CCD_PROBE` environment override.
     pub fn new(config: CuckooConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let mut table =
-            CuckooTable::new(config.ways, config.sets, config.hash_kind, config.hash_seed)?;
+        // Probe resolution: an explicit config pin wins, then the CCD_PROBE
+        // environment override, then the table's auto-selection (`None`).
+        let probe = match config.probe {
+            Some(variant) => Some(variant),
+            None => ProbeVariant::from_env()?,
+        };
+        let mut table = CuckooTable::with_variant(
+            config.ways,
+            config.sets,
+            config.hash_kind,
+            config.hash_seed,
+            probe,
+        )?;
         table.set_max_attempts(config.max_insertion_attempts);
         Ok(CuckooDirectory {
             config,
@@ -61,6 +76,13 @@ impl<S: SharerSet> CuckooDirectory<S> {
     #[must_use]
     pub fn sets(&self) -> usize {
         self.config.sets
+    }
+
+    /// The tag-probe kernel the underlying table resolved to (explicit pin,
+    /// `CCD_PROBE` override, or auto-selection).
+    #[must_use]
+    pub fn probe_variant(&self) -> ProbeVariant {
+        self.table.probe_variant()
     }
 
     /// Looks `line` up and, if absent, inserts a fresh entry via the cuckoo
@@ -112,10 +134,18 @@ impl<S: SharerSet> CuckooDirectory<S> {
 
 impl<S: SharerSet> Directory for CuckooDirectory<S> {
     fn organization(&self) -> String {
-        format!(
+        // Only an *explicit* probe pin is part of the organization label: a
+        // CCD_PROBE environment override changes the kernel but never the
+        // label, so golden result files diff byte-identically under it.
+        let mut label = format!(
             "cuckoo-{}x{}-{}",
             self.config.ways, self.config.sets, self.config.hash_kind
-        )
+        );
+        if let Some(probe) = self.config.probe {
+            label.push('-');
+            label.push_str(&probe.to_string());
+        }
+        label
     }
 
     fn num_caches(&self) -> usize {

@@ -52,20 +52,25 @@ pub mod config;
 pub mod directory;
 #[doc(hidden)]
 pub mod seed_reference;
+pub mod simd;
 pub mod table;
 
 pub use config::CuckooConfig;
 pub use directory::CuckooDirectory;
+pub use simd::VectorEngine;
 pub use table::{CuckooTable, FindOrInsert, InsertOutcome, PREFETCH_WINDOW};
 
 use ccd_common::ConfigError;
 use ccd_directory::{match_sharer_format, BuilderRegistry, Directory, DirectorySpec};
 use ccd_hash::HashKind;
 
-/// The registry builder for `cuckoo-WxS[-hash]` specs.
+/// The registry builder for `cuckoo-WxS[-hash][-probe]` specs.
 fn build_cuckoo(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
-    let config = CuckooConfig::new(spec.ways, spec.sets, spec.caches)
+    let mut config = CuckooConfig::new(spec.ways, spec.sets, spec.caches)
         .with_hash_kind(spec.hash.unwrap_or(HashKind::Skewing));
+    if let Some(probe) = spec.probe {
+        config = config.with_probe(probe);
+    }
     Ok(match_sharer_format!(spec.sharers, S => {
         Box::new(CuckooDirectory::<S>::new(config)?)
     }))
@@ -163,5 +168,24 @@ mod tests {
         assert_eq!(dir.num_caches(), 16);
         let full = registry.build_str("cuckoo-3x8192-strong-c16@full").unwrap();
         assert!(dir.storage_profile().total_bits < full.storage_profile().total_bits);
+    }
+
+    #[test]
+    fn registry_cuckoo_honours_probe_modifiers() {
+        let registry = standard_registry();
+        // An explicit probe pin round-trips through the organization label.
+        let dir = registry
+            .build_str("cuckoo-4x1024-tagalt-localized")
+            .unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x1024-tagalt-localized");
+        let dir = registry.build_str("cuckoo-4x512-strong-simd-c16").unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x512-strong-simd");
+        // Without a pin the label is unchanged from the seed, whatever the
+        // table auto-selected.
+        let dir = registry.build_str("cuckoo-4x512-skew").unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x512-skewing");
+        // Impossible combinations surface the table's validation error.
+        assert!(registry.build_str("cuckoo-4x512-strong-localized").is_err());
+        assert!(registry.build_str("cuckoo-8x512-tagalt-localized").is_err());
     }
 }

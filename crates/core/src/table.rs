@@ -11,7 +11,7 @@
 //! # Storage layout
 //!
 //! The table stores its slots struct-of-arrays across three parallel dense
-//! arrays, all indexed `way * sets + set_index`:
+//! arrays.  `keys` and `values` are always indexed `way * sets + set_index`:
 //!
 //! * `tags` — one byte per slot: `EMPTY_TAG` (0) for a vacant slot, or a
 //!   7-bit key fingerprint with the high bit set for an occupied one.  The
@@ -21,14 +21,30 @@
 //! * `values` — the payloads, kept as `MaybeUninit<V>` and only initialized
 //!   where `tags` is occupied.
 //!
-//! A probe gathers the candidate tag of every way into a single integer and
-//! compares all of them branchlessly with SWAR arithmetic (one XOR-subtract-
-//! mask sequence matches up to eight tags at once); only ways whose tag
-//! matches the key's fingerprint are confirmed with a full key compare, so a
-//! negative lookup usually performs **zero** key loads.  Because occupied
-//! tags always have their high bit set and the empty tag is zero, the
-//! vacancy scan is exact (no false positives) and the fingerprint scan can
-//! only over-approximate — which the key confirmation filters.
+//! A probe reduces to *which candidate tags equal the fingerprint / the
+//! empty tag?* — answered by one of four [`ProbeVariant`] kernels:
+//!
+//! * `scalar` — one tag byte per way, compared in a plain loop.
+//! * `swar` — the candidate tags of up to eight ways gathered into one
+//!   integer and matched branchlessly with SWAR arithmetic (the portable
+//!   default, and the only variant in the seed revision of this crate).
+//! * `simd` — the gathered tags matched by the best vector unit the host
+//!   offers ([`crate::simd::VectorEngine`]: sse2 / avx2 / neon, runtime
+//!   detected once per table).
+//! * `localized` — an F14-style *transposed* tag layout for the `tagalt`
+//!   hash family, whose candidate indices all fall in one aligned
+//!   [`block_span`](ccd_hash::TagAltFamily::block_span)-set block: tags are
+//!   stored `tag_base + set_index * ways + way` over a 64-byte-aligned
+//!   allocation, so the whole candidate block is one contiguous ≤64-byte
+//!   span covered by a single vector compare — no per-way gather at all.
+//!
+//! Every variant produces the same way-indexed match masks (the SWAR
+//! fingerprint scan may over-report, which the key confirmation filters, so
+//! observable behaviour is identical); only ways whose tag matches the
+//! key's fingerprint are confirmed with a full key compare, so a negative
+//! lookup usually performs **zero** key loads.  Because occupied tags
+//! always have their high bit set and the empty tag is zero, the vacancy
+//! scan is exact (no false positives).
 //!
 //! # Insertion-attempt accounting
 //!
@@ -53,19 +69,18 @@
 //! the displacement loop reuses each victim's indices for both its vacancy
 //! probe and its next displacement target.
 
+use crate::simd::VectorEngine;
 use ccd_common::prefetch::prefetch_slice_element;
 use ccd_common::{ConfigError, LineAddr};
-use ccd_hash::{HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
+use ccd_directory::ProbeVariant;
+use ccd_hash::{fingerprint, HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
 use std::mem::MaybeUninit;
 
 /// Tag byte of a vacant slot.  Occupied slots always carry the key's
-/// fingerprint with the high bit set, so `0` is unambiguous.
+/// fingerprint with the high bit set ([`ccd_hash::fingerprint`] — the one
+/// tag encoding shared with the `tagalt` hash family), so `0` is
+/// unambiguous.
 const EMPTY_TAG: u8 = 0;
-
-/// Odd multiplier for the tag fingerprint (the 64-bit golden-ratio
-/// constant); the top byte of the product avalanche well enough that two
-/// colliding keys rarely share a fingerprint.
-const FP_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SWAR helpers: a `0x01` / `0x80` in every byte lane.
 const SWAR_LOW: u64 = 0x0101_0101_0101_0101;
@@ -79,12 +94,10 @@ const SMALL_WAYS: usize = 8;
 /// probe/insert loop.
 pub const PREFETCH_WINDOW: usize = 8;
 
-/// The occupancy tag stored for `key`: a 7-bit fingerprint with the high
-/// bit set (so it can never equal `EMPTY_TAG`).
-#[inline]
-fn fingerprint(key: u64) -> u8 {
-    ((key.wrapping_mul(FP_MULTIPLIER) >> 56) as u8) | 0x80
-}
+/// Longest contiguous tag span a localized probe reads in one vector
+/// compare (the [`VectorEngine::eq_mask`] limit: one cache line, one `u64`
+/// mask).  The `localized` variant requires `ways × block_span` to fit.
+pub const MAX_TAG_SPAN: usize = 64;
 
 /// Returns a mask with bit 7 of byte lane `i` set when byte `i` of `word`
 /// equals `tag` — the classic SWAR byte-equality test.
@@ -176,9 +189,23 @@ pub struct CuckooTable<V> {
     ways: usize,
     sets: usize,
     hashes: HashFamily,
-    /// Per-slot occupancy tags (`way * sets + index`); see the module docs.
+    /// Which probe kernel this table runs (fixed at construction).
+    variant: ProbeVariant,
+    /// The vector unit backing the `simd` and `localized` variants
+    /// (detected once at construction; unused by `scalar` / `swar`).
+    engine: VectorEngine,
+    /// Per-slot occupancy tags; position `tag_pos(way, index)` — see the
+    /// module docs (standard `way * sets + index`, or the transposed
+    /// localized layout).
     tags: Vec<u8>,
-    /// Stored keys, parallel to `tags` (garbage where the tag is empty).
+    /// First logical tag position inside `tags`: the skid that 64-byte-
+    /// aligns the localized layout's blocks (0 for the standard layout).
+    tag_base: usize,
+    /// Sets per aligned candidate block of the localized layout (1 for the
+    /// other variants, so the block math stays well-defined).
+    loc_block: usize,
+    /// Stored keys, indexed `way * sets + index` (garbage where the tag is
+    /// empty).
     keys: Vec<u64>,
     /// Stored payloads, initialized exactly where the tag is occupied.
     values: Vec<MaybeUninit<V>>,
@@ -189,13 +216,37 @@ pub struct CuckooTable<V> {
 
 impl<V> CuckooTable<V> {
     /// Creates an empty table of `ways` direct-mapped tables with `sets`
-    /// entries each, indexed by the `kind` hash family seeded with `seed`.
+    /// entries each, indexed by the `kind` hash family seeded with `seed`,
+    /// with the probe variant auto-selected (see
+    /// [`CuckooTable::with_variant`]).
     ///
     /// # Errors
     ///
     /// * [`ConfigError::TooSmall`] if `ways < 2`,
     /// * plus the hash family's own validation errors (zero/`!pow2` sets).
     pub fn new(ways: usize, sets: usize, kind: HashKind, seed: u64) -> Result<Self, ConfigError> {
+        Self::with_variant(ways, sets, kind, seed, None)
+    }
+
+    /// Creates an empty table running the requested [`ProbeVariant`], or —
+    /// when `variant` is `None` — auto-selecting one: `localized` when the
+    /// hash family supports it (the `tagalt` family with a candidate block
+    /// of at most [`MAX_TAG_SPAN`] tag bytes), `swar` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::TooSmall`] if `ways < 2`,
+    /// * [`ConfigError::Inconsistent`] if `localized` is requested for a
+    ///   hash family without tag-derived block-local candidates, or with a
+    ///   candidate block wider than [`MAX_TAG_SPAN`] tag bytes,
+    /// * plus the hash family's own validation errors (zero/`!pow2` sets).
+    pub fn with_variant(
+        ways: usize,
+        sets: usize,
+        kind: HashKind,
+        seed: u64,
+        variant: Option<ProbeVariant>,
+    ) -> Result<Self, ConfigError> {
         if ways < 2 {
             return Err(ConfigError::TooSmall {
                 what: "ways",
@@ -205,20 +256,64 @@ impl<V> CuckooTable<V> {
         }
         let hashes = HashFamily::with_seed(kind, ways, sets, seed)?;
         debug_assert!(ways <= MAX_FAMILY_WAYS, "hash families cap the way count");
+        let localizable = hashes
+            .tag_alt()
+            .is_some_and(|family| ways * family.block_span() <= MAX_TAG_SPAN);
+        let variant = match variant {
+            Some(requested) => requested,
+            None if localizable => ProbeVariant::Localized,
+            None => ProbeVariant::Swar,
+        };
+        let loc_block = if variant == ProbeVariant::Localized {
+            let Some(family) = hashes.tag_alt() else {
+                return Err(ConfigError::Inconsistent {
+                    what: "the localized probe variant requires the tagalt hash family \
+                           (its candidates share one aligned tag block)",
+                });
+            };
+            if ways * family.block_span() > MAX_TAG_SPAN {
+                return Err(ConfigError::Inconsistent {
+                    what: "the localized probe variant needs ways × block-span tag bytes \
+                           to fit one 64-byte vector span",
+                });
+            }
+            family.block_span()
+        } else {
+            1
+        };
         let capacity = ways * sets;
+        let (tags, tag_base) = Self::alloc_tags(variant, capacity);
         let mut values = Vec::new();
         values.resize_with(capacity, MaybeUninit::uninit);
         Ok(CuckooTable {
             ways,
             sets,
             hashes,
-            tags: vec![EMPTY_TAG; capacity],
+            variant,
+            engine: VectorEngine::detect(),
+            tags,
+            tag_base,
+            loc_block,
             keys: vec![0; capacity],
             values,
             valid: 0,
             max_attempts: crate::config::DEFAULT_MAX_ATTEMPTS,
             next_start_way: 0,
         })
+    }
+
+    /// Allocates the tag array for `variant`: the localized layout
+    /// over-allocates by a cache line and skids its logical start to the
+    /// next 64-byte boundary, so every aligned candidate block touches at
+    /// most one extra line and the full span sits in bounds.
+    fn alloc_tags(variant: ProbeVariant, capacity: usize) -> (Vec<u8>, usize) {
+        if variant == ProbeVariant::Localized {
+            let tags = vec![EMPTY_TAG; capacity + MAX_TAG_SPAN - 1];
+            let tag_base = tags.as_ptr().addr().wrapping_neg() & (MAX_TAG_SPAN - 1);
+            (tags, tag_base)
+        } else {
+            (vec![EMPTY_TAG; capacity], 0)
+        }
     }
 
     /// Sets the insertion-attempt budget (default 32).
@@ -241,6 +336,19 @@ impl<V> CuckooTable<V> {
     #[must_use]
     pub fn sets(&self) -> usize {
         self.sets
+    }
+
+    /// The probe variant this table runs.
+    #[must_use]
+    pub fn probe_variant(&self) -> ProbeVariant {
+        self.variant
+    }
+
+    /// The vector engine backing the `simd` / `localized` variants on this
+    /// host (detected at construction; `scalar` / `swar` ignore it).
+    #[must_use]
+    pub fn vector_engine(&self) -> VectorEngine {
+        self.engine
     }
 
     /// Total capacity (`ways × sets`).
@@ -275,15 +383,33 @@ impl<V> CuckooTable<V> {
             .index_all_into(LineAddr::from_block_number(key), indices);
     }
 
-    /// Reads the tag byte of `slot` without a bounds check: every slot this
-    /// table computes is `way * sets + index` with `way < ways` (enforced by
-    /// the probe loops) and `index < sets` (the [`IndexHashFamily`]
-    /// contract, upheld by masking/shifting in every family).
+    /// Position of `(way, index)`'s tag byte inside `tags`: the transposed
+    /// line-local layout for `localized`, `way * sets + index` otherwise.
     #[inline]
-    fn tag_at(&self, slot: usize) -> u8 {
-        debug_assert!(slot < self.tags.len());
-        // SAFETY: see above — slot < ways * sets == tags.len().
-        unsafe { *self.tags.get_unchecked(slot) }
+    fn tag_pos(&self, way: usize, index: usize) -> usize {
+        if self.variant == ProbeVariant::Localized {
+            self.tag_base + index * self.ways + way
+        } else {
+            way * self.sets + index
+        }
+    }
+
+    /// Tag position of a `way * sets + index` slot number.
+    #[inline]
+    fn tag_pos_of_slot(&self, slot: usize) -> usize {
+        self.tag_pos(slot / self.sets, slot % self.sets)
+    }
+
+    /// Reads the tag byte at `pos` without a bounds check: every position
+    /// this table computes comes from [`CuckooTable::tag_pos`] with
+    /// `way < ways` (enforced by the probe loops) and `index < sets` (the
+    /// [`IndexHashFamily`] contract, upheld by masking/shifting in every
+    /// family), so both layouts stay below `tags.len()`.
+    #[inline]
+    fn tag_at(&self, pos: usize) -> u8 {
+        debug_assert!(pos < self.tags.len());
+        // SAFETY: see above — pos < tag_base + ways * sets <= tags.len().
+        unsafe { *self.tags.get_unchecked(pos) }
     }
 
     /// Reads the key word of `slot`; same bounds argument as
@@ -321,83 +447,187 @@ impl<V> CuckooTable<V> {
         }
     }
 
+    /// The shared probe primitive behind every variant: way-indexed
+    /// bitmasks over `key`'s candidate slots — bit `w` of the first mask is
+    /// set when way `w`'s candidate tag equals `fp` (SWAR may over-report;
+    /// callers confirm with a key compare), bit `w` of the second when it
+    /// is vacant (always exact).  Unwanted masks (per the const flags) are
+    /// zero.  All selection downstream walks these masks with
+    /// `trailing_zeros`, so every variant scans ways in ascending order —
+    /// exactly the order the displacement procedure relies on.
+    #[inline]
+    fn way_masks<const WANT_FP: bool, const WANT_EMPTY: bool>(
+        &self,
+        fp: u8,
+        indices: &[usize],
+    ) -> (u64, u64) {
+        match self.variant {
+            ProbeVariant::Scalar => self.way_masks_scalar::<WANT_FP, WANT_EMPTY>(fp, indices),
+            ProbeVariant::Swar => self.way_masks_swar::<WANT_FP, WANT_EMPTY>(fp, indices),
+            ProbeVariant::Simd => self.way_masks_simd::<WANT_FP, WANT_EMPTY>(fp, indices),
+            ProbeVariant::Localized => self.way_masks_localized::<WANT_FP, WANT_EMPTY>(fp, indices),
+        }
+    }
+
+    /// `scalar`: one tag byte per way, compared in a plain loop.
+    fn way_masks_scalar<const WANT_FP: bool, const WANT_EMPTY: bool>(
+        &self,
+        fp: u8,
+        indices: &[usize],
+    ) -> (u64, u64) {
+        let mut fp_mask = 0u64;
+        let mut empty_mask = 0u64;
+        for (way, &index) in indices.iter().enumerate().take(self.ways) {
+            let tag = self.tag_at(self.tag_pos(way, index));
+            if WANT_FP && tag == fp {
+                fp_mask |= 1 << way;
+            }
+            if WANT_EMPTY && tag == EMPTY_TAG {
+                empty_mask |= 1 << way;
+            }
+        }
+        (fp_mask, empty_mask)
+    }
+
+    /// `swar`: up to eight candidate tags gathered into one integer and
+    /// matched branchlessly (the seed revision's only kernel); lane bits
+    /// fold into way bits.
+    fn way_masks_swar<const WANT_FP: bool, const WANT_EMPTY: bool>(
+        &self,
+        fp: u8,
+        indices: &[usize],
+    ) -> (u64, u64) {
+        let mut fp_mask = 0u64;
+        let mut empty_mask = 0u64;
+        let mut way = 0;
+        while way < self.ways {
+            let lanes = (self.ways - way).min(8);
+            let word = self.gather_tags(way, lanes, indices);
+            if WANT_FP {
+                let mut lanes_hit = swar_match(word, fp);
+                while lanes_hit != 0 {
+                    fp_mask |= 1 << (way + (lanes_hit.trailing_zeros() / 8) as usize);
+                    lanes_hit &= lanes_hit - 1;
+                }
+            }
+            if WANT_EMPTY {
+                let mut lanes_empty = swar_match(word, EMPTY_TAG) & Self::lane_mask(lanes);
+                while lanes_empty != 0 {
+                    empty_mask |= 1 << (way + (lanes_empty.trailing_zeros() / 8) as usize);
+                    lanes_empty &= lanes_empty - 1;
+                }
+            }
+            way += lanes;
+        }
+        (fp_mask, empty_mask)
+    }
+
+    /// `simd`: gather one candidate tag byte per way into a stack span,
+    /// then one exact vector compare per wanted mask.
+    fn way_masks_simd<const WANT_FP: bool, const WANT_EMPTY: bool>(
+        &self,
+        fp: u8,
+        indices: &[usize],
+    ) -> (u64, u64) {
+        let mut span = [0xFFu8; MAX_FAMILY_WAYS];
+        for way in 0..self.ways {
+            span[way] = self.tag_at(self.tag_pos(way, indices[way]));
+        }
+        let bytes = &span[..self.ways];
+        let fp_mask = if WANT_FP {
+            self.engine.eq_mask(bytes, fp)
+        } else {
+            0
+        };
+        let empty_mask = if WANT_EMPTY {
+            self.engine.eq_mask(bytes, EMPTY_TAG)
+        } else {
+            0
+        };
+        (fp_mask, empty_mask)
+    }
+
+    /// `localized`: every candidate lives in one aligned `ways × loc_block`
+    /// tag span (the tagalt block property), so a single vector compare
+    /// covers the whole candidate block and the per-way bits are extracted
+    /// at `(index - block_base) * ways + way`.
+    fn way_masks_localized<const WANT_FP: bool, const WANT_EMPTY: bool>(
+        &self,
+        fp: u8,
+        indices: &[usize],
+    ) -> (u64, u64) {
+        let block_base = indices[0] & !(self.loc_block - 1);
+        let start = self.tag_base + block_base * self.ways;
+        let bytes = &self.tags[start..start + self.ways * self.loc_block];
+        let fp_eq = if WANT_FP {
+            self.engine.eq_mask(bytes, fp)
+        } else {
+            0
+        };
+        let empty_eq = if WANT_EMPTY {
+            self.engine.eq_mask(bytes, EMPTY_TAG)
+        } else {
+            0
+        };
+        let mut fp_mask = 0u64;
+        let mut empty_mask = 0u64;
+        for (way, &index) in indices.iter().enumerate().take(self.ways) {
+            let bit = (index - block_base) * self.ways + way;
+            fp_mask |= ((fp_eq >> bit) & 1) << way;
+            empty_mask |= ((empty_eq >> bit) & 1) << way;
+        }
+        (fp_mask, empty_mask)
+    }
+
     /// Lookup-only probe: like [`CuckooTable::probe_prehashed`] but without
     /// the vacancy scan, for the pure-query paths (`contains` / `get` /
     /// `probe_batch`) that never insert.
     #[inline]
     fn probe_hit_prehashed(&self, key: u64, indices: &[usize]) -> Option<usize> {
-        let fp = fingerprint(key);
-        let mut way = 0;
-        while way < self.ways {
-            let lanes = (self.ways - way).min(8);
-            let word = self.gather_tags(way, lanes, indices);
-            let mut candidates = swar_match(word, fp);
-            while candidates != 0 {
-                let w = way + (candidates.trailing_zeros() / 8) as usize;
-                let slot = w * self.sets + indices[w];
-                if self.key_at(slot) == key {
-                    return Some(slot);
-                }
-                candidates &= candidates - 1;
+        let (mut candidates, _) = self.way_masks::<true, false>(fingerprint(key), indices);
+        while candidates != 0 {
+            let w = candidates.trailing_zeros() as usize;
+            let slot = w * self.sets + indices[w];
+            if self.key_at(slot) == key {
+                return Some(slot);
             }
-            way += lanes;
+            candidates &= candidates - 1;
         }
         None
     }
 
     /// Probes `key`'s candidate slots given precomputed way `indices`:
-    /// gathers the candidate tags into SWAR words, matches the fingerprint
-    /// and the empty tag branchlessly, and confirms fingerprint candidates
-    /// with a key compare.  Ways are scanned in ascending order, so the hit
-    /// is the first way holding the key and the vacancy is the first vacant
-    /// way — exactly the order the displacement procedure relies on.
+    /// matches the fingerprint and the empty tag through the variant's
+    /// kernel, and confirms fingerprint candidates with a key compare.
+    /// Ways are scanned in ascending order, so the hit is the first way
+    /// holding the key and the vacancy is the first vacant way.
     fn probe_prehashed(&self, key: u64, indices: &[usize]) -> ProbeOutcome {
-        let fp = fingerprint(key);
-        let mut vacant = None;
-        let mut way = 0;
-        while way < self.ways {
-            let lanes = (self.ways - way).min(8);
-            let word = self.gather_tags(way, lanes, indices);
-
-            if vacant.is_none() {
-                let empties = swar_match(word, EMPTY_TAG) & Self::lane_mask(lanes);
-                if empties != 0 {
-                    let w = way + (empties.trailing_zeros() / 8) as usize;
-                    vacant = Some(w * self.sets + indices[w]);
-                }
+        let (mut candidates, empties) = self.way_masks::<true, true>(fingerprint(key), indices);
+        let vacant = (empties != 0).then(|| {
+            let w = empties.trailing_zeros() as usize;
+            w * self.sets + indices[w]
+        });
+        while candidates != 0 {
+            let w = candidates.trailing_zeros() as usize;
+            let slot = w * self.sets + indices[w];
+            if self.key_at(slot) == key {
+                return ProbeOutcome {
+                    hit: Some(slot),
+                    vacant,
+                };
             }
-
-            let mut candidates = swar_match(word, fp);
-            while candidates != 0 {
-                let w = way + (candidates.trailing_zeros() / 8) as usize;
-                let slot = w * self.sets + indices[w];
-                if self.key_at(slot) == key {
-                    return ProbeOutcome {
-                        hit: Some(slot),
-                        vacant,
-                    };
-                }
-                candidates &= candidates - 1;
-            }
-            way += lanes;
+            candidates &= candidates - 1;
         }
         ProbeOutcome { hit: None, vacant }
     }
 
     /// First vacant candidate slot in way order, given precomputed indices.
     fn first_vacant_prehashed(&self, indices: &[usize]) -> Option<usize> {
-        let mut way = 0;
-        while way < self.ways {
-            let lanes = (self.ways - way).min(8);
-            let word = self.gather_tags(way, lanes, indices);
-            let empties = swar_match(word, EMPTY_TAG) & Self::lane_mask(lanes);
-            if empties != 0 {
-                let w = way + (empties.trailing_zeros() / 8) as usize;
-                return Some(w * self.sets + indices[w]);
-            }
-            way += lanes;
-        }
-        None
+        let (_, empties) = self.way_masks::<false, true>(EMPTY_TAG, indices);
+        (empties != 0).then(|| {
+            let w = empties.trailing_zeros() as usize;
+            w * self.sets + indices[w]
+        })
     }
 
     /// Finds the slot currently holding `key`, if any.
@@ -412,11 +642,13 @@ impl<V> CuckooTable<V> {
     /// is unchanged — first matching way in way order).
     #[inline]
     fn find_n<const N: usize>(&self, key: u64) -> Option<usize> {
-        let slot0 = self.hashes.index(0, LineAddr::from_block_number(key));
+        let index0 = self.hashes.index(0, LineAddr::from_block_number(key));
+        // Way 0: slot == set index.
+        let slot0 = index0;
         // Non-short-circuit `&`: the tag byte and the key word live in
         // different arrays, so loading both unconditionally lets the two
         // cache accesses overlap instead of serializing behind the branch.
-        if (self.tag_at(slot0) != EMPTY_TAG) & (self.key_at(slot0) == key) {
+        if (self.tag_at(self.tag_pos(0, index0)) != EMPTY_TAG) & (self.key_at(slot0) == key) {
             return Some(slot0);
         }
         let mut indices = [0usize; N];
@@ -431,8 +663,9 @@ impl<V> CuckooTable<V> {
     /// Writes `key`/`value` into the vacant `slot`.
     #[inline]
     fn fill_slot(&mut self, slot: usize, key: u64, value: V) {
-        debug_assert_eq!(self.tags[slot], EMPTY_TAG, "fill requires a vacant slot");
-        self.tags[slot] = fingerprint(key);
+        let pos = self.tag_pos_of_slot(slot);
+        debug_assert_eq!(self.tags[pos], EMPTY_TAG, "fill requires a vacant slot");
+        self.tags[pos] = fingerprint(key);
         self.keys[slot] = key;
         self.values[slot].write(value);
     }
@@ -441,8 +674,9 @@ impl<V> CuckooTable<V> {
     /// displaced pair.
     #[inline]
     fn swap_slot(&mut self, slot: usize, key: u64, value: V) -> (u64, V) {
+        let pos = self.tag_pos_of_slot(slot);
         assert!(
-            self.tags[slot] != EMPTY_TAG,
+            self.tags[pos] != EMPTY_TAG,
             "displacement only happens into occupied slots"
         );
         let old_key = self.keys[slot];
@@ -451,7 +685,7 @@ impl<V> CuckooTable<V> {
         let old_value = unsafe {
             std::mem::replace(&mut self.values[slot], MaybeUninit::new(value)).assume_init()
         };
-        self.tags[slot] = fingerprint(key);
+        self.tags[pos] = fingerprint(key);
         self.keys[slot] = key;
         (old_key, old_value)
     }
@@ -481,7 +715,8 @@ impl<V> CuckooTable<V> {
     /// Removes `key`, returning its payload.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let slot = self.find(key)?;
-        self.tags[slot] = EMPTY_TAG;
+        let pos = self.tag_pos_of_slot(slot);
+        self.tags[pos] = EMPTY_TAG;
         self.valid -= 1;
         // SAFETY: `find` only returns occupied slots, and the tag is cleared
         // above so the payload is never read (or dropped) again.
@@ -490,11 +725,9 @@ impl<V> CuckooTable<V> {
 
     /// Iterates over `(key, &payload)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
-        self.tags
-            .iter()
-            .enumerate()
-            .filter(|&(_, &tag)| tag != EMPTY_TAG)
-            .map(|(slot, _)| {
+        (0..self.ways * self.sets)
+            .filter(move |&slot| self.tag_at(self.tag_pos_of_slot(slot)) != EMPTY_TAG)
+            .map(move |slot| {
                 // SAFETY: occupied tags guarantee initialized payloads.
                 (self.keys[slot], unsafe {
                     self.values[slot].assume_init_ref()
@@ -507,11 +740,20 @@ impl<V> CuckooTable<V> {
     /// matches).  Purely a performance hint; see
     /// [`ccd_common::prefetch::prefetch_read`].
     fn prefetch_prehashed(&self, indices: &[usize], and_keys: bool) {
-        for (way, &index) in indices.iter().enumerate().take(self.ways) {
-            let slot = way * self.sets + index;
-            prefetch_slice_element(&self.tags, slot);
-            if and_keys {
-                prefetch_slice_element(&self.keys, slot);
+        if self.variant == ProbeVariant::Localized {
+            // The whole candidate block is one contiguous span: touch its
+            // first and last byte (at most two cache lines).
+            let start = self.tag_base + (indices[0] & !(self.loc_block - 1)) * self.ways;
+            prefetch_slice_element(&self.tags, start);
+            prefetch_slice_element(&self.tags, start + self.ways * self.loc_block - 1);
+        } else {
+            for (way, &index) in indices.iter().enumerate().take(self.ways) {
+                prefetch_slice_element(&self.tags, way * self.sets + index);
+            }
+        }
+        if and_keys {
+            for (way, &index) in indices.iter().enumerate().take(self.ways) {
+                prefetch_slice_element(&self.keys, way * self.sets + index);
             }
         }
     }
@@ -611,12 +853,21 @@ impl<V> CuckooTable<V> {
             // Write the in-flight entry into its candidate slot in `way`,
             // displacing whatever lives there.
             let slot = way * self.sets + indices[way];
+            let victim_tag = self.tag_at(self.tag_pos(way, indices[way]));
             let (victim_key, victim_value) = self.swap_slot(slot, current_key, current_value);
             attempts += 1;
 
             // Probe the victim's candidate slots for a vacancy; its indices
-            // stay in the scratch buffer for the next round.
-            self.hash_into(victim_key, indices);
+            // stay in the scratch buffer for the next round.  With the
+            // tagalt family the victim's complete candidate set derives
+            // from its coordinates and tag alone — bit-identical to
+            // re-hashing its key (an occupied tag *is* the fingerprint),
+            // but without touching the key array.
+            if let Some(family) = self.hashes.tag_alt() {
+                family.derive_all_into(way, indices[way], victim_tag, indices);
+            } else {
+                self.hash_into(victim_key, indices);
+            }
             if let Some(vacant) = self.first_vacant_prehashed(indices) {
                 self.fill_slot(vacant, victim_key, victim_value);
                 self.next_start_way = way;
@@ -763,24 +1014,32 @@ impl<V> CuckooTable<V> {
 
 impl<V: Clone> Clone for CuckooTable<V> {
     fn clone(&self) -> Self {
-        let values = self
-            .tags
-            .iter()
-            .zip(self.values.iter())
-            .map(|(&tag, value)| {
-                if tag == EMPTY_TAG {
+        let capacity = self.ways * self.sets;
+        let values = (0..capacity)
+            .map(|slot| {
+                if self.tag_at(self.tag_pos_of_slot(slot)) == EMPTY_TAG {
                     MaybeUninit::uninit()
                 } else {
                     // SAFETY: occupied tags guarantee initialized payloads.
-                    MaybeUninit::new(unsafe { value.assume_init_ref() }.clone())
+                    MaybeUninit::new(unsafe { self.values[slot].assume_init_ref() }.clone())
                 }
             })
             .collect();
+        // The localized alignment skid depends on the allocation address,
+        // so the clone re-derives its own and copies the logical tag range
+        // rather than cloning the vector verbatim.
+        let (mut tags, tag_base) = Self::alloc_tags(self.variant, capacity);
+        tags[tag_base..tag_base + capacity]
+            .copy_from_slice(&self.tags[self.tag_base..self.tag_base + capacity]);
         CuckooTable {
             ways: self.ways,
             sets: self.sets,
             hashes: self.hashes.clone(),
-            tags: self.tags.clone(),
+            variant: self.variant,
+            engine: self.engine,
+            tags,
+            tag_base,
+            loc_block: self.loc_block,
             keys: self.keys.clone(),
             values,
             valid: self.valid,
@@ -793,8 +1052,8 @@ impl<V: Clone> Clone for CuckooTable<V> {
 impl<V> Drop for CuckooTable<V> {
     fn drop(&mut self) {
         if std::mem::needs_drop::<V>() {
-            for (slot, &tag) in self.tags.iter().enumerate() {
-                if tag != EMPTY_TAG {
+            for slot in 0..self.ways * self.sets {
+                if self.tag_at(self.tag_pos_of_slot(slot)) != EMPTY_TAG {
                     // SAFETY: occupied tags guarantee initialized payloads,
                     // each dropped exactly once here.
                     unsafe { self.values[slot].assume_init_drop() };
@@ -1117,6 +1376,120 @@ mod tests {
         let mut hits = vec![false; keys.len()];
         table.probe_batch(&keys, &mut hits);
         assert!(hits.iter().all(|&h| h));
+    }
+
+    // ---- Probe-variant specific tests -------------------------------------
+
+    #[test]
+    fn variant_auto_selection_and_validation() {
+        // Non-tagalt families default to the portable SWAR kernel.
+        let t: CuckooTable<()> = CuckooTable::new(4, 64, HashKind::Strong, 1).unwrap();
+        assert_eq!(t.probe_variant(), ProbeVariant::Swar);
+        // tagalt with `ways × block_span <= 64` unlocks the localized layout.
+        let t: CuckooTable<()> = CuckooTable::new(4, 64, HashKind::TagAlt, 1).unwrap();
+        assert_eq!(t.probe_variant(), ProbeVariant::Localized);
+        // Too wide a candidate block falls back to SWAR...
+        let t: CuckooTable<()> = CuckooTable::new(8, 64, HashKind::TagAlt, 1).unwrap();
+        assert_eq!(t.probe_variant(), ProbeVariant::Swar);
+        // ...and explicitly requesting localized there is rejected, as it is
+        // for families without block-local candidates.
+        assert!(CuckooTable::<()>::with_variant(
+            8,
+            64,
+            HashKind::TagAlt,
+            1,
+            Some(ProbeVariant::Localized)
+        )
+        .is_err());
+        assert!(CuckooTable::<()>::with_variant(
+            4,
+            64,
+            HashKind::Strong,
+            1,
+            Some(ProbeVariant::Localized)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn every_variant_matches_swar_on_the_same_op_stream() {
+        // Drive the same saturating insert/remove stream through every
+        // variant legal for the hash kind and demand bit-identical outcomes
+        // (attempts, discards) and contents.
+        for kind in [HashKind::Strong, HashKind::TagAlt] {
+            let variants: &[ProbeVariant] = if kind == HashKind::TagAlt {
+                &[
+                    ProbeVariant::Scalar,
+                    ProbeVariant::Swar,
+                    ProbeVariant::Simd,
+                    ProbeVariant::Localized,
+                ]
+            } else {
+                &[ProbeVariant::Scalar, ProbeVariant::Swar, ProbeVariant::Simd]
+            };
+            let mut tables: Vec<CuckooTable<u64>> = variants
+                .iter()
+                .map(|&v| CuckooTable::with_variant(4, 16, kind, 7, Some(v)).unwrap())
+                .collect();
+            for t in &mut tables {
+                t.set_max_attempts(6);
+            }
+            let mut rng = SplitMix64::new(0xD1CE);
+            let samples = if cfg!(miri) { 60 } else { 600 };
+            for i in 0..samples {
+                let key = rng.next_u64() >> 8;
+                let outcomes: Vec<InsertOutcome<u64>> =
+                    tables.iter_mut().map(|t| t.insert(key, key)).collect();
+                for (o, &v) in outcomes.iter().zip(variants).skip(1) {
+                    assert_eq!(o, &outcomes[0], "{kind}/{v} diverged at insert {i}");
+                }
+                if i % 3 == 0 {
+                    let doomed = rng.next_u64() >> 8;
+                    let removed: Vec<Option<u64>> =
+                        tables.iter_mut().map(|t| t.remove(doomed)).collect();
+                    for (r, &v) in removed.iter().zip(variants).skip(1) {
+                        assert_eq!(r, &removed[0], "{kind}/{v} diverged at remove {i}");
+                    }
+                }
+            }
+            let reference: std::collections::BTreeMap<u64, u64> =
+                tables[0].iter().map(|(k, &v)| (k, v)).collect();
+            for (t, &v) in tables.iter().zip(variants).skip(1) {
+                let contents: std::collections::BTreeMap<u64, u64> =
+                    t.iter().map(|(k, &v)| (k, v)).collect();
+                assert_eq!(contents, reference, "{kind}/{v} contents diverged");
+                assert_eq!(t.len(), tables[0].len());
+            }
+        }
+    }
+
+    #[test]
+    fn localized_layout_survives_clone_and_high_occupancy() {
+        let mut t: CuckooTable<u64> =
+            CuckooTable::with_variant(4, 64, HashKind::TagAlt, 3, Some(ProbeVariant::Localized))
+                .unwrap();
+        let mut rng = SplitMix64::new(0x10C);
+        let mut keys = Vec::new();
+        // tagalt partitions the table into independent 4x16-slot blocks, so
+        // drive by op count rather than to a global fill target.
+        for _ in 0..400 {
+            let key = rng.next_u64() >> 8;
+            let o = t.insert(key, key ^ 1);
+            keys.push(key);
+            if let Some((lost, _)) = o.discarded {
+                keys.retain(|&k| k != lost);
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let cloned = t.clone();
+        assert_eq!(cloned.probe_variant(), ProbeVariant::Localized);
+        for &k in &keys {
+            assert!(t.contains(k), "lost key {k:#x}");
+            assert_eq!(cloned.get(k), Some(&(k ^ 1)), "clone lost key {k:#x}");
+        }
+        assert_eq!(cloned.len(), t.len());
+        assert!(t.occupancy() > 0.5, "stream must load the table");
     }
 
     #[test]

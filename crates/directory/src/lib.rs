@@ -86,7 +86,7 @@ pub use in_cache::InCacheDirectory;
 pub use sharded::ShardedDirectory;
 pub use skewed::SkewedDirectory;
 pub use sparse::SparseDirectory;
-pub use spec::{BuilderRegistry, DirectorySpec};
+pub use spec::{BuilderRegistry, DirectorySpec, ProbeVariant};
 pub use stats::DirectoryStats;
 pub use tagless::TaglessDirectory;
 

@@ -34,11 +34,13 @@ pub mod family;
 pub mod multiply_shift;
 pub mod skewing;
 pub mod strong;
+pub mod tag_alt;
 
 pub use family::{HashFamily, HashKind};
 pub use multiply_shift::MultiplyShiftFamily;
 pub use skewing::SkewingFamily;
 pub use strong::StrongFamily;
+pub use tag_alt::{fingerprint, TagAltFamily};
 
 use ccd_common::LineAddr;
 
@@ -141,12 +143,18 @@ mod tests {
         check_uniformity(&SkewingFamily::new(4, 256).unwrap(), 100_000);
         check_uniformity(&StrongFamily::new(4, 256).unwrap(), 100_000);
         check_uniformity(&MultiplyShiftFamily::new(4, 256).unwrap(), 100_000);
+        check_uniformity(&TagAltFamily::new(4, 256).unwrap(), 100_000);
     }
 
     #[test]
     fn index_all_into_matches_per_way_index_for_every_kind() {
         let mut rng = SplitMix64::new(0xA11);
-        for kind in [HashKind::Skewing, HashKind::MultiplyShift, HashKind::Strong] {
+        for kind in [
+            HashKind::Skewing,
+            HashKind::MultiplyShift,
+            HashKind::Strong,
+            HashKind::TagAlt,
+        ] {
             for ways in [2usize, 3, 4, 8, 16] {
                 let family = HashFamily::new(kind, ways, 512).unwrap();
                 let mut buf = [0usize; MAX_FAMILY_WAYS];

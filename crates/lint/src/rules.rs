@@ -13,6 +13,7 @@
 //! | `unsafe-audit`      | every `unsafe` is preceded by a `// SAFETY:` comment |
 //! | `unsafe-inventory`  | every `unsafe` is registered in the inventory file   |
 //! | `no-unwrap-in-lib`  | no `.unwrap()`/`.expect(` in non-test library code   |
+//! | `arch-confinement`  | `std::arch` intrinsics only in the dispatch modules  |
 //!
 //! Plus three meta rules that keep the escape hatches honest:
 //! `bad-suppression` (malformed allow comment), `unused-suppression`
@@ -43,6 +44,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unsafe-audit",
     "unsafe-inventory",
     "no-unwrap-in-lib",
+    "arch-confinement",
     "bad-suppression",
     "unused-suppression",
     "unused-allowlist",
@@ -92,6 +94,9 @@ pub struct Config {
     pub lock_free: Vec<String>,
     /// Files whose atomic `Ordering::*` uses need justification comments.
     pub ordering_commented: Vec<String>,
+    /// Files allowed to name CPU features (`std::arch`, runtime feature
+    /// detection, `target_feature`): the vector dispatch modules.
+    pub arch_allowed: Vec<String>,
     /// The panic-surface allowlist file, relative to `root`.
     pub panic_allowlist: String,
     /// The unsafe inventory file, relative to `root`.
@@ -140,6 +145,7 @@ impl Config {
                 "crates/common/src/channel.rs",
                 "crates/coherence/src/engine/runner.rs",
             ]),
+            arch_allowed: owned(&["crates/common/src/prefetch.rs", "crates/core/src/simd.rs"]),
             panic_allowlist: "lint/panic_allowlist.txt".to_string(),
             unsafe_inventory: "lint/unsafe_inventory.json".to_string(),
         }
@@ -333,6 +339,7 @@ pub fn check_tokens(file: &ScannedFile, cfg: &Config) -> Vec<Diagnostic> {
     let spawn_ok = cfg.under(path, &cfg.spawn_allowed);
     let in_lock_free = cfg.under(path, &cfg.lock_free);
     let needs_ordering_comments = cfg.under(path, &cfg.ordering_commented);
+    let arch_ok = cfg.under(path, &cfg.arch_allowed);
     let panic_rule_applies = file.kind == FileKind::Lib;
 
     for (idx, line) in file.lines.iter().enumerate() {
@@ -416,6 +423,20 @@ pub fn check_tokens(file: &ScannedFile, cfg: &Config) -> Vec<Diagnostic> {
                          ordering is sufficient (and necessary) in a `// ordering: …` comment \
                          on or above the line"
                             .to_string(),
+                    );
+                }
+            }
+        }
+        if !arch_ok {
+            for token in ["std::arch", "is_x86_feature_detected", "target_feature"] {
+                if has_token(code, token) {
+                    emit(
+                        "arch-confinement",
+                        format!(
+                            "`{token}` outside the vector dispatch modules: CPU-feature \
+                             selection lives behind `VectorEngine` (crates/core/src/simd.rs) \
+                             so every other module stays portable and Miri-runnable"
+                        ),
                     );
                 }
             }
@@ -554,6 +575,36 @@ mod tests {
         assert!(diags(
             "crates/cache/src/cache.rs",
             "let x = y.unwrap_or_default();\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn arch_tokens_fire_outside_the_dispatch_modules_only() {
+        for snippet in [
+            "use std::arch::x86_64::__m256i;\n",
+            "if is_x86_feature_detected!(\"avx2\") {}\n",
+            "#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n",
+        ] {
+            let bad = diags("crates/core/src/table.rs", snippet);
+            assert_eq!(bad[0].rule, "arch-confinement", "{snippet}");
+            assert!(
+                diags("crates/core/src/simd.rs", snippet)
+                    .iter()
+                    .all(|d| d.rule != "arch-confinement"),
+                "{snippet}"
+            );
+            assert!(
+                diags("crates/common/src/prefetch.rs", snippet)
+                    .iter()
+                    .all(|d| d.rule != "arch-confinement"),
+                "{snippet}"
+            );
+        }
+        // `target_arch` cfg gates are portable plumbing, not intrinsics.
+        assert!(diags(
+            "crates/core/src/table.rs",
+            "#[cfg(target_arch = \"x86_64\")]\nmod imp {}\n",
         )
         .is_empty());
     }

@@ -32,6 +32,7 @@ fn fixture_config() -> Config {
         spawn_allowed: owned(&["crates/resultful/src/runner.rs"]),
         lock_free: owned(&["crates/hotpath"]),
         ordering_commented: owned(&["crates/resultful/src/atomics.rs"]),
+        arch_allowed: Vec::new(),
         panic_allowlist: "lint/panic_allowlist.txt".to_string(),
         unsafe_inventory: "lint/unsafe_inventory.json".to_string(),
     }
@@ -81,6 +82,11 @@ fn every_rule_fires_at_its_known_site() {
         ("crates/resultful/src/unsafe_code.rs", 4, "unsafe-audit"),
         ("crates/resultful/src/unsafe_code.rs", 4, "unsafe-inventory"),
         ("crates/resultful/src/unsafe_code.rs", 9, "unsafe-inventory"),
+        // CPU-feature tokens outside a sanctioned dispatch module (the
+        // fixture config sanctions none).
+        ("crates/resultful/src/vectors.rs", 4, "arch-confinement"),
+        ("crates/resultful/src/vectors.rs", 7, "arch-confinement"),
+        ("crates/resultful/src/vectors.rs", 10, "arch-confinement"),
         // Allowlist hygiene: the stale entry and the malformed line.
         ("lint/panic_allowlist.txt", 3, "unused-allowlist"),
         ("lint/panic_allowlist.txt", 4, "unused-allowlist"),

@@ -1,0 +1,214 @@
+//! Probe-variant equivalence suite (ARCHITECTURE.md Contract #9).
+//!
+//! Every [`ProbeVariant`] kernel — `scalar`, `swar`, `simd`, `localized` —
+//! must be observationally identical to the seed's array-of-structs table:
+//! same hit/miss answers, same Section 5.2 insertion accounting (attempt
+//! counts, discard choices), same final contents, on the same operation
+//! stream.  These tests drive randomized saturating streams (occupancies up
+//! to ~0.95) and the displacement edge cases (attempt budget of 1, a 2-way
+//! table at 100% load, chains that circle back to the incoming key) through
+//! every variant legal for a hash kind, in lockstep against
+//! [`AosReferenceTable`].
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_common::LineAddr;
+use ccd_cuckoo::seed_reference::AosReferenceTable;
+use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
+use ccd_directory::{Directory, ProbeVariant};
+use ccd_hash::{fingerprint, HashFamily, HashKind, IndexHashFamily};
+use ccd_sharers::FullBitVector;
+use std::collections::BTreeMap;
+
+/// Every variant legal for `kind` (`localized` needs the tagalt family).
+fn variants_for(kind: HashKind) -> Vec<ProbeVariant> {
+    let mut variants = vec![ProbeVariant::Scalar, ProbeVariant::Swar, ProbeVariant::Simd];
+    if kind == HashKind::TagAlt {
+        variants.push(ProbeVariant::Localized);
+    }
+    variants
+}
+
+/// Drives `ops` random operations (inserts from a narrow keyspace so the
+/// table saturates, plus removes and lookups) through a variant table and
+/// the seed reference in lockstep, asserting identical accounting at every
+/// step and identical contents at the end.  Returns the peak occupancy the
+/// stream reached.
+fn lockstep_stream(
+    kind: HashKind,
+    variant: ProbeVariant,
+    ways: usize,
+    sets: usize,
+    budget: u32,
+    ops: usize,
+    seed: u64,
+) -> f64 {
+    let mut table: CuckooTable<u64> =
+        CuckooTable::with_variant(ways, sets, kind, seed, Some(variant)).unwrap();
+    table.set_max_attempts(budget);
+    let mut reference = AosReferenceTable::new(ways, sets, kind, seed, budget).unwrap();
+    let mut rng = SplitMix64::new(seed ^ 0x9E3779B9);
+    // A keyspace of ~1.5x capacity saturates the structure: insertions keep
+    // landing in full candidate sets, exercising displacement and discard.
+    let keyspace = (ways * sets * 3 / 2) as u64;
+    let mut peak = 0.0f64;
+    for step in 0..ops {
+        let key = rng.next_below(keyspace) << 4 | 0x3;
+        match rng.next_below(8) {
+            0 => {
+                let got = table.remove(key);
+                let want = reference.remove(key);
+                assert_eq!(got, want, "{kind}/{variant} remove diverged at {step}");
+            }
+            1 => {
+                assert_eq!(
+                    table.contains(key),
+                    reference.contains(key),
+                    "{kind}/{variant} contains diverged at {step}"
+                );
+            }
+            _ => {
+                let got = table.insert(key, key ^ step as u64);
+                let (want_attempts, want_discard) = reference.insert(key, key ^ step as u64);
+                assert_eq!(
+                    (got.attempts, &got.discarded),
+                    (want_attempts, &want_discard),
+                    "{kind}/{variant} insert accounting diverged at {step}"
+                );
+            }
+        }
+        assert_eq!(table.len(), reference.len(), "{kind}/{variant} at {step}");
+        peak = peak.max(table.occupancy());
+    }
+    let got: BTreeMap<u64, u64> = table.iter().map(|(k, &v)| (k, v)).collect();
+    let want: BTreeMap<u64, u64> = reference.iter().map(|(k, &v)| (k, v)).collect();
+    assert_eq!(got, want, "{kind}/{variant} final contents diverged");
+    peak
+}
+
+#[test]
+fn all_variants_match_the_seed_reference_at_saturating_occupancy() {
+    for kind in [HashKind::Skewing, HashKind::Strong, HashKind::TagAlt] {
+        for variant in variants_for(kind) {
+            let peak = lockstep_stream(kind, variant, 4, 64, 32, 4000, 0xA5);
+            assert!(
+                peak >= 0.85,
+                "{kind}/{variant} stream must saturate the table (peak {peak:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_4ary_reaches_ninety_five_percent_in_lockstep() {
+    // The 4-ary threshold sits near 0.97 (Figure 7): a saturating stream
+    // must carry the lockstep comparison through 0.95 occupancy.
+    let peak = lockstep_stream(
+        HashKind::Strong,
+        ProbeVariant::Simd,
+        4,
+        128,
+        32,
+        12_000,
+        0x51,
+    );
+    assert!(peak >= 0.95, "peak occupancy only {peak:.3}");
+}
+
+#[test]
+fn displacement_edge_cases_stay_in_lockstep() {
+    for kind in [HashKind::Strong, HashKind::TagAlt] {
+        for variant in variants_for(kind) {
+            // Attempt budget of 1: exhaustion on the very first round, the
+            // chain "circles back" immediately and the probed slot's victim
+            // is discarded.
+            lockstep_stream(kind, variant, 2, 16, 1, 1500, 0xB1);
+            // 2-way at 100% load: every insert displaces; short budget.
+            lockstep_stream(kind, variant, 2, 16, 4, 1500, 0xB2);
+            // Wider table, budget 2: chains that wrap past the last way.
+            lockstep_stream(kind, variant, 4, 16, 2, 1500, 0xB3);
+        }
+    }
+}
+
+#[test]
+fn wide_tagalt_tables_probe_identically_without_localized() {
+    // 8 ways x 16-set blocks exceed the 64-byte span, so localized is
+    // unavailable — but the other variants must still agree on tagalt.
+    for variant in [ProbeVariant::Scalar, ProbeVariant::Swar, ProbeVariant::Simd] {
+        lockstep_stream(HashKind::TagAlt, variant, 8, 32, 8, 2000, 0xC4);
+    }
+}
+
+#[test]
+fn tag_derived_alternate_buckets_commute_and_involute() {
+    // Integration form of the tagalt identities the displacement loop leans
+    // on: deriving a victim's candidate set from (way, index, tag) matches
+    // re-hashing its key exactly, and the pairwise alternate-index mapping
+    // is an involution.
+    let family = HashFamily::with_seed(HashKind::TagAlt, 4, 256, 0xD0).unwrap();
+    let tagalt = family.tag_alt().expect("tagalt family");
+    let mut rng = SplitMix64::new(0xD1);
+    for _ in 0..2000 {
+        let key = rng.next_u64() >> 6;
+        let line = LineAddr::from_block_number(key);
+        let hashed: Vec<usize> = (0..4).map(|w| family.index(w, line)).collect();
+        let tag = fingerprint(key);
+        for from_way in 0..4 {
+            let mut derived = [0usize; 4];
+            tagalt.derive_all_into(from_way, hashed[from_way], tag, &mut derived);
+            assert_eq!(&derived[..], &hashed[..], "derivation from way {from_way}");
+            for to_way in 0..4 {
+                let alt = tagalt.alt_index(from_way, hashed[from_way], tag, to_way);
+                assert_eq!(alt, hashed[to_way]);
+                assert_eq!(
+                    tagalt.alt_index(to_way, alt, tag, from_way),
+                    hashed[from_way],
+                    "alt∘alt must be the identity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ccd_probe_env_override_selects_the_kernel_but_not_the_label() {
+    // The only test in this binary touching CCD_PROBE, so the env mutation
+    // cannot race with a concurrent reader (the lockstep tests construct
+    // tables with explicit variants, which never consult the environment).
+    let restore = std::env::var("CCD_PROBE").ok();
+
+    std::env::remove_var("CCD_PROBE");
+    let auto = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 64, 8)).unwrap();
+    assert_eq!(auto.probe_variant(), ProbeVariant::Swar);
+
+    std::env::set_var("CCD_PROBE", "scalar");
+    let dir = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 64, 8)).unwrap();
+    assert_eq!(dir.probe_variant(), ProbeVariant::Scalar);
+    // The env override never relabels the directory: golden result files
+    // diff byte-identically under CCD_PROBE.
+    assert_eq!(dir.organization(), auto.organization());
+
+    // An explicit config pin beats the environment and names itself.
+    let pinned = CuckooDirectory::<FullBitVector>::new(
+        CuckooConfig::new(4, 64, 8).with_probe(ProbeVariant::Simd),
+    )
+    .unwrap();
+    assert_eq!(pinned.probe_variant(), ProbeVariant::Simd);
+    assert!(pinned.organization().ends_with("-simd"));
+
+    // A malformed override fails construction with the token quoted.
+    std::env::set_var("CCD_PROBE", "avx512");
+    let Err(err) = CuckooDirectory::<FullBitVector>::new(CuckooConfig::new(4, 64, 8)) else {
+        panic!("bad CCD_PROBE must fail");
+    };
+    let err = err.to_string();
+    assert!(
+        err.contains("CCD_PROBE") && err.contains("`avx512`"),
+        "{err}"
+    );
+
+    match restore {
+        Some(value) => std::env::set_var("CCD_PROBE", value),
+        None => std::env::remove_var("CCD_PROBE"),
+    }
+}
