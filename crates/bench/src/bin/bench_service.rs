@@ -12,11 +12,21 @@
 //! asserted bit-identical to it** — the service's core determinism
 //! contract, exercised at benchmark scale on every run.
 //!
+//! A final **resize-armed** section starts the migratory workload on a
+//! 4x-undersized shard organization with a live [`ResizePolicy`] armed:
+//! every cell must stay bit-identical to the resize-armed serial
+//! reference, and — because neither side forces an eviction — its
+//! attempt-independent view (`ServiceReport::resize_semantics`) must
+//! equal the statically provisioned serial reference at the target
+//! geometry.
+//!
 //! Results land in `BENCH_service.json` at the repository root *and*
 //! under `results/` (one code path writes both).  All fields except the
 //! wall-clock ones (`seconds`, `mops_per_sec`) are deterministic, so CI
 //! golden-checks the quick-scale output with those two field names
 //! filtered out.
+//!
+//! [`ResizePolicy`]: ccd_service::ResizePolicy
 
 use ccd_bench::{write_bench_json, RunScale, TextTable};
 use ccd_service::{DirectoryService, LoadSpec, ServiceConfig, ServiceReport};
@@ -34,11 +44,21 @@ const WORKLOADS: &[&str] = &["oracle", "migratory-zipf0.9", "falseshare"];
 const SHARD_AXIS: &[usize] = &[4, 16];
 const WORKER_AXIS: &[usize] = &[1, 2, 4];
 
+/// The resize-armed section: a 4x-undersized organization that must grow
+/// online to hold the migratory workload's 4096 distinct blocks, and the
+/// schedule that grows each of its 4 shards once, well before saturation.
+const RESIZE_SPEC: &str = "cuckoo-4x1024-c16";
+const RESIZE_POLICY: &str = "resize-grow2@60-every64-max1";
+const RESIZE_WORKLOAD: &str = "migratory-zipf0.9";
+const RESIZE_SHARDS: usize = 4;
+
 #[derive(Debug)]
 struct ServiceRow {
     workload: String,
     shards: usize,
     workers: usize,
+    resize: String,
+    resizes: u64,
     requests: u64,
     entries: u64,
     insertions: u64,
@@ -53,6 +73,8 @@ ccd_bench::impl_to_json!(ServiceRow {
     workload,
     shards,
     workers,
+    resize,
+    resizes,
     requests,
     entries,
     insertions,
@@ -104,6 +126,25 @@ fn run_cell(shards: usize, workers: usize, load: &LoadSpec) -> (ServiceReport, f
     (report, start.elapsed().as_secs_f64())
 }
 
+fn armed_row(workers: usize, report: &ServiceReport, seconds: f64) -> ServiceRow {
+    ServiceRow {
+        workload: RESIZE_WORKLOAD.to_string(),
+        shards: RESIZE_SHARDS,
+        workers,
+        resize: RESIZE_POLICY.to_string(),
+        resizes: report.stats.resizes.get(),
+        requests: report.requests,
+        entries: report.entries as u64,
+        insertions: report.stats.directory.insertions.get(),
+        invalidations: report.stats.invalidations.get(),
+        forced_invalidations: report.stats.forced_invalidations.get(),
+        outcome_digest: format!("{:016x}", report.outcome_digest),
+        matches_serial: true,
+        seconds,
+        mops_per_sec: report.requests as f64 / seconds.max(1e-9) / 1e6,
+    }
+}
+
 fn main() {
     let (_, scale_name) = RunScale::from_env_named();
     let requests = requests_for(scale_name);
@@ -141,6 +182,8 @@ fn main() {
                     workload: (*workload).to_string(),
                     shards,
                     workers,
+                    resize: "-".to_string(),
+                    resizes: 0,
                     requests: report.requests,
                     entries: report.entries as u64,
                     insertions: report.stats.directory.insertions.get(),
@@ -155,10 +198,65 @@ fn main() {
         }
     }
 
+    // --- the resize-armed section ------------------------------------
+    // Undersized shards plus an armed grow-2x schedule must (a) stay
+    // bit-identical to the armed serial reference at every worker count
+    // and (b) decide exactly what a statically provisioned serial run at
+    // the grown geometry decides (`resize_semantics`, valid because
+    // neither side forces an eviction).
+    let load = load_for(
+        RESIZE_WORKLOAD,
+        WORKLOADS
+            .iter()
+            .position(|w| *w == RESIZE_WORKLOAD)
+            .unwrap(),
+        requests,
+    );
+    let armed_config = |workers: usize| {
+        ServiceConfig::new(RESIZE_SPEC, RESIZE_SHARDS, workers)
+            .with_resize_spec(RESIZE_POLICY)
+            .expect("bench resize policy parses")
+    };
+    let armed_serial = DirectoryService::build_standard(armed_config(1))
+        .expect("bench topology builds")
+        .run_load_serial(&load)
+        .expect("armed serial reference runs");
+    let fixed_serial = DirectoryService::build_standard(ServiceConfig::new(SPEC, RESIZE_SHARDS, 1))
+        .expect("bench topology builds")
+        .run_load_serial(&load)
+        .expect("static serial reference runs");
+    assert_eq!(
+        armed_serial.stats.resizes.get(),
+        RESIZE_SHARDS as u64,
+        "every undersized shard must grow exactly once"
+    );
+    for report in [&armed_serial, &fixed_serial] {
+        assert_eq!(report.stats.directory.insertion_failures.get(), 0);
+    }
+    for &workers in WORKER_AXIS {
+        let service =
+            DirectoryService::build_standard(armed_config(workers)).expect("bench topology builds");
+        let start = Instant::now();
+        let report = service.run_load(&load).expect("armed bench load runs");
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            report.semantics(),
+            armed_serial.semantics(),
+            "{workers} armed workers diverged from the armed serial reference"
+        );
+        assert_eq!(
+            report.resize_semantics(),
+            fixed_serial.resize_semantics(),
+            "{workers} armed workers diverged from the statically provisioned reference"
+        );
+        rows.push(armed_row(workers, &report, seconds));
+    }
+
     let mut table = TextTable::new(vec![
         "workload",
         "shards",
         "workers",
+        "resize",
         "Mreq/s",
         "entries",
         "forced inv",
@@ -169,6 +267,11 @@ fn main() {
             row.workload.clone(),
             row.shards.to_string(),
             row.workers.to_string(),
+            if row.resize == "-" {
+                "-".to_string()
+            } else {
+                format!("{} x{}", row.resize, row.resizes)
+            },
             format!("{:.2}", row.mops_per_sec),
             row.entries.to_string(),
             row.forced_invalidations.to_string(),

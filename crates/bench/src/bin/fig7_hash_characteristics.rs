@@ -4,10 +4,13 @@
 //! attempts (left) and the insertion-failure probability (right) as a
 //! function of occupancy, for 2-, 3-, 4- and 8-ary cuckoo tables indexed by
 //! strong hash functions, driven with uniformly random values exactly as in
-//! Section 5.1.
+//! Section 5.1 — once per insertion policy, so the BFS shortest-path
+//! engine's occupancy-vs-attempts trade-off sits next to the paper's
+//! greedy displacement chain in the same report.
 
 use ccd_bench::{write_json, TextTable};
 use ccd_cuckoo::CuckooTable;
+use ccd_directory::InsertPolicy;
 use ccd_hash::HashKind;
 use ccd_workloads::RandomKeyStream;
 
@@ -29,13 +32,19 @@ ccd_bench::impl_to_json!(CurvePoint {
 #[derive(Debug)]
 struct Curve {
     arity: usize,
+    policy: String,
     points: Vec<CurvePoint>,
 }
-ccd_bench::impl_to_json!(Curve { arity, points });
+ccd_bench::impl_to_json!(Curve {
+    arity,
+    policy,
+    points
+});
 
-fn characterize(arity: usize, sets: usize, seed: u64) -> Curve {
+fn characterize(arity: usize, sets: usize, seed: u64, policy: InsertPolicy) -> Curve {
     let mut table: CuckooTable<()> =
         CuckooTable::new(arity, sets, HashKind::Strong, seed).expect("valid geometry");
+    table.set_insert_policy(policy);
     let mut keys = RandomKeyStream::new(seed ^ 0xF167);
     let capacity = table.capacity();
 
@@ -67,22 +76,16 @@ fn characterize(arity: usize, sets: usize, seed: u64) -> Curve {
             failure_probability: failures[b] as f64 / inserts[b] as f64,
         })
         .collect();
-    Curve { arity, points }
+    Curve {
+        arity,
+        policy: policy.to_string(),
+        points,
+    }
 }
 
-fn main() {
-    println!("== Figure 7: d-ary cuckoo hash characteristics (strong hash functions) ==");
-    println!("   100k+ random values per arity, 32-attempt budget, independent of capacity\n");
-
-    // Each arity's characterization is independent; fan them across the
-    // engine runner's workers (results stay in arity order either way).
-    let arities = [2usize, 3, 4, 8];
-    let curves: Vec<Curve> = ccd_bench::runner_from_env().map(&arities, |&d| {
-        characterize(d, 32 * 1024 / d.next_power_of_two(), 0xC0FFEE + d as u64)
-    });
-
+fn print_policy_table(arities: &[usize], curves: &[Curve]) {
     let mut headers = vec!["occupancy".to_string()];
-    for d in &arities {
+    for d in arities {
         headers.push(format!("{d}-ary attempts"));
         headers.push(format!("{d}-ary fail%"));
     }
@@ -91,7 +94,7 @@ fn main() {
     for b in 0..=steps {
         let occ = b as f64 * BUCKET;
         let mut row = vec![format!("{occ:.2}")];
-        for curve in &curves {
+        for curve in curves {
             match curve
                 .points
                 .iter()
@@ -110,9 +113,41 @@ fn main() {
         table.add_row(row);
     }
     table.print();
+}
 
-    println!("\nPaper reference (Section 5.1): below 50% occupancy, 3-ary and wider tables");
+fn main() {
+    println!("== Figure 7: d-ary cuckoo hash characteristics (strong hash functions) ==");
+    println!("   100k+ random values per arity, 32-attempt budget, independent of capacity\n");
+
+    // Each (arity, policy) characterization is independent; fan them across
+    // the engine runner's workers (results stay in case order either way).
+    let arities = [2usize, 3, 4, 8];
+    let policies = [InsertPolicy::Greedy, InsertPolicy::Bfs];
+    let cases: Vec<(usize, InsertPolicy)> = policies
+        .iter()
+        .flat_map(|&policy| arities.iter().map(move |&d| (d, policy)))
+        .collect();
+    let curves: Vec<Curve> = ccd_bench::runner_from_env().map(&cases, |&(d, policy)| {
+        characterize(
+            d,
+            32 * 1024 / d.next_power_of_two(),
+            0xC0FFEE + d as u64,
+            policy,
+        )
+    });
+
+    for (p, policy) in policies.iter().enumerate() {
+        println!("-- insertion policy: {policy} --");
+        print_policy_table(
+            &arities,
+            &curves[p * arities.len()..(p + 1) * arities.len()],
+        );
+        println!();
+    }
+
+    println!("Paper reference (Section 5.1): below 50% occupancy, 3-ary and wider tables");
     println!("succeed immediately or with a single displacement, and no failures occur");
-    println!("up to ~65% occupancy.");
+    println!("up to ~65% occupancy.  The BFS panel pays the same attempt budget for");
+    println!("shortest displacement paths, pushing the failure knee to higher occupancy.");
     write_json("fig7_hash_characteristics", &curves);
 }

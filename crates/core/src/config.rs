@@ -1,7 +1,7 @@
 //! Configuration of a Cuckoo directory slice.
 
 use ccd_common::ConfigError;
-use ccd_directory::ProbeVariant;
+use ccd_directory::{InsertPolicy, ProbeVariant};
 use ccd_hash::HashKind;
 
 /// The insertion-attempt budget used throughout the paper's evaluation
@@ -39,6 +39,12 @@ pub struct CuckooConfig {
     /// explicit variant pins the kernel and is reflected in the directory's
     /// organization label.
     pub probe: Option<ProbeVariant>,
+    /// How the table resolves insertions whose candidate slots are all
+    /// occupied: the paper's greedy displacement chain (the default), or
+    /// BFS shortest-displacement-path search.  Unlike `probe` this changes
+    /// attempt accounting and placements, so a non-default policy is always
+    /// reflected in the organization label.
+    pub insert_policy: InsertPolicy,
 }
 
 impl CuckooConfig {
@@ -54,6 +60,7 @@ impl CuckooConfig {
             hash_seed: 0xC0C0_0D15_EC70,
             max_insertion_attempts: DEFAULT_MAX_ATTEMPTS,
             probe: None,
+            insert_policy: InsertPolicy::Greedy,
         }
     }
 
@@ -104,6 +111,14 @@ impl CuckooConfig {
     #[must_use]
     pub fn with_probe(mut self, probe: ProbeVariant) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Selects the insertion policy (greedy displacement or BFS
+    /// shortest-path search).
+    #[must_use]
+    pub fn with_insert_policy(mut self, policy: InsertPolicy) -> Self {
+        self.insert_policy = policy;
         self
     }
 
@@ -230,6 +245,15 @@ mod tests {
         assert_eq!(c.probe, None);
         let c = c.with_probe(ProbeVariant::Simd);
         assert_eq!(c.probe, Some(ProbeVariant::Simd));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_policy_defaults_to_greedy_and_composes() {
+        let c = CuckooConfig::new(4, 512, 32);
+        assert_eq!(c.insert_policy, InsertPolicy::Greedy);
+        let c = c.with_insert_policy(InsertPolicy::Bfs);
+        assert_eq!(c.insert_policy, InsertPolicy::Bfs);
         assert!(c.validate().is_ok());
     }
 

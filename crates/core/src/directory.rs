@@ -16,7 +16,7 @@
 use crate::{config::CuckooConfig, table::CuckooTable};
 use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
 use ccd_directory::{
-    Directory, DirectoryOp, DirectoryStats, Outcome, ProbeVariant, StorageProfile,
+    Directory, DirectoryOp, DirectoryStats, InsertPolicy, Outcome, ProbeVariant, StorageProfile,
 };
 use ccd_sharers::SharerSet;
 
@@ -45,6 +45,21 @@ impl<S: SharerSet> CuckooDirectory<S> {
             Some(variant) => Some(variant),
             None => ProbeVariant::from_env()?,
         };
+        let table = Self::build_table(&config, probe)?;
+        Ok(CuckooDirectory {
+            config,
+            table,
+            stats: DirectoryStats::new(),
+        })
+    }
+
+    /// Builds a table for `config` running `probe`, with the attempt budget
+    /// and insertion policy applied — shared by construction and live
+    /// resize.
+    fn build_table(
+        config: &CuckooConfig,
+        probe: Option<ProbeVariant>,
+    ) -> Result<CuckooTable<S>, ConfigError> {
         let mut table = CuckooTable::with_variant(
             config.ways,
             config.sets,
@@ -53,11 +68,8 @@ impl<S: SharerSet> CuckooDirectory<S> {
             probe,
         )?;
         table.set_max_attempts(config.max_insertion_attempts);
-        Ok(CuckooDirectory {
-            config,
-            table,
-            stats: DirectoryStats::new(),
-        })
+        table.set_insert_policy(config.insert_policy);
+        Ok(table)
     }
 
     /// The configuration this slice was built from.
@@ -144,6 +156,13 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
         if let Some(probe) = self.config.probe {
             label.push('-');
             label.push_str(&probe.to_string());
+        }
+        // The insertion policy, unlike the probe kernel, is semantic
+        // (attempt counts and placements differ), so a non-default policy is
+        // always part of the label.
+        if self.config.insert_policy != InsertPolicy::Greedy {
+            label.push('-');
+            label.push_str(&self.config.insert_policy.to_string());
         }
         label
     }
@@ -245,6 +264,41 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn geometry(&self) -> Option<(usize, usize)> {
+        Some((self.config.ways, self.config.sets))
+    }
+
+    // Online live resize: build a table at the new geometry and migrate
+    // every resident entry through its batched insertion path.  The
+    // migration itself bypasses the per-insertion statistics — the grown
+    // directory must stay semantically comparable to one statically
+    // provisioned at the new geometry — except for entries the new geometry
+    // cannot re-home, which are folded into the failure statistics exactly
+    // like a budget-exhausted insertion (deterministic, and practically
+    // never fired by a growth resize).
+    fn live_resize(&mut self, ways: usize, sets: usize) -> Result<bool, ConfigError> {
+        let mut config = self.config.clone();
+        config.ways = ways;
+        config.sets = sets;
+        config.validate()?;
+        // Same probe resolution as construction: config pin, then CCD_PROBE,
+        // then auto-selection (the new geometry may legalize or outlaw the
+        // localized layout, so the auto choice is re-made).
+        let probe = match config.probe {
+            Some(variant) => Some(variant),
+            None => ProbeVariant::from_env()?,
+        };
+        let mut table = Self::build_table(&config, probe)?;
+        for (_victim_key, victim_sharers) in self.table.migrate_into(&mut table) {
+            self.stats.insertion_failures.incr();
+            let targets = victim_sharers.invalidation_targets().len();
+            self.stats.forced_block_invalidations.add(targets as u64);
+        }
+        self.table = table;
+        self.config = config;
+        Ok(true)
     }
 
     fn storage_profile(&self) -> StorageProfile {
@@ -472,6 +526,55 @@ mod tests {
         assert_eq!(d.ways(), 3);
         assert_eq!(d.sets(), 8192);
         assert_eq!(d.config().num_caches, 16);
+    }
+
+    #[test]
+    fn live_resize_grows_in_place_and_preserves_entries() {
+        let mut d = dir(4, 64, 8);
+        let mut rng = SplitMix64::new(0x9E51);
+        let mut tracked = Vec::new();
+        for _ in 0..180 {
+            let l = line(rng.next_u64() >> 10);
+            let r = d.add_sharer(l, CacheId::new((rng.next_below(8)) as u32));
+            if r.forced_evictions.is_empty() {
+                tracked.push(l);
+            }
+        }
+        assert_eq!(d.geometry(), Some((4, 64)));
+        let failures_before = d.stats().insertion_failures.get();
+        assert!(d.live_resize(4, 128).unwrap());
+        assert_eq!(d.geometry(), Some((4, 128)));
+        assert_eq!(d.capacity(), 512);
+        assert_eq!(d.organization(), "cuckoo-4x128-skewing");
+        assert_eq!(
+            d.stats().insertion_failures.get(),
+            failures_before,
+            "a growth migration must not discard"
+        );
+        for &l in &tracked {
+            assert!(d.contains(l), "resize lost {:#x}", l.block_number());
+        }
+        // The resized directory keeps serving and can re-way too.
+        assert!(d.live_resize(8, 64).unwrap());
+        assert_eq!(d.geometry(), Some((8, 64)));
+        for &l in &tracked {
+            assert!(d.contains(l), "re-way lost {:#x}", l.block_number());
+        }
+    }
+
+    #[test]
+    fn live_resize_validates_the_new_geometry() {
+        let mut d = dir(4, 64, 8);
+        assert!(d.live_resize(4, 100).is_err(), "non-power-of-two sets");
+        assert!(d.live_resize(1, 64).is_err(), "1-ary cannot displace");
+        assert_eq!(d.geometry(), Some((4, 64)), "failed resize changes nothing");
+    }
+
+    #[test]
+    fn baseline_directories_report_non_resizable() {
+        let mut sparse = ccd_directory::SparseDirectory::<FullBitVector>::new(4, 64, 8).unwrap();
+        assert_eq!(sparse.geometry(), None);
+        assert!(!sparse.live_resize(4, 128).unwrap());
     }
 
     #[test]

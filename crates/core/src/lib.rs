@@ -64,10 +64,11 @@ use ccd_common::ConfigError;
 use ccd_directory::{match_sharer_format, BuilderRegistry, Directory, DirectorySpec};
 use ccd_hash::HashKind;
 
-/// The registry builder for `cuckoo-WxS[-hash][-probe]` specs.
+/// The registry builder for `cuckoo-WxS[-hash][-probe][-policy]` specs.
 fn build_cuckoo(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
     let mut config = CuckooConfig::new(spec.ways, spec.sets, spec.caches)
-        .with_hash_kind(spec.hash.unwrap_or(HashKind::Skewing));
+        .with_hash_kind(spec.hash.unwrap_or(HashKind::Skewing))
+        .with_insert_policy(spec.policy);
     if let Some(probe) = spec.probe {
         config = config.with_probe(probe);
     }
@@ -187,5 +188,21 @@ mod tests {
         // Impossible combinations surface the table's validation error.
         assert!(registry.build_str("cuckoo-4x512-strong-localized").is_err());
         assert!(registry.build_str("cuckoo-8x512-tagalt-localized").is_err());
+    }
+
+    #[test]
+    fn registry_cuckoo_honours_policy_modifiers() {
+        let registry = standard_registry();
+        // A non-default insertion policy round-trips through the label.
+        let dir = registry.build_str("cuckoo-4x64-strong-bfs").unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x64-strong-bfs");
+        // It composes with a probe pin (policy after probe, per grammar).
+        let dir = registry
+            .build_str("cuckoo-4x64-tagalt-localized-bfs-c16")
+            .unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x64-tagalt-localized-bfs");
+        // The default greedy policy leaves the label unchanged.
+        let dir = registry.build_str("cuckoo-4x64-strong-greedy").unwrap();
+        assert_eq!(dir.organization(), "cuckoo-4x64-strong");
     }
 }

@@ -56,10 +56,21 @@
 //!   average";
 //! * otherwise each displacement round (writing the in-flight entry into one
 //!   way and probing the displaced victim's candidate slots) adds one
-//!   attempt;
-//! * when the attempt budget is exhausted the most recently displaced entry
-//!   is discarded and reported so the caller can invalidate the
-//!   corresponding cached blocks (Section 4.2).
+//!   attempt.
+//!
+//! The discard rule when the attempt budget expires is exact, and shared by
+//! both insertion policies:
+//!
+//! * the entry discarded is the **most recently displaced** one — the entry
+//!   left in flight when `attempts` reaches the budget — and it is reported
+//!   in [`InsertOutcome::discarded`] so the caller can invalidate the
+//!   corresponding cached blocks (Section 4.2);
+//! * the **requested key is never the one discarded**: if the chain circles
+//!   back so that the in-flight entry *is* the incoming key (including a
+//!   budget of 1, where no displacement round ever ran), the table performs
+//!   one final displacement — the incoming entry overwrites its round-robin
+//!   candidate slot and that victim is discarded instead — so the requested
+//!   block is always tracked when the insertion returns.
 //!
 //! To keep entries uniformly distributed across the ways, each insertion's
 //! displacement chain starts at the way where the previous chain stopped.
@@ -68,11 +79,37 @@
 //! and vacancy-probe share one [`IndexHashFamily::index_all_into`] pass, and
 //! the displacement loop reuses each victim's indices for both its vacancy
 //! probe and its next displacement target.
+//!
+//! # Insertion policies
+//!
+//! When every candidate slot of a new key is occupied, the table resolves
+//! the insertion with one of two [`InsertPolicy`] kernels:
+//!
+//! * `greedy` (the default, the paper's Section 5.2 procedure) — the
+//!   random-walk chain above: kick a victim, probe its alternates, repeat.
+//! * `bfs` — breadth-first search for a **shortest displacement path**: the
+//!   frontier starts at the key's `d` candidate slots and expands each
+//!   victim into its alternate candidates (derived from the tag arrays
+//!   alone via [`ccd_hash::TagAltFamily::derive_all_into`] when the family
+//!   is `tagalt`, re-hashing the victim key otherwise) until some frontier
+//!   victim has a vacant alternate.  The path of moves is then applied
+//!   deepest-first, vacating one of the key's candidate slots.  A path of
+//!   `L` moves costs `L + 1` attempts, so the budget bounds the search
+//!   depth at `max_attempts - 1`; the frontier is additionally bounded by a
+//!   fixed preallocated scratch arena ([`BFS_ARENA`] nodes), keeping
+//!   steady-state insertions allocation-free.  When the bounded search
+//!   finds no path the table falls back to the shared discard rule: one
+//!   final displacement into the round-robin candidate way, reported with
+//!   `attempts = max_attempts`.
+//!
+//! Both policies agree on which keys are resident until a budget actually
+//! expires, but attempt counts and physical placements differ — the policy
+//! is semantic, unlike the bit-identical [`ProbeVariant`] kernels.
 
 use crate::simd::VectorEngine;
 use ccd_common::prefetch::prefetch_slice_element;
 use ccd_common::{ConfigError, LineAddr};
-use ccd_directory::ProbeVariant;
+use ccd_directory::{InsertPolicy, ProbeVariant};
 use ccd_hash::{fingerprint, HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
 use std::mem::MaybeUninit;
 
@@ -159,6 +196,59 @@ impl<V> std::fmt::Debug for FindOrInsert<'_, V> {
     }
 }
 
+/// Upper bound on the BFS frontier: the number of scratch-arena nodes one
+/// search may allocate across all depths (roots included).  Reached only at
+/// extreme occupancy; the search then falls back to the discard rule.
+pub const BFS_ARENA: usize = 256;
+
+/// One BFS frontier node: a candidate slot plus the arena position of the
+/// node whose expansion enqueued it (`u32::MAX` for the roots).
+#[derive(Clone, Copy, Debug)]
+struct BfsNode {
+    slot: u32,
+    parent: u32,
+}
+
+/// Preallocated scratch of the BFS insertion kernel: the arena doubles as
+/// the FIFO frontier queue, and the bitmap deduplicates visited slots.
+/// Allocated once by [`CuckooTable::set_insert_policy`] so steady-state
+/// insertions stay allocation-free.
+#[derive(Debug)]
+struct BfsScratch {
+    /// Frontier arena / FIFO queue (capacity [`BFS_ARENA`], never grown).
+    nodes: Vec<BfsNode>,
+    /// One bit per slot; set while the slot is in the arena.
+    visited: Vec<u64>,
+}
+
+impl BfsScratch {
+    fn new(capacity: usize) -> Self {
+        BfsScratch {
+            nodes: Vec::with_capacity(BFS_ARENA),
+            visited: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Marks `slot` visited, returning `true` when it was not already.
+    fn visit(&mut self, slot: usize) -> bool {
+        let word = &mut self.visited[slot / 64];
+        let mask = 1u64 << (slot % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Clears the visited bits of every arena node and empties the arena,
+    /// ready for the next search — O(arena), not O(table capacity).
+    fn reset(&mut self) {
+        for i in 0..self.nodes.len() {
+            let slot = self.nodes[i].slot as usize;
+            self.visited[slot / 64] &= !(1u64 << (slot % 64));
+        }
+        self.nodes.clear();
+    }
+}
+
 /// Dispatches a const-generic probe method on the way count, so the common
 /// `d <= 8` tables run with compact stack index buffers.
 macro_rules! ways_dispatch {
@@ -212,6 +302,11 @@ pub struct CuckooTable<V> {
     valid: usize,
     max_attempts: u32,
     next_start_way: usize,
+    /// How insertions whose candidate slots are all occupied are resolved.
+    policy: InsertPolicy,
+    /// Scratch arena of the BFS kernel; `Some` exactly when `policy` is
+    /// [`InsertPolicy::Bfs`].
+    bfs: Option<Box<BfsScratch>>,
 }
 
 impl<V> CuckooTable<V> {
@@ -299,6 +394,8 @@ impl<V> CuckooTable<V> {
             valid: 0,
             max_attempts: crate::config::DEFAULT_MAX_ATTEMPTS,
             next_start_way: 0,
+            policy: InsertPolicy::Greedy,
+            bfs: None,
         })
     }
 
@@ -318,12 +415,53 @@ impl<V> CuckooTable<V> {
 
     /// Sets the insertion-attempt budget (default 32).
     ///
+    /// When the budget expires the **most recently displaced** entry is
+    /// discarded — never the requested key, which is kept resident by one
+    /// final displacement if the chain circled back to it (see the module
+    /// docs for the exact rule):
+    ///
+    /// ```
+    /// use ccd_cuckoo::CuckooTable;
+    /// use ccd_hash::HashKind;
+    ///
+    /// let mut table: CuckooTable<()> = CuckooTable::new(2, 16, HashKind::Strong, 7)?;
+    /// table.set_max_attempts(1); // any fully-conflicted insert discards at once
+    /// let discard = (0..10_000u64).find_map(|key| {
+    ///     table.insert(key, ()).discarded.map(|(victim, ())| (key, victim))
+    /// });
+    /// let (key, victim) = discard.expect("a 2x16 table conflicts quickly");
+    /// assert_ne!(victim, key, "the requested key is never the one discarded");
+    /// assert!(table.contains(key), "the requested block stays tracked");
+    /// assert!(!table.contains(victim), "the displaced victim is gone");
+    /// # Ok::<(), ccd_common::ConfigError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `max_attempts` is zero.
     pub fn set_max_attempts(&mut self, max_attempts: u32) {
         assert!(max_attempts > 0, "attempt budget must be non-zero");
         self.max_attempts = max_attempts;
+    }
+
+    /// Selects the insertion policy (default [`InsertPolicy::Greedy`]).
+    ///
+    /// Switching to [`InsertPolicy::Bfs`] preallocates the policy's fixed
+    /// scratch arena, so steady-state insertions remain allocation-free.
+    /// The policy only governs future insertions; resident entries are left
+    /// where they are.
+    pub fn set_insert_policy(&mut self, policy: InsertPolicy) {
+        self.policy = policy;
+        self.bfs = match policy {
+            InsertPolicy::Bfs => Some(Box::new(BfsScratch::new(self.capacity()))),
+            InsertPolicy::Greedy => None,
+        };
+    }
+
+    /// The insertion policy this table runs.
+    #[must_use]
+    pub fn insert_policy(&self) -> InsertPolicy {
+        self.policy
     }
 
     /// Number of ways.
@@ -690,6 +828,24 @@ impl<V> CuckooTable<V> {
         (old_key, old_value)
     }
 
+    /// Moves the occupant of `from` into the vacant slot `to`, leaving
+    /// `from` vacant — one hop of a BFS displacement path.
+    #[inline]
+    fn move_slot(&mut self, from: usize, to: usize) {
+        let from_pos = self.tag_pos_of_slot(from);
+        let to_pos = self.tag_pos_of_slot(to);
+        debug_assert_ne!(self.tags[from_pos], EMPTY_TAG, "path nodes are occupied");
+        debug_assert_eq!(self.tags[to_pos], EMPTY_TAG, "paths move into vacancies");
+        self.tags[to_pos] = self.tags[from_pos];
+        self.tags[from_pos] = EMPTY_TAG;
+        self.keys[to] = self.keys[from];
+        // SAFETY: `from`'s occupied tag guarantees an initialized payload,
+        // and clearing that tag above makes this a move — the payload is
+        // read exactly once and never dropped at `from`.
+        let value = unsafe { self.values[from].assume_init_read() };
+        self.values[to].write(value);
+    }
+
     /// Returns `true` when `key` is present.
     #[must_use]
     pub fn contains(&self, key: u64) -> bool {
@@ -812,7 +968,10 @@ impl<V> CuckooTable<V> {
             };
         }
 
-        self.displace(key, value, indices)
+        match self.policy {
+            InsertPolicy::Greedy => self.displace(key, value, indices),
+            InsertPolicy::Bfs => self.displace_bfs(key, value, indices),
+        }
     }
 
     /// The displacement chain: the in-flight entry looks for a home, kicking
@@ -885,6 +1044,136 @@ impl<V> CuckooTable<V> {
         }
     }
 
+    /// BFS shortest-displacement-path insertion (see the module docs).
+    /// `indices` holds the incoming key's candidate set indices — all
+    /// occupied when this runs — and is left untouched so the discard
+    /// fallback can reuse them.
+    fn displace_bfs(&mut self, key: u64, value: V, indices: &mut [usize]) -> InsertOutcome<V> {
+        let mut scratch = self
+            .bfs
+            .take()
+            .expect("the BFS policy preallocates its scratch arena");
+        let found = self.bfs_search(&mut scratch, indices);
+        let outcome = match found {
+            Some((leaf, vacant)) => {
+                // Apply the path deepest-first: each hop moves a path node's
+                // occupant into the vacancy opened by the previous hop,
+                // finally vacating one of `key`'s own candidate slots.
+                let mut dest = vacant;
+                let mut node = leaf;
+                let mut moves = 0u32;
+                loop {
+                    let BfsNode { slot, parent } = scratch.nodes[node as usize];
+                    self.move_slot(slot as usize, dest);
+                    moves += 1;
+                    dest = slot as usize;
+                    if parent == u32::MAX {
+                        break;
+                    }
+                    node = parent;
+                }
+                self.fill_slot(dest, key, value);
+                self.valid += 1;
+                InsertOutcome {
+                    attempts: moves + 1,
+                    discarded: None,
+                }
+            }
+            None => {
+                // No path within the budgeted depth (or the arena filled):
+                // the shared discard rule — one final displacement into the
+                // round-robin candidate way keeps the requested block
+                // tracked, and the displaced victim is reported for
+                // invalidation.
+                let way = self.next_start_way;
+                let slot = way * self.sets + indices[way];
+                let victim = self.swap_slot(slot, key, value);
+                self.next_start_way = (way + 1) % self.ways;
+                InsertOutcome {
+                    attempts: self.max_attempts,
+                    discarded: Some(victim),
+                }
+            }
+        };
+        scratch.reset();
+        self.bfs = Some(scratch);
+        outcome
+    }
+
+    /// The search half of the BFS kernel: expands the frontier from `key`'s
+    /// candidate slots (all occupied) until some frontier victim has a
+    /// vacant alternate.  Returns that victim's arena position plus the
+    /// vacant slot; the move path is recovered by walking parent links.
+    /// Leaves the arena populated for the caller, who resets it after
+    /// applying the path.
+    ///
+    /// A node at depth `D` (roots are depth 1) yields a path of `D` moves
+    /// costing `D + 1` attempts, so only nodes at depth
+    /// `<= max_attempts - 1` are expanded — the budget greedy would spend
+    /// on its chain bounds the search depth here.
+    fn bfs_search(&self, scratch: &mut BfsScratch, indices: &[usize]) -> Option<(u32, usize)> {
+        debug_assert!(scratch.nodes.is_empty());
+        let max_depth = (self.max_attempts - 1) as usize;
+        if max_depth == 0 {
+            return None;
+        }
+        for (way, &index) in indices.iter().enumerate().take(self.ways) {
+            let slot = way * self.sets + index;
+            if scratch.visit(slot) {
+                scratch.nodes.push(BfsNode {
+                    slot: slot as u32,
+                    parent: u32::MAX,
+                });
+            }
+        }
+        let mut cand = [0usize; MAX_FAMILY_WAYS];
+        let mut head = 0usize;
+        let mut level_end = scratch.nodes.len();
+        let mut depth = 1usize;
+        while head < scratch.nodes.len() {
+            if head == level_end {
+                depth += 1;
+                level_end = scratch.nodes.len();
+                if depth > max_depth {
+                    // Unreachable in practice: children are only enqueued
+                    // while their depth stays expandable.  Kept as a guard.
+                    return None;
+                }
+            }
+            let node_slot = scratch.nodes[head].slot as usize;
+            let (way, index) = (node_slot / self.sets, node_slot % self.sets);
+            // The victim's complete candidate set derives from its
+            // coordinates and tag alone with the tagalt family (an occupied
+            // tag *is* the fingerprint — same identity the greedy chain
+            // uses); other families re-hash its key.
+            if let Some(family) = self.hashes.tag_alt() {
+                let tag = self.tag_at(self.tag_pos(way, index));
+                family.derive_all_into(way, index, tag, &mut cand);
+            } else {
+                self.hash_into(self.key_at(node_slot), &mut cand);
+            }
+            if let Some(vacant) = self.first_vacant_prehashed(&cand) {
+                return Some((head as u32, vacant));
+            }
+            if depth < max_depth {
+                for (w, &set_index) in cand.iter().enumerate().take(self.ways) {
+                    if scratch.nodes.len() == BFS_ARENA {
+                        break;
+                    }
+                    let child = w * self.sets + set_index;
+                    if scratch.visit(child) {
+                        scratch.nodes.push(BfsNode {
+                            slot: child as u32,
+                            parent: head as u32,
+                        });
+                    }
+                }
+            }
+            head += 1;
+        }
+        None
+    }
+
     /// Looks `key` up and, when absent, inserts `make()` via the cuckoo
     /// displacement procedure — one fused probe covers the lookup-hit and
     /// vacancy scans.  `make` is only invoked when the key is actually
@@ -921,7 +1210,10 @@ impl<V> CuckooTable<V> {
                 }),
             )
         } else {
-            let outcome = self.displace(key, make(), &mut indices);
+            let outcome = match self.policy {
+                InsertPolicy::Greedy => self.displace(key, make(), &mut indices),
+                InsertPolicy::Bfs => self.displace_bfs(key, make(), &mut indices),
+            };
             // The chain may have moved the new entry again before settling,
             // so its final slot needs one re-probe (rare path: all candidate
             // slots were occupied).
@@ -1010,6 +1302,44 @@ impl<V> CuckooTable<V> {
             }
         }
     }
+
+    /// Drains every resident entry into `target` through its batched
+    /// insertion path ([`CuckooTable::apply_batch`]), leaving `self` empty —
+    /// the migration primitive behind online live resize.
+    ///
+    /// Entries move in ascending slot order in fixed-size batches, so a
+    /// migration between deterministic tables is itself deterministic.
+    /// Returns the entries `target` discarded (attempt-budget expiry during
+    /// re-insertion) — empty whenever `target` is provisioned at least as
+    /// generously as `self`.
+    pub fn migrate_into(&mut self, target: &mut CuckooTable<V>) -> Vec<(u64, V)> {
+        const MIGRATE_BATCH: usize = 64;
+        let mut entries: Vec<(u64, V)> = Vec::with_capacity(MIGRATE_BATCH);
+        let mut outcomes: Vec<InsertOutcome<V>> = Vec::with_capacity(MIGRATE_BATCH);
+        let mut discarded = Vec::new();
+        for slot in 0..self.ways * self.sets {
+            let pos = self.tag_pos_of_slot(slot);
+            if self.tags[pos] == EMPTY_TAG {
+                continue;
+            }
+            self.tags[pos] = EMPTY_TAG;
+            self.valid -= 1;
+            // SAFETY: the occupied tag guarantees an initialized payload,
+            // and the tag is cleared above so it is never read again here.
+            let value = unsafe { self.values[slot].assume_init_read() };
+            entries.push((self.keys[slot], value));
+            if entries.len() == MIGRATE_BATCH {
+                target.apply_batch(&mut entries, &mut outcomes);
+                discarded.extend(outcomes.drain(..).filter_map(|o| o.discarded));
+            }
+        }
+        if !entries.is_empty() {
+            target.apply_batch(&mut entries, &mut outcomes);
+            discarded.extend(outcomes.drain(..).filter_map(|o| o.discarded));
+        }
+        debug_assert!(self.is_empty());
+        discarded
+    }
 }
 
 impl<V: Clone> Clone for CuckooTable<V> {
@@ -1045,6 +1375,13 @@ impl<V: Clone> Clone for CuckooTable<V> {
             valid: self.valid,
             max_attempts: self.max_attempts,
             next_start_way: self.next_start_way,
+            policy: self.policy,
+            // The scratch holds no state between insertions; a clone gets a
+            // fresh arena sized for the same capacity.
+            bfs: self
+                .bfs
+                .as_ref()
+                .map(|_| Box::new(BfsScratch::new(capacity))),
         }
     }
 }
@@ -1541,5 +1878,152 @@ mod tests {
             assert_eq!(t.iter().count(), t.len());
         }
         assert_eq!(LIVE.load(Ordering::Relaxed), 0, "every payload dropped");
+    }
+
+    // ---- Insertion-policy and migration tests ------------------------------
+
+    #[test]
+    fn bfs_policy_round_trips_and_clones_with_its_scratch() {
+        let mut t: CuckooTable<u64> = CuckooTable::new(4, 64, HashKind::Strong, 9).unwrap();
+        assert_eq!(t.insert_policy(), InsertPolicy::Greedy);
+        t.set_insert_policy(InsertPolicy::Bfs);
+        assert_eq!(t.insert_policy(), InsertPolicy::Bfs);
+        let mut rng = SplitMix64::new(0xB55);
+        let mut keys = Vec::new();
+        for _ in 0..200 {
+            let key = rng.next_u64() >> 8;
+            let o = t.insert(key, key + 1);
+            keys.push(key);
+            if let Some((lost, _)) = o.discarded {
+                keys.retain(|&k| k != lost);
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let cloned = t.clone();
+        assert_eq!(cloned.insert_policy(), InsertPolicy::Bfs);
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(&(k + 1)), "lost key {k:#x}");
+            assert_eq!(cloned.get(k), Some(&(k + 1)), "clone lost key {k:#x}");
+        }
+        assert_eq!(cloned.len(), t.len());
+    }
+
+    #[test]
+    fn bfs_and_greedy_store_the_same_keys_until_a_discard() {
+        // Until a budget actually expires both policies accept every key, so
+        // the resident key sets must be identical (placements may differ).
+        for kind in [HashKind::Strong, HashKind::TagAlt] {
+            let mut greedy: CuckooTable<u64> = CuckooTable::new(4, 64, kind, 13).unwrap();
+            let mut bfs: CuckooTable<u64> = CuckooTable::new(4, 64, kind, 13).unwrap();
+            bfs.set_insert_policy(InsertPolicy::Bfs);
+            let mut rng = SplitMix64::new(0xABCD);
+            let samples = if cfg!(miri) { 60 } else { 400 };
+            let mut discard_free = 0u32;
+            for i in 0..samples {
+                let key = rng.next_u64() >> 8;
+                let og = greedy.insert(key, key);
+                let ob = bfs.insert(key, key);
+                if og.discarded.is_some() || ob.discarded.is_some() {
+                    // Once either budget expires the discards (and thus the
+                    // key sets) may legitimately differ.
+                    break;
+                }
+                discard_free = i + 1;
+                assert_eq!(greedy.len(), bfs.len(), "{kind} diverged at insert {i}");
+                assert!(greedy.contains(key) && bfs.contains(key));
+                let reference: HashSet<u64> = greedy.iter().map(|(k, _)| k).collect();
+                let contents: HashSet<u64> = bfs.iter().map(|(k, _)| k).collect();
+                assert_eq!(contents, reference, "{kind} key sets diverged at {i}");
+            }
+            assert!(
+                discard_free > 100,
+                "{kind}: stream must exercise real displacement before discarding"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_falls_back_to_the_shared_discard_rule() {
+        // A saturated 2x2 table with a 2-attempt budget: BFS cannot find a
+        // path once every slot is full, so the discard rule must fire and
+        // keep the requested key resident.
+        let mut t: CuckooTable<u64> = CuckooTable::new(2, 2, HashKind::Strong, 17).unwrap();
+        t.set_max_attempts(2);
+        t.set_insert_policy(InsertPolicy::Bfs);
+        let mut rng = SplitMix64::new(5);
+        let mut saw_discard = false;
+        for _ in 0..64 {
+            let key = rng.next_u64() >> 8;
+            let o = t.insert(key, key);
+            assert!(o.attempts <= 2);
+            if let Some((victim, _)) = o.discarded {
+                saw_discard = true;
+                assert_ne!(victim, key, "the requested key is never discarded");
+                assert!(t.contains(key), "requested block must stay tracked");
+                assert!(!t.contains(victim));
+            }
+            assert!(t.len() <= t.capacity());
+        }
+        assert!(saw_discard, "a 4-entry table driven with 64 keys discards");
+        assert_eq!(t.iter().count(), t.len());
+    }
+
+    #[test]
+    fn bfs_attempts_never_exceed_the_budget() {
+        let mut t: CuckooTable<()> = CuckooTable::new(4, 16, HashKind::TagAlt, 23).unwrap();
+        t.set_max_attempts(6);
+        t.set_insert_policy(InsertPolicy::Bfs);
+        let mut rng = SplitMix64::new(0x6A);
+        for _ in 0..400 {
+            let o = t.insert(rng.next_u64() >> 8, ());
+            assert!((1..=6).contains(&o.attempts));
+            if o.discarded.is_some() {
+                assert_eq!(o.attempts, 6, "a discard always reports max attempts");
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_into_preserves_contents_and_empties_the_source() {
+        let (mut source, keys) = filled_table(4, 64, 200, 41);
+        let mut target: CuckooTable<u64> = CuckooTable::new(4, 128, HashKind::TagAlt, 42).unwrap();
+        let discarded = source.migrate_into(&mut target);
+        assert!(discarded.is_empty(), "a 2x-larger target never discards");
+        assert!(source.is_empty());
+        assert_eq!(target.len(), keys.len());
+        for &k in &keys {
+            assert_eq!(target.get(k), Some(&(k * 2)), "migration lost {k:#x}");
+        }
+    }
+
+    #[test]
+    fn migrate_into_reports_discards_from_an_undersized_target() {
+        let (mut source, keys) = filled_table(4, 64, 200, 43);
+        let mut target: CuckooTable<u64> = CuckooTable::new(2, 16, HashKind::Strong, 44).unwrap();
+        target.set_max_attempts(4);
+        let discarded = source.migrate_into(&mut target);
+        assert!(source.is_empty());
+        assert!(
+            !discarded.is_empty(),
+            "200 entries cannot fit a 32-slot target"
+        );
+        assert_eq!(target.len() + discarded.len(), keys.len());
+        for &(k, v) in &discarded {
+            assert_eq!(v, k * 2, "discards carry their payloads");
+            assert!(!target.contains(k));
+        }
+    }
+
+    #[test]
+    fn migrate_into_is_deterministic() {
+        let (mut a, _) = filled_table(4, 64, 200, 45);
+        let mut b = a.clone();
+        let mut ta: CuckooTable<u64> = CuckooTable::new(4, 128, HashKind::Strong, 46).unwrap();
+        let mut tb: CuckooTable<u64> = CuckooTable::new(4, 128, HashKind::Strong, 46).unwrap();
+        assert_eq!(a.migrate_into(&mut ta), b.migrate_into(&mut tb));
+        let ca: Vec<(u64, u64)> = ta.iter().map(|(k, &v)| (k, v)).collect();
+        let cb: Vec<(u64, u64)> = tb.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(ca, cb, "identical sources migrate identically");
     }
 }

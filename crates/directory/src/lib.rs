@@ -86,11 +86,11 @@ pub use in_cache::InCacheDirectory;
 pub use sharded::ShardedDirectory;
 pub use skewed::SkewedDirectory;
 pub use sparse::SparseDirectory;
-pub use spec::{BuilderRegistry, DirectorySpec, ProbeVariant};
+pub use spec::{BuilderRegistry, DirectorySpec, InsertPolicy, ProbeVariant};
 pub use stats::DirectoryStats;
 pub use tagless::TaglessDirectory;
 
-use ccd_common::{CacheId, LineAddr};
+use ccd_common::{CacheId, ConfigError, LineAddr};
 use ccd_sharers::SharerSet;
 
 /// How many upcoming operations the default [`Directory::apply_batch`]
@@ -621,6 +621,32 @@ pub trait Directory: Send {
 
     /// Storage-geometry profile for the energy/area model.
     fn storage_profile(&self) -> StorageProfile;
+
+    // ---- provided: live resize --------------------------------------------
+
+    /// The resizable `(ways, sets)` geometry of this organization, when it
+    /// supports [`Directory::live_resize`].  The default (`None`) marks the
+    /// organization non-resizable; schedulers treat a resize request against
+    /// it as a no-op.
+    fn geometry(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Rebuilds the organization in place at the requested `(ways, sets)`
+    /// geometry, migrating every resident entry — the primitive behind
+    /// occupancy-adaptive online resizing.  Returns `Ok(false)` when the
+    /// organization does not support resizing (the default), `Ok(true)` when
+    /// the migration completed.  Entries that cannot be re-homed in the new
+    /// geometry are folded into the organization's failure statistics, the
+    /// same accounting a budget-exhausted insertion uses.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their configuration validation (e.g. a
+    /// non-power-of-two set count) as [`ConfigError`].
+    fn live_resize(&mut self, _ways: usize, _sets: usize) -> Result<bool, ConfigError> {
+        Ok(false)
+    }
 
     // ---- provided: borrowed sharer queries --------------------------------
 

@@ -17,7 +17,7 @@
 //! # Spec-string grammar
 //!
 //! ```text
-//! [shardedN:]ORG-WxS[-HASH][-PROBE][-cCACHES][@SHARERS]
+//! [shardedN:]ORG-WxS[-HASH][-PROBE][-POLICY][-cCACHES][@SHARERS]
 //! ```
 //!
 //! * `ORG` — `cuckoo`, `sparse`, `skewed`, `duplicate-tag` (alias
@@ -30,6 +30,11 @@
 //! * `PROBE` — `scalar`, `swar`, `simd`, or `localized`: the cuckoo
 //!   directory's tag-probe variant (all variants are bit-identical in
 //!   behaviour; this picks the kernel, and the label then names it);
+//! * `POLICY` — `greedy` (default) or `bfs`: the cuckoo directory's
+//!   insertion policy.  Unlike the probe kernels this is *semantic*: BFS
+//!   finds shortest displacement paths, so attempt counts and placements
+//!   differ from the greedy chain (the label names `bfs` whenever it is
+//!   in effect);
 //! * `cCACHES` — number of tracked private caches (default 32);
 //! * `@SHARERS` — `full`, `limited`, `coarse`, or `hier` (default `full`);
 //! * `shardedN:` — interleave the capacity across `N` identical slices
@@ -159,6 +164,52 @@ impl FromStr for ProbeVariant {
     }
 }
 
+/// How a cuckoo directory's table finds a home for a new entry when every
+/// candidate slot is occupied.
+///
+/// Unlike [`ProbeVariant`], the policy is **semantic**: the two policies
+/// agree on which keys are resident (until an attempt budget actually
+/// expires), but attempt counts and physical placements differ, so the
+/// policy is part of the organization label (`cuckoo-4x1024-bfs`) and of
+/// every digest built over insertion outcomes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum InsertPolicy {
+    /// The paper's Section 5.2 procedure: a greedy random-walk displacement
+    /// chain, kicking victims round-robin until one lands in a vacancy.
+    #[default]
+    Greedy,
+    /// Breadth-first search over the displacement graph: the table finds a
+    /// *shortest* sequence of moves that frees one of the new entry's
+    /// candidate slots, then applies it deepest-first.  Same attempt
+    /// accounting contract (a path of `L` moves costs `L + 1` attempts),
+    /// strictly fewer entries touched per insertion at high occupancy.
+    Bfs,
+}
+
+impl fmt::Display for InsertPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InsertPolicy::Greedy => "greedy",
+            InsertPolicy::Bfs => "bfs",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for InsertPolicy {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "greedy" => Ok(InsertPolicy::Greedy),
+            "bfs" => Ok(InsertPolicy::Bfs),
+            other => Err(ConfigError::Parse {
+                what: format!("unknown insert policy `{other}` (known: greedy, bfs)"),
+            }),
+        }
+    }
+}
+
 /// A parsed directory specification (see the module docs for the grammar).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DirectorySpec {
@@ -172,6 +223,8 @@ pub struct DirectorySpec {
     pub hash: Option<HashKind>,
     /// Tag-probe kernel, for the cuckoo organization (`None` = auto).
     pub probe: Option<ProbeVariant>,
+    /// Insertion policy, for the cuckoo organization (default greedy).
+    pub policy: InsertPolicy,
     /// Per-entry sharer representation.
     pub sharers: SharerFormat,
     /// Number of tracked private caches.
@@ -191,6 +244,7 @@ impl DirectorySpec {
             sets,
             hash: None,
             probe: None,
+            policy: InsertPolicy::Greedy,
             sharers: SharerFormat::FullVector,
             caches: DEFAULT_CACHES,
             shards: 1,
@@ -215,6 +269,13 @@ impl DirectorySpec {
     #[must_use]
     pub fn with_probe(mut self, probe: ProbeVariant) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Returns the spec with an explicit insertion policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: InsertPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -339,6 +400,10 @@ impl FromStr for DirectorySpec {
                 spec.probe = Some(probe);
                 continue;
             }
+            if let Ok(policy) = token.parse::<InsertPolicy>() {
+                spec.policy = policy;
+                continue;
+            }
             return Err(Self::parse_error(
                 input,
                 format!("unknown modifier `{token}`"),
@@ -376,6 +441,9 @@ impl fmt::Display for DirectorySpec {
         }
         if let Some(probe) = self.probe {
             write!(f, "-{probe}")?;
+        }
+        if self.policy != InsertPolicy::Greedy {
+            write!(f, "-{}", self.policy)?;
         }
         if self.caches != DEFAULT_CACHES {
             write!(f, "-c{}", self.caches)?;
@@ -477,9 +545,26 @@ fn reject_probe(spec: &DirectorySpec) -> Result<(), ConfigError> {
     Ok(())
 }
 
+/// Rejects a `-POLICY` modifier on organizations without a displacement
+/// insertion engine, so e.g. `sparse-8x512-bfs` fails loudly instead of
+/// silently ignoring the requested policy.
+fn reject_policy(spec: &DirectorySpec) -> Result<(), ConfigError> {
+    if spec.policy != InsertPolicy::Greedy {
+        return Err(ConfigError::Parse {
+            what: format!(
+                "organization `{}` has no displacement-insertion engine; the `{}` modifier \
+                 does not apply",
+                spec.org, spec.policy
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn build_sparse(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
     reject_hash(spec)?;
     reject_probe(spec)?;
+    reject_policy(spec)?;
     Ok(match_sharer_format!(spec.sharers, S => {
         Box::new(SparseDirectory::<S>::new(spec.ways, spec.sets, spec.caches)?)
     }))
@@ -487,6 +572,7 @@ fn build_sparse(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError>
 
 fn build_skewed(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
     reject_probe(spec)?;
+    reject_policy(spec)?;
     let hash = spec.hash.unwrap_or(HashKind::Skewing);
     Ok(match_sharer_format!(spec.sharers, S => {
         Box::new(SkewedDirectory::<S>::with_hash_kind(spec.ways, spec.sets, spec.caches, hash)?)
@@ -498,6 +584,7 @@ fn build_duplicate_tag(spec: &DirectorySpec) -> Result<Box<dyn Directory>, Confi
     // implicit in which mirror a tag sits in.
     reject_hash(spec)?;
     reject_probe(spec)?;
+    reject_policy(spec)?;
     reject_sharers(spec)?;
     Ok(Box::new(DuplicateTagDirectory::new(
         spec.sets,
@@ -509,6 +596,7 @@ fn build_duplicate_tag(spec: &DirectorySpec) -> Result<Box<dyn Directory>, Confi
 fn build_in_cache(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
     reject_hash(spec)?;
     reject_probe(spec)?;
+    reject_policy(spec)?;
     Ok(match_sharer_format!(spec.sharers, S => {
         Box::new(InCacheDirectory::<S>::new(spec.ways, spec.sets, spec.caches)?)
     }))
@@ -517,6 +605,7 @@ fn build_in_cache(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigErro
 fn build_tagless(spec: &DirectorySpec) -> Result<Box<dyn Directory>, ConfigError> {
     reject_hash(spec)?;
     reject_probe(spec)?;
+    reject_policy(spec)?;
     reject_sharers(spec)?;
     Ok(Box::new(TaglessDirectory::with_filter_geometry(
         spec.sets,
@@ -654,6 +743,26 @@ mod tests {
         let spec: DirectorySpec = "cuckoo-4x1024-swar".parse().unwrap();
         assert_eq!(spec.hash, None);
         assert_eq!(spec.probe, Some(ProbeVariant::Swar));
+        assert_eq!(spec.policy, InsertPolicy::Greedy);
+
+        let spec: DirectorySpec = "cuckoo-4x1024-tagalt-bfs-c16".parse().unwrap();
+        assert_eq!(spec.hash, Some(HashKind::TagAlt));
+        assert_eq!(spec.policy, InsertPolicy::Bfs);
+        assert_eq!(spec.caches, 16);
+
+        // An explicit `greedy` token parses and equals the default.
+        let spec: DirectorySpec = "cuckoo-4x1024-greedy".parse().unwrap();
+        assert_eq!(spec, "cuckoo-4x1024".parse().unwrap());
+    }
+
+    #[test]
+    fn insert_policy_parse_errors_name_the_token() {
+        let err = "dfs".parse::<InsertPolicy>().unwrap_err().to_string();
+        assert!(err.contains("`dfs`"), "{err}");
+        assert!(err.contains("bfs"), "should list policies: {err}");
+        for policy in [InsertPolicy::Greedy, InsertPolicy::Bfs] {
+            assert_eq!(policy.to_string().parse::<InsertPolicy>().unwrap(), policy);
+        }
     }
 
     #[test]
@@ -725,6 +834,8 @@ mod tests {
             "sharded4:sparse-4x256@coarse",
             "cuckoo-4x1024-tagalt-localized",
             "cuckoo-4x1024-simd-c16",
+            "cuckoo-4x1024-bfs",
+            "cuckoo-4x1024-tagalt-localized-bfs-c16",
         ] {
             let spec: DirectorySpec = input.parse().unwrap();
             assert_eq!(spec.to_string(), input);
@@ -777,6 +888,23 @@ mod tests {
                 Ok(_) => panic!("{spec} must be rejected"),
             };
             assert!(err.contains("no tag-probe engine"), "{spec}: {err}");
+        }
+        // Insert policies only apply to the cuckoo displacement engine.
+        for spec in [
+            "sparse-8x512-bfs",
+            "skewed-4x256-bfs",
+            "duplicate-tag-2x32-bfs",
+            "in-cache-16x64-bfs",
+            "tagless-2x32-bfs",
+        ] {
+            let err = match registry.build_str(spec) {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("{spec} must be rejected"),
+            };
+            assert!(
+                err.contains("no displacement-insertion engine"),
+                "{spec}: {err}"
+            );
         }
         // The skewed directory takes both modifiers.
         assert!(registry.build_str("skewed-4x256-strong@coarse").is_ok());

@@ -1,6 +1,7 @@
 //! Service topology configuration.
 
 use crate::fault::FaultPlan;
+use crate::resize::ResizePolicy;
 use ccd_common::ConfigError;
 use ccd_directory::DirectorySpec;
 
@@ -44,6 +45,9 @@ pub struct ServiceConfig {
     /// An armed fault-injection schedule, or `None` (the default) for a
     /// fault-free run.  See [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// An armed live-resize schedule, or `None` (the default) for
+    /// statically provisioned shards.  See [`ResizePolicy`].
+    pub resize_policy: Option<ResizePolicy>,
 }
 
 impl ServiceConfig {
@@ -59,6 +63,7 @@ impl ServiceConfig {
             batch: DEFAULT_BATCH,
             record_outcomes: true,
             fault_plan: None,
+            resize_policy: None,
         }
     }
 
@@ -98,6 +103,23 @@ impl ServiceConfig {
     /// The plan's parse error.
     pub fn with_fault_spec(self, spec: &str) -> Result<Self, ConfigError> {
         Ok(self.with_faults(FaultPlan::parse(spec)?))
+    }
+
+    /// Returns the config with a live-resize policy armed.
+    #[must_use]
+    pub fn with_resize(mut self, policy: ResizePolicy) -> Self {
+        self.resize_policy = Some(policy);
+        self
+    }
+
+    /// Returns the config with a resize policy parsed from a `resize-…`
+    /// spec string (see [`ResizePolicy::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// The policy's parse error.
+    pub fn with_resize_spec(self, spec: &str) -> Result<Self, ConfigError> {
+        Ok(self.with_resize(ResizePolicy::parse(spec)?))
     }
 
     /// Validates the topology and parses the shard spec.
@@ -197,6 +219,21 @@ mod tests {
         assert!(err.to_string().contains("worker index"), "{err}");
         assert!(ServiceConfig::new("sparse-4x256-c8", 4, 2)
             .with_fault_spec("faults-oops")
+            .is_err());
+    }
+
+    #[test]
+    fn resize_policies_parse_through_the_builder() {
+        let config = ServiceConfig::new("cuckoo-4x256-c8", 4, 2)
+            .with_resize_spec("resize-grow2@75-every128")
+            .unwrap();
+        assert_eq!(
+            config.resize_policy.as_ref().unwrap().label(),
+            "resize-grow2@75-every128-max1"
+        );
+        assert!(config.validate().is_ok());
+        assert!(ServiceConfig::new("cuckoo-4x256-c8", 4, 2)
+            .with_resize_spec("resize-oops")
             .is_err());
     }
 

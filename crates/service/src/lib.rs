@@ -33,6 +33,16 @@
 //! Unrecoverable crashes surface as [`ServiceError::WorkerCrashed`] instead
 //! of aborting the process.
 //!
+//! Shards can also **grow online**: an armed [`ResizePolicy`] checks each
+//! shard's occupancy at shard-local epoch boundaries (every N requests the
+//! shard applies) and live-resizes the shard's directory in place through
+//! [`Directory::live_resize`](ccd_directory::Directory::live_resize).
+//! Because the epochs are a pure function of each shard's request
+//! subsequence, resizes fire at identical points at every worker count and
+//! during journal replay — the full determinism contract holds with a
+//! policy armed, and [`ServiceReport::resize_semantics`] additionally
+//! relates a grown run to a statically provisioned one.
+//!
 //! ```
 //! use ccd_service::{DirectoryService, LoadSpec, ServiceConfig};
 //!
@@ -59,6 +69,7 @@ pub mod error;
 pub mod fault;
 pub mod load;
 pub mod request;
+pub mod resize;
 pub mod service;
 pub mod supervisor;
 
@@ -66,5 +77,6 @@ pub use config::{ServiceConfig, DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
 pub use error::ServiceError;
 pub use fault::{CrashPoint, FaultPlan, StallPoint};
 pub use load::{op_for, LoadSpec, OpStream};
-pub use request::{digest_outcomes, OutcomeRecord, Request};
+pub use request::{digest_outcome_semantics, digest_outcomes, OutcomeRecord, Request};
+pub use resize::{ResizeMode, ResizePolicy};
 pub use service::{DirectoryService, ServiceReport, ServiceStats};

@@ -111,6 +111,31 @@ impl OutcomeRecord {
             | u64::from(self.removed_entry) << 4;
         digest.fold(flags).fold(self.detail);
     }
+
+    /// Folds the record's *semantic* view — everything except
+    /// [`OutcomeRecord::attempts`] — into a running digest (see
+    /// [`digest_outcome_semantics`]).
+    ///
+    /// Attempt counts describe how hard the directory worked, not what it
+    /// decided: a statically large table and a table that grew to the same
+    /// geometry mid-stream hold the same entries and produce the same hits,
+    /// invalidations and evictions, but reach them through different
+    /// displacement chains.  This view is what live-resize equivalence is
+    /// checked against.
+    pub fn fold_semantic(&self, digest: &mut Fnv64) {
+        digest
+            .fold(self.seq)
+            .fold(u64::from(self.shard))
+            .fold(u64::from(self.invalidations))
+            .fold(u64::from(self.forced_evictions))
+            .fold(u64::from(self.forced_invalidations));
+        let flags = u64::from(self.hit)
+            | u64::from(self.allocated) << 1
+            | u64::from(self.failed) << 2
+            | u64::from(self.invalidated_all) << 3
+            | u64::from(self.removed_entry) << 4;
+        digest.fold(flags).fold(self.detail);
+    }
 }
 
 /// FNV-1a digest of an outcome log in sequence order.
@@ -124,6 +149,18 @@ pub fn digest_outcomes(records: &[OutcomeRecord]) -> u64 {
     let mut digest = Fnv64::new();
     for record in records {
         record.fold(&mut digest);
+    }
+    digest.finish()
+}
+
+/// FNV-1a digest of an outcome log's semantic view in sequence order:
+/// [`digest_outcomes`] with every record's attempt count masked out (see
+/// [`OutcomeRecord::fold_semantic`]).
+#[must_use]
+pub fn digest_outcome_semantics(records: &[OutcomeRecord]) -> u64 {
+    let mut digest = Fnv64::new();
+    for record in records {
+        record.fold_semantic(&mut digest);
     }
     digest.finish()
 }
@@ -162,6 +199,26 @@ mod tests {
         other.push_invalidate(CacheId::new(3));
         let changed = OutcomeRecord::capture(0, 0, &other);
         assert_ne!(base.detail, changed.detail);
+    }
+
+    #[test]
+    fn semantic_digest_masks_attempts_and_nothing_else() {
+        let base = OutcomeRecord::capture(0, 0, &sample_outcome());
+        let mut cheaper = base;
+        cheaper.attempts = 1;
+        assert_ne!(digest_outcomes(&[base]), digest_outcomes(&[cheaper]));
+        assert_eq!(
+            digest_outcome_semantics(&[base]),
+            digest_outcome_semantics(&[cheaper]),
+            "attempt counts must not enter the semantic view"
+        );
+        let mut other = base;
+        other.invalidations += 1;
+        assert_ne!(
+            digest_outcome_semantics(&[base]),
+            digest_outcome_semantics(&[other]),
+            "every other field still must"
+        );
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Online live-resize policies for the directory service.
+//!
+//! A [`ResizePolicy`] is a spec-string-driven schedule for growing (or
+//! re-waying) a shard's directory **while the service is running**, parsed
+//! and validated exactly like the workspace's other spec strings
+//! (`DirectorySpec`, [`FaultPlan`](crate::fault::FaultPlan)).  Firing is
+//! scheduled against each shard's *applied-request count*, never against
+//! time or worker topology, so an armed policy fires at the same points in
+//! each shard's stream on every run, at every worker count, and during
+//! journal replay after a crash:
+//!
+//! ```text
+//! resize-grow2@75-every256-max4
+//! └─┬──┘ └──┬───┘ └──┬───┘ └┬──┘
+//!   │       │        │      └ at most 4 resizes per shard
+//!   │       │        └ occupancy checked every 256 requests the
+//!   │       │          shard applies (a shard-local epoch)
+//!   │       └ grow the set count 2x when occupancy reaches 75 %
+//!   └ required prefix
+//! ```
+//!
+//! Clause reference:
+//!
+//! | clause        | meaning                                                 |
+//! |---------------|---------------------------------------------------------|
+//! | `grow<F>@<P>` | multiply the per-way set count by `F` (a power of two) when occupancy reaches `P` % |
+//! | `reway<W>@<P>`| change the way count to `W` (sets unchanged) when occupancy reaches `P` % |
+//! | `every<N>`    | epoch length: check occupancy every `N` applied requests per shard (default 256) |
+//! | `max<M>`      | fire at most `M` times per shard (default 1)            |
+//!
+//! Exactly one mode clause (`grow@` or `reway@`) is required.  The policy
+//! is consulted at shard-local epoch boundaries only — after a shard
+//! applies its `every`-th, `2·every`-th, … request — which is what makes
+//! the firing points a pure function of the per-shard request subsequence.
+//! Organizations that cannot resize in place
+//! ([`Directory::geometry`](ccd_directory::Directory::geometry) returns
+//! `None`, or [`Directory::live_resize`](ccd_directory::Directory::live_resize)
+//! returns `Ok(false)`) make an armed policy a silent no-op.
+
+use ccd_common::ConfigError;
+
+/// Default epoch length: occupancy is checked every this many applied
+/// requests per shard.
+pub const DEFAULT_RESIZE_EVERY: u64 = 256;
+
+/// Default cap on resize firings per shard.
+pub const DEFAULT_RESIZE_MAX: u32 = 1;
+
+/// How a firing policy changes a shard's geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResizeMode {
+    /// Multiply the per-way set count by this (power-of-two) factor.
+    Grow(u32),
+    /// Change the way count to this value, keeping the set count.
+    Reway(usize),
+}
+
+/// A parsed, validated live-resize schedule.  See the module docs for the
+/// grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResizePolicy {
+    label: String,
+    mode: ResizeMode,
+    pct: u32,
+    every: u64,
+    max: u32,
+}
+
+impl ResizePolicy {
+    /// Parses a `resize-…` spec string.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] naming the offending clause; rejected inputs
+    /// include a missing or duplicated mode clause, a grow factor that is
+    /// not a power of two (the per-way set count must stay one), a way
+    /// count outside `2..=16`, an occupancy threshold outside `1..=100`,
+    /// and zero `every` or `max` values.
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let mut parts = spec.split('-');
+        if parts.next() != Some("resize") {
+            return Err(ConfigError::parse(format!(
+                "resize policy `{spec}` must start with `resize`"
+            )));
+        }
+        let mut mode_pct: Option<(ResizeMode, u32)> = None;
+        let mut every = DEFAULT_RESIZE_EVERY;
+        let mut max = DEFAULT_RESIZE_MAX;
+        for clause in parts {
+            if let Some(rest) = clause.strip_prefix("grow") {
+                let (factor, pct) =
+                    value_at_pct(rest).ok_or_else(|| bad(spec, clause, "grow<factor>@<pct>"))?;
+                if factor < 2 || !ccd_common::is_power_of_two(factor) {
+                    return Err(ConfigError::parse(format!(
+                        "resize policy `{spec}`: grow factor {factor} must be a \
+                         power of two >= 2 (the per-way set count must stay a \
+                         power of two)"
+                    )));
+                }
+                set_mode(spec, &mut mode_pct, ResizeMode::Grow(factor as u32), pct)?;
+            } else if let Some(rest) = clause.strip_prefix("reway") {
+                let (ways, pct) =
+                    value_at_pct(rest).ok_or_else(|| bad(spec, clause, "reway<ways>@<pct>"))?;
+                if !(2..=16).contains(&ways) {
+                    return Err(ConfigError::parse(format!(
+                        "resize policy `{spec}`: way count {ways} is outside 2..=16"
+                    )));
+                }
+                set_mode(spec, &mut mode_pct, ResizeMode::Reway(ways as usize), pct)?;
+            } else if let Some(rest) = clause.strip_prefix("every") {
+                every = rest.parse().map_err(|_| bad(spec, clause, "every<n>"))?;
+                if every == 0 {
+                    return Err(ConfigError::parse(format!(
+                        "resize policy `{spec}`: epoch length must be >= 1"
+                    )));
+                }
+            } else if let Some(rest) = clause.strip_prefix("max") {
+                max = rest.parse().map_err(|_| bad(spec, clause, "max<n>"))?;
+                if max == 0 {
+                    return Err(ConfigError::parse(format!(
+                        "resize policy `{spec}`: firing cap must be >= 1"
+                    )));
+                }
+            } else {
+                return Err(ConfigError::parse(format!(
+                    "resize policy `{spec}`: unknown clause `{clause}`"
+                )));
+            }
+        }
+        let Some((mode, pct)) = mode_pct else {
+            return Err(ConfigError::parse(format!(
+                "resize policy `{spec}` needs a mode clause (`grow<f>@<pct>` \
+                 or `reway<w>@<pct>`)"
+            )));
+        };
+        let label = render_label(mode, pct, every, max);
+        Ok(ResizePolicy {
+            label,
+            mode,
+            pct,
+            every,
+            max,
+        })
+    }
+
+    /// The canonical spec string (clauses in a fixed order), parseable back
+    /// into an equal policy.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The geometry change a firing applies.
+    #[must_use]
+    pub fn mode(&self) -> ResizeMode {
+        self.mode
+    }
+
+    /// The occupancy threshold, in percent.
+    #[must_use]
+    pub fn pct(&self) -> u32 {
+        self.pct
+    }
+
+    /// The shard-local epoch length, in applied requests.
+    #[must_use]
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// The per-shard firing cap.
+    #[must_use]
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Whether the policy fires at this epoch boundary: the shard has
+    /// fired fewer than `max` times and its occupancy `len / capacity` has
+    /// reached the threshold.  Pure integer arithmetic — no float crosses
+    /// the determinism contract.
+    #[must_use]
+    pub fn should_fire(&self, len: usize, capacity: usize, fired: u32) -> bool {
+        fired < self.max && (len as u64) * 100 >= (capacity as u64) * u64::from(self.pct)
+    }
+
+    /// The geometry a firing moves a `ways × sets` shard to.
+    #[must_use]
+    pub fn next_geometry(&self, ways: usize, sets: usize) -> (usize, usize) {
+        match self.mode {
+            ResizeMode::Grow(factor) => (ways, sets * factor as usize),
+            ResizeMode::Reway(new_ways) => (new_ways, sets),
+        }
+    }
+}
+
+impl std::str::FromStr for ResizePolicy {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ResizePolicy::parse(s)
+    }
+}
+
+fn bad(spec: &str, clause: &str, expected: &str) -> ConfigError {
+    ConfigError::parse(format!(
+        "resize policy `{spec}`: clause `{clause}` does not match `{expected}`"
+    ))
+}
+
+/// Records the mode clause, rejecting a second one.
+fn set_mode(
+    spec: &str,
+    slot: &mut Option<(ResizeMode, u32)>,
+    mode: ResizeMode,
+    pct: u64,
+) -> Result<(), ConfigError> {
+    if slot.is_some() {
+        return Err(ConfigError::parse(format!(
+            "resize policy `{spec}`: more than one mode clause"
+        )));
+    }
+    if !(1..=100).contains(&pct) {
+        return Err(ConfigError::parse(format!(
+            "resize policy `{spec}`: occupancy threshold {pct}% is outside 1..=100"
+        )));
+    }
+    *slot = Some((mode, pct as u32));
+    Ok(())
+}
+
+/// Parses `<digits>@<digits>` into `(value, pct)`.
+fn value_at_pct(text: &str) -> Option<(u64, u64)> {
+    let (value, pct) = text.split_once('@')?;
+    Some((value.parse().ok()?, pct.parse().ok()?))
+}
+
+fn render_label(mode: ResizeMode, pct: u32, every: u64, max: u32) -> String {
+    let mode = match mode {
+        ResizeMode::Grow(factor) => format!("grow{factor}@{pct}"),
+        ResizeMode::Reway(ways) => format!("reway{ways}@{pct}"),
+    };
+    format!("resize-{mode}-every{every}-max{max}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar_and_renders_a_canonical_label() {
+        let policy = ResizePolicy::parse("resize-grow2@75-every256-max4").unwrap();
+        assert_eq!(policy.mode(), ResizeMode::Grow(2));
+        assert_eq!(policy.pct(), 75);
+        assert_eq!(policy.every(), 256);
+        assert_eq!(policy.max(), 4);
+        assert_eq!(policy.label(), "resize-grow2@75-every256-max4");
+        // The label round-trips to an equal policy, clause order regardless.
+        let shuffled = ResizePolicy::parse("resize-max4-every256-grow2@75").unwrap();
+        assert_eq!(shuffled, policy);
+        assert_eq!(ResizePolicy::parse(policy.label()).unwrap(), policy);
+    }
+
+    #[test]
+    fn optional_clauses_default_and_reway_parses() {
+        let policy = ResizePolicy::parse("resize-grow4@50").unwrap();
+        assert_eq!(policy.every(), DEFAULT_RESIZE_EVERY);
+        assert_eq!(policy.max(), DEFAULT_RESIZE_MAX);
+        assert_eq!(policy.label(), "resize-grow4@50-every256-max1");
+
+        let policy = ResizePolicy::parse("resize-reway8@60-every128").unwrap();
+        assert_eq!(policy.mode(), ResizeMode::Reway(8));
+        assert_eq!(policy.label(), "resize-reway8@60-every128-max1");
+    }
+
+    #[test]
+    fn rejects_malformed_and_inconsistent_specs() {
+        for spec in [
+            "resiz-grow2@75",            // wrong prefix
+            "resize",                    // no mode clause
+            "resize-every256",           // no mode clause
+            "resize-grow2",              // missing threshold
+            "resize-grow@75",            // missing factor
+            "resize-grow3@75",           // factor not a power of two
+            "resize-grow1@75",           // factor < 2
+            "resize-grow0@75",           // factor < 2
+            "resize-reway1@75",          // ways < 2
+            "resize-reway17@75",         // ways > 16
+            "resize-grow2@0",            // threshold out of range
+            "resize-grow2@101",          // threshold out of range
+            "resize-grow2@75-every0",    // zero epoch
+            "resize-grow2@75-max0",      // zero cap
+            "resize-grow2@75-reway4@50", // two mode clauses
+            "resize-grow2@75-grow2@50",  // two mode clauses
+            "resize-shrink2@75",         // unknown clause
+            "resize-everyx",             // unparsable value
+        ] {
+            let err = ResizePolicy::parse(spec).unwrap_err();
+            assert!(
+                err.to_string().contains("resize policy"),
+                "`{spec}` should fail with a resize-policy message, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn should_fire_applies_the_threshold_and_the_cap() {
+        let policy = ResizePolicy::parse("resize-grow2@75-max2").unwrap();
+        // 75% of 400 is 300: the threshold is inclusive.
+        assert!(!policy.should_fire(299, 400, 0));
+        assert!(policy.should_fire(300, 400, 0));
+        assert!(policy.should_fire(400, 400, 1));
+        assert!(!policy.should_fire(400, 400, 2), "cap reached");
+        // A 100% threshold needs a completely full shard.
+        let full = ResizePolicy::parse("resize-grow2@100").unwrap();
+        assert!(!full.should_fire(399, 400, 0));
+        assert!(full.should_fire(400, 400, 0));
+    }
+
+    #[test]
+    fn next_geometry_grows_sets_or_swaps_ways() {
+        let grow = ResizePolicy::parse("resize-grow2@75").unwrap();
+        assert_eq!(grow.next_geometry(4, 512), (4, 1024));
+        let reway = ResizePolicy::parse("resize-reway8@75").unwrap();
+        assert_eq!(reway.next_geometry(4, 512), (8, 512));
+    }
+}

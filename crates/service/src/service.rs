@@ -56,7 +56,8 @@
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::load::LoadSpec;
-use crate::request::{digest_outcomes, OutcomeRecord};
+use crate::request::{digest_outcome_semantics, digest_outcomes, OutcomeRecord};
+use crate::resize::ResizePolicy;
 use crate::supervisor;
 use ccd_common::stats::Counter;
 use ccd_common::{ConfigError, LineAddr};
@@ -90,6 +91,11 @@ pub struct ServiceStats {
     /// Worker crashes the supervisor recovered from by journal replay.
     /// Always zero without an armed `crash@` fault clause.
     pub recoveries: Counter,
+    /// Shard live-resize operations fired by an armed
+    /// [`ResizePolicy`].  Always zero without one.  Firing points are
+    /// shard-local epoch boundaries, so the count is identical at every
+    /// worker count and across journal-replay recovery.
+    pub resizes: Counter,
     /// Directory statistics merged across all shards, in shard order.
     pub directory: DirectoryStats,
 }
@@ -110,6 +116,7 @@ impl ServiceStats {
         self.forced_invalidations.merge(&other.forced_invalidations);
         self.shed.merge(&other.shed);
         self.recoveries.merge(&other.recoveries);
+        self.resizes.merge(&other.resizes);
         self.directory.merge(&other.directory);
     }
 }
@@ -205,6 +212,37 @@ impl ServiceReport {
             &self.stats.directory,
             &self.outcomes,
             self.outcome_digest,
+        )
+    }
+
+    /// The part of the report the **live-resize** determinism contract
+    /// covers: what the service *decided*, independent of how hard it
+    /// worked deciding it.
+    ///
+    /// A run whose shards grew mid-stream to some final geometry must match
+    /// a statically provisioned run at that geometry on this view —
+    /// provided neither run forced evictions (a discard permanently changes
+    /// which entries are resident, after which the streams legitimately
+    /// diverge).  Excluded relative to [`ServiceReport::semantics`]:
+    ///
+    /// * the organization label (it embeds the *initial* geometry),
+    /// * insertion-attempt counts, per request and aggregated (different
+    ///   occupancy histories mean different displacement chains), which is
+    ///   why the outcome log is compared through
+    ///   [`digest_outcome_semantics`] and the directory stats are dropped,
+    /// * the resize bookkeeping itself ([`ServiceStats::resizes`]).
+    #[must_use]
+    pub fn resize_semantics(&self) -> (usize, u64, usize, (u64, u64, u64), u64) {
+        (
+            self.shards,
+            self.requests,
+            self.entries,
+            (
+                self.stats.requests.get(),
+                self.stats.invalidations.get(),
+                self.stats.forced_invalidations.get(),
+            ),
+            digest_outcome_semantics(&self.outcomes),
         )
     }
 }
@@ -366,6 +404,7 @@ impl DirectoryService {
     pub fn run_serial(mut self, ops: impl Iterator<Item = DirectoryOp>) -> ServiceReport {
         let shards = self.config.shards;
         let record = self.config.record_outcomes;
+        let resize = self.config.resize_policy.clone();
         let mut output = WorkerOutput::new(0, std::mem::take(&mut self.slices));
         let mut out = Outcome::new();
         for (seq, op) in ops.enumerate() {
@@ -381,6 +420,11 @@ impl DirectoryService {
                 &out,
                 record,
             );
+            // Same order as the worker path: apply, absorb, then count the
+            // request towards the shard's resize epoch.
+            if let Some(policy) = resize.as_ref() {
+                maybe_resize(&mut output, shard, policy);
+            }
         }
         // One "worker" owning every shard in global order.
         finish(self.organization, shards, 1, vec![output], record, 0, 0)
@@ -398,10 +442,21 @@ pub(crate) struct WorkerOutput {
     pub(crate) batches: u64,
     pub(crate) invalidations: u64,
     pub(crate) forced_invalidations: u64,
+    /// Requests applied per owned shard (local order).  Only maintained
+    /// while a resize policy is armed: its epochs are defined over this
+    /// count, which depends on nothing but the shard's own subsequence of
+    /// the input stream.
+    pub(crate) shard_applied: Vec<u64>,
+    /// Resize firings per owned shard (local order), bounding the policy's
+    /// `max` clause.
+    pub(crate) shard_resizes: Vec<u32>,
+    /// Total resize firings across this worker's shards.
+    pub(crate) resizes: u64,
 }
 
 impl WorkerOutput {
     pub(crate) fn new(index: usize, slices: Vec<Box<dyn Directory>>) -> Self {
+        let owned = slices.len();
         WorkerOutput {
             index,
             slices,
@@ -410,7 +465,53 @@ impl WorkerOutput {
             batches: 0,
             invalidations: 0,
             forced_invalidations: 0,
+            shard_applied: vec![0; owned],
+            shard_resizes: vec![0; owned],
+            resizes: 0,
         }
+    }
+}
+
+/// The live-resize kernel shared by the worker path and the serial
+/// reference: counts the request just applied to (local) shard `shard`
+/// and, at an epoch boundary, consults the policy and resizes the slice in
+/// place.  Runs at exactly the same points of a shard's stream no matter
+/// which thread owns it, which is the whole determinism argument.
+///
+/// Non-resizable organizations ([`Directory::geometry`] `None` or
+/// [`Directory::live_resize`] returning `Ok(false)`) make this a silent
+/// no-op.
+///
+/// # Panics
+///
+/// When the policy's target geometry is invalid for the organization (for
+/// example re-waying past a pinned probe kernel's limit).  That is a
+/// configuration error, not a runtime condition, and surfacing it beats
+/// silently diverging from the schedule.
+pub(crate) fn maybe_resize(output: &mut WorkerOutput, shard: usize, policy: &ResizePolicy) {
+    output.shard_applied[shard] += 1;
+    if !output.shard_applied[shard].is_multiple_of(policy.every()) {
+        return;
+    }
+    let slice = &mut output.slices[shard];
+    if !policy.should_fire(slice.len(), slice.capacity(), output.shard_resizes[shard]) {
+        return;
+    }
+    let Some((ways, sets)) = slice.geometry() else {
+        return;
+    };
+    let (new_ways, new_sets) = policy.next_geometry(ways, sets);
+    match slice.live_resize(new_ways, new_sets) {
+        Ok(true) => {
+            output.shard_resizes[shard] += 1;
+            output.resizes += 1;
+        }
+        Ok(false) => {}
+        Err(err) => panic!(
+            "resize policy `{}` produced a geometry ({new_ways}x{new_sets}) \
+             the organization rejects: {err}",
+            policy.label()
+        ),
     }
 }
 
@@ -463,6 +564,7 @@ pub(crate) fn finish(
         batches += output.batches;
         stats.invalidations.add(output.invalidations);
         stats.forced_invalidations.add(output.forced_invalidations);
+        stats.resizes.add(output.resizes);
     }
     stats.requests.add(requests);
     stats.shed.add(shed);

@@ -73,7 +73,10 @@
 use crate::error::ServiceError;
 use crate::fault::{silence_injected_panics, FaultPlan, InjectedCrash, ShedGate, WorkerFaults};
 use crate::request::Request;
-use crate::service::{absorb_into, finish, DirectoryService, ServiceReport, WorkerOutput};
+use crate::resize::ResizePolicy;
+use crate::service::{
+    absorb_into, finish, maybe_resize, DirectoryService, ServiceReport, WorkerOutput,
+};
 use ccd_common::channel::{bounded, Backoff, Receiver, SendTimeoutError, Sender};
 use ccd_directory::{
     BuilderRegistry, Directory, DirectoryOp, DirectorySpec, Outcome, APPLY_BATCH_WINDOW,
@@ -103,6 +106,10 @@ struct RunEnv {
     batch: usize,
     queue_depth: usize,
     record: bool,
+    /// An armed live-resize schedule.  Applied identically by live workers
+    /// and journal replay, so recovery re-fires the same resizes at the
+    /// same epoch boundaries.
+    resize: Option<ResizePolicy>,
 }
 
 impl RunEnv {
@@ -409,6 +416,7 @@ pub(crate) fn run_concurrent(
         batch,
         queue_depth: service.config.queue_depth,
         record,
+        resize: service.config.resize_policy.clone(),
     };
     let organization = std::mem::take(&mut service.organization);
 
@@ -491,7 +499,9 @@ fn spawn_worker<'scope, 'env>(
     let (recycle_tx, recycle_rx) = bounded::<Vec<Request>>(env.queue_depth + 1);
     let workers = env.workers;
     let record = env.record;
-    let handle = scope.spawn(move || drive_worker(output, workers, rx, recycle_tx, record, hooks));
+    let resize = env.resize.clone();
+    let handle =
+        scope.spawn(move || drive_worker(output, workers, rx, recycle_tx, record, hooks, resize));
     (tx, recycle_rx, handle)
 }
 
@@ -506,12 +516,14 @@ fn drive_worker(
     recycle_tx: Sender<Vec<Request>>,
     record: bool,
     hooks: Option<WorkerFaults>,
+    resize: Option<ResizePolicy>,
 ) -> Result<WorkerOutput, CrashNote> {
     let worker = output.index;
     catch_unwind(AssertUnwindSafe(move || {
         let mut output = output;
         let mut out = Outcome::new();
         let mut ops_buf: Vec<DirectoryOp> = Vec::new();
+        let resize = resize.as_ref();
         // Both a natural end of stream (Disconnected) and a supervisor
         // abort (Shutdown) end the loop; the distinction matters to the
         // supervisor, not to the worker.
@@ -528,6 +540,7 @@ fn drive_worker(
                         &requests[..cut],
                         workers,
                         record,
+                        resize,
                         &mut out,
                         &mut ops_buf,
                     );
@@ -544,6 +557,7 @@ fn drive_worker(
                 &requests,
                 workers,
                 record,
+                resize,
                 &mut out,
                 &mut ops_buf,
             );
@@ -571,6 +585,7 @@ fn replay_journal(
     let workers = env.workers;
     let record = env.record;
     let batch = env.batch.max(1);
+    let resize = env.resize.as_ref();
     catch_unwind(AssertUnwindSafe(move || {
         let mut output = WorkerOutput::new(worker, slices);
         let mut out = Outcome::new();
@@ -584,6 +599,7 @@ fn replay_journal(
                         &chunk[..cut],
                         workers,
                         record,
+                        resize,
                         &mut out,
                         &mut ops_buf,
                     );
@@ -595,7 +611,15 @@ fn replay_journal(
                     .fire();
                 }
             }
-            apply_requests(&mut output, chunk, workers, record, &mut out, &mut ops_buf);
+            apply_requests(
+                &mut output,
+                chunk,
+                workers,
+                record,
+                resize,
+                &mut out,
+                &mut ops_buf,
+            );
         }
         output
     }))
@@ -611,10 +635,44 @@ fn apply_requests(
     requests: &[Request],
     workers: usize,
     record: bool,
+    resize: Option<&ResizePolicy>,
     out: &mut Outcome,
     ops_buf: &mut Vec<DirectoryOp>,
 ) {
     output.applied += requests.len() as u64;
+    if let Some(policy) = resize {
+        // With a resize policy armed, a shard may change geometry between
+        // any two requests, so every batch goes through the per-request
+        // windowed path (semantically identical to `apply_batch` by the
+        // directories' own batching contract) with the epoch check after
+        // each absorb — the same apply → absorb → count order as the
+        // serial reference.
+        let index = output.index as u32;
+        let mut start = 0;
+        while start < requests.len() {
+            let end = (start + APPLY_BATCH_WINDOW).min(requests.len());
+            for request in &requests[start..end] {
+                output.slices[request.shard as usize].prefetch_line(request.op.line());
+            }
+            for request in &requests[start..end] {
+                let shard = request.shard as usize;
+                output.slices[shard].apply(request.op, out);
+                let global_shard = request.shard * workers as u32 + index;
+                absorb_into(
+                    &mut output.outcomes,
+                    &mut output.invalidations,
+                    &mut output.forced_invalidations,
+                    request.seq,
+                    global_shard,
+                    out,
+                    record,
+                );
+                maybe_resize(output, shard, policy);
+            }
+            start = end;
+        }
+        return;
+    }
     if output.slices.len() == 1 {
         // Single owned shard: the whole batch targets it, so the
         // organization's own (possibly overridden) batched fast path

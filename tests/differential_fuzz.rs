@@ -1,0 +1,148 @@
+//! Differential fuzz harness (ARCHITECTURE.md Contract #10).
+//!
+//! Each fuzz case draws a random directory spec (geometry × hash family ×
+//! probe kernel × insertion policy), a random workload, and optionally a
+//! live-resize policy and a crash schedule — then checks the service's
+//! determinism contract differentially:
+//!
+//! * serial reference ≡ every legal worker count
+//!   ([`ServiceReport::semantics`]), with the resize policy armed or not;
+//! * a crashed-and-replayed run ≡ the fault-free serial reference
+//!   ([`ServiceReport::recovery_semantics`]), resizes re-fired mid-replay.
+//!
+//! `fuzz_at_a_fixed_seed` pins one reproducible sweep; `fuzz_burst` draws
+//! a fresh seed per run (override with `CCD_FUZZ_SEED`, printed on entry so
+//! any failure is replayable).
+//!
+//! [`ServiceReport::semantics`]: ccd_service::ServiceReport::semantics
+//! [`ServiceReport::recovery_semantics`]: ccd_service::ServiceReport::recovery_semantics
+
+use ccd_common::rng::{Rng64, SplitMix64};
+use ccd_service::{DirectoryService, LoadSpec, ServiceConfig};
+
+/// Builds one service; `resize` and `faults` arm the respective schedules.
+fn build(
+    spec: &str,
+    shards: usize,
+    workers: usize,
+    resize: Option<&str>,
+    faults: Option<&str>,
+) -> DirectoryService {
+    let mut config = ServiceConfig::new(spec, shards, workers).with_batch(64);
+    if let Some(policy) = resize {
+        config = config.with_resize_spec(policy).unwrap();
+    }
+    if let Some(plan) = faults {
+        config = config.with_fault_spec(plan).unwrap();
+    }
+    DirectoryService::build_standard(config).unwrap_or_else(|err| panic!("{spec}: {err}"))
+}
+
+/// Draws one random configuration and checks it differentially.  Panics
+/// with the full case description on any divergence.
+fn run_case(seed: u64, index: usize) {
+    let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    // --- the spec: geometry x hash x probe x policy -----------------------
+    let shards = [2usize, 4][rng.next_below(2) as usize];
+    let sets = [32usize, 64][rng.next_below(2) as usize] * shards;
+    let spec = if rng.next_below(5) == 0 {
+        // Occasionally a baseline: exercises the non-resizable no-op path
+        // (baselines also reject `-bfs`, so no policy modifier here).
+        format!("sparse-4x{sets}-c8")
+    } else {
+        let ways = [2usize, 3, 4, 8][rng.next_below(4) as usize];
+        let kind = ["skew", "strong", "tagalt"][rng.next_below(3) as usize];
+        let probe = if kind == "tagalt" && ways <= 4 && rng.next_below(4) == 0 {
+            "-localized"
+        } else {
+            ["-scalar", "-swar", "-simd", ""][rng.next_below(4) as usize]
+        };
+        let policy = ["", "-bfs"][rng.next_below(2) as usize];
+        format!("cuckoo-{ways}x{sets}-{kind}{probe}{policy}-c8")
+    };
+
+    // --- the traffic ------------------------------------------------------
+    let workload = ["oracle", "migratory-zipf0.9", "falseshare"][rng.next_below(3) as usize];
+    let requests = 2_000 + rng.next_below(2_000);
+    let load = LoadSpec::parse(workload, 8, rng.next_u64(), requests).unwrap();
+
+    // --- the schedules ----------------------------------------------------
+    let resize = (rng.next_below(2) == 0).then(|| {
+        let pct = [50, 60, 75][rng.next_below(3) as usize];
+        let every = [64, 128][rng.next_below(2) as usize];
+        let max = 1 + rng.next_below(2);
+        format!("resize-grow2@{pct}-every{every}-max{max}")
+    });
+    let ctx = format!(
+        "seed={seed:#x} case={index} spec={spec} workload={workload} \
+         requests={requests} shards={shards} resize={resize:?}"
+    );
+
+    // --- serial vs every legal worker count -------------------------------
+    let serial = build(&spec, shards, 1, resize.as_deref(), None)
+        .run_load_serial(&load)
+        .unwrap_or_else(|err| panic!("{ctx}: {err}"));
+    assert_eq!(serial.requests, requests, "{ctx}");
+    for workers in [1, 2, 4] {
+        if workers > shards {
+            continue;
+        }
+        let report = build(&spec, shards, workers, resize.as_deref(), None)
+            .run_load(&load)
+            .unwrap_or_else(|err| panic!("{ctx} workers={workers}: {err}"));
+        assert_eq!(
+            report.semantics(),
+            serial.semantics(),
+            "{ctx} workers={workers}"
+        );
+    }
+
+    // --- crash, replay, compare to the fault-free reference ---------------
+    if rng.next_below(2) == 0 {
+        let workers = shards.min(4);
+        let victim = rng.next_below(workers as u64);
+        let at = requests / 2;
+        let plan = format!("faults-crash@w{victim}:{at}");
+        let report = build(&spec, shards, workers, resize.as_deref(), Some(&plan))
+            .run_load(&load)
+            .unwrap_or_else(|err| panic!("{ctx} plan={plan}: {err}"));
+        assert!(report.stats.recoveries.get() >= 1, "{ctx} plan={plan}");
+        assert_eq!(
+            report.recovery_semantics(),
+            serial.recovery_semantics(),
+            "{ctx} plan={plan}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_at_a_fixed_seed() {
+    // The CI anchor: one pinned sweep that must stay green forever.
+    for index in 0..8 {
+        run_case(0xD1FF_F552, index);
+    }
+}
+
+#[test]
+fn fuzz_burst() {
+    // A fresh seed per run, printed so any failure is replayable with
+    // `CCD_FUZZ_SEED=<seed> cargo test --test differential_fuzz`.
+    let seed = match std::env::var("CCD_FUZZ_SEED") {
+        Ok(text) => {
+            let text = text.trim().to_string();
+            match text.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).expect("hex CCD_FUZZ_SEED"),
+                None => text.parse().expect("numeric CCD_FUZZ_SEED"),
+            }
+        }
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock before 1970")
+            .as_nanos() as u64,
+    };
+    eprintln!("differential_fuzz: CCD_FUZZ_SEED={seed:#x}");
+    for index in 0..4 {
+        run_case(seed, index);
+    }
+}

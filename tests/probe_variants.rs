@@ -14,7 +14,7 @@ use ccd_common::rng::{Rng64, SplitMix64};
 use ccd_common::LineAddr;
 use ccd_cuckoo::seed_reference::AosReferenceTable;
 use ccd_cuckoo::{CuckooConfig, CuckooDirectory, CuckooTable};
-use ccd_directory::{Directory, ProbeVariant};
+use ccd_directory::{Directory, InsertPolicy, ProbeVariant};
 use ccd_hash::{fingerprint, HashFamily, HashKind, IndexHashFamily};
 use ccd_sharers::FullBitVector;
 use std::collections::BTreeMap;
@@ -166,6 +166,114 @@ fn tag_derived_alternate_buckets_commute_and_involute() {
                     "alt∘alt must be the identity"
                 );
             }
+        }
+    }
+}
+
+/// Builds a table with the given insertion policy, feeds it fresh random
+/// keys (SplitMix64 outputs are distinct, so every insert is a new key)
+/// until the attempt budget first expires, and returns the occupancy the
+/// table had reached *before* the discarding insertion.
+fn occupancy_at_first_discard(
+    policy: InsertPolicy,
+    ways: usize,
+    sets: usize,
+    kind: HashKind,
+    budget: u32,
+    seed: u64,
+) -> f64 {
+    let mut table: CuckooTable<u64> =
+        CuckooTable::with_variant(ways, sets, kind, seed, None).unwrap();
+    table.set_max_attempts(budget);
+    table.set_insert_policy(policy);
+    let mut rng = SplitMix64::new(seed ^ 0x5EED);
+    loop {
+        let occupancy = table.occupancy();
+        if table.len() == table.capacity() {
+            return occupancy;
+        }
+        let key = rng.next_u64() >> 4;
+        if table.insert(key, key).discarded.is_some() {
+            return occupancy;
+        }
+    }
+}
+
+#[test]
+fn bfs_sustains_higher_occupancy_than_greedy_before_the_first_discard() {
+    // Under a tight attempt budget the greedy chain is a single random
+    // walk, while BFS searches every displacement path of the same attempt
+    // cost — so BFS must carry the table at least as far on every stream.
+    for (kind, budget) in [
+        (HashKind::Strong, 4),
+        (HashKind::Strong, 6),
+        (HashKind::TagAlt, 6),
+        (HashKind::Skewing, 8),
+    ] {
+        for seed in [0x7E, 0xA1, 0xC3] {
+            let greedy =
+                occupancy_at_first_discard(InsertPolicy::Greedy, 4, 64, kind, budget, seed);
+            let bfs = occupancy_at_first_discard(InsertPolicy::Bfs, 4, 64, kind, budget, seed);
+            assert!(
+                bfs >= greedy,
+                "{kind} budget {budget} seed {seed:#x}: bfs {bfs:.3} < greedy {greedy:.3}"
+            );
+        }
+    }
+    // The headline acceptance point: a 4-way table under a budget where
+    // greedy gives up early still reaches >= 0.95 occupancy under BFS.
+    let greedy = occupancy_at_first_discard(InsertPolicy::Greedy, 4, 64, HashKind::Strong, 6, 0x7E);
+    let bfs = occupancy_at_first_discard(InsertPolicy::Bfs, 4, 64, HashKind::Strong, 6, 0x7E);
+    assert!(bfs >= 0.95, "bfs only reached {bfs:.3}");
+    assert!(
+        greedy < bfs,
+        "greedy ({greedy:.3}) must stop earlier than bfs ({bfs:.3}) here"
+    );
+}
+
+#[test]
+fn bfs_and_greedy_lookups_agree_for_every_inserted_key() {
+    // Until a budget actually expires, the two policies must store the
+    // same key set: lookups are bit-identical for every inserted key (and
+    // for absent keys).  Drive both tables in lockstep and stop at the
+    // first discard on either side.
+    for kind in [HashKind::Strong, HashKind::TagAlt] {
+        let (ways, sets, budget, seed) = (4, 64, 8, 0xBF5u64);
+        let mut greedy: CuckooTable<u64> =
+            CuckooTable::with_variant(ways, sets, kind, seed, None).unwrap();
+        greedy.set_max_attempts(budget);
+        let mut bfs = greedy.clone();
+        bfs.set_insert_policy(InsertPolicy::Bfs);
+        let mut rng = SplitMix64::new(seed ^ 0x1D);
+        let mut keys = Vec::new();
+        loop {
+            let key = rng.next_u64() >> 4;
+            // A discarding insert evicts one of the earlier keys, so keep a
+            // snapshot and roll back to the last discard-free state.
+            let snapshot = (greedy.clone(), bfs.clone());
+            let from_greedy = greedy.insert(key, key ^ 1);
+            let from_bfs = bfs.insert(key, key ^ 1);
+            if from_greedy.discarded.is_some() || from_bfs.discarded.is_some() {
+                (greedy, bfs) = snapshot;
+                break;
+            }
+            keys.push(key);
+        }
+        assert!(
+            keys.len() > sets,
+            "{kind}: the stream must exercise real displacement (got {})",
+            keys.len()
+        );
+        for &key in &keys {
+            assert!(
+                greedy.contains(key) && bfs.contains(key),
+                "{kind}: {key:#x}"
+            );
+            assert_eq!(greedy.get(key), bfs.get(key), "{kind}: {key:#x}");
+        }
+        for _ in 0..1000 {
+            let absent = rng.next_u64() >> 4;
+            assert_eq!(greedy.contains(absent), bfs.contains(absent), "{kind}");
         }
     }
 }

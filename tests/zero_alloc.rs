@@ -81,6 +81,7 @@ fn min_allocs(attempts: u32, rounds: u64, mut f: impl FnMut()) -> u64 {
 fn steady_state_hot_paths_do_not_allocate() {
     const SPECS: &[&str] = &[
         "cuckoo-4x512-skew",
+        "cuckoo-4x512-tagalt-bfs",
         "cuckoo-4x512@coarse",
         "cuckoo-4x512@hier",
         "cuckoo-4x512@limited",
