@@ -1,0 +1,339 @@
+//! `bench_obs` — cost and invariance of the deterministic observability
+//! layer.
+//!
+//! Runs the calibrated Oracle workload through the concurrent directory
+//! service twice per worker count: **dark** (no observability) and
+//! **armed** (depth metrics + flight recorder + spans,
+//! `obs-ring4096-spans`).  Every armed cell is asserted bit-identical to
+//! its dark twin — contract #11, exercised at benchmark scale — and every
+//! armed cell's merged metric snapshot must render byte-identically to
+//! the armed serial reference's (the snapshot is worker-count invariant).
+//!
+//! The headline number is the **armed overhead**: the relative throughput
+//! cost of observation, best-of-N per cell to damp scheduler noise.  At
+//! the default and full scales the run *fails* if the worst armed cell
+//! costs more than [`GATE`] (5%); the quick scale records the numbers
+//! without gating, because CI timing is too noisy to assert on.
+//!
+//! Two flight-recording files land under the results directory
+//! (`obs_trace_router.bin`, `obs_trace_worker0.bin`) so the `trace_dump`
+//! reader can be smoke-tested against real recordings.
+//!
+//! Results land in `BENCH_obs.json` at the repository root *and* under
+//! `results/` (one code path writes both).  All fields except the
+//! wall-clock ones (`seconds`, `mops_per_sec`, `overhead`) are
+//! deterministic, so CI golden-checks the quick-scale output with those
+//! field names filtered out.
+
+use ccd_bench::{results_dir, write_bench_json, RunScale, TextTable};
+use ccd_obs::expo::render_json;
+use ccd_service::{DirectoryService, LoadSpec, ServiceConfig, ServiceReport};
+use std::time::Instant;
+
+/// Shard organization: a 16 K-entry 4-way cuckoo directory tracking 16
+/// caches, split across 8 address-interleaved shards.
+const SPEC: &str = "cuckoo-4x4096-c16";
+const CORES: usize = 16;
+const SHARDS: usize = 8;
+const SEED: u64 = 0x0B5E;
+const WORKLOAD: &str = "oracle";
+const OBS: &str = "obs-ring4096-spans";
+const WORKER_AXIS: &[usize] = &[1, 2, 4];
+
+/// The armed-overhead gate: observation may cost at most this fraction of
+/// dark throughput (asserted at non-quick scales).
+const GATE: f64 = 0.05;
+
+#[derive(Debug)]
+struct ObsRow {
+    workers: usize,
+    armed: String,
+    requests: u64,
+    entries: u64,
+    outcome_digest: String,
+    matches_dark: bool,
+    probe_count: u64,
+    probe_p50: u64,
+    probe_p99: u64,
+    probe_max: u64,
+    chain_count: u64,
+    chain_p50: u64,
+    chain_p99: u64,
+    chain_max: u64,
+    seconds: f64,
+    mops_per_sec: f64,
+    overhead: f64,
+}
+ccd_bench::impl_to_json!(ObsRow {
+    workers,
+    armed,
+    requests,
+    entries,
+    outcome_digest,
+    matches_dark,
+    probe_count,
+    probe_p50,
+    probe_p99,
+    probe_max,
+    chain_count,
+    chain_p50,
+    chain_p99,
+    chain_max,
+    seconds,
+    mops_per_sec,
+    overhead,
+});
+
+#[derive(Debug)]
+struct ObsBench {
+    scale: String,
+    spec: String,
+    workload: String,
+    obs: String,
+    cores: usize,
+    shards: usize,
+    requests: u64,
+    snapshot_invariant: bool,
+    overhead: f64,
+    rows: Vec<ObsRow>,
+}
+ccd_bench::impl_to_json!(ObsBench {
+    scale,
+    spec,
+    workload,
+    obs,
+    cores,
+    shards,
+    requests,
+    snapshot_invariant,
+    overhead,
+    rows,
+});
+
+fn requests_for(scale_name: &str) -> u64 {
+    match scale_name {
+        "quick" => 150_000,
+        "full" => 4_000_000,
+        _ => 1_000_000,
+    }
+}
+
+fn config(workers: usize, armed: bool) -> ServiceConfig {
+    let config = ServiceConfig::new(SPEC, SHARDS, workers);
+    if armed {
+        config.with_obs_spec(OBS).expect("bench obs spec parses")
+    } else {
+        config
+    }
+}
+
+/// Runs one cell `reps` times and keeps the best wall-clock time (the
+/// reports are deterministic, so any rep's report will do).
+fn timed_run(workers: usize, armed: bool, load: &LoadSpec, reps: usize) -> (ServiceReport, f64) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let service = DirectoryService::build_standard(config(workers, armed))
+            .expect("bench topology builds");
+        let start = Instant::now();
+        let run = service.run_load(load).expect("bench load runs");
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(run);
+    }
+    (report.expect("at least one rep ran"), best)
+}
+
+/// `(count, p50, p99, max)` of one named histogram in the armed
+/// snapshot; all zeros for a dark report.
+fn depth_summary(report: &ServiceReport, name: &str) -> (u64, u64, u64, u64) {
+    let Some(obs) = report.obs.as_ref() else {
+        return (0, 0, 0, 0);
+    };
+    let h = obs
+        .metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == name)
+        .unwrap_or_else(|| panic!("armed snapshot must carry `{name}`"));
+    (h.count, h.p50, h.p99, h.max)
+}
+
+fn row(
+    workers: usize,
+    armed: bool,
+    report: &ServiceReport,
+    seconds: f64,
+    dark_mops: f64,
+) -> ObsRow {
+    let mops = report.requests as f64 / seconds.max(1e-9) / 1e6;
+    let (probe_count, probe_p50, probe_p99, probe_max) = depth_summary(report, "probe_depth");
+    let (chain_count, chain_p50, chain_p99, chain_max) =
+        depth_summary(report, "displacement_chain");
+    ObsRow {
+        workers,
+        armed: if armed {
+            OBS.to_string()
+        } else {
+            "-".to_string()
+        },
+        requests: report.requests,
+        entries: report.entries as u64,
+        outcome_digest: format!("{:016x}", report.outcome_digest),
+        matches_dark: true,
+        probe_count,
+        probe_p50,
+        probe_p99,
+        probe_max,
+        chain_count,
+        chain_p50,
+        chain_p99,
+        chain_max,
+        seconds,
+        mops_per_sec: mops,
+        overhead: if armed { 1.0 - mops / dark_mops } else { 0.0 },
+    }
+}
+
+fn dump_recordings(report: &ServiceReport) {
+    let obs = report
+        .obs
+        .as_ref()
+        .expect("armed report carries recordings");
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let dumps = [
+        ("obs_trace_router.bin", obs.router.as_ref()),
+        ("obs_trace_worker0.bin", obs.workers.first()),
+    ];
+    for (name, recording) in dumps {
+        let Some(recording) = recording else { continue };
+        let path = dir.join(name);
+        match std::fs::write(&path, recording.to_bytes()) {
+            Ok(()) => println!(
+                "   wrote {} ({} events)",
+                path.display(),
+                recording.events.len()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() {
+    let (_, scale_name) = RunScale::from_env_named();
+    let requests = requests_for(scale_name);
+    let reps = if scale_name == "quick" { 1 } else { 3 };
+    println!("== BENCH_obs: observability layer cost and invariance ==");
+    println!(
+        "   spec {SPEC}, {CORES} cores, {SHARDS} shards, workload {WORKLOAD}, \
+         {requests} requests/cell, scale {scale_name}, obs {OBS}"
+    );
+
+    let load = LoadSpec::parse(WORKLOAD, CORES, SEED, requests).expect("catalog workload parses");
+
+    // Untimed warm-up: pay one-time process costs before the timed cells.
+    let _ = timed_run(*WORKER_AXIS.last().unwrap(), true, &load, 1);
+
+    // The armed serial reference anchors the snapshot-invariance check.
+    let serial = DirectoryService::build_standard(config(1, true))
+        .expect("bench topology builds")
+        .run_load_serial(&load)
+        .expect("armed serial reference runs");
+    let reference_json = render_json(
+        &serial
+            .obs
+            .as_ref()
+            .expect("armed serial reports obs")
+            .metrics,
+    );
+
+    let mut rows: Vec<ObsRow> = Vec::new();
+    let mut snapshot_invariant = true;
+    let mut worst_overhead = 0.0f64;
+    for &workers in WORKER_AXIS {
+        let (dark, dark_seconds) = timed_run(workers, false, &load, reps);
+        let (armed, armed_seconds) = timed_run(workers, true, &load, reps);
+        // Contract #11 at benchmark scale: observation never perturbs.
+        assert_eq!(
+            armed.semantics(),
+            dark.semantics(),
+            "{workers} armed workers diverged from their dark twin"
+        );
+        assert_eq!(armed.outcome_digest, dark.outcome_digest);
+        // Snapshot invariance: byte-identical to the serial reference.
+        let armed_json = render_json(&armed.obs.as_ref().expect("armed obs").metrics);
+        snapshot_invariant &= armed_json == reference_json;
+        assert!(
+            snapshot_invariant,
+            "{workers} armed workers rendered a different metric snapshot"
+        );
+        let dark_mops = dark.requests as f64 / dark_seconds.max(1e-9) / 1e6;
+        rows.push(row(workers, false, &dark, dark_seconds, dark_mops));
+        let armed_row = row(workers, true, &armed, armed_seconds, dark_mops);
+        worst_overhead = worst_overhead.max(armed_row.overhead);
+        rows.push(armed_row);
+        if workers == 2 {
+            dump_recordings(&armed);
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "workers",
+        "obs",
+        "Mreq/s",
+        "overhead",
+        "probe p50",
+        "probe p99",
+        "chain p99",
+        "digest",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.workers.to_string(),
+            row.armed.clone(),
+            format!("{:.2}", row.mops_per_sec),
+            if row.armed == "-" {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", row.overhead * 100.0)
+            },
+            row.probe_p50.to_string(),
+            row.probe_p99.to_string(),
+            row.chain_p99.to_string(),
+            row.outcome_digest.clone(),
+        ]);
+    }
+    println!();
+    table.print();
+    println!(
+        "\nworst armed overhead: {:+.2}% (gate {:.0}% at non-quick scales); \
+         snapshot worker-count invariant: {snapshot_invariant}",
+        worst_overhead * 100.0,
+        GATE * 100.0
+    );
+    if scale_name != "quick" {
+        assert!(
+            worst_overhead <= GATE,
+            "armed observation cost {:.2}% exceeds the {:.0}% gate",
+            worst_overhead * 100.0,
+            GATE * 100.0
+        );
+    }
+
+    let bench = ObsBench {
+        scale: scale_name.to_string(),
+        spec: SPEC.to_string(),
+        workload: WORKLOAD.to_string(),
+        obs: OBS.to_string(),
+        cores: CORES,
+        shards: SHARDS,
+        requests,
+        snapshot_invariant,
+        overhead: worst_overhead,
+        rows,
+    };
+    write_bench_json("BENCH_obs", &bench);
+}

@@ -27,7 +27,7 @@ pub mod sweep;
 use ccd_coherence::{CmpSimulator, DirectorySpec, SimReport, SystemConfig};
 use ccd_common::ConfigError;
 use ccd_workloads::{TraceGenerator, WorkloadProfile};
-use json::ToJson;
+use json::{Json, ToJson};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -234,13 +234,28 @@ pub fn write_json<T: ToJson>(name: &str, value: &T) {
     );
 }
 
+/// Schema version of the headline `BENCH_*` result files.  Stamped into
+/// every file [`write_bench_json`] writes as a leading `schema` field, so
+/// downstream readers can detect shape changes; bump it whenever the
+/// structure of any headline file changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
 /// Serializes `value` as pretty JSON to **both** `BENCH` locations —
 /// [`results_dir`]`/name.json` and `./name.json` at the repository root —
 /// from one render, so the two tracked copies can never drift (CI diffs
 /// them byte-for-byte).  Use this for the headline `BENCH_*` result files;
 /// per-figure results stay under [`write_json`].
+///
+/// A `schema` field carrying [`BENCH_SCHEMA_VERSION`] is injected at the
+/// head of the top-level object (values that are not objects are written
+/// unchanged).
 pub fn write_bench_json<T: ToJson>(name: &str, value: &T) {
-    let rendered = value.to_json().to_pretty();
+    let mut json = value.to_json();
+    if let Json::Obj(fields) = &mut json {
+        let schema = ("schema".to_string(), Json::Num(BENCH_SCHEMA_VERSION as f64));
+        fields.insert(0, schema);
+    }
+    let rendered = json.to_pretty();
     write_json_text(&results_dir().join(format!("{name}.json")), &rendered);
     write_json_text(Path::new(&format!("{name}.json")), &rendered);
 }
@@ -308,6 +323,29 @@ mod tests {
         assert!(lines[1].starts_with("---"));
         assert!(lines[2].contains("DB2"));
         assert!(lines[3].contains("ocean"));
+    }
+
+    #[test]
+    fn bench_json_schema_field_leads_the_object() {
+        struct Bench {
+            scale: String,
+        }
+        impl_to_json!(Bench { scale });
+        let mut json = Bench {
+            scale: "quick".into(),
+        }
+        .to_json();
+        // Mirror `write_bench_json`'s injection without touching the
+        // filesystem.
+        if let Json::Obj(fields) = &mut json {
+            fields.insert(
+                0,
+                ("schema".to_string(), Json::Num(BENCH_SCHEMA_VERSION as f64)),
+            );
+        }
+        let rendered = json.to_pretty();
+        let schema_line = format!("\"schema\": {BENCH_SCHEMA_VERSION}");
+        assert!(rendered.lines().nth(1).unwrap().contains(&schema_line));
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub use error::ConfigError;
 pub use ids::{CacheId, CoreId, SliceId};
 pub use mem::{AccessType, MemRef};
 pub use rng::{SplitMix64, Xoshiro256};
-pub use stats::{Counter, Fnv64, Histogram, MeanAccumulator, RateEstimator};
+pub use stats::{
+    Counter, CounterId, Fnv64, Histogram, HistogramId, HistogramSnapshot, LogHistogram,
+    MeanAccumulator, MergeError, MetricSet, MetricSnapshot, RateEstimator,
+};
 
 /// The physical address width assumed by the paper's system (Table 1).
 pub const PHYSICAL_ADDRESS_BITS: u32 = 48;

@@ -128,6 +128,36 @@ impl Default for Fnv64 {
     }
 }
 
+/// Two statistics containers have incompatible shapes for merging.
+///
+/// Returned by the `try_merge` fallible variants so callers that reduce
+/// per-worker statistics can surface a configuration bug as an error
+/// instead of a panic deep inside the merge loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeError {
+    message: String,
+}
+
+impl MergeError {
+    fn new(message: String) -> Self {
+        MergeError { message }
+    }
+
+    /// Human-readable description of the shape mismatch.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl core::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A bounded histogram of small non-negative integer observations.
 ///
 /// Observations larger than the configured bound are accumulated in the
@@ -165,18 +195,15 @@ impl Histogram {
 
     /// Records one observation of `value`.
     pub fn record(&mut self, value: u64) {
-        let clamped = (value as usize).min(self.buckets.len() - 1);
-        self.buckets[clamped] += 1;
-        self.total += 1;
-        self.sum += clamped as u64;
+        self.record_n(value, 1);
     }
 
-    /// Records `n` observations of `value`.
+    /// Records `n` observations of `value` (saturating, like [`Counter`]).
     pub fn record_n(&mut self, value: u64, n: u64) {
         let clamped = (value as usize).min(self.buckets.len() - 1);
-        self.buckets[clamped] += n;
-        self.total += n;
-        self.sum += clamped as u64 * n;
+        self.buckets[clamped] = self.buckets[clamped].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add((clamped as u64).saturating_mul(n));
     }
 
     /// Number of observations equal to `value` (clamped).
@@ -260,18 +287,38 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if the histograms have different bucket counts.
+    /// Panics if the histograms have different bucket counts; use
+    /// [`Histogram::try_merge`] to handle the mismatch as an error.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.buckets.len(),
-            other.buckets.len(),
-            "cannot merge histograms with different bounds"
-        );
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+        if let Err(err) = self.try_merge(other) {
+            panic!("cannot merge histograms with different bounds: {err}");
         }
-        self.total += other.total;
-        self.sum += other.sum;
+    }
+
+    /// Merges another histogram into this one, reporting a bound mismatch
+    /// as a [`MergeError`] instead of panicking.
+    ///
+    /// On error `self` is left untouched.  Bucket counts saturate like
+    /// [`Counter`], so the reduction is order-independent even at the
+    /// `u64` ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] when the histograms have different bounds.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.buckets.len() != other.buckets.len() {
+            return Err(MergeError::new(format!(
+                "histogram bounds differ: 0..={} vs 0..={}",
+                self.max_value(),
+                other.max_value()
+            )));
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        Ok(())
     }
 
     /// Resets all buckets to zero.
@@ -279,6 +326,271 @@ impl Histogram {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.total = 0;
         self.sum = 0;
+    }
+}
+
+/// An HDR-style log-linear histogram over the full `u64` range.
+///
+/// Where [`Histogram`] holds one exact bucket per small integer value,
+/// `LogHistogram` covers `0..=u64::MAX` with O(1) recording and a bounded
+/// *relative* error: each power-of-two segment is split into
+/// `2^sig_bits` linear sub-buckets, so any reported quantile is within a
+/// factor of `2^-sig_bits` of the exact observation
+/// ([`LogHistogram::relative_error`]).  This is the scheme popularised by
+/// HdrHistogram for tail-latency accounting: `p999` of a billion samples
+/// costs the same handful of index operations as `p50` of ten.
+///
+/// All counters saturate (like [`Counter`]), so merging per-worker
+/// histograms is exact and order-independent: any permutation of merges
+/// produces a bit-identical result.  `min`/`max` track the exact raw
+/// observations, not bucket edges.
+///
+/// ```
+/// use ccd_common::stats::LogHistogram;
+/// let mut h = LogHistogram::new(2); // 2 significant bits: <= 25% error
+/// for v in [1u64, 2, 3, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(1000));
+/// assert_eq!(h.p50(), 2);
+/// let p99 = h.p99() as f64;
+/// assert!((p99 - 1000.0).abs() / 1000.0 <= h.relative_error());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    sig_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram with `sig_bits` significant bits of
+    /// value resolution (`1..=8`): quantiles are within `2^-sig_bits`
+    /// relative error, and storage is `2^sig_bits * (65 - sig_bits)`
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig_bits` is outside `1..=8`.
+    #[must_use]
+    pub fn new(sig_bits: u32) -> Self {
+        assert!(
+            (1..=8).contains(&sig_bits),
+            "LogHistogram sig_bits must be in 1..=8, got {sig_bits}"
+        );
+        let buckets = (65 - sig_bits as usize) << sig_bits;
+        LogHistogram {
+            sig_bits,
+            buckets: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The configured resolution in significant bits.
+    #[must_use]
+    pub const fn sig_bits(&self) -> u32 {
+        self.sig_bits
+    }
+
+    /// The worst-case relative error of any reported quantile:
+    /// `2^-sig_bits`.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        1.0 / (1u64 << self.sig_bits) as f64
+    }
+
+    /// The bucket index holding `value`: exact for values below
+    /// `2^sig_bits`, log-linear above (segment = position of the most
+    /// significant bit, sub-bucket = the next `sig_bits` bits).
+    fn bucket_index(&self, value: u64) -> usize {
+        let b = self.sig_bits;
+        if value < (1u64 << b) {
+            value as usize
+        } else {
+            let msb = 63 - value.leading_zeros();
+            let seg = (msb - b + 1) as usize;
+            let sub = ((value >> (msb - b)) ^ (1u64 << b)) as usize;
+            (seg << b) + sub
+        }
+    }
+
+    /// The largest value mapping into bucket `index` (its upper edge);
+    /// quantiles report this, biasing *up* by at most `relative_error`.
+    fn bucket_upper(&self, index: usize) -> u64 {
+        let b = self.sig_bits;
+        let seg = index >> b;
+        let sub = (index & ((1usize << b) - 1)) as u64;
+        if seg == 0 {
+            sub
+        } else {
+            let low = ((1u64 << b) + sub) << (seg - 1);
+            low + ((1u64 << (seg - 1)) - 1)
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` (saturating).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let index = self.bucket_index(value);
+        self.buckets[index] = self.buckets[index].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations (saturating).
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when no observations have been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded observation (exact), or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded observation (exact), or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded observations; 0 when empty.  Exact until
+    /// `sum` saturates.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value `v` such that at least `q` (`0..=1`) of the observations
+    /// are `<= v`, within [`LogHistogram::relative_error`] of the exact
+    /// order statistic (biased up, clamped to the recorded `max`).
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            if cumulative >= target {
+                return self.bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median ([`LogHistogram::quantile`] at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// The 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Iterates over `(bucket upper edge, count)` for non-empty buckets,
+    /// in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_upper(i), c))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ; use
+    /// [`LogHistogram::try_merge`] to handle the mismatch as an error.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if let Err(err) = self.try_merge(other) {
+            panic!("cannot merge log-histograms with different resolutions: {err}");
+        }
+    }
+
+    /// Merges another histogram into this one, reporting a resolution
+    /// mismatch as a [`MergeError`] instead of panicking.
+    ///
+    /// The merge is *exact* (bucket-by-bucket, saturating) and therefore
+    /// order-independent: any permutation of a set of merges yields a
+    /// bit-identical histogram.  On error `self` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] when `sig_bits` differ.
+    pub fn try_merge(&mut self, other: &LogHistogram) -> Result<(), MergeError> {
+        if self.sig_bits != other.sig_bits {
+            return Err(MergeError::new(format!(
+                "log-histogram resolutions differ: {} vs {} significant bits",
+                self.sig_bits, other.sig_bits
+            )));
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
+    /// Resets the histogram to empty, keeping the configured resolution.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
     }
 }
 
@@ -358,6 +670,22 @@ impl MeanAccumulator {
 /// Forced-invalidation rates in the paper are reported as *invalidations per
 /// directory-entry insertion* (Figure 12); this type keeps the two counts
 /// together so the rate can never be computed against the wrong denominator.
+///
+/// ```
+/// use ccd_common::stats::RateEstimator;
+/// let mut r = RateEstimator::new();
+/// r.record_miss();            // an insertion that forced nothing
+/// r.record_hit(2);            // an insertion that forced two invalidations
+/// assert_eq!(r.events(), 2);
+/// assert_eq!(r.opportunities(), 2);
+/// assert!((r.rate() - 1.0).abs() < 1e-12);
+///
+/// // Per-worker estimators reduce into one aggregate rate.
+/// let mut other = RateEstimator::new();
+/// other.add(0, 2);
+/// r.merge(&other);
+/// assert!((r.percent() - 50.0).abs() < 1e-12);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RateEstimator {
     events: u64,
@@ -425,6 +753,245 @@ impl RateEstimator {
         self.events += other.events;
         self.opportunities += other.opportunities;
     }
+}
+
+/// Handle to a [`Counter`] registered in a [`MetricSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a [`LogHistogram`] registered in a [`MetricSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of named counters and log-histograms with a *fixed
+/// registration order*.
+///
+/// Two `MetricSet`s built by running the same registration code are
+/// structurally identical, so per-worker sets can be merged in any order
+/// and snapshots render byte-identically regardless of worker count —
+/// the property the service stack's determinism contract leans on.
+///
+/// ```
+/// use ccd_common::stats::MetricSet;
+/// let mut m = MetricSet::new();
+/// let requests = m.counter("requests");
+/// let depth = m.histogram("probe_depth", 2);
+/// m.add(requests, 10);
+/// m.record(depth, 3);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counters[0], ("requests".to_string(), 10));
+/// assert_eq!(snap.histograms[0].count, 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricSet {
+    counters: Vec<(String, Counter)>,
+    histograms: Vec<(String, LogHistogram)>,
+}
+
+impl MetricSet {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Registers a counter under `name` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a counter: registration
+    /// order is part of the set's identity, so collisions are bugs.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        assert!(
+            self.counters.iter().all(|(n, _)| n != name),
+            "counter {name:?} registered twice"
+        );
+        self.counters.push((name.to_string(), Counter::new()));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a log-histogram under `name` with `sig_bits` resolution
+    /// and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a histogram, or if
+    /// `sig_bits` is outside `1..=8`.
+    pub fn histogram(&mut self, name: &str, sig_bits: u32) -> HistogramId {
+        assert!(
+            self.histograms.iter().all(|(n, _)| n != name),
+            "histogram {name:?} registered twice"
+        );
+        self.histograms
+            .push((name.to_string(), LogHistogram::new(sig_bits)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `n` to a registered counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1.add(n);
+    }
+
+    /// Increments a registered counter by one.
+    pub fn incr(&mut self, id: CounterId) {
+        self.counters[id.0].1.incr();
+    }
+
+    /// Records one observation into a registered histogram.
+    pub fn record(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Current value of a registered counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.get()
+    }
+
+    /// Read access to a registered histogram.
+    #[must_use]
+    pub fn histogram_ref(&self, id: HistogramId) -> &LogHistogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Mutable access to a registered histogram (for bulk recording or
+    /// folding in an externally accumulated distribution).
+    pub fn histogram_mut(&mut self, id: HistogramId) -> &mut LogHistogram {
+        &mut self.histograms[id.0].1
+    }
+
+    /// Merges another set into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registries differ; use [`MetricSet::try_merge`] to
+    /// handle the mismatch as an error.
+    pub fn merge(&mut self, other: &MetricSet) {
+        if let Err(err) = self.try_merge(other) {
+            panic!("cannot merge metric sets with different registries: {err}");
+        }
+    }
+
+    /// Merges another set into this one, requiring identical registries
+    /// (same names, same order, same histogram resolutions).
+    ///
+    /// Counter and histogram merges both saturate, so reducing N
+    /// per-worker sets yields a bit-identical result in any merge order.
+    /// On error `self` may have merged a prefix of the counters but no
+    /// histograms beyond the first mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] on any name, order, length or resolution
+    /// mismatch.
+    pub fn try_merge(&mut self, other: &MetricSet) -> Result<(), MergeError> {
+        if self.counters.len() != other.counters.len()
+            || self.histograms.len() != other.histograms.len()
+        {
+            return Err(MergeError::new(format!(
+                "metric registries differ: {}+{} vs {}+{} counters+histograms",
+                self.counters.len(),
+                self.histograms.len(),
+                other.counters.len(),
+                other.histograms.len()
+            )));
+        }
+        for ((name, _), (other_name, _)) in self.counters.iter().zip(&other.counters) {
+            if name != other_name {
+                return Err(MergeError::new(format!(
+                    "counter registration order differs: {name:?} vs {other_name:?}"
+                )));
+            }
+        }
+        for ((name, hist), (other_name, other_hist)) in
+            self.histograms.iter().zip(&other.histograms)
+        {
+            if name != other_name {
+                return Err(MergeError::new(format!(
+                    "histogram registration order differs: {name:?} vs {other_name:?}"
+                )));
+            }
+            if hist.sig_bits() != other_hist.sig_bits() {
+                return Err(MergeError::new(format!(
+                    "histogram {name:?} resolutions differ: {} vs {} significant bits",
+                    hist.sig_bits(),
+                    other_hist.sig_bits()
+                )));
+            }
+        }
+        for ((_, counter), (_, other_counter)) in self.counters.iter_mut().zip(&other.counters) {
+            counter.merge(other_counter);
+        }
+        for ((_, hist), (_, other_hist)) in self.histograms.iter_mut().zip(&other.histograms) {
+            hist.try_merge(other_hist)?;
+        }
+        Ok(())
+    }
+
+    /// Takes an integer-only snapshot of every registered metric, in
+    /// registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricSnapshot {
+        MetricSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    sig_bits: h.sig_bits(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min().unwrap_or(0),
+                    max: h.max().unwrap_or(0),
+                    p50: h.p50(),
+                    p99: h.p99(),
+                    p999: h.p999(),
+                    buckets: h.iter().collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricSet`]: all fields are integers, so
+/// two equal snapshots render byte-identically through any deterministic
+/// serializer.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricSnapshot {
+    /// `(name, value)` for every counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// One summary per histogram, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Integer summary of one [`LogHistogram`] inside a [`MetricSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Configured resolution in significant bits.
+    pub sig_bits: u32,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Exact smallest observation (0 when empty).
+    pub min: u64,
+    /// Exact largest observation (0 when empty).
+    pub max: u64,
+    /// Median, within the configured relative error.
+    pub p50: u64,
+    /// 99th percentile, within the configured relative error.
+    pub p99: u64,
+    /// 99.9th percentile, within the configured relative error.
+    pub p999: u64,
+    /// `(bucket upper edge, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
 }
 
 #[cfg(test)]
@@ -658,5 +1225,281 @@ mod tests {
         r.merge(&s);
         assert_eq!(r.opportunities(), 100);
         assert!((r.rate() - 0.05).abs() < 1e-12);
+    }
+
+    use crate::rng::{Rng64, SplitMix64};
+
+    #[test]
+    fn log_histogram_buckets_values_exactly_below_two_to_sig_bits() {
+        for sig_bits in 1..=8u32 {
+            let mut h = LogHistogram::new(sig_bits);
+            let exact_limit = 1u64 << sig_bits;
+            for v in 0..exact_limit {
+                h.record(v);
+            }
+            // Every small value sits in its own bucket at its exact value.
+            for (i, (upper, count)) in h.iter().enumerate() {
+                assert_eq!(upper, i as u64);
+                assert_eq!(count, 1);
+            }
+            assert_eq!(h.count(), exact_limit);
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_within_relative_error_randomized() {
+        // Mixed magnitudes: uniform small, mid-range, and full-width
+        // values, across every supported resolution.
+        for sig_bits in [1u32, 2, 4, 8] {
+            let mut rng = SplitMix64::new(0xC0FF_EE00 + sig_bits as u64);
+            let mut h = LogHistogram::new(sig_bits);
+            let mut exact: Vec<u64> = Vec::new();
+            for i in 0..10_000u64 {
+                let value = match i % 3 {
+                    0 => rng.next_u64() % 100,
+                    1 => rng.next_u64() % 1_000_000,
+                    _ => rng.next_u64(),
+                };
+                h.record(value);
+                exact.push(value);
+            }
+            exact.sort_unstable();
+            let tolerance = h.relative_error();
+            for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * exact.len() as f64).ceil() as usize)
+                    .max(1)
+                    .min(exact.len());
+                let truth = exact[rank - 1] as f64;
+                let got = h.quantile(q) as f64;
+                // The reported value is the bucket's upper edge clamped to
+                // max: never below the truth, never more than rel-err above.
+                assert!(
+                    got >= truth && got - truth <= truth * tolerance + 1.0,
+                    "sig_bits {sig_bits} q {q}: got {got}, exact {truth}"
+                );
+            }
+            assert_eq!(h.min(), exact.first().copied());
+            assert_eq!(h.max(), exact.last().copied());
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_order_independent_across_shuffles() {
+        // Build 8 disjoint worker histograms, then merge them in several
+        // shuffled orders: every reduction must be bit-identical.
+        let parts: Vec<LogHistogram> = (0..8u64)
+            .map(|w| {
+                let mut rng = SplitMix64::new(0xBEEF + w);
+                let mut h = LogHistogram::new(3);
+                for _ in 0..1000 {
+                    h.record(rng.next_u64() >> ((w * 7) % 64));
+                }
+                h
+            })
+            .collect();
+        let reduce = |order: &[usize]| {
+            let mut acc = LogHistogram::new(3);
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let reference = reduce(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut order: Vec<usize> = (0..8).collect();
+        let mut rng = SplitMix64::new(0x5EED);
+        for _ in 0..16 {
+            // Fisher-Yates with the deterministic generator.
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            assert_eq!(reduce(&order), reference, "merge order {order:?} diverged");
+        }
+        // Structural equality implies identical snapshots too.
+        let mut set_a = MetricSet::new();
+        let id_a = set_a.histogram("h", 3);
+        *set_a.histogram_mut(id_a) = reference.clone();
+        let mut set_b = MetricSet::new();
+        let id_b = set_b.histogram("h", 3);
+        *set_b.histogram_mut(id_b) = reduce(&order);
+        assert_eq!(set_a.snapshot(), set_b.snapshot());
+    }
+
+    #[test]
+    fn log_histogram_empty_and_nonempty_merge_paths() {
+        let empty = LogHistogram::new(2);
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.iter().count(), 0);
+
+        let mut filled = LogHistogram::new(2);
+        filled.record_n(7, 3);
+        filled.record(4096);
+
+        // empty ← filled adopts the filled side exactly.
+        let mut target = LogHistogram::new(2);
+        target.try_merge(&filled).unwrap();
+        assert_eq!(target, filled);
+
+        // filled ← empty is the identity.
+        let mut unchanged = filled.clone();
+        unchanged.try_merge(&empty).unwrap();
+        assert_eq!(unchanged, filled);
+
+        // empty ← empty stays empty with no spurious min/max.
+        let mut both = LogHistogram::new(2);
+        both.try_merge(&LogHistogram::new(2)).unwrap();
+        assert!(both.is_empty());
+        assert_eq!(both.min(), None);
+    }
+
+    #[test]
+    fn log_histogram_saturates_instead_of_wrapping() {
+        let mut h = LogHistogram::new(2);
+        h.record_n(3, u64::MAX);
+        h.record_n(3, 5);
+        h.record_n(u64::MAX, 2);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(3));
+        // Merging two saturated histograms stays saturated.
+        let other = h.clone();
+        h.try_merge(&other).unwrap();
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn log_histogram_merge_mismatch_is_an_error_and_leaves_self_untouched() {
+        let mut a = LogHistogram::new(2);
+        a.record(10);
+        let before = a.clone();
+        let mut b = LogHistogram::new(3);
+        b.record(99);
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(err.message().contains("2 vs 3"), "{err}");
+        assert_eq!(a, before, "failed merge must not partially apply");
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolutions")]
+    fn log_histogram_panicking_merge_requires_same_resolution() {
+        let mut a = LogHistogram::new(2);
+        a.merge(&LogHistogram::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "sig_bits must be in 1..=8")]
+    fn log_histogram_rejects_zero_sig_bits() {
+        let _ = LogHistogram::new(0);
+    }
+
+    #[test]
+    fn histogram_try_merge_empty_nonempty_saturation_and_mismatch() {
+        // empty ← filled and filled ← empty.
+        let mut filled = Histogram::new(8);
+        filled.record_n(2, 4);
+        let mut target = Histogram::new(8);
+        target.try_merge(&filled).unwrap();
+        assert_eq!(target, filled);
+        let mut unchanged = filled.clone();
+        unchanged.try_merge(&Histogram::new(8)).unwrap();
+        assert_eq!(unchanged, filled);
+
+        // Saturation: counts pin at u64::MAX instead of wrapping.
+        let mut sat = Histogram::new(4);
+        sat.record_n(1, u64::MAX);
+        sat.record_n(1, 10);
+        assert_eq!(sat.count(1), u64::MAX);
+        assert_eq!(sat.total(), u64::MAX);
+        let other = sat.clone();
+        sat.try_merge(&other).unwrap();
+        assert_eq!(sat.total(), u64::MAX);
+
+        // Mismatch is an error (both directions) and self is untouched.
+        let mut small = Histogram::new(4);
+        small.record(3);
+        let before = small.clone();
+        let big = Histogram::new(8);
+        let err = small.try_merge(&big).unwrap_err();
+        assert!(err.message().contains("0..=4"), "{err}");
+        assert_eq!(small, before);
+        let mut big = big;
+        assert!(big.try_merge(&before).is_err());
+    }
+
+    #[test]
+    fn metric_set_registers_records_and_snapshots_in_fixed_order() {
+        let mut m = MetricSet::new();
+        let hits = m.counter("hits");
+        let misses = m.counter("misses");
+        let depth = m.histogram("depth", 2);
+        m.incr(hits);
+        m.add(misses, 3);
+        m.record(depth, 5);
+        m.record(depth, 9);
+        assert_eq!(m.counter_value(hits), 1);
+        assert_eq!(m.counter_value(misses), 3);
+        assert_eq!(m.histogram_ref(depth).count(), 2);
+
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("hits".to_string(), 1), ("misses".to_string(), 3)]
+        );
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!(h.name, "depth");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 9);
+        assert!(h.p999 >= h.p50);
+    }
+
+    #[test]
+    fn metric_set_merge_requires_identical_registries() {
+        let build = || {
+            let mut m = MetricSet::new();
+            let c = m.counter("requests");
+            let h = m.histogram("depth", 2);
+            (m, c, h)
+        };
+        let (mut a, ca, ha) = build();
+        let (mut b, cb, hb) = build();
+        a.add(ca, 5);
+        a.record(ha, 1);
+        b.add(cb, 7);
+        b.record(hb, 1000);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "metric-set merge must commute");
+        assert_eq!(ab.counter_value(ca), 12);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+
+        // Different names, different order, different resolution: errors.
+        let mut renamed = MetricSet::new();
+        renamed.counter("other");
+        renamed.histogram("depth", 2);
+        assert!(a.clone().try_merge(&renamed).is_err());
+        let mut coarse = MetricSet::new();
+        coarse.counter("requests");
+        coarse.histogram("depth", 3);
+        assert!(a.clone().try_merge(&coarse).is_err());
+        let empty = MetricSet::new();
+        assert!(a.try_merge(&empty).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn metric_set_rejects_duplicate_names() {
+        let mut m = MetricSet::new();
+        m.counter("x");
+        m.counter("x");
     }
 }

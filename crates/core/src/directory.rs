@@ -16,8 +16,10 @@
 use crate::{config::CuckooConfig, table::CuckooTable};
 use ccd_common::{ceil_log2, CacheId, ConfigError, LineAddr};
 use ccd_directory::{
-    Directory, DirectoryOp, DirectoryStats, InsertPolicy, Outcome, ProbeVariant, StorageProfile,
+    DepthMetrics, Directory, DirectoryOp, DirectoryStats, InsertPolicy, Outcome, ProbeVariant,
+    StorageProfile,
 };
+use ccd_obs::ObsConfig;
 use ccd_sharers::SharerSet;
 
 /// A Cuckoo directory slice: a d-ary cuckoo hash table of sharer sets.
@@ -36,7 +38,7 @@ impl<S: SharerSet> CuckooDirectory<S> {
     /// Returns the [`ConfigError`] produced by [`CuckooConfig::validate`],
     /// by the hash-family construction, by an invalid probe-variant request
     /// (e.g. `localized` without the `tagalt` family), or by a malformed
-    /// `CCD_PROBE` environment override.
+    /// `CCD_PROBE` or `CCD_OBS` environment override.
     pub fn new(config: CuckooConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         // Probe resolution: an explicit config pin wins, then the CCD_PROBE
@@ -45,7 +47,14 @@ impl<S: SharerSet> CuckooDirectory<S> {
             Some(variant) => Some(variant),
             None => ProbeVariant::from_env()?,
         };
-        let table = Self::build_table(&config, probe)?;
+        let mut table = Self::build_table(&config, probe)?;
+        // A CCD_OBS override arms the depth distributions at construction.
+        // Like CCD_PROBE, it never reaches the organization label or any
+        // result-bearing field — armed and unarmed runs stay byte-identical
+        // (contract #11).
+        if let Some(obs) = ObsConfig::from_env()? {
+            table.arm_depth_metrics(obs.sig_bits());
+        }
         Ok(CuckooDirectory {
             config,
             table,
@@ -266,6 +275,15 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
         self.stats.reset();
     }
 
+    fn arm_depth_metrics(&mut self, sig_bits: u32) -> bool {
+        self.table.arm_depth_metrics(sig_bits);
+        true
+    }
+
+    fn depth_metrics(&self) -> Option<&DepthMetrics> {
+        self.table.depth_metrics()
+    }
+
     fn geometry(&self) -> Option<(usize, usize)> {
         Some((self.config.ways, self.config.sets))
     }
@@ -291,12 +309,18 @@ impl<S: SharerSet> Directory for CuckooDirectory<S> {
             None => ProbeVariant::from_env()?,
         };
         let mut table = Self::build_table(&config, probe)?;
+        // Like the per-insertion statistics, the depth distributions skip
+        // the migration itself: recorded data survives the resize, and the
+        // re-homed table stays armed, but migration traffic never lands in
+        // the request-path distributions.
+        let metrics = self.table.take_depth_metrics();
         for (_victim_key, victim_sharers) in self.table.migrate_into(&mut table) {
             self.stats.insertion_failures.incr();
             let targets = victim_sharers.invalidation_targets().len();
             self.stats.forced_block_invalidations.add(targets as u64);
         }
         self.table = table;
+        self.table.restore_depth_metrics(metrics);
         self.config = config;
         Ok(true)
     }
@@ -575,6 +599,43 @@ mod tests {
         let mut sparse = ccd_directory::SparseDirectory::<FullBitVector>::new(4, 64, 8).unwrap();
         assert_eq!(sparse.geometry(), None);
         assert!(!sparse.live_resize(4, 128).unwrap());
+    }
+
+    #[test]
+    fn depth_metrics_arm_record_and_survive_resize() {
+        let mut d = dir(4, 64, 8);
+        assert!(d.depth_metrics().is_none(), "directories start disarmed");
+        assert!(d.arm_depth_metrics(2));
+        let mut rng = SplitMix64::new(0x0B5);
+        for _ in 0..120 {
+            let l = line(rng.next_u64() >> 10);
+            d.add_sharer(l, CacheId::new((rng.next_below(8)) as u32));
+        }
+        let recorded = d.depth_metrics().unwrap().probe_depth.count();
+        assert!(recorded > 0, "armed insertions must record probe depths");
+
+        // The migration is not request traffic: a resize preserves what was
+        // recorded, records nothing new, and leaves the directory armed.
+        assert!(d.live_resize(4, 128).unwrap());
+        let metrics = d.depth_metrics().unwrap();
+        assert_eq!(metrics.probe_depth.count(), recorded);
+        d.add_sharer(line(1), CacheId::new(0));
+        assert_eq!(d.depth_metrics().unwrap().probe_depth.count(), recorded + 1);
+
+        // Arming is observational only: an armed and an unarmed twin fed the
+        // same requests report identical result-bearing statistics.
+        let mut plain = dir(4, 64, 8);
+        let mut armed = dir(4, 64, 8);
+        assert!(armed.arm_depth_metrics(2));
+        let mut rng = SplitMix64::new(0x7777);
+        for _ in 0..300 {
+            let l = line(rng.next_u64() >> 14);
+            let c = CacheId::new((rng.next_below(8)) as u32);
+            plain.add_sharer(l, c);
+            armed.add_sharer(l, c);
+        }
+        assert_eq!(plain.stats(), armed.stats());
+        assert_eq!(plain.len(), armed.len());
     }
 
     #[test]

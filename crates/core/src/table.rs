@@ -109,7 +109,7 @@
 use crate::simd::VectorEngine;
 use ccd_common::prefetch::prefetch_slice_element;
 use ccd_common::{ConfigError, LineAddr};
-use ccd_directory::{InsertPolicy, ProbeVariant};
+use ccd_directory::{DepthMetrics, InsertPolicy, ProbeVariant};
 use ccd_hash::{fingerprint, HashFamily, HashKind, IndexHashFamily, MAX_FAMILY_WAYS};
 use std::mem::MaybeUninit;
 
@@ -307,6 +307,11 @@ pub struct CuckooTable<V> {
     /// Scratch arena of the BFS kernel; `Some` exactly when `policy` is
     /// [`InsertPolicy::Bfs`].
     bfs: Option<Box<BfsScratch>>,
+    /// Depth distributions (probe depth, displacement-chain length, BFS
+    /// path depth), recorded only while armed.  `None` — the default —
+    /// costs one branch per record site and must never change what the
+    /// table computes (contract #11).
+    metrics: Option<Box<DepthMetrics>>,
 }
 
 impl<V> CuckooTable<V> {
@@ -396,6 +401,7 @@ impl<V> CuckooTable<V> {
             next_start_way: 0,
             policy: InsertPolicy::Greedy,
             bfs: None,
+            metrics: None,
         })
     }
 
@@ -462,6 +468,81 @@ impl<V> CuckooTable<V> {
     #[must_use]
     pub fn insert_policy(&self) -> InsertPolicy {
         self.policy
+    }
+
+    /// Arms depth-distribution recording at `sig_bits` resolution,
+    /// replacing any distributions recorded so far.
+    ///
+    /// While armed, every mutating operation feeds three
+    /// [`LogHistogram`](ccd_common::LogHistogram)s: the ways inspected by
+    /// each insertion-path probe, the entries physically displaced by each
+    /// greedy chain, and the moves applied by each BFS shortest path.
+    /// Pure queries (`find`, `contains`, `probe_batch`) take `&self` and
+    /// are deliberately not recorded — observation never adds interior
+    /// mutability to the read path.  Recording never changes what the
+    /// table computes (contract #11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig_bits` is outside `1..=8`.
+    pub fn arm_depth_metrics(&mut self, sig_bits: u32) {
+        self.metrics = Some(Box::new(DepthMetrics::new(sig_bits)));
+    }
+
+    /// Stops depth-distribution recording and drops anything recorded.
+    pub fn disarm_depth_metrics(&mut self) {
+        self.metrics = None;
+    }
+
+    /// Moves the recorded distributions out of the table, disarming it.
+    /// The live-resize migration path uses this to keep migration traffic
+    /// out of the request-path distributions.
+    #[must_use]
+    pub fn take_depth_metrics(&mut self) -> Option<Box<DepthMetrics>> {
+        self.metrics.take()
+    }
+
+    /// Re-installs distributions taken by
+    /// [`CuckooTable::take_depth_metrics`], re-arming the table when
+    /// `metrics` is `Some`.
+    pub fn restore_depth_metrics(&mut self, metrics: Option<Box<DepthMetrics>>) {
+        self.metrics = metrics;
+    }
+
+    /// The depth distributions recorded since arming, or `None` when
+    /// disarmed.
+    #[must_use]
+    pub fn depth_metrics(&self) -> Option<&DepthMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Records the depth of an insertion-path probe: the 1-based way of
+    /// the hit, or every way when the probe missed.
+    #[inline]
+    fn record_probe_depth(&mut self, hit: Option<usize>) {
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            let ways_inspected = match hit {
+                Some(slot) => slot / self.sets + 1,
+                None => self.ways,
+            };
+            metrics.probe_depth.record(ways_inspected as u64);
+        }
+    }
+
+    /// Records the number of entries a greedy chain physically displaced.
+    #[inline]
+    fn record_chain(&mut self, moved: u32) {
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            metrics.displacement_chain.record(u64::from(moved));
+        }
+    }
+
+    /// Records the number of moves a successful BFS path applied.
+    #[inline]
+    fn record_bfs_depth(&mut self, moves: u32) {
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            metrics.bfs_path_depth.record(u64::from(moves));
+        }
     }
 
     /// Number of ways.
@@ -948,6 +1029,7 @@ impl<V> CuckooTable<V> {
     /// the vacancy scan share one fused probe over those indices.
     fn insert_prehashed(&mut self, key: u64, value: V, indices: &mut [usize]) -> InsertOutcome<V> {
         let probe = self.probe_prehashed(key, indices);
+        self.record_probe_depth(probe.hit);
         if let Some(slot) = probe.hit {
             // SAFETY: `probe` only reports occupied slots as hits.
             unsafe { self.values[slot].assume_init_drop() };
@@ -998,11 +1080,13 @@ impl<V> CuckooTable<V> {
                 if current_key == key {
                     let slot = way * self.sets + indices[way];
                     let victim = self.swap_slot(slot, current_key, current_value);
+                    self.record_chain(attempts);
                     return InsertOutcome {
                         attempts,
                         discarded: Some(victim),
                     };
                 }
+                self.record_chain(attempts - 1);
                 return InsertOutcome {
                     attempts,
                     discarded: Some((current_key, current_value)),
@@ -1030,6 +1114,7 @@ impl<V> CuckooTable<V> {
             if let Some(vacant) = self.first_vacant_prehashed(indices) {
                 self.fill_slot(vacant, victim_key, victim_value);
                 self.next_start_way = way;
+                self.record_chain(attempts - 1);
                 return InsertOutcome {
                     attempts,
                     discarded: None,
@@ -1074,6 +1159,7 @@ impl<V> CuckooTable<V> {
                 }
                 self.fill_slot(dest, key, value);
                 self.valid += 1;
+                self.record_bfs_depth(moves);
                 InsertOutcome {
                     attempts: moves + 1,
                     discarded: None,
@@ -1089,6 +1175,11 @@ impl<V> CuckooTable<V> {
                 let slot = way * self.sets + indices[way];
                 let victim = self.swap_slot(slot, key, value);
                 self.next_start_way = (way + 1) % self.ways;
+                // The failed search's discard displaces exactly one entry;
+                // it lands in the chain distribution, not the BFS one, so
+                // `bfs_path_depth` stays the distribution of *successful*
+                // shortest paths.
+                self.record_chain(1);
                 InsertOutcome {
                     attempts: self.max_attempts,
                     discarded: Some(victim),
@@ -1197,6 +1288,7 @@ impl<V> CuckooTable<V> {
         let mut indices = [0usize; N];
         self.hash_into(key, &mut indices);
         let probe = self.probe_prehashed(key, &indices);
+        self.record_probe_depth(probe.hit);
         let (slot, inserted) = if let Some(slot) = probe.hit {
             (slot, None)
         } else if let Some(slot) = probe.vacant {
@@ -1382,6 +1474,7 @@ impl<V: Clone> Clone for CuckooTable<V> {
                 .bfs
                 .as_ref()
                 .map(|_| Box::new(BfsScratch::new(capacity))),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -1457,6 +1550,61 @@ mod tests {
         assert_eq!(t.remove(10), None);
         assert!(t.is_empty());
         assert_eq!(t.get(99), None);
+    }
+
+    #[test]
+    fn depth_metrics_observe_without_perturbing() {
+        // Contract #11: the armed table computes byte-for-byte what the
+        // unarmed table computes, while its distributions fill in.
+        let mut armed: CuckooTable<u64> = CuckooTable::new(2, 64, HashKind::Strong, 9).unwrap();
+        let mut plain: CuckooTable<u64> = CuckooTable::new(2, 64, HashKind::Strong, 9).unwrap();
+        armed.arm_depth_metrics(2);
+        assert!(plain.depth_metrics().is_none());
+
+        let mut rng = SplitMix64::new(0xD1);
+        let mut inserts = 0u64;
+        for _ in 0..96 {
+            let key = rng.next_u64() >> 8;
+            let a = armed.insert(key, key);
+            let b = plain.insert(key, key);
+            assert_eq!(a.attempts, b.attempts);
+            assert_eq!(a.discarded, b.discarded);
+            inserts += 1;
+        }
+        assert_eq!(armed.len(), plain.len());
+        for (key, value) in plain.iter() {
+            assert_eq!(armed.get(key), Some(value));
+        }
+
+        let metrics = armed.depth_metrics().unwrap();
+        assert_eq!(metrics.probe_depth.count(), inserts);
+        assert!(metrics.probe_depth.max().unwrap() <= 2);
+        // A 2-way table filled past half occupancy must have displaced.
+        assert!(metrics.displacement_chain.count() > 0);
+        assert_eq!(metrics.bfs_path_depth.count(), 0);
+
+        // Clones carry the recorded distributions; disarming drops them.
+        let cloned = armed.clone();
+        assert_eq!(cloned.depth_metrics(), armed.depth_metrics());
+        armed.disarm_depth_metrics();
+        assert!(armed.depth_metrics().is_none());
+    }
+
+    #[test]
+    fn depth_metrics_record_bfs_paths_under_the_bfs_policy() {
+        let mut table: CuckooTable<()> = CuckooTable::new(2, 32, HashKind::Strong, 5).unwrap();
+        table.set_insert_policy(InsertPolicy::Bfs);
+        table.arm_depth_metrics(2);
+        let mut rng = SplitMix64::new(0xB5);
+        while table.depth_metrics().unwrap().bfs_path_depth.count() == 0 {
+            table.insert(rng.next_u64() >> 8, ());
+        }
+        let metrics = table.depth_metrics().unwrap();
+        assert!(metrics.bfs_path_depth.min().unwrap() >= 1);
+        assert_eq!(metrics.probe_depth.count() as usize, {
+            // Every insertion-path probe was recorded, hit or miss.
+            metrics.probe_depth.iter().map(|(_, n)| n as usize).sum()
+        });
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub use sharded::ShardedDirectory;
 pub use skewed::SkewedDirectory;
 pub use sparse::SparseDirectory;
 pub use spec::{BuilderRegistry, DirectorySpec, InsertPolicy, ProbeVariant};
-pub use stats::DirectoryStats;
+pub use stats::{DepthMetrics, DirectoryStats};
 pub use tagless::TaglessDirectory;
 
 use ccd_common::{CacheId, ConfigError, LineAddr};
@@ -646,6 +646,26 @@ pub trait Directory: Send {
     /// non-power-of-two set count) as [`ConfigError`].
     fn live_resize(&mut self, _ways: usize, _sets: usize) -> Result<bool, ConfigError> {
         Ok(false)
+    }
+
+    // ---- provided: depth observability ------------------------------------
+
+    /// Arms per-operation depth metrics (probe depth, displacement-chain
+    /// length, BFS path depth) at `sig_bits` histogram resolution,
+    /// resetting any previously gathered distributions.  Returns `false`
+    /// when the organization has no depth instrumentation (the default);
+    /// callers treat that as "nothing to observe", not an error.
+    ///
+    /// Arming must never change what the directory computes — only
+    /// [`Directory::depth_metrics`] output (contract #11).
+    fn arm_depth_metrics(&mut self, _sig_bits: u32) -> bool {
+        false
+    }
+
+    /// The depth distributions gathered since arming, or `None` when
+    /// unarmed or unsupported.
+    fn depth_metrics(&self) -> Option<&DepthMetrics> {
+        None
     }
 
     // ---- provided: borrowed sharer queries --------------------------------

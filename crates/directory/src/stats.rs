@@ -10,7 +10,9 @@
 //! * the directory event mix used to weight the energy model
 //!   (footnote 1 of Section 5.6).
 
-use ccd_common::stats::{Counter, Histogram, MeanAccumulator, RateEstimator};
+use ccd_common::stats::{
+    Counter, Histogram, LogHistogram, MeanAccumulator, MetricSet, RateEstimator,
+};
 
 /// Upper bound for the insertion-attempt histogram, matching the paper's
 /// 32-attempt cap (Section 5.2).
@@ -166,6 +168,82 @@ impl DirectoryStats {
     }
 }
 
+/// Depth distributions gathered by an instrumented hash-table directory.
+///
+/// Where [`DirectoryStats`] counts *what* happened, `DepthMetrics` records
+/// *how far* each operation had to walk: probe depth (ways inspected per
+/// lookup-bearing operation), displacement-chain length (entries moved per
+/// greedy cuckoo insertion) and BFS path depth (moves along a
+/// shortest-path insertion).  The histograms are HDR-style
+/// [`LogHistogram`]s so tails stay cheap to record at full precision.
+///
+/// Arming is optional and off by default — an unarmed directory pays one
+/// branch per record site (contract #11: observation must not perturb
+/// semantics, and must barely perturb throughput).  Like
+/// [`DirectoryStats`], per-shard metrics merge in a fixed shard order into
+/// a worker-count-invariant aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepthMetrics {
+    /// Ways inspected by the probe serving each table operation (1 = hit
+    /// or vacancy in the first way).
+    pub probe_depth: LogHistogram,
+    /// Entries displaced by each greedy insertion that had to displace
+    /// (length of the random-walk kick chain).
+    pub displacement_chain: LogHistogram,
+    /// Moves applied by each BFS shortest-path insertion.
+    pub bfs_path_depth: LogHistogram,
+}
+
+impl DepthMetrics {
+    /// Creates empty metrics at `sig_bits` histogram resolution.
+    #[must_use]
+    pub fn new(sig_bits: u32) -> Self {
+        DepthMetrics {
+            probe_depth: LogHistogram::new(sig_bits),
+            displacement_chain: LogHistogram::new(sig_bits),
+            bfs_path_depth: LogHistogram::new(sig_bits),
+        }
+    }
+
+    /// The configured histogram resolution.
+    #[must_use]
+    pub fn sig_bits(&self) -> u32 {
+        self.probe_depth.sig_bits()
+    }
+
+    /// Merges another metrics block into this one (fixed-shard-order
+    /// reduction, like [`DirectoryStats::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ.
+    pub fn merge(&mut self, other: &DepthMetrics) {
+        self.probe_depth.merge(&other.probe_depth);
+        self.displacement_chain.merge(&other.displacement_chain);
+        self.bfs_path_depth.merge(&other.bfs_path_depth);
+    }
+
+    /// Registers the three distributions into `metrics` under their
+    /// canonical names and folds the recorded data in.
+    pub fn register_into(&self, metrics: &mut MetricSet) {
+        for (name, hist) in [
+            ("probe_depth", &self.probe_depth),
+            ("displacement_chain", &self.displacement_chain),
+            ("bfs_path_depth", &self.bfs_path_depth),
+        ] {
+            let id = metrics.histogram(name, hist.sig_bits());
+            metrics.histogram_mut(id).merge(hist);
+        }
+    }
+
+    /// Resets every histogram, keeping the resolution.
+    pub fn reset(&mut self) {
+        self.probe_depth.reset();
+        self.displacement_chain.reset();
+        self.bfs_path_depth.reset();
+    }
+}
+
 /// Relative frequencies of the five directory event classes.
 ///
 /// The paper measured, across its workload suite: insert 23.5%, add sharer
@@ -275,5 +353,36 @@ mod tests {
         s.reset();
         assert_eq!(s.insertions.get(), 0);
         assert_eq!(s.avg_insertion_attempts(), 0.0);
+    }
+
+    #[test]
+    fn depth_metrics_merge_register_and_reset() {
+        let mut a = DepthMetrics::new(2);
+        assert_eq!(a.sig_bits(), 2);
+        a.probe_depth.record(1);
+        a.displacement_chain.record(5);
+        let mut b = DepthMetrics::new(2);
+        b.probe_depth.record(4);
+        b.bfs_path_depth.record(3);
+        // Merge commutes, like every other stats reduction.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.probe_depth.count(), 2);
+
+        let mut set = ccd_common::MetricSet::new();
+        ab.register_into(&mut set);
+        let snap = set.snapshot();
+        assert_eq!(snap.histograms.len(), 3);
+        assert_eq!(snap.histograms[0].name, "probe_depth");
+        assert_eq!(snap.histograms[0].count, 2);
+        assert_eq!(snap.histograms[1].name, "displacement_chain");
+        assert_eq!(snap.histograms[2].name, "bfs_path_depth");
+
+        ab.reset();
+        assert_eq!(ab.probe_depth.count(), 0);
+        assert_eq!(ab.sig_bits(), 2);
     }
 }

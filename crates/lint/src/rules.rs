@@ -123,6 +123,7 @@ impl Config {
                 "crates/cache",
                 "crates/coherence",
                 "crates/workloads",
+                "crates/obs",
                 "crates/service",
                 "crates/energy",
                 "crates/bench",
@@ -140,6 +141,9 @@ impl Config {
                 "crates/sharers",
                 "crates/hashers",
                 "crates/cache",
+                // The flight recorder sits on the request hot path: a lock
+                // (or interior mutability) would both cost and perturb.
+                "crates/obs",
             ]),
             ordering_commented: owned(&[
                 "crates/common/src/channel.rs",

@@ -30,7 +30,7 @@ fn fixture_config() -> Config {
         result_bearing: owned(&["crates/resultful"]),
         wallclock_allowed: Vec::new(),
         spawn_allowed: owned(&["crates/resultful/src/runner.rs"]),
-        lock_free: owned(&["crates/hotpath"]),
+        lock_free: owned(&["crates/hotpath", "crates/recorder"]),
         ordering_commented: owned(&["crates/resultful/src/atomics.rs"]),
         arch_allowed: Vec::new(),
         panic_allowlist: "lint/panic_allowlist.txt".to_string(),
@@ -51,6 +51,11 @@ fn every_rule_fires_at_its_known_site() {
         ("crates/hotpath/src/locks.rs", 4, "lock-discipline"),
         ("crates/hotpath/src/locks.rs", 5, "lock-discipline"),
         ("crates/hotpath/src/locks.rs", 6, "lock-discipline"),
+        // The recorder-style crate: virtual time only (wall-clock reads
+        // fire even outside result-bearing scope) and a lock-free ring.
+        ("crates/recorder/src/flight.rs", 5, "no-wallclock"),
+        ("crates/recorder/src/flight.rs", 10, "no-wallclock"),
+        ("crates/recorder/src/flight.rs", 14, "lock-discipline"),
         // An atomic ordering without a `// ordering:` justification; the
         // justified load and `cmp::Ordering` stay silent.
         ("crates/resultful/src/atomics.rs", 6, "ordering-comment"),

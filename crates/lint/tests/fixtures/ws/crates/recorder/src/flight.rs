@@ -1,0 +1,15 @@
+//! Fixture: an observability-style recorder crate — events must carry
+//! virtual time, never host time, and its ring must stay lock-free.
+
+pub fn stamp_event() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn wall_epoch() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+pub struct LockedRing {
+    pub events: std::sync::Mutex<Vec<u64>>,
+}

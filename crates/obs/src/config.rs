@@ -1,0 +1,279 @@
+//! The `obs-…` spec grammar arming the observability layer.
+//!
+//! An [`ObsConfig`] is parsed and validated exactly like the workspace's
+//! other spec strings (`DirectorySpec`, `faults-…`, `resize-…`):
+//!
+//! ```text
+//! obs-sig3-ring4096-spans
+//! └┬┘ └┬──┘ └───┬───┘ └┬──┘
+//!  │   │        │      └ also record span begin/end events
+//!  │   │        └ per-worker flight-recorder ring of 4096 events
+//!  │   └ histogram resolution: 3 significant bits (<= 12.5% error)
+//!  └ required prefix
+//! ```
+//!
+//! Clause reference:
+//!
+//! | clause     | meaning                                                   |
+//! |------------|-----------------------------------------------------------|
+//! | `sig<B>`   | [`LogHistogram`] resolution in significant bits, `1..=8` (default 2) |
+//! | `ring<N>`  | flight-recorder capacity in events (power of two); absent or 0 disables event recording |
+//! | `spans`    | record span begin/end pairs in addition to instant events |
+//!
+//! Observation must never perturb semantics (contract #11), so the config
+//! deliberately has no clause that could: there is no sampling, no
+//! truncation of metric values, and no time source — events are stamped
+//! with virtual time (request sequence numbers, epochs) supplied by the
+//! instrumented code.
+//!
+//! [`LogHistogram`]: ccd_common::LogHistogram
+
+use ccd_common::ConfigError;
+
+/// The default histogram resolution when no `sig` clause is given.
+pub const DEFAULT_SIG_BITS: u32 = 2;
+
+/// The largest flight-recorder capacity a spec may request.  A cap keeps a
+/// typo from allocating gigabytes of ring per worker.
+pub const MAX_RING: usize = 1 << 24;
+
+/// A parsed, validated observability spec.  See the module docs for the
+/// grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    label: String,
+    sig_bits: u32,
+    ring: usize,
+    spans: bool,
+}
+
+fn bad(spec: &str, clause: &str, expected: &str) -> ConfigError {
+    ConfigError::parse(format!(
+        "obs spec `{spec}`: clause `{clause}` must be `{expected}`"
+    ))
+}
+
+impl ObsConfig {
+    /// Parses an `obs-…` spec string.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] naming the offending clause; rejected inputs
+    /// include `sig` outside `1..=8`, a `ring` that is not a power of two,
+    /// rings over [`MAX_RING`], and duplicate clauses.
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let mut parts = spec.split('-');
+        if parts.next() != Some("obs") {
+            return Err(ConfigError::parse(format!(
+                "obs spec `{spec}` must start with `obs`"
+            )));
+        }
+        let mut sig_bits: Option<u32> = None;
+        let mut ring: Option<usize> = None;
+        let mut spans = false;
+        for clause in parts {
+            if let Some(rest) = clause.strip_prefix("sig") {
+                let bits: u32 = rest.parse().map_err(|_| bad(spec, clause, "sig<bits>"))?;
+                if !(1..=8).contains(&bits) {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: sig bits {bits} outside 1..=8"
+                    )));
+                }
+                if sig_bits.replace(bits).is_some() {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: duplicate `sig` clause"
+                    )));
+                }
+            } else if let Some(rest) = clause.strip_prefix("ring") {
+                let events: usize = rest
+                    .parse()
+                    .map_err(|_| bad(spec, clause, "ring<events>"))?;
+                if events != 0 && !events.is_power_of_two() {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: ring capacity {events} is not a power of two"
+                    )));
+                }
+                if events > MAX_RING {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: ring capacity {events} exceeds the {MAX_RING} cap"
+                    )));
+                }
+                if ring.replace(events).is_some() {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: duplicate `ring` clause"
+                    )));
+                }
+            } else if clause == "spans" {
+                if spans {
+                    return Err(ConfigError::parse(format!(
+                        "obs spec `{spec}`: duplicate `spans` clause"
+                    )));
+                }
+                spans = true;
+            } else {
+                return Err(ConfigError::parse(format!(
+                    "obs spec `{spec}`: unknown clause `{clause}`"
+                )));
+            }
+        }
+        let sig_bits = sig_bits.unwrap_or(DEFAULT_SIG_BITS);
+        let ring = ring.unwrap_or(0);
+        if spans && ring == 0 {
+            return Err(ConfigError::parse(format!(
+                "obs spec `{spec}`: `spans` requires a non-zero `ring`"
+            )));
+        }
+        let label = render_label(sig_bits, ring, spans);
+        Ok(ObsConfig {
+            label,
+            sig_bits,
+            ring,
+            spans,
+        })
+    }
+
+    /// The canonical spec string (clauses in a fixed order), parseable back
+    /// into an equal config.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Histogram resolution in significant bits (`1..=8`).
+    #[must_use]
+    pub fn sig_bits(&self) -> u32 {
+        self.sig_bits
+    }
+
+    /// Flight-recorder capacity in events; 0 disables event recording.
+    #[must_use]
+    pub fn ring(&self) -> usize {
+        self.ring
+    }
+
+    /// Whether span begin/end events are recorded.
+    #[must_use]
+    pub fn spans(&self) -> bool {
+        self.spans
+    }
+
+    /// `true` when the config arms a flight recorder.
+    #[must_use]
+    pub fn records_events(&self) -> bool {
+        self.ring > 0
+    }
+
+    /// Reads the `CCD_OBS` environment override.
+    ///
+    /// Unset means "not armed" (`Ok(None)`); anything set must parse.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] naming the offending spec when the variable
+    /// is set to something other than a valid `obs-…` string.
+    pub fn from_env() -> Result<Option<Self>, ConfigError> {
+        match std::env::var("CCD_OBS") {
+            Ok(raw) => {
+                let config = ObsConfig::parse(raw.trim()).map_err(|err| ConfigError::Parse {
+                    what: format!("CCD_OBS: {err}"),
+                })?;
+                Ok(Some(config))
+            }
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => Err(ConfigError::Parse {
+                what: "CCD_OBS is not valid unicode".to_string(),
+            }),
+        }
+    }
+}
+
+fn render_label(sig_bits: u32, ring: usize, spans: bool) -> String {
+    let mut label = format!("obs-sig{sig_bits}");
+    if ring > 0 {
+        label.push_str(&format!("-ring{ring}"));
+    }
+    if spans {
+        label.push_str("-spans");
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar_and_defaults() {
+        let full = ObsConfig::parse("obs-sig3-ring4096-spans").unwrap();
+        assert_eq!(full.sig_bits(), 3);
+        assert_eq!(full.ring(), 4096);
+        assert!(full.spans());
+        assert!(full.records_events());
+        assert_eq!(full.label(), "obs-sig3-ring4096-spans");
+
+        let bare = ObsConfig::parse("obs").unwrap();
+        assert_eq!(bare.sig_bits(), DEFAULT_SIG_BITS);
+        assert_eq!(bare.ring(), 0);
+        assert!(!bare.spans());
+        assert!(!bare.records_events());
+        assert_eq!(bare.label(), "obs-sig2");
+    }
+
+    #[test]
+    fn labels_are_canonical_and_round_trip() {
+        for spec in ["obs", "obs-ring1024", "obs-ring4096-spans", "obs-sig8"] {
+            let config = ObsConfig::parse(spec).unwrap();
+            let reparsed = ObsConfig::parse(config.label()).unwrap();
+            assert_eq!(config, reparsed, "{spec}");
+            assert_eq!(config.label(), reparsed.label(), "{spec}");
+        }
+        // Clause order is canonicalized.
+        assert_eq!(
+            ObsConfig::parse("obs-spans-ring16").unwrap().label(),
+            "obs-sig2-ring16-spans"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "observability",
+            "obs-sig0",
+            "obs-sig9",
+            "obs-sigx",
+            "obs-ring3",
+            "obs-ring",
+            "obs-ring99999999999",
+            "obs-spans",
+            "obs-sig2-sig3",
+            "obs-ring8-ring8",
+            "obs-ring8-spans-spans",
+            "obs-what",
+        ] {
+            assert!(ObsConfig::parse(bad).is_err(), "{bad} should not parse");
+        }
+        assert!(ObsConfig::parse(&format!("obs-ring{}", MAX_RING * 2)).is_err());
+    }
+
+    #[test]
+    fn obs_from_env_parses_and_quotes_bad_specs() {
+        // The only test touching CCD_OBS, to avoid env races in the
+        // parallel test harness.
+        let saved = std::env::var("CCD_OBS").ok();
+        std::env::remove_var("CCD_OBS");
+        assert_eq!(ObsConfig::from_env().unwrap(), None);
+        std::env::set_var("CCD_OBS", " obs-ring1024-spans ");
+        assert_eq!(
+            ObsConfig::from_env().unwrap().unwrap().label(),
+            "obs-sig2-ring1024-spans"
+        );
+        std::env::set_var("CCD_OBS", "obs-bogus");
+        let err = ObsConfig::from_env().unwrap_err();
+        assert!(format!("{err}").contains("CCD_OBS"), "{err}");
+        assert!(format!("{err}").contains("bogus"), "{err}");
+        match saved {
+            Some(value) => std::env::set_var("CCD_OBS", value),
+            None => std::env::remove_var("CCD_OBS"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Metric exposition: deterministic JSON and Prometheus-style text.
+//!
+//! Both renderers consume a [`MetricSnapshot`] — an integer-only,
+//! registration-ordered copy of a [`MetricSet`] — and emit nothing but
+//! integers in a fixed field order, so equal snapshots render to
+//! byte-identical strings.  This is what lets the service stack assert its
+//! merged-metrics determinism contract at the *serialized* level: a serial
+//! run and an N-worker run must produce the same bytes here, not merely
+//! "equivalent" numbers.
+//!
+//! [`MetricSet`]: ccd_common::MetricSet
+
+use ccd_common::{HistogramSnapshot, MetricSnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot as pretty-printed JSON.
+///
+/// Counters become an object (registration order), histograms an array of
+/// objects with their quantile summary and non-empty `[upper_edge, count]`
+/// buckets.
+#[must_use]
+pub fn render_json(snapshot: &MetricSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        let sep = if i + 1 < snapshot.counters.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(out, "\n    \"{name}\": {value}{sep}");
+    }
+    if snapshot.counters.is_empty() {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+    out.push_str("  \"histograms\": [");
+    for (i, hist) in snapshot.histograms.iter().enumerate() {
+        render_histogram_json(hist, &mut out);
+        if i + 1 < snapshot.histograms.len() {
+            out.push(',');
+        }
+    }
+    if snapshot.histograms.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+fn render_histogram_json(hist: &HistogramSnapshot, out: &mut String) {
+    let _ = write!(
+        out,
+        "\n    {{\n      \"name\": \"{}\",\n      \"sig_bits\": {},\n      \
+         \"count\": {},\n      \"sum\": {},\n      \"min\": {},\n      \
+         \"max\": {},\n      \"p50\": {},\n      \"p99\": {},\n      \
+         \"p999\": {},\n      \"buckets\": [",
+        hist.name,
+        hist.sig_bits,
+        hist.count,
+        hist.sum,
+        hist.min,
+        hist.max,
+        hist.p50,
+        hist.p99,
+        hist.p999
+    );
+    for (i, (upper, count)) in hist.buckets.iter().enumerate() {
+        let sep = if i + 1 < hist.buckets.len() { "," } else { "" };
+        let _ = write!(out, "[{upper}, {count}]{sep}");
+    }
+    out.push_str("]\n    }");
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters become `<prefix>_<name>` counter samples; each histogram
+/// becomes a summary — `quantile`-labelled samples plus `_count`, `_sum`,
+/// `_min` and `_max` — all integer-valued.
+#[must_use]
+pub fn render_prometheus(snapshot: &MetricSnapshot, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {prefix}_{name} counter");
+        let _ = writeln!(out, "{prefix}_{name} {value}");
+    }
+    for hist in &snapshot.histograms {
+        let name = format!("{prefix}_{}", hist.name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (label, value) in [("0.5", hist.p50), ("0.99", hist.p99), ("0.999", hist.p999)] {
+            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {value}");
+        }
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_min {}", hist.min);
+        let _ = writeln!(out, "{name}_max {}", hist.max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccd_common::MetricSet;
+
+    fn sample() -> MetricSnapshot {
+        let mut set = MetricSet::new();
+        let requests = set.counter("requests");
+        let depth = set.histogram("probe_depth", 2);
+        set.add(requests, 1000);
+        for v in [1u64, 1, 2, 4, 9] {
+            set.record(depth, v);
+        }
+        set.snapshot()
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_structured() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b, "equal snapshots must render byte-identically");
+        assert!(a.contains("\"requests\": 1000"));
+        assert!(a.contains("\"name\": \"probe_depth\""));
+        assert!(a.contains("\"count\": 5"));
+        assert!(a.contains("\"min\": 1"));
+        assert!(a.contains("\"max\": 9"));
+        // Valid-enough JSON: braces and brackets balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                a.matches(open).count(),
+                a.matches(close).count(),
+                "unbalanced {open}{close} in:\n{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_handles_empty_snapshots() {
+        let empty = MetricSet::new().snapshot();
+        let text = render_json(&empty);
+        assert!(text.contains("\"counters\": {}"));
+        assert!(text.contains("\"histograms\": []"));
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_the_text_format() {
+        let text = render_prometheus(&sample(), "ccd");
+        assert!(text.contains("# TYPE ccd_requests counter\nccd_requests 1000\n"));
+        assert!(text.contains("# TYPE ccd_probe_depth summary"));
+        assert!(text.contains("ccd_probe_depth{quantile=\"0.5\"} 2"));
+        assert!(text.contains("ccd_probe_depth_count 5"));
+        assert!(text.contains("ccd_probe_depth_min 1"));
+        assert!(text.contains("ccd_probe_depth_max 9"));
+        // Every non-comment line is `name[{labels}] integer`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "non-integer sample: {line}");
+        }
+    }
+}

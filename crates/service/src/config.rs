@@ -4,6 +4,7 @@ use crate::fault::FaultPlan;
 use crate::resize::ResizePolicy;
 use ccd_common::ConfigError;
 use ccd_directory::DirectorySpec;
+use ccd_obs::ObsConfig;
 
 /// Default number of request batches a worker queue can hold before the
 /// ingestion frontend blocks.
@@ -48,6 +49,12 @@ pub struct ServiceConfig {
     /// An armed live-resize schedule, or `None` (the default) for
     /// statically provisioned shards.  See [`ResizePolicy`].
     pub resize_policy: Option<ResizePolicy>,
+    /// An armed observability layer, or `None` (the default) to run dark.
+    /// `None` here still honors a `CCD_OBS` environment override at build
+    /// time; an explicit config wins over the environment.  Arming is
+    /// observational only — contract #11 says armed and unarmed runs are
+    /// digest-identical.  See [`ObsConfig`].
+    pub obs: Option<ObsConfig>,
 }
 
 impl ServiceConfig {
@@ -64,6 +71,7 @@ impl ServiceConfig {
             record_outcomes: true,
             fault_plan: None,
             resize_policy: None,
+            obs: None,
         }
     }
 
@@ -120,6 +128,23 @@ impl ServiceConfig {
     /// The policy's parse error.
     pub fn with_resize_spec(self, spec: &str) -> Result<Self, ConfigError> {
         Ok(self.with_resize(ResizePolicy::parse(spec)?))
+    }
+
+    /// Returns the config with the observability layer armed.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Returns the config with an observability layer parsed from an
+    /// `obs-…` spec string (see [`ObsConfig::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// The spec's parse error.
+    pub fn with_obs_spec(self, spec: &str) -> Result<Self, ConfigError> {
+        Ok(self.with_obs(ObsConfig::parse(spec)?))
     }
 
     /// Validates the topology and parses the shard spec.

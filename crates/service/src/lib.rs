@@ -73,10 +73,11 @@ pub mod resize;
 pub mod service;
 pub mod supervisor;
 
+pub use ccd_obs::ObsConfig;
 pub use config::{ServiceConfig, DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
 pub use error::ServiceError;
 pub use fault::{CrashPoint, FaultPlan, StallPoint};
 pub use load::{op_for, LoadSpec, OpStream};
 pub use request::{digest_outcome_semantics, digest_outcomes, OutcomeRecord, Request};
 pub use resize::{ResizeMode, ResizePolicy};
-pub use service::{DirectoryService, ServiceReport, ServiceStats};
+pub use service::{DirectoryService, ObsReport, ServiceReport, ServiceStats};

@@ -56,14 +56,15 @@
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::load::LoadSpec;
-use crate::request::{digest_outcome_semantics, digest_outcomes, OutcomeRecord};
+use crate::request::{digest_outcome_semantics, digest_outcomes, OutcomeRecord, Request};
 use crate::resize::ResizePolicy;
 use crate::supervisor;
-use ccd_common::stats::Counter;
+use ccd_common::stats::{Counter, MetricSet, MetricSnapshot};
 use ccd_common::{ConfigError, LineAddr};
 use ccd_directory::{
-    BuilderRegistry, Directory, DirectoryOp, DirectorySpec, DirectoryStats, Outcome,
+    BuilderRegistry, DepthMetrics, Directory, DirectoryOp, DirectorySpec, DirectoryStats, Outcome,
 };
+use ccd_obs::{EventKind, FlightRecorder, FlightRecording, ObsConfig};
 use std::fmt;
 
 /// Snapshot-consistent service statistics, built from the same mergeable
@@ -121,6 +122,42 @@ impl ServiceStats {
     }
 }
 
+/// What the observability layer recorded over one run: the merged metric
+/// snapshot plus the flight recordings, assembled by the same `finish`
+/// path that builds the rest of the report.
+///
+/// The **metric snapshot is worker-count invariant**: counters come from
+/// the merged [`ServiceStats`] (scheduling-dependent ones — shed,
+/// recoveries, batch counts — are deliberately excluded) and the depth
+/// distributions merge in global shard order, so
+/// [`ccd_obs::expo::render_json`] of the snapshot is byte-identical for a
+/// serial run and any worker count.  The **flight recordings are not**:
+/// they narrate how work was scheduled (per-worker batch spans, router
+/// events), which legitimately depends on the worker count.  For a fixed
+/// topology a recording is run-to-run bit-reproducible whenever
+/// scheduling itself is deterministic — which includes armed shed gates,
+/// stalls and resize policies, but *not* injected crashes: crash
+/// *detection* is a thread race, so the position of crash/recovery/replay
+/// events relative to routed batches (and the journal length a replay
+/// reports) varies between runs even though every crash fires at its
+/// scheduled sequence number and semantics stay bit-identical.
+///
+/// The whole struct is excluded from [`ServiceReport::semantics`] and its
+/// sibling views: observation output is not semantics (contract #11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsReport {
+    /// The canonical label of the armed [`ObsConfig`].
+    pub label: String,
+    /// The merged, worker-count-invariant metric snapshot.
+    pub metrics: MetricSnapshot,
+    /// The router-side flight recording (`None` for serial runs or a
+    /// ring-less config).
+    pub router: Option<FlightRecording>,
+    /// Per-worker flight recordings, in worker-index order (empty for a
+    /// ring-less config).
+    pub workers: Vec<FlightRecording>,
+}
+
 /// The result of running a service to completion over one request stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServiceReport {
@@ -146,6 +183,11 @@ pub struct ServiceReport {
     pub outcomes: Vec<OutcomeRecord>,
     /// FNV-1a digest of the outcome log ([`digest_outcomes`]).
     pub outcome_digest: u64,
+    /// What the observability layer recorded, when one was armed.
+    /// Excluded from every semantics view — the explicit field lists in
+    /// [`ServiceReport::semantics`] and its siblings are what enforces
+    /// contract #11 at the report level.
+    pub obs: Option<ObsReport>,
 }
 
 impl ServiceReport {
@@ -259,6 +301,9 @@ pub struct DirectoryService {
     /// the same registry and per-shard spec the service was built from.
     pub(crate) registry: BuilderRegistry,
     pub(crate) slice_spec: DirectorySpec,
+    /// The effective observability config: the builder's explicit choice,
+    /// else a `CCD_OBS` environment override, else dark.
+    pub(crate) obs: Option<ObsConfig>,
 }
 
 impl fmt::Debug for DirectoryService {
@@ -287,9 +332,22 @@ impl DirectoryService {
             sets: spec.sets / config.shards,
             ..spec
         };
-        let slices = (0..config.shards)
+        let mut slices = (0..config.shards)
             .map(|_| registry.build(&slice_spec))
             .collect::<Result<Vec<_>, _>>()?;
+        // Resolve the effective observability layer: an explicit config
+        // wins, then the CCD_OBS environment override, then dark.  Arming
+        // the slices' depth distributions is observational only — nothing
+        // result-bearing changes (contract #11).
+        let obs = match config.obs.clone() {
+            Some(obs) => Some(obs),
+            None => ObsConfig::from_env()?,
+        };
+        if let Some(obs) = obs.as_ref() {
+            for slice in &mut slices {
+                slice.arm_depth_metrics(obs.sig_bits());
+            }
+        }
         let organization = format!("service{}x[{}]", config.shards, slices[0].organization());
         Ok(DirectoryService {
             config,
@@ -297,6 +355,7 @@ impl DirectoryService {
             organization,
             registry: registry.clone(),
             slice_spec,
+            obs,
         })
     }
 
@@ -405,7 +464,9 @@ impl DirectoryService {
         let shards = self.config.shards;
         let record = self.config.record_outcomes;
         let resize = self.config.resize_policy.clone();
+        let obs = self.obs.clone();
         let mut output = WorkerOutput::new(0, std::mem::take(&mut self.slices));
+        output.arm_obs(obs.as_ref());
         let mut out = Outcome::new();
         for (seq, op) in ops.enumerate() {
             let (shard, local) = Self::route(shards as u64, op.line());
@@ -423,11 +484,21 @@ impl DirectoryService {
             // Same order as the worker path: apply, absorb, then count the
             // request towards the shard's resize epoch.
             if let Some(policy) = resize.as_ref() {
-                maybe_resize(&mut output, shard, policy);
+                maybe_resize(&mut output, shard, shard as u32, policy);
             }
         }
         // One "worker" owning every shard in global order.
-        finish(self.organization, shards, 1, vec![output], record, 0, 0)
+        finish(
+            self.organization,
+            shards,
+            1,
+            vec![output],
+            record,
+            0,
+            0,
+            obs.as_ref(),
+            None,
+        )
     }
 }
 
@@ -452,6 +523,9 @@ pub(crate) struct WorkerOutput {
     pub(crate) shard_resizes: Vec<u32>,
     /// Total resize firings across this worker's shards.
     pub(crate) resizes: u64,
+    /// The worker's flight recorder, when an observability config with a
+    /// ring is armed.  `None` costs one branch per record site.
+    pub(crate) recorder: Option<FlightRecorder>,
 }
 
 impl WorkerOutput {
@@ -468,7 +542,43 @@ impl WorkerOutput {
             shard_applied: vec![0; owned],
             shard_resizes: vec![0; owned],
             resizes: 0,
+            recorder: None,
         }
+    }
+
+    /// Arms the worker's flight recorder from the effective observability
+    /// config (a ring-less config keeps the recorder off).
+    pub(crate) fn arm_obs(&mut self, obs: Option<&ObsConfig>) {
+        self.recorder = obs
+            .filter(|cfg| cfg.records_events())
+            .map(|cfg| FlightRecorder::new(cfg.ring(), cfg.spans()));
+    }
+
+    /// Opens the batch-application span (no-op unless spans are armed).
+    /// Virtual time is the batch's first request sequence number.
+    pub(crate) fn batch_span_begin(&mut self, requests: &[Request]) {
+        if let (Some(recorder), Some(first)) = (self.recorder.as_mut(), requests.first()) {
+            recorder.span_begin(self.index as u16, first.seq, requests.len() as u64);
+        }
+    }
+
+    /// Records the applied batch and closes its span.  Virtual times are
+    /// the batch's first and last request sequence numbers.
+    pub(crate) fn batch_applied(&mut self, requests: &[Request]) {
+        let Some(recorder) = self.recorder.as_mut() else {
+            return;
+        };
+        let (Some(first), Some(last)) = (requests.first(), requests.last()) else {
+            return;
+        };
+        let lane = self.index as u16;
+        recorder.record(
+            EventKind::BatchApplied,
+            lane,
+            first.seq,
+            requests.len() as u64,
+        );
+        recorder.span_end(lane, last.seq, requests.len() as u64);
     }
 }
 
@@ -488,7 +598,12 @@ impl WorkerOutput {
 /// example re-waying past a pinned probe kernel's limit).  That is a
 /// configuration error, not a runtime condition, and surfacing it beats
 /// silently diverging from the schedule.
-pub(crate) fn maybe_resize(output: &mut WorkerOutput, shard: usize, policy: &ResizePolicy) {
+pub(crate) fn maybe_resize(
+    output: &mut WorkerOutput,
+    shard: usize,
+    global_shard: u32,
+    policy: &ResizePolicy,
+) {
     output.shard_applied[shard] += 1;
     if !output.shard_applied[shard].is_multiple_of(policy.every()) {
         return;
@@ -505,6 +620,16 @@ pub(crate) fn maybe_resize(output: &mut WorkerOutput, shard: usize, policy: &Res
         Ok(true) => {
             output.shard_resizes[shard] += 1;
             output.resizes += 1;
+            // Virtual time: the shard's own request tick, a pure function
+            // of its subsequence — identical at every worker count.
+            if let Some(recorder) = output.recorder.as_mut() {
+                recorder.record(
+                    EventKind::ResizeFired,
+                    global_shard as u16,
+                    output.shard_applied[shard],
+                    new_sets as u64,
+                );
+            }
         }
         Ok(false) => {}
         Err(err) => panic!(
@@ -538,7 +663,8 @@ pub(crate) fn absorb_into(
 /// Reassembles worker outputs into the final report: shards back into
 /// global order, per-shard statistics merged in that (fixed) order,
 /// outcome logs merged by sequence number.  `shed` and `recoveries` come
-/// from the supervisor (always 0 for serial runs).
+/// from the supervisor (always 0 for serial runs), as does the router's
+/// flight recording (`None` for serial runs).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn finish(
     organization: String,
@@ -548,6 +674,8 @@ pub(crate) fn finish(
     record: bool,
     shed: u64,
     recoveries: u64,
+    obs: Option<&ObsConfig>,
+    router: Option<FlightRecording>,
 ) -> ServiceReport {
     outputs.sort_by_key(|output| output.index);
     debug_assert!(outputs
@@ -581,6 +709,40 @@ pub(crate) fn finish(
         entries += slice.len();
         stats.directory.merge(slice.stats());
     }
+    // The observability report rides the same reassembly.  Counters come
+    // from the merged stats (scheduling-dependent ones — shed, recoveries,
+    // batches — deliberately excluded) and the depth distributions merge
+    // in global shard order, so the snapshot is worker-count invariant;
+    // its registration order is fixed here and nowhere else.
+    let obs = obs.map(|cfg| {
+        let mut metrics = MetricSet::new();
+        for (name, value) in [
+            ("requests", requests),
+            ("invalidations", stats.invalidations.get()),
+            ("forced_invalidations", stats.forced_invalidations.get()),
+            ("resizes", stats.resizes.get()),
+            ("entries", entries as u64),
+        ] {
+            let id = metrics.counter(name);
+            metrics.add(id, value);
+        }
+        let mut depth = DepthMetrics::new(cfg.sig_bits());
+        for shard in 0..shards {
+            if let Some(recorded) = outputs[shard % stride].slices[shard / stride].depth_metrics() {
+                depth.merge(recorded);
+            }
+        }
+        depth.register_into(&mut metrics);
+        ObsReport {
+            label: cfg.label().to_string(),
+            metrics: metrics.snapshot(),
+            router,
+            workers: outputs
+                .iter()
+                .filter_map(|output| output.recorder.as_ref().map(FlightRecorder::finish))
+                .collect(),
+        }
+    });
     for output in &mut outputs {
         outcomes.append(&mut output.outcomes);
     }
@@ -601,6 +763,7 @@ pub(crate) fn finish(
         stats,
         outcomes,
         outcome_digest,
+        obs,
     }
 }
 

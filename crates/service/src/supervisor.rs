@@ -81,9 +81,20 @@ use ccd_common::channel::{bounded, Backoff, Receiver, SendTimeoutError, Sender};
 use ccd_directory::{
     BuilderRegistry, Directory, DirectoryOp, DirectorySpec, Outcome, APPLY_BATCH_WINDOW,
 };
+use ccd_obs::{EventKind, FlightRecorder, ObsConfig};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::{Scope, ScopedJoinHandle};
+
+/// What the supervisor hands back once the fleet drains: the worker
+/// outputs, the shed and recovery counts, and the router-side flight
+/// recording (when one was armed).
+type JoinedFleet = (
+    Vec<WorkerOutput>,
+    u64,
+    u64,
+    Option<ccd_obs::FlightRecording>,
+);
 
 /// First tick budget of the delivery backoff schedule.
 pub(crate) const SEND_BACKOFF_START: u32 = 1;
@@ -110,6 +121,10 @@ struct RunEnv {
     /// and journal replay, so recovery re-fires the same resizes at the
     /// same epoch boundaries.
     resize: Option<ResizePolicy>,
+    /// The effective observability config.  Rebuilt slices and replay
+    /// outputs re-arm from it, so a recovered worker observes exactly what
+    /// the dead one did.
+    obs: Option<ObsConfig>,
 }
 
 impl RunEnv {
@@ -118,12 +133,19 @@ impl RunEnv {
         (self.shards - worker).div_ceil(self.workers)
     }
 
-    /// Builds fresh, empty slices for worker `w`'s shards.
+    /// Builds fresh, empty slices for worker `w`'s shards, re-armed for
+    /// observation like the originals.
     fn rebuild_slices(&self, worker: usize) -> Result<Vec<Box<dyn Directory>>, ServiceError> {
-        (0..self.owned_shards(worker))
+        let mut slices = (0..self.owned_shards(worker))
             .map(|_| self.registry.build(&self.slice_spec))
             .collect::<Result<Vec<_>, _>>()
-            .map_err(ServiceError::from)
+            .map_err(ServiceError::from)?;
+        if let Some(obs) = self.obs.as_ref() {
+            for slice in &mut slices {
+                slice.arm_depth_metrics(obs.sig_bits());
+            }
+        }
+        Ok(slices)
     }
 }
 
@@ -174,6 +196,9 @@ struct Supervisor<'scope> {
     gate: Option<ShedGate>,
     shed: u64,
     recoveries: u64,
+    /// The router-side flight recorder: delivery, shedding, crash and
+    /// recovery events, stamped with request sequence numbers.
+    recorder: Option<FlightRecorder>,
 }
 
 impl<'scope> Supervisor<'scope> {
@@ -192,11 +217,17 @@ impl<'scope> Supervisor<'scope> {
             gate: env.plan.as_ref().and_then(FaultPlan::shed_gate),
             shed: 0,
             recoveries: 0,
+            recorder: env
+                .obs
+                .as_ref()
+                .filter(|cfg| cfg.records_events())
+                .map(|cfg| FlightRecorder::new(cfg.ring(), cfg.spans())),
         };
         for (index, slices) in owned.into_iter().enumerate() {
             let hooks = env.plan.as_ref().and_then(|p| p.arm(index, 0));
-            let (tx, recycle_rx, handle) =
-                spawn_worker(scope, env, WorkerOutput::new(index, slices), hooks);
+            let mut output = WorkerOutput::new(index, slices);
+            output.arm_obs(env.obs.as_ref());
+            let (tx, recycle_rx, handle) = spawn_worker(scope, env, output, hooks);
             sup.txs.push(tx);
             sup.recycles.push(recycle_rx);
             sup.handles.push(Some(handle));
@@ -215,12 +246,19 @@ impl<'scope> Supervisor<'scope> {
         owner: usize,
         batch: Vec<Request>,
     ) -> Result<(), ServiceError> {
+        // Virtual time of every router-side event for this batch: its
+        // first request's sequence number.
+        let vtime = batch.first().map_or(0, |request| request.seq);
+        let len = batch.len() as u64;
         // Admission control: draw the gate once per shed rejection plus
         // the final admission.  The decision stream is consumed only here,
         // on the single router thread, in offer order — deterministic.
         if let Some(gate) = self.gate.as_mut() {
             while gate.should_shed() {
                 self.shed += 1;
+                if let Some(recorder) = self.recorder.as_mut() {
+                    recorder.record(EventKind::Shed, owner as u16, vtime, len);
+                }
             }
         }
         if env.journaled[owner] {
@@ -230,7 +268,10 @@ impl<'scope> Supervisor<'scope> {
         let mut backoff = Backoff::new(SEND_BACKOFF_START, SEND_BACKOFF_MAX);
         loop {
             match self.txs[owner].send_timeout(pending, backoff.next_ticks()) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.record_event(EventKind::BatchRouted, owner, vtime, len);
+                    return Ok(());
+                }
                 Err(SendTimeoutError::TimedOut(batch)) => {
                     // Queue full; the worker is alive but slow (or
                     // stalled).  Wait a deterministically longer bounded
@@ -258,6 +299,13 @@ impl<'scope> Supervisor<'scope> {
         }
     }
 
+    /// Records one router-side event (no-op when no recorder is armed).
+    fn record_event(&mut self, kind: EventKind, lane: usize, vtime: u64, arg: u64) {
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(kind, lane as u16, vtime, arg);
+        }
+    }
+
     /// Handles a detected crash of `owner`: joins the corpse, classifies
     /// the panic, and — when it was a scheduled recoverable injection on a
     /// journaled worker — rebuilds the worker's shards by replay and
@@ -269,14 +317,20 @@ impl<'scope> Supervisor<'scope> {
         owner: usize,
     ) -> Result<(), ServiceError> {
         let note = self.join_corpse(owner);
-        match note.injected {
-            Some(crash) if crash.recoverable && env.journaled[owner] => {
-                self.fired[owner] += 1;
-                self.recoveries += 1;
-            }
+        let crash = match note.injected {
+            Some(crash) if crash.recoverable && env.journaled[owner] => crash,
             _ => return Err(note.into_error()),
-        }
+        };
+        self.fired[owner] += 1;
+        self.recoveries += 1;
+        self.record_event(EventKind::Crash, owner, crash.seq, self.fired[owner] as u64);
         let output = self.replay(env, owner)?;
+        self.record_event(
+            EventKind::Recovery,
+            owner,
+            crash.seq,
+            self.fired[owner] as u64,
+        );
         let hooks = env
             .plan
             .as_ref()
@@ -293,6 +347,8 @@ impl<'scope> Supervisor<'scope> {
     /// Terminates: every iteration either completes, fails, or advances
     /// `fired` (bounded by the plan's crash-point count).
     fn replay(&mut self, env: &RunEnv, owner: usize) -> Result<WorkerOutput, ServiceError> {
+        let replayed = self.journals[owner].len() as u64;
+        let vtime = self.journals[owner].last().map_or(0, |request| request.seq);
         loop {
             let slices = env.rebuild_slices(owner)?;
             let hooks = env
@@ -300,11 +356,20 @@ impl<'scope> Supervisor<'scope> {
                 .as_ref()
                 .and_then(|p| p.arm(owner, self.fired[owner]));
             match replay_journal(owner, slices, &self.journals[owner], env, hooks) {
-                Ok(output) => return Ok(output),
+                Ok(output) => {
+                    self.record_event(EventKind::JournalReplay, owner, vtime, replayed);
+                    return Ok(output);
+                }
                 Err(note) => match note.injected {
                     Some(crash) if crash.recoverable => {
                         self.fired[owner] += 1;
                         self.recoveries += 1;
+                        self.record_event(
+                            EventKind::Crash,
+                            owner,
+                            crash.seq,
+                            self.fired[owner] as u64,
+                        );
                     }
                     _ => return Err(note.into_error()),
                 },
@@ -350,7 +415,7 @@ impl<'scope> Supervisor<'scope> {
     /// recovering workers that crashed after their last delivery: with the
     /// stream over, their full journals *are* their final state, so replay
     /// alone finishes the job — no respawn.
-    fn join_all(mut self, env: &RunEnv) -> Result<(Vec<WorkerOutput>, u64, u64), ServiceError> {
+    fn join_all(mut self, env: &RunEnv) -> Result<JoinedFleet, ServiceError> {
         self.txs.clear();
         let mut outputs = Vec::with_capacity(env.workers);
         for owner in 0..env.workers {
@@ -365,25 +430,34 @@ impl<'scope> Supervisor<'scope> {
                 Ok(Err(note)) => note,
                 Err(payload) => CrashNote::new(owner, payload),
             };
-            match note.injected {
-                Some(crash) if crash.recoverable && env.journaled[owner] => {
-                    self.fired[owner] += 1;
-                    self.recoveries += 1;
-                }
+            let crash = match note.injected {
+                Some(crash) if crash.recoverable && env.journaled[owner] => crash,
                 _ => {
                     self.abort();
                     return Err(note.into_error());
                 }
-            }
+            };
+            self.fired[owner] += 1;
+            self.recoveries += 1;
+            self.record_event(EventKind::Crash, owner, crash.seq, self.fired[owner] as u64);
             match self.replay(env, owner) {
-                Ok(output) => outputs.push(output),
+                Ok(output) => {
+                    self.record_event(
+                        EventKind::Recovery,
+                        owner,
+                        crash.seq,
+                        self.fired[owner] as u64,
+                    );
+                    outputs.push(output);
+                }
                 Err(err) => {
                     self.abort();
                     return Err(err);
                 }
             }
         }
-        Ok((outputs, self.shed, self.recoveries))
+        let recording = self.recorder.as_ref().map(FlightRecorder::finish);
+        Ok((outputs, self.shed, self.recoveries, recording))
     }
 }
 
@@ -417,6 +491,7 @@ pub(crate) fn run_concurrent(
         queue_depth: service.config.queue_depth,
         record,
         resize: service.config.resize_policy.clone(),
+        obs: service.obs.clone(),
     };
     let organization = std::mem::take(&mut service.organization);
 
@@ -427,7 +502,7 @@ pub(crate) fn run_concurrent(
         owned[global % workers].push(slice);
     }
 
-    let (outputs, shed, recoveries) = std::thread::scope(|scope| {
+    let (outputs, shed, recoveries, router_recording) = std::thread::scope(|scope| {
         let mut sup = Supervisor::launch(scope, &env, owned);
 
         // The router: stamp, route, batch, deliver (with backpressure
@@ -473,6 +548,8 @@ pub(crate) fn run_concurrent(
         record,
         shed,
         recoveries,
+        env.obs.as_ref(),
+        router_recording,
     ))
 }
 
@@ -529,6 +606,7 @@ fn drive_worker(
         // supervisor, not to the worker.
         while let Ok(mut requests) = rx.recv() {
             output.batches += 1;
+            output.batch_span_begin(&requests);
             if let Some(hooks) = hooks.as_ref() {
                 hooks.stall();
                 if let Some((cut, point)) = hooks.crash_cut(requests.iter().map(|r| r.seq)) {
@@ -561,6 +639,7 @@ fn drive_worker(
                 &mut out,
                 &mut ops_buf,
             );
+            output.batch_applied(&requests);
             requests.clear();
             // Non-blocking buffer return; on a full recycle ring the
             // buffer is simply dropped and the router allocates fresh.
@@ -586,12 +665,15 @@ fn replay_journal(
     let record = env.record;
     let batch = env.batch.max(1);
     let resize = env.resize.as_ref();
+    let obs = env.obs.as_ref();
     catch_unwind(AssertUnwindSafe(move || {
         let mut output = WorkerOutput::new(worker, slices);
+        output.arm_obs(obs);
         let mut out = Outcome::new();
         let mut ops_buf: Vec<DirectoryOp> = Vec::new();
         for chunk in journal.chunks(batch) {
             output.batches += 1;
+            output.batch_span_begin(chunk);
             if let Some(hooks) = hooks.as_ref() {
                 if let Some((cut, point)) = hooks.crash_cut(chunk.iter().map(|r| r.seq)) {
                     apply_requests(
@@ -620,6 +702,7 @@ fn replay_journal(
                 &mut out,
                 &mut ops_buf,
             );
+            output.batch_applied(chunk);
         }
         output
     }))
@@ -667,7 +750,7 @@ fn apply_requests(
                     out,
                     record,
                 );
-                maybe_resize(output, shard, policy);
+                maybe_resize(output, shard, global_shard, policy);
             }
             start = end;
         }
